@@ -1,0 +1,76 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation section and prints them as aligned text tables.
+//
+// Usage:
+//
+//	benchall            # run everything (trains the three app models)
+//	benchall -only fig6 # run one artifact
+//	benchall -fast      # hardware-model artifacts only (no model training)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpudpf/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single artifact (fig3, tab1, tab2, fig6, fig8, fig9, fig11, fig12, fig13, fig14, tab4, tab5, fig16, fig17, fig18, fig19, fig20)")
+	fast := flag.Bool("fast", false, "skip the experiments that train ML models")
+	flag.Parse()
+
+	runners := map[string]func() (*experiments.Table, error){
+		"fig3":          experiments.Fig3,
+		"tab1":          experiments.Table1,
+		"tab2":          experiments.Table2,
+		"fig6":          experiments.Fig6,
+		"fig8":          experiments.Fig8,
+		"fig9":          experiments.Fig9,
+		"fig11":         experiments.Fig11Table3,
+		"fig12":         experiments.Fig12,
+		"fig13":         experiments.Fig13,
+		"fig14":         experiments.Fig14,
+		"tab4":          experiments.Table4,
+		"tab5":          experiments.Table5,
+		"fig16":         experiments.Fig16,
+		"fig17":         experiments.Fig17,
+		"fig18":         experiments.Fig18,
+		"fig19":         experiments.Fig19,
+		"fig20":         experiments.Fig20,
+		"ext-multigpu":  experiments.ExtMultiGPU,
+		"ext-serving":   experiments.ExtServing,
+		"ext-integrity": experiments.ExtIntegrity,
+		"abl-coop":      experiments.AblationCoopThreshold,
+		"abl-hotfrac":   experiments.AblationHotFraction,
+		"abl-coloc":     experiments.AblationColocation,
+	}
+	if *only != "" {
+		run, ok := runners[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchall: unknown artifact %q\n", *only)
+			os.Exit(2)
+		}
+		emit(run)
+		return
+	}
+	order := []string{"fig3", "tab1", "tab2", "fig6", "fig8", "fig9", "fig13", "fig14", "tab4", "tab5",
+		"ext-multigpu", "ext-serving", "ext-integrity", "abl-coop"}
+	slow := []string{"fig11", "fig12", "fig16", "fig17", "fig18", "fig19", "fig20", "abl-hotfrac", "abl-coloc"}
+	if !*fast {
+		order = append(order, slow...)
+	}
+	for _, id := range order {
+		emit(runners[id])
+	}
+}
+
+func emit(run func() (*experiments.Table, error)) {
+	tab, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab.Render())
+}

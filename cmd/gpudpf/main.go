@@ -1,0 +1,135 @@
+// Command gpudpf is a CLI for the DPF core: generate key pairs, expand
+// them, and report modeled execution profiles for the paper's GPU
+// strategies.
+//
+//	gpudpf gen -bits 20 -index 1234 -out0 k0.bin -out1 k1.bin
+//	gpudpf eval -key k0.bin -at 1234
+//	gpudpf bench -bits 20 -batch 64 -prg chacha20 -strategy membound
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/strategy"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "bench":
+		cmdBench(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gpudpf {gen|eval|bench} [flags]")
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	bits := fs.Int("bits", 20, "tree depth (domain 2^bits)")
+	index := fs.Uint64("index", 0, "secret index alpha")
+	prgName := fs.String("prg", "aes128", "PRF")
+	out0 := fs.String("out0", "key0.bin", "party-0 key file")
+	out1 := fs.String("out1", "key1.bin", "party-1 key file")
+	fs.Parse(args)
+
+	prg, err := dpf.NewPRG(*prgName)
+	if err != nil {
+		log.Fatalf("gpudpf gen: %v", err)
+	}
+	k0, k1, err := dpf.Gen(prg, *index, *bits, []uint32{1}, rand.Reader)
+	if err != nil {
+		log.Fatalf("gpudpf gen: %v", err)
+	}
+	for _, pair := range []struct {
+		path string
+		k    *dpf.Key
+	}{{*out0, &k0}, {*out1, &k1}} {
+		raw, err := pair.k.MarshalBinary()
+		if err != nil {
+			log.Fatalf("gpudpf gen: %v", err)
+		}
+		if err := os.WriteFile(pair.path, raw, 0o644); err != nil {
+			log.Fatalf("gpudpf gen: %v", err)
+		}
+	}
+	fmt.Printf("wrote %s and %s (%d bytes each, domain 2^%d, prg %s)\n",
+		*out0, *out1, dpf.MarshaledSize(*bits, 1), *bits, *prgName)
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	keyPath := fs.String("key", "key0.bin", "key file")
+	at := fs.Uint64("at", 0, "evaluation index")
+	prgName := fs.String("prg", "aes128", "PRF")
+	fs.Parse(args)
+
+	raw, err := os.ReadFile(*keyPath)
+	if err != nil {
+		log.Fatalf("gpudpf eval: %v", err)
+	}
+	var k dpf.Key
+	if err := k.UnmarshalBinary(raw); err != nil {
+		log.Fatalf("gpudpf eval: %v", err)
+	}
+	prg, err := dpf.NewPRG(*prgName)
+	if err != nil {
+		log.Fatalf("gpudpf eval: %v", err)
+	}
+	start := time.Now()
+	v, err := dpf.EvalAt(prg, &k, *at)
+	if err != nil {
+		log.Fatalf("gpudpf eval: %v", err)
+	}
+	fmt.Printf("party %d share at %d: %v (%.1fµs)\n",
+		k.Party, *at, v, float64(time.Since(start).Microseconds()))
+}
+
+func cmdBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	bits := fs.Int("bits", 20, "tree depth")
+	batch := fs.Int("batch", 64, "batch size")
+	lanes := fs.Int("lanes", 64, "entry lanes (bytes/4)")
+	prgName := fs.String("prg", "aes128", "PRF")
+	stratName := fs.String("strategy", "membound", "branch | level | membound | coop | cpu1 | cpu32")
+	fs.Parse(args)
+
+	prg, err := dpf.NewPRG(*prgName)
+	if err != nil {
+		log.Fatalf("gpudpf bench: %v", err)
+	}
+	strats := map[string]strategy.Strategy{
+		"branch":   strategy.BranchParallel{},
+		"level":    strategy.LevelByLevel{},
+		"membound": strategy.MemBoundTree{K: strategy.DefaultK, Fused: true},
+		"coop":     strategy.CoopGroups{},
+		"cpu1":     strategy.CPUBaseline{Threads: 1},
+		"cpu32":    strategy.CPUBaseline{Threads: 32},
+	}
+	s, ok := strats[*stratName]
+	if !ok {
+		log.Fatalf("gpudpf bench: unknown strategy %q", *stratName)
+	}
+	rep, err := s.Model(gpu.TeslaV100(), prg, *bits, *batch, *lanes)
+	if err != nil {
+		log.Fatalf("gpudpf bench: %v", err)
+	}
+	fmt.Println(rep)
+}

@@ -1,0 +1,60 @@
+// Command pirserver runs one party of the two-server PIR protocol over
+// TCP. Start two instances (party 0 and party 1, ideally on different
+// machines/clouds) with the same table seed, then query them with
+// pirclient.
+//
+//	pirserver -party 0 -addr :7700 -rows 65536 -lanes 32 -seed 42
+//	pirserver -party 1 -addr :7701 -rows 65536 -lanes 32 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+
+	"gpudpf/internal/pir"
+)
+
+func main() {
+	party := flag.Int("party", 0, "which share this server computes (0 or 1)")
+	addr := flag.String("addr", ":7700", "listen address")
+	rows := flag.Int("rows", 65536, "table rows")
+	lanes := flag.Int("lanes", 32, "uint32 lanes per row (entry bytes / 4)")
+	seed := flag.Int64("seed", 42, "deterministic table content seed (must match the peer)")
+	prg := flag.String("prg", "aes128", "PRF (must match clients): aes128, chacha20, siphash, highway, sha256")
+	flag.Parse()
+
+	tab, err := buildTable(*rows, *lanes, *seed)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	srv, err := pir.NewServer(*party, tab, pir.WithPRG(*prg))
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s)",
+		*party, *rows, *lanes*4, l.Addr(), *prg)
+	if err := pir.Serve(l, srv); err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+}
+
+// buildTable fills the table deterministically so two independently started
+// parties hold identical replicas.
+func buildTable(rows, lanes int, seed int64) (*pir.Table, error) {
+	tab, err := pir.NewTable(rows, lanes)
+	if err != nil {
+		return nil, fmt.Errorf("building table: %w", err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	return tab, nil
+}

@@ -1,0 +1,12 @@
+// Package gpudpf is a from-scratch Go reproduction of "GPU-based Private
+// Information Retrieval for On-Device Machine Learning Inference"
+// (Lam et al., ASPLOS 2024): two-server DPF-PIR with the paper's GPU
+// execution strategies (modeled on a calibrated V100 device model — see
+// DESIGN.md), partial batch retrieval, and the PIR+ML co-design (hot-table
+// split, embedding co-location, fixed query budgets), evaluated end to end
+// on synthetic MovieLens / Taobao / WikiText-2 stand-ins.
+//
+// The implementation lives under internal/; see README.md for the layout,
+// examples/ for runnable scenarios, and bench_test.go for the per-artifact
+// benchmark targets.
+package gpudpf

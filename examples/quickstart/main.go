@@ -1,0 +1,61 @@
+// Quickstart: privately retrieve one row from a table replicated across
+// two non-colluding servers. Neither server learns the queried index; the
+// client adds the two answer shares to recover the row exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gpudpf/internal/pir"
+)
+
+func main() {
+	// 1. Both servers hold an identical embedding table (64K rows × 64B).
+	const rows, lanes = 65536, 16
+	table, err := pir.NewTable(rows, lanes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := range table.Data {
+		table.Data[i] = rng.Uint32()
+	}
+	server0, err := pir.NewServer(0, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server1, err := pir.NewServer(1, table)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The client encodes its secret index into one key per server.
+	client, err := pir.NewClient("aes128", rows, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session := &pir.TwoServer{
+		Client: client,
+		E0:     pir.InProcess{Server: server0}, // swap for pir.Dial(...) over TCP
+		E1:     pir.InProcess{Server: server1},
+	}
+
+	const secretIndex = 31337
+	got, stats, err := session.Fetch([]uint64{secretIndex})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The reconstruction is bit-exact.
+	want := table.Row(secretIndex)
+	for l := range want {
+		if got[0][l] != want[l] {
+			log.Fatalf("lane %d mismatch", l)
+		}
+	}
+	fmt.Printf("privately fetched row %d from a %d-row table\n", secretIndex, rows)
+	fmt.Printf("each server saw a %dB key that is indistinguishable from any other index\n", client.KeyBytes())
+	fmt.Printf("total communication: %dB up, %dB down\n", stats.UpBytes, stats.DownBytes)
+}

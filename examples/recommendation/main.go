@@ -1,0 +1,103 @@
+// Recommendation: the paper's headline scenario (Figure 1b). A phone ranks
+// candidate items with a small on-device MLP whose inputs include the
+// user's private interaction history. The history embeddings live in a
+// server-side table that is too large to ship to devices, so every lookup
+// goes through the co-design-preprocessed two-server PIR path: hot-table
+// split, co-location, fixed query budgets, and a client-side cache
+// exploiting session locality (§2.3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gpudpf/internal/codesign"
+	"gpudpf/internal/core"
+	"gpudpf/internal/data"
+	"gpudpf/internal/ml"
+	"gpudpf/internal/netsim"
+)
+
+func main() {
+	// Synthetic MovieLens-style dataset: Zipf popularity + genre
+	// co-occurrence, with per-user sessions.
+	cfg := data.RecConfig{
+		Name: "movielens", Items: 2048, Genres: 8, Candidates: 100,
+		HistoryLen: 16, ZipfS: 1.2, Train: 2000, Test: 200,
+		SessionLen: 6, Seed: 1,
+	}
+	ds, err := data.GenRec(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train the embedding table + on-device MLP (offline, server side).
+	const dim = 16
+	rng := rand.New(rand.NewSource(99))
+	emb := ml.NewEmbedding(cfg.Items, dim, rng)
+	mlp := ml.NewMLP(dim+cfg.Genres, 24, rng)
+	feats := func(s data.RecSample, pooled ml.Vec) ml.Vec {
+		x := make(ml.Vec, dim+cfg.Genres)
+		copy(x, pooled)
+		x[dim+s.CandGenre] = 1
+		return x
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		for _, s := range ds.Train {
+			pooled := make(ml.Vec, dim)
+			emb.Bag(pooled, s.History, nil)
+			_, dx := mlp.TrainStep(feats(s, pooled), s.Label, 0.05)
+			emb.BagGrad(dx[:dim], s.History, nil, 0.4)
+		}
+	}
+
+	// Deploy: preprocess the serving layout from training statistics.
+	traces := ds.Traces(true)
+	freq := data.Freq(traces, cfg.Items)
+	cooc := data.Cooccur(traces, cfg.Items, 4)
+	layout, err := codesign.BuildLayout(cfg.Items, dim, freq, cooc, codesign.Params{
+		C: 2, HotRows: 100, QHot: 4, QFull: 24,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := core.New(core.Config{
+		Layout:       layout,
+		Freq:         freq,
+		CacheEntries: 256,
+		Link:         netsim.FourG(),
+		Seed:         7,
+	}, emb.Export())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Online: a user session of private inferences.
+	fmt.Println("private on-device recommendation session:")
+	var scores, labels []float64
+	var totalComm int64
+	hits, wanted := 0, 0
+	for i, s := range ds.Test[:30] {
+		rows, tr, err := svc.FetchEmbeddings(s.History)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pooled := make(ml.Vec, dim)
+		ml.BagFrom(pooled, rows, s.History)
+		p := mlp.Predict(feats(s, pooled))
+		scores = append(scores, p)
+		labels = append(labels, s.Label)
+		totalComm += tr.Comm.Total()
+		hits += tr.CacheHits
+		wanted += tr.Wanted
+		if i < 3 {
+			fmt.Printf("  inference %d: %d lookups (%d cached, %d dropped), %s total latency, %.1fKB\n",
+				i, tr.Wanted, tr.CacheHits, tr.Dropped, tr.TotalLatency().Round(1e6), float64(tr.Comm.Total())/1024)
+		}
+	}
+	fmt.Printf("session AUC over 30 private inferences: %.3f\n", ml.AUC(scores, labels))
+	fmt.Printf("cache hit rate %.0f%% (temporal locality, §2.3); avg %.1fKB per inference\n",
+		100*float64(hits)/float64(wanted), float64(totalComm)/30/1024)
+	fmt.Println("the servers saw a fixed, pattern-independent query shape for every inference")
+}

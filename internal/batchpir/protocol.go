@@ -1,0 +1,177 @@
+package batchpir
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gpudpf/internal/pir"
+)
+
+// Server is one party's PBR server: one pir.Server per bin over a shared
+// table.
+type Server struct {
+	cfg  Config
+	bins []*pir.Server
+}
+
+// NewServer splits the table per cfg and builds per-bin PIR servers for the
+// given party.
+func NewServer(party int, tab *pir.Table, cfg Config, opts ...pir.ServerOption) (*Server, error) {
+	binTabs, err := SplitTable(cfg, tab)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, bins: make([]*pir.Server, len(binTabs))}
+	for b, bt := range binTabs {
+		s.bins[b], err = pir.NewServer(party, bt, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("batchpir: bin %d: %w", b, err)
+		}
+	}
+	return s, nil
+}
+
+// Update overwrites one row's content in place (an embedding-table value
+// update without insertion/deletion — the paper's transparent update path,
+// §4.2 "Changes to Embedding Table"). Clients are unaffected: indexing and
+// key shapes do not change.
+func (s *Server) Update(row uint64, vals []uint32) error {
+	if row >= uint64(s.cfg.NumRows) {
+		return fmt.Errorf("batchpir: update row %d outside table of %d rows", row, s.cfg.NumRows)
+	}
+	bin, off := s.cfg.Bin(row)
+	tab := s.bins[bin].Table()
+	if len(vals) != tab.Lanes {
+		return fmt.Errorf("batchpir: update has %d lanes, table rows have %d", len(vals), tab.Lanes)
+	}
+	copy(tab.Row(int(off)), vals)
+	return nil
+}
+
+// Answer evaluates one key per bin and returns one share row per bin.
+func (s *Server) Answer(keys [][]byte) ([][]uint32, error) {
+	if len(keys) != len(s.bins) {
+		return nil, fmt.Errorf("batchpir: got %d keys for %d bins", len(keys), len(s.bins))
+	}
+	out := make([][]uint32, len(keys))
+	for b, key := range keys {
+		ans, err := s.bins[b].Answer([][]byte{key})
+		if err != nil {
+			return nil, fmt.Errorf("batchpir: bin %d: %w", b, err)
+		}
+		out[b] = ans[0]
+	}
+	return out, nil
+}
+
+// Client plans PBR rounds and generates per-bin keys.
+type Client struct {
+	cfg Config
+	pc  *pir.Client
+	rng *rand.Rand
+}
+
+// NewClient builds a PBR client. rng drives dummy-offset selection and key
+// generation (pass a seeded source for reproducible tests).
+func NewClient(prgName string, cfg Config, rng *rand.Rand) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pc, err := pir.NewClient(prgName, cfg.BinSize, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg, pc: pc, rng: rng}, nil
+}
+
+// KeysForOffsets generates one key pair per bin for externally planned
+// offsets (e.g. a codesign.Layout plan that routed rows across hot and full
+// tables). len(offsets) must equal the bin count.
+func (c *Client) KeysForOffsets(offsets []uint64) ([][]byte, [][]byte, error) {
+	if len(offsets) != c.cfg.NumBins() {
+		return nil, nil, fmt.Errorf("batchpir: %d offsets for %d bins", len(offsets), c.cfg.NumBins())
+	}
+	keys0 := make([][]byte, len(offsets))
+	keys1 := make([][]byte, len(offsets))
+	var err error
+	for b, off := range offsets {
+		keys0[b], keys1[b], err = c.pc.Query(off)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return keys0, keys1, nil
+}
+
+// Queries plans the wanted indices and generates one key pair per bin.
+func (c *Client) Queries(indices []uint64) (Plan, [][]byte, [][]byte, error) {
+	plan, err := BuildPlan(c.cfg, indices, c.rng)
+	if err != nil {
+		return Plan{}, nil, nil, err
+	}
+	keys0 := make([][]byte, len(plan.Offsets))
+	keys1 := make([][]byte, len(plan.Offsets))
+	for b, off := range plan.Offsets {
+		keys0[b], keys1[b], err = c.pc.Query(off)
+		if err != nil {
+			return Plan{}, nil, nil, err
+		}
+	}
+	return plan, keys0, keys1, nil
+}
+
+// Decode reconstructs the retrieved rows from the two servers' per-bin
+// shares, keyed by original table index. Dummy bins are discarded.
+func Decode(plan Plan, shares0, shares1 [][]uint32) (map[uint64][]uint32, error) {
+	if len(shares0) != len(plan.Offsets) || len(shares1) != len(plan.Offsets) {
+		return nil, fmt.Errorf("batchpir: share count %d/%d does not match %d bins",
+			len(shares0), len(shares1), len(plan.Offsets))
+	}
+	out := make(map[uint64][]uint32)
+	for b, served := range plan.Served {
+		if served < 0 {
+			continue
+		}
+		row, err := pir.Reconstruct(shares0[b], shares1[b])
+		if err != nil {
+			return nil, err
+		}
+		out[uint64(served)] = row
+	}
+	return out, nil
+}
+
+// TwoServer composes a client with both parties' servers (in-process).
+type TwoServer struct {
+	Client *Client
+	S0, S1 *Server
+}
+
+// Fetch runs one PBR round: it returns the retrieved rows by index, the
+// plan (including drops), and the exact communication cost.
+func (ts *TwoServer) Fetch(indices []uint64) (map[uint64][]uint32, Plan, pir.CommStats, error) {
+	var stats pir.CommStats
+	plan, k0, k1, err := ts.Client.Queries(indices)
+	if err != nil {
+		return nil, Plan{}, stats, err
+	}
+	for b := range k0 {
+		stats.UpBytes += int64(len(k0[b]) + len(k1[b]))
+	}
+	a0, err := ts.S0.Answer(k0)
+	if err != nil {
+		return nil, Plan{}, stats, err
+	}
+	a1, err := ts.S1.Answer(k1)
+	if err != nil {
+		return nil, Plan{}, stats, err
+	}
+	for b := range a0 {
+		stats.DownBytes += int64(len(a0[b])+len(a1[b])) * 4
+	}
+	rows, err := Decode(plan, a0, a1)
+	if err != nil {
+		return nil, Plan{}, stats, err
+	}
+	return rows, plan, stats, nil
+}

@@ -1,0 +1,141 @@
+package codesign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBuildLayoutDeterministic: preprocessing is a pure function of its
+// inputs — deployments on the two servers must agree bit for bit.
+func TestBuildLayoutDeterministic(t *testing.T) {
+	freq, co, _ := fixture(128)
+	p := Params{C: 2, HotRows: 16, QHot: 4, QFull: 8}
+	a, err := BuildLayout(128, 4, freq, co, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildLayout(128, 4, freq, co, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatal("group counts differ")
+	}
+	for i := range a.RowOf {
+		if a.RowOf[i] != b.RowOf[i] || a.SlotOf[i] != b.SlotOf[i] {
+			t.Fatalf("item %d mapped differently across builds", i)
+		}
+	}
+	for i := range a.HotRowIDs {
+		if a.HotRowIDs[i] != b.HotRowIDs[i] {
+			t.Fatal("hot rows differ across builds")
+		}
+	}
+}
+
+// TestQuickLayoutInvariants: for random parameters, every item maps to
+// exactly one slot, groups never exceed C+1 members, and the hot mapping
+// is a bijection onto HotRowIDs.
+func TestQuickLayoutInvariants(t *testing.T) {
+	freq, co, _ := fixture(256)
+	f := func(cRaw, hotRaw, qhRaw, qfRaw uint8) bool {
+		c := int(cRaw % 6)
+		groups := (256 + c) / (c + 1)
+		hot := int(hotRaw) % (groups + 1)
+		qh := 1 + int(qhRaw%8)
+		qf := 1 + int(qfRaw%16)
+		p := Params{C: c, HotRows: hot, QHot: qh, QFull: qf}
+		if hot == 0 {
+			p.QHot = 0
+		}
+		l, err := BuildLayout(256, 2, freq, co, p)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int32]bool{}
+		for i := 0; i < 256; i++ {
+			row := l.RowOf[i]
+			slot := int32(l.SlotOf[i])
+			if row < 0 || int(row) >= len(l.Groups) {
+				return false
+			}
+			if len(l.Groups[row]) > c+1 {
+				return false
+			}
+			key := [2]int32{row, slot}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			if l.Groups[row][slot] != uint64(i) {
+				return false
+			}
+		}
+		hotSeen := map[int32]bool{}
+		for row, h := range l.HotOf {
+			if h < 0 {
+				continue
+			}
+			if hotSeen[h] {
+				return false
+			}
+			hotSeen[h] = true
+			if l.HotRowIDs[h] != uint64(row) {
+				return false
+			}
+		}
+		return len(hotSeen) == len(l.HotRowIDs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPlanPartition: for random wanted sets, Retrieved and Dropped
+// partition the in-range wants exactly (no loss, no duplication).
+func TestQuickPlanPartition(t *testing.T) {
+	freq, co, _ := fixture(256)
+	l, err := BuildLayout(256, 2, freq, co, Params{C: 1, HotRows: 16, QHot: 2, QFull: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	f := func(raw []uint16) bool {
+		if len(raw) > 30 {
+			raw = raw[:30]
+		}
+		want := map[uint64]bool{}
+		var in []uint64
+		for _, r := range raw {
+			idx := uint64(r) % 300 // some out of range
+			in = append(in, idx)
+			if idx < 256 {
+				want[idx] = true
+			}
+		}
+		p, err := l.Plan(in, rng)
+		if err != nil {
+			return false
+		}
+		got := map[uint64]int{}
+		for _, it := range p.Retrieved {
+			got[it]++
+		}
+		for _, it := range p.Dropped {
+			got[it]++
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for it, n := range got {
+			if n != 1 || !want[it] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

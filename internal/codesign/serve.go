@@ -1,0 +1,55 @@
+package codesign
+
+import (
+	"fmt"
+
+	"gpudpf/internal/pir"
+)
+
+// BuildTables materializes the serving tables for a layout from the
+// trained embedding rows (emb[i] is item i's vector, all Dim long): the
+// grouped full table, and the hot table (nil when the split is off). This
+// is the deploy-time preprocessing step of §4.2.
+func (l *Layout) BuildTables(emb [][]float32) (full, hot *pir.Table, err error) {
+	if len(emb) != l.Items {
+		return nil, nil, fmt.Errorf("codesign: %d embedding rows for %d items", len(emb), l.Items)
+	}
+	lanes := l.GroupLanes()
+	full, err = pir.NewTable(len(l.Groups), lanes)
+	if err != nil {
+		return nil, nil, err
+	}
+	for r, group := range l.Groups {
+		row := full.Row(r)
+		for slot, item := range group {
+			if len(emb[item]) != l.Dim {
+				return nil, nil, fmt.Errorf("codesign: item %d has %d lanes, want %d", item, len(emb[item]), l.Dim)
+			}
+			pir.PackFloats(row[slot*l.Dim:(slot+1)*l.Dim], emb[item])
+		}
+	}
+	if l.Params.HotRows > 0 {
+		hot, err = pir.NewTable(l.Params.HotRows, lanes)
+		if err != nil {
+			return nil, nil, err
+		}
+		for h, row := range l.HotRowIDs {
+			copy(hot.Row(h), full.Row(int(row)))
+		}
+	}
+	return full, hot, nil
+}
+
+// ExtractItem pulls one item's embedding out of a fetched grouped row.
+func (l *Layout) ExtractItem(item uint64, groupedRow []uint32) ([]float32, error) {
+	if item >= uint64(l.Items) {
+		return nil, fmt.Errorf("codesign: item %d out of range", item)
+	}
+	if len(groupedRow) != l.GroupLanes() {
+		return nil, fmt.Errorf("codesign: grouped row has %d lanes, want %d", len(groupedRow), l.GroupLanes())
+	}
+	slot := int(l.SlotOf[item])
+	out := make([]float32, l.Dim)
+	pir.UnpackFloats(out, groupedRow[slot*l.Dim:(slot+1)*l.Dim])
+	return out, nil
+}

@@ -1,0 +1,305 @@
+// Package core wires the whole system together: the paper's private
+// on-device ML inference service (Figure 1b). A client holds a small
+// on-device model and a bounded embedding cache; the two non-colluding
+// servers hold the co-design-preprocessed embedding tables (grouped full
+// table + hot table); every inference issues a fixed, pattern-independent
+// set of PBR queries, reconstructs the retrieved embeddings, and feeds them
+// to the on-device model. The per-inference Trace carries the Figure 12
+// latency breakdown (Gen, PIR, network, on-device DNN) and exact
+// communication bytes.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gpudpf/internal/batchpir"
+	"gpudpf/internal/codesign"
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/netsim"
+	"gpudpf/internal/pir"
+)
+
+// Config assembles a Service.
+type Config struct {
+	// PRG names the PRF shared by client and servers (default aes128).
+	PRG string
+	// Layout is the co-design serving layout (required).
+	Layout *codesign.Layout
+	// Freq orders lookups by importance when budgets overflow (training
+	// statistics; may be nil for input order).
+	Freq []int64
+	// CacheEntries bounds the client-side embedding cache (0 disables;
+	// §2.3: temporal locality makes only ~2.44% of lookups new).
+	CacheEntries int
+	// Link models the client↔server network (zero value: netsim.FourG).
+	Link netsim.Link
+	// Device models the servers' GPU (nil: TeslaV100).
+	Device *gpu.Device
+	// ClientCPU models the client device (nil: IntelCorei3).
+	ClientCPU *gpu.CPUModel
+	// Seed drives dummy planning and key generation determinism in tests;
+	// 0 uses a fixed default.
+	Seed int64
+}
+
+// Service is a running private embedding service: one client and both
+// parties' servers (in-process).
+type Service struct {
+	cfg    Config
+	prg    dpf.PRG
+	layout *codesign.Layout
+	rng    *rand.Rand
+
+	fullClient, hotClient *batchpir.Client
+	fullS0, fullS1        *batchpir.Server
+	hotS0, hotS1          *batchpir.Server
+	fullTab, hotTab       *pir.Table
+	cache                 *embCache
+}
+
+// Trace records one inference's protocol outcome for reporting.
+type Trace struct {
+	// Wanted is the deduplicated lookup count; CacheHits were served
+	// locally; Retrieved and Dropped partition the rest.
+	Wanted, CacheHits, Retrieved, Dropped int
+	// Comm is the exact application-layer byte count.
+	Comm pir.CommStats
+	// GenLatency, PIRLatency and NetworkLatency are the modeled
+	// components of Figure 12 (the on-device DNN term is the model's
+	// FLOPs over the client CPU; callers add it via DNNLatency).
+	GenLatency, PIRLatency, NetworkLatency time.Duration
+}
+
+// TotalLatency is the modeled end-to-end latency excluding the on-device
+// model (add the application's DNN term).
+func (t *Trace) TotalLatency() time.Duration {
+	return t.GenLatency + t.PIRLatency + t.NetworkLatency
+}
+
+// New builds the service over trained embeddings (emb[i] is item i's
+// vector, layout.Dim wide).
+func New(cfg Config, emb [][]float32) (*Service, error) {
+	if cfg.Layout == nil {
+		return nil, fmt.Errorf("core: Config.Layout is required")
+	}
+	if cfg.PRG == "" {
+		cfg.PRG = "aes128"
+	}
+	if cfg.Device == nil {
+		cfg.Device = gpu.TeslaV100()
+	}
+	if cfg.ClientCPU == nil {
+		cfg.ClientCPU = gpu.IntelCorei3()
+	}
+	if cfg.Link.BandwidthBitsPerSec == 0 {
+		cfg.Link = netsim.FourG()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5eed
+	}
+	prg, err := dpf.NewPRG(cfg.PRG)
+	if err != nil {
+		return nil, err
+	}
+	full, hot, err := cfg.Layout.BuildTables(emb)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:     cfg,
+		prg:     prg,
+		layout:  cfg.Layout,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cache:   newEmbCache(cfg.CacheEntries),
+		fullTab: full,
+		hotTab:  hot,
+	}
+	s.fullClient, err = batchpir.NewClient(cfg.PRG, cfg.Layout.FullCfg, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	s.fullS0, err = batchpir.NewServer(0, full, cfg.Layout.FullCfg, pir.WithPRG(cfg.PRG))
+	if err != nil {
+		return nil, err
+	}
+	s.fullS1, err = batchpir.NewServer(1, full, cfg.Layout.FullCfg, pir.WithPRG(cfg.PRG))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Layout.Params.HotRows > 0 {
+		s.hotClient, err = batchpir.NewClient(cfg.PRG, cfg.Layout.HotCfg, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		s.hotS0, err = batchpir.NewServer(0, hot, cfg.Layout.HotCfg, pir.WithPRG(cfg.PRG))
+		if err != nil {
+			return nil, err
+		}
+		s.hotS1, err = batchpir.NewServer(1, hot, cfg.Layout.HotCfg, pir.WithPRG(cfg.PRG))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// FetchEmbeddings privately retrieves the wanted items' embeddings. The
+// returned map contains cache hits plus everything the fixed-budget plan
+// retrieved; budget-dropped items are simply absent (the model treats them
+// as missing features). The Trace reports what happened and at what cost.
+func (s *Service) FetchEmbeddings(wanted []uint64) (map[uint64][]float32, *Trace, error) {
+	tr := &Trace{}
+	out := map[uint64][]float32{}
+	var misses []uint64
+	seen := map[uint64]bool{}
+	for _, it := range wanted {
+		if seen[it] {
+			continue
+		}
+		seen[it] = true
+		tr.Wanted++
+		if v, ok := s.cache.get(it); ok {
+			out[it] = v
+			tr.CacheHits++
+			continue
+		}
+		misses = append(misses, it)
+	}
+
+	// The plan runs even when everything hit the cache: the query count
+	// must not reveal cache state.
+	plan, err := s.layout.Plan(codesign.OrderByFrequency(misses, s.cfg.Freq), s.rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.Retrieved = len(plan.Retrieved)
+	tr.Dropped = len(plan.Dropped)
+
+	if err := s.fetchTable(s.fullClient, s.fullS0, s.fullS1, plan.FullOffsets, plan.FullServedRows, plan, out, tr); err != nil {
+		return nil, nil, err
+	}
+	if s.hotClient != nil {
+		if err := s.fetchTable(s.hotClient, s.hotS0, s.hotS1, plan.HotOffsets, plan.HotServedRows, plan, out, tr); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, it := range plan.Retrieved {
+		if v, ok := out[it]; ok {
+			s.cache.put(it, v)
+		}
+	}
+	s.modelLatency(tr)
+	tr.NetworkLatency = s.cfg.Link.RoundTrip(tr.Comm.UpBytes/2, tr.Comm.DownBytes/2)
+	return out, tr, nil
+}
+
+// fetchTable runs one table's PBR round and decodes served rows into items.
+func (s *Service) fetchTable(c *batchpir.Client, s0, s1 *batchpir.Server,
+	offsets []uint64, servedRows []int64, plan *codesign.InferencePlan,
+	out map[uint64][]float32, tr *Trace) error {
+	k0, k1, err := c.KeysForOffsets(offsets)
+	if err != nil {
+		return err
+	}
+	for b := range k0 {
+		tr.Comm.UpBytes += int64(len(k0[b]) + len(k1[b]))
+	}
+	a0, err := s0.Answer(k0)
+	if err != nil {
+		return err
+	}
+	a1, err := s1.Answer(k1)
+	if err != nil {
+		return err
+	}
+	for b := range a0 {
+		tr.Comm.DownBytes += int64(len(a0[b])+len(a1[b])) * 4
+		if servedRows[b] < 0 {
+			continue // dummy bin
+		}
+		row, err := pir.Reconstruct(a0[b], a1[b])
+		if err != nil {
+			return err
+		}
+		groupedRow := uint64(servedRows[b])
+		for _, item := range plan.RowItems[groupedRow] {
+			v, err := s.layout.ExtractItem(item, row)
+			if err != nil {
+				return err
+			}
+			out[item] = v
+		}
+	}
+	return nil
+}
+
+// modelLatency fills the Gen and PIR terms from the device models.
+func (s *Service) modelLatency(tr *Trace) {
+	// Client-side Gen: one key pair per bin on the client CPU.
+	genCycles := 0.0
+	genCycles += float64(s.layout.EffectiveQFull()) *
+		gpu.GenProfile(s.prg.CPUCyclesPerBlock(), s.layout.FullCfg.BinBits(), 1)
+	if s.layout.Params.HotRows > 0 {
+		genCycles += float64(s.layout.EffectiveQHot()) *
+			gpu.GenProfile(s.prg.CPUCyclesPerBlock(), s.layout.HotCfg.BinBits(), 1)
+	}
+	tr.GenLatency = s.cfg.ClientCPU.CPUTime(genCycles, 1)
+
+	// Server-side Eval, amortized per inference at the tuned batch size
+	// (the paper's throughput-serving story; see Layout.Throughput).
+	if qps, batchLat, batch, err := s.layout.Throughput(s.cfg.Device, s.prg, 0); err == nil && qps > 0 {
+		tr.PIRLatency = time.Duration(float64(batchLat) / float64(batch))
+	}
+}
+
+// UpdateEmbeddings applies in-place value updates to the protected table on
+// both servers — the paper's transparent update path (§4.2): table entries
+// change when the model is re-trained, but as long as indexing does not
+// change, nothing on the client needs to be redeployed. Updated items are
+// invalidated from the client cache; affected hot-table copies are kept in
+// sync. Insertions/deletions (which change indexing) require rebuilding the
+// layout and redeploying the client map, exactly as in the paper.
+func (s *Service) UpdateEmbeddings(updates map[uint64][]float32) error {
+	for item, vec := range updates {
+		if item >= uint64(s.layout.Items) {
+			return fmt.Errorf("core: update for item %d outside table of %d items", item, s.layout.Items)
+		}
+		if len(vec) != s.layout.Dim {
+			return fmt.Errorf("core: item %d update has %d lanes, want %d", item, len(vec), s.layout.Dim)
+		}
+		row := int(s.layout.RowOf[item])
+		slot := int(s.layout.SlotOf[item])
+		// Patch the grouped row in our reference copy, then push the whole
+		// row to every replica that holds it.
+		rowData := s.fullTab.Row(row)
+		pir.PackFloats(rowData[slot*s.layout.Dim:(slot+1)*s.layout.Dim], vec)
+		if err := s.fullS0.Update(uint64(row), rowData); err != nil {
+			return err
+		}
+		if err := s.fullS1.Update(uint64(row), rowData); err != nil {
+			return err
+		}
+		if hot := s.layout.HotOf[row]; hot >= 0 {
+			copy(s.hotTab.Row(int(hot)), rowData)
+			if err := s.hotS0.Update(uint64(hot), rowData); err != nil {
+				return err
+			}
+			if err := s.hotS1.Update(uint64(hot), rowData); err != nil {
+				return err
+			}
+		}
+		// The client must not serve the stale value; co-located neighbours
+		// in the same row are unchanged and may stay cached.
+		s.cache.invalidate(item)
+	}
+	return nil
+}
+
+// Layout exposes the serving layout.
+func (s *Service) Layout() *codesign.Layout { return s.layout }
+
+// CacheLen reports the client cache occupancy.
+func (s *Service) CacheLen() int { return s.cache.len() }

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"gpudpf/internal/codesign"
+)
+
+// TestUpdateEmbeddings: in-place updates propagate to both servers, the
+// hot-table copy, and evict stale cache entries — with no change to the
+// protocol shape.
+func TestUpdateEmbeddings(t *testing.T) {
+	svc, emb, _ := testService(t, codesign.Params{C: 1, HotRows: 8, QHot: 4, QFull: 8}, 32)
+
+	// Warm the cache with the old value of a hot item (0 is most frequent)
+	// and a cold item.
+	got, _, err := svc.FetchEmbeddings([]uint64{0, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEmb(t, got, emb, 0)
+	checkEmb(t, got, emb, 40)
+
+	newHot := []float32{100, 101, 102, 103}
+	newCold := []float32{-1, -2, -3, -4}
+	if err := svc.UpdateEmbeddings(map[uint64][]float32{0: newHot, 40: newCold}); err != nil {
+		t.Fatal(err)
+	}
+
+	got2, tr, err := svc.FetchEmbeddings([]uint64{0, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CacheHits != 0 {
+		t.Errorf("stale cache served an updated item (%d hits)", tr.CacheHits)
+	}
+	for i, want := range newHot {
+		if got2[0][i] != want {
+			t.Fatalf("hot item lane %d: %g, want %g", i, got2[0][i], want)
+		}
+	}
+	for i, want := range newCold {
+		if got2[40][i] != want {
+			t.Fatalf("cold item lane %d: %g, want %g", i, got2[40][i], want)
+		}
+	}
+
+	// A co-located neighbour of item 0 (item 1 shares the row under C=1)
+	// still reads its original value.
+	got3, _, err := svc.FetchEmbeddings([]uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEmb(t, got3, emb, 1)
+}
+
+// TestUpdateValidation: out-of-range items and wrong widths are rejected.
+func TestUpdateValidation(t *testing.T) {
+	svc, _, _ := testService(t, codesign.Params{C: 0, QFull: 4}, 0)
+	if err := svc.UpdateEmbeddings(map[uint64][]float32{999: {1, 2, 3, 4}}); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if err := svc.UpdateEmbeddings(map[uint64][]float32{1: {1, 2}}); err == nil {
+		t.Error("wrong-width vector accepted")
+	}
+}
+
+// TestUpdatePreservesQueryShape: communication before and after an update
+// is identical (updates are invisible at the protocol layer).
+func TestUpdatePreservesQueryShape(t *testing.T) {
+	svc, _, _ := testService(t, codesign.Params{C: 0, HotRows: 8, QHot: 2, QFull: 4}, 0)
+	_, before, err := svc.FetchEmbeddings([]uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.UpdateEmbeddings(map[uint64][]float32{5: {9, 9, 9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := svc.FetchEmbeddings([]uint64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Comm != after.Comm {
+		t.Errorf("update changed the wire shape: %+v vs %+v", before.Comm, after.Comm)
+	}
+}

@@ -1,0 +1,305 @@
+// Package dpf implements distributed point functions (DPFs) for two-server
+// private information retrieval.
+//
+// A DPF lets a client split a point function f_{α,β} (which is β at index α
+// and zero everywhere else) into two compact keys. Each key individually
+// reveals nothing about α, yet the two parties' evaluations add up (mod 2^32,
+// lane-wise) to β at α and to zero elsewhere. This is the construction of
+// Boyle, Gilboa and Ishai ("Function Secret Sharing", 2015), the same
+// optimal-asymptotics algorithm accelerated by the paper: O(λ·log L)
+// communication and O(λ·L) evaluation work, one PRF call per tree node.
+//
+// The output group is Z_2^32 per lane; a table row of D bytes is D/4 lanes.
+// PIR uses a scalar DPF (one lane, β = 1) whose full-domain expansion is a
+// secret-shared one-hot vector that the server multiplies against the table.
+package dpf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Seed is a 128-bit PRG seed (λ = 128, matching the paper's security
+// parameter).
+type Seed [16]byte
+
+// MaxBits is the largest supported tree depth. 2^40 entries is far beyond
+// any embedding table in the paper (Criteo 1TB has 2^32).
+const MaxBits = 40
+
+// CW is a per-level correction word. The low bits TL and TR correct the
+// control bits of the left and right children; S corrects the seed on the
+// "lose" path so that the two parties' seeds collapse to equality off the
+// special path.
+type CW struct {
+	S  Seed
+	TL uint8
+	TR uint8
+}
+
+// Key is one party's share of a point function. A Key alone is
+// computationally indistinguishable from a key for any other index.
+type Key struct {
+	// Bits is the tree depth n; the domain is [0, 2^Bits).
+	Bits int
+	// Lanes is the number of 32-bit output lanes (entry bytes / 4).
+	Lanes int
+	// Party is 0 or 1; party 1 negates its outputs so shares are additive.
+	Party uint8
+	// Root is this party's root seed.
+	Root Seed
+	// CWs holds one correction word per level, root to leaves.
+	CWs []CW
+	// Final is the output-group correction applied at leaves with control
+	// bit 1.
+	Final []uint32
+}
+
+// Domain returns the number of leaves 2^Bits.
+func (k *Key) Domain() uint64 { return 1 << uint(k.Bits) }
+
+// Gen generates a DPF key pair for the point function that evaluates to beta
+// at index alpha and to zero elsewhere over a domain of 2^bits indices.
+// Randomness is drawn from rng (use crypto/rand.Reader in production).
+func Gen(prg PRG, alpha uint64, bits int, beta []uint32, rng io.Reader) (k0, k1 Key, err error) {
+	if bits <= 0 || bits > MaxBits {
+		return k0, k1, fmt.Errorf("dpf: bits %d out of range [1,%d]", bits, MaxBits)
+	}
+	if alpha >= 1<<uint(bits) {
+		return k0, k1, fmt.Errorf("dpf: alpha %d outside domain 2^%d", alpha, bits)
+	}
+	if len(beta) == 0 {
+		return k0, k1, errors.New("dpf: beta must have at least one lane")
+	}
+	var roots [2]Seed
+	for b := 0; b < 2; b++ {
+		if _, err := io.ReadFull(rng, roots[b][:]); err != nil {
+			return k0, k1, fmt.Errorf("dpf: reading randomness: %w", err)
+		}
+	}
+	cws := make([]CW, bits)
+
+	s := roots          // current seeds per party
+	t := [2]uint8{0, 1} // current control bits per party
+
+	for level := 0; level < bits; level++ {
+		// Bit of alpha at this level, MSB first.
+		aBit := uint8(alpha>>uint(bits-1-level)) & 1
+
+		var child [2][2]Seed // [party][side]
+		var ct [2][2]uint8   // [party][side]
+		for b := 0; b < 2; b++ {
+			l, r, tl, tr := prg.Expand(s[b])
+			child[b][0], child[b][1] = l, r
+			ct[b][0], ct[b][1] = tl, tr
+		}
+
+		keep, lose := aBit, 1-aBit
+		var cw CW
+		cw.S = xorSeed(child[0][lose], child[1][lose])
+		cw.TL = ct[0][0] ^ ct[1][0] ^ aBit ^ 1
+		cw.TR = ct[0][1] ^ ct[1][1] ^ aBit
+		cws[level] = cw
+
+		cwKeep := cw.TL
+		if keep == 1 {
+			cwKeep = cw.TR
+		}
+		for b := 0; b < 2; b++ {
+			ns := child[b][keep]
+			if t[b] == 1 {
+				ns = xorSeed(ns, cw.S)
+			}
+			nt := ct[b][keep] ^ (t[b] & cwKeep)
+			s[b], t[b] = ns, nt
+		}
+	}
+
+	// Final correction word over the output group:
+	// final = (-1)^{t1} * (beta - Convert(s0) + Convert(s1)) mod 2^32.
+	lanes := len(beta)
+	c0 := Convert(prg, s[0], lanes)
+	c1 := Convert(prg, s[1], lanes)
+	final := make([]uint32, lanes)
+	for i := range final {
+		v := beta[i] - c0[i] + c1[i]
+		if t[1] == 1 {
+			v = -v
+		}
+		final[i] = v
+	}
+
+	mk := func(party uint8) Key {
+		cwCopy := make([]CW, len(cws))
+		copy(cwCopy, cws)
+		fCopy := make([]uint32, lanes)
+		copy(fCopy, final)
+		return Key{
+			Bits:  bits,
+			Lanes: lanes,
+			Party: party,
+			Root:  roots[party],
+			CWs:   cwCopy,
+			Final: fCopy,
+		}
+	}
+	return mk(0), mk(1), nil
+}
+
+// Step descends one level of the evaluation tree: given the node state
+// (seed, control bit) and this level's correction word, it returns the state
+// of the child selected by bit (0 = left, 1 = right). This is the primitive
+// every execution strategy in internal/strategy is built from; it costs one
+// PRF call per invoked side pair (the PRG expands both children at once, so
+// strategies that need both children should use StepBoth).
+func Step(prg PRG, s Seed, t uint8, cw CW, bit uint8) (Seed, uint8) {
+	l, r, tl, tr := prg.Expand(s)
+	if t == 1 {
+		l = xorSeed(l, cw.S)
+		r = xorSeed(r, cw.S)
+		tl ^= cw.TL
+		tr ^= cw.TR
+	}
+	if bit == 0 {
+		return l, tl
+	}
+	return r, tr
+}
+
+// StepBoth expands a node into both children in one PRG call.
+func StepBoth(prg PRG, s Seed, t uint8, cw CW) (ls Seed, lt uint8, rs Seed, rt uint8) {
+	l, r, tl, tr := prg.Expand(s)
+	if t == 1 {
+		l = xorSeed(l, cw.S)
+		r = xorSeed(r, cw.S)
+		tl ^= cw.TL
+		tr ^= cw.TR
+	}
+	return l, tl, r, tr
+}
+
+// LeafValue converts a leaf node state into this party's output-group share,
+// applying the final correction word and the party sign. dst must have
+// k.Lanes entries; it is returned for convenience.
+func LeafValue(prg PRG, k *Key, s Seed, t uint8, dst []uint32) []uint32 {
+	conv := Convert(prg, s, k.Lanes)
+	for i := 0; i < k.Lanes; i++ {
+		v := conv[i]
+		if t == 1 {
+			v += k.Final[i]
+		}
+		if k.Party == 1 {
+			v = -v
+		}
+		dst[i] = v
+	}
+	return dst
+}
+
+// LeafValueScalar is LeafValue specialized to one-lane keys (the PIR hot
+// path); it avoids the slice plumbing.
+func LeafValueScalar(k *Key, s Seed, t uint8) uint32 {
+	// One lane converts straight from the seed; no extra PRF call.
+	v := leU32(s[0:4])
+	if t == 1 {
+		v += k.Final[0]
+	}
+	if k.Party == 1 {
+		v = -v
+	}
+	return v
+}
+
+// EvalAt evaluates the key at a single index x, walking one root-to-leaf
+// path (log L PRF calls).
+func EvalAt(prg PRG, k *Key, x uint64) ([]uint32, error) {
+	if x >= k.Domain() {
+		return nil, fmt.Errorf("dpf: index %d outside domain 2^%d", x, k.Bits)
+	}
+	s, t := k.Root, k.Party
+	for level := 0; level < k.Bits; level++ {
+		bit := uint8(x>>uint(k.Bits-1-level)) & 1
+		s, t = Step(prg, s, t, k.CWs[level], bit)
+	}
+	out := make([]uint32, k.Lanes)
+	return LeafValue(prg, k, s, t, out), nil
+}
+
+// EvalFull expands the entire domain level by level and returns the flat
+// share vector of length 2^Bits * Lanes. This is the reference expansion
+// (and the core of the CPU level-by-level baseline): 2L-2 PRF calls, O(L)
+// intermediate memory.
+func EvalFull(prg PRG, k *Key) []uint32 {
+	n := k.Domain()
+	seeds := make([]Seed, 1, n)
+	ts := make([]uint8, 1, n)
+	seeds[0], ts[0] = k.Root, k.Party
+	nextSeeds := make([]Seed, 0, n)
+	nextTs := make([]uint8, 0, n)
+	for level := 0; level < k.Bits; level++ {
+		cw := k.CWs[level]
+		nextSeeds = nextSeeds[:0]
+		nextTs = nextTs[:0]
+		for i := range seeds {
+			ls, lt, rs, rt := StepBoth(prg, seeds[i], ts[i], cw)
+			nextSeeds = append(nextSeeds, ls, rs)
+			nextTs = append(nextTs, lt, rt)
+		}
+		seeds, nextSeeds = nextSeeds, seeds
+		ts, nextTs = nextTs, ts
+	}
+	out := make([]uint32, n*uint64(k.Lanes))
+	tmp := make([]uint32, k.Lanes)
+	for j := uint64(0); j < n; j++ {
+		LeafValue(prg, k, seeds[j], ts[j], tmp)
+		copy(out[j*uint64(k.Lanes):], tmp)
+	}
+	return out
+}
+
+// EvalRange evaluates leaves [lo, hi) into out (len (hi-lo)*Lanes), using a
+// depth-first traversal that prunes subtrees outside the range. Cost is
+// O((hi-lo) + log L) PRF calls, which makes multi-GPU style sharding
+// (paper §3.2.7) embarrassingly parallel.
+func EvalRange(prg PRG, k *Key, lo, hi uint64, out []uint32) error {
+	if lo > hi || hi > k.Domain() {
+		return fmt.Errorf("dpf: range [%d,%d) outside domain 2^%d", lo, hi, k.Bits)
+	}
+	if uint64(len(out)) < (hi-lo)*uint64(k.Lanes) {
+		return fmt.Errorf("dpf: output buffer too small: %d < %d", len(out), (hi-lo)*uint64(k.Lanes))
+	}
+	if lo == hi {
+		return nil
+	}
+	tmp := make([]uint32, k.Lanes)
+	var walk func(s Seed, t uint8, level int, base uint64)
+	walk = func(s Seed, t uint8, level int, base uint64) {
+		span := uint64(1) << uint(k.Bits-level)
+		if base >= hi || base+span <= lo {
+			return
+		}
+		if level == k.Bits {
+			LeafValue(prg, k, s, t, tmp)
+			copy(out[(base-lo)*uint64(k.Lanes):], tmp)
+			return
+		}
+		ls, lt, rs, rt := StepBoth(prg, s, t, k.CWs[level])
+		walk(ls, lt, level+1, base)
+		walk(rs, rt, level+1, base+span/2)
+	}
+	walk(k.Root, k.Party, 0, 0)
+	return nil
+}
+
+func xorSeed(a, b Seed) Seed {
+	var out Seed
+	for i := range out {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

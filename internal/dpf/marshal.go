@@ -1,0 +1,102 @@
+package dpf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format (little endian):
+//
+//	magic   uint16 = 0xDF01
+//	bits    uint8
+//	party   uint8
+//	lanes   uint32
+//	root    [16]byte
+//	cw      bits × { seed [16]byte; tbits uint8 (bit0=TL, bit1=TR) }
+//	final   lanes × uint32
+//
+// Key size is therefore 24 + 17·log2(L) + 4·lanes bytes — the O(λ·log L)
+// communication the paper's DPF achieves (§3.1): ~364 bytes for a 1M-entry
+// table with a scalar output.
+
+const keyMagic = 0xDF01
+
+// MarshaledSize returns the exact wire size in bytes of a key for the given
+// tree depth and lane count; the communication cost model uses this.
+func MarshaledSize(bits, lanes int) int {
+	return 24 + 17*bits + 4*lanes
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (k *Key) MarshalBinary() ([]byte, error) {
+	if k.Bits <= 0 || k.Bits > MaxBits {
+		return nil, fmt.Errorf("dpf: marshal: bad bits %d", k.Bits)
+	}
+	if len(k.CWs) != k.Bits {
+		return nil, fmt.Errorf("dpf: marshal: %d correction words for %d bits", len(k.CWs), k.Bits)
+	}
+	if len(k.Final) != k.Lanes {
+		return nil, fmt.Errorf("dpf: marshal: %d final lanes, want %d", len(k.Final), k.Lanes)
+	}
+	out := make([]byte, 0, MarshaledSize(k.Bits, k.Lanes))
+	out = binary.LittleEndian.AppendUint16(out, keyMagic)
+	out = append(out, byte(k.Bits), k.Party)
+	out = binary.LittleEndian.AppendUint32(out, uint32(k.Lanes))
+	out = append(out, k.Root[:]...)
+	for _, cw := range k.CWs {
+		out = append(out, cw.S[:]...)
+		out = append(out, cw.TL|cw.TR<<1)
+	}
+	for _, f := range k.Final {
+		out = binary.LittleEndian.AppendUint32(out, f)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (k *Key) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return errors.New("dpf: unmarshal: short buffer")
+	}
+	if binary.LittleEndian.Uint16(data) != keyMagic {
+		return errors.New("dpf: unmarshal: bad magic")
+	}
+	bits := int(data[2])
+	party := data[3]
+	lanes := int(binary.LittleEndian.Uint32(data[4:]))
+	if bits <= 0 || bits > MaxBits {
+		return fmt.Errorf("dpf: unmarshal: bad bits %d", bits)
+	}
+	if party > 1 {
+		return fmt.Errorf("dpf: unmarshal: bad party %d", party)
+	}
+	if lanes <= 0 || lanes > 1<<20 {
+		return fmt.Errorf("dpf: unmarshal: bad lanes %d", lanes)
+	}
+	want := MarshaledSize(bits, lanes)
+	if len(data) != want {
+		return fmt.Errorf("dpf: unmarshal: size %d, want %d", len(data), want)
+	}
+	k.Bits, k.Party, k.Lanes = bits, party, lanes
+	off := 8
+	copy(k.Root[:], data[off:off+16])
+	off += 16
+	k.CWs = make([]CW, bits)
+	for i := range k.CWs {
+		copy(k.CWs[i].S[:], data[off:off+16])
+		tb := data[off+16]
+		if tb > 3 {
+			return fmt.Errorf("dpf: unmarshal: bad control bits %#x at level %d", tb, i)
+		}
+		k.CWs[i].TL = tb & 1
+		k.CWs[i].TR = tb >> 1
+		off += 17
+	}
+	k.Final = make([]uint32, lanes)
+	for i := range k.Final {
+		k.Final[i] = binary.LittleEndian.Uint32(data[off:])
+		off += 4
+	}
+	return nil
+}

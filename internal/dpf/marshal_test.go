@@ -1,0 +1,149 @@
+package dpf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestKeyRoundTrip: marshal → unmarshal must reproduce the key and the
+// declared MarshaledSize exactly.
+func TestKeyRoundTrip(t *testing.T) {
+	prg := NewAESPRG()
+	rng := testRand(31)
+	for _, bits := range []int{1, 5, 12, 20} {
+		for _, lanes := range []int{1, 4, 32} {
+			beta := make([]uint32, lanes)
+			beta[0] = 1
+			k0, k1, err := Gen(prg, uint64(bits), bits, beta, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []*Key{&k0, &k1} {
+				raw, err := k.MarshalBinary()
+				if err != nil {
+					t.Fatalf("marshal(bits=%d,lanes=%d): %v", bits, lanes, err)
+				}
+				if len(raw) != MarshaledSize(bits, lanes) {
+					t.Fatalf("size %d != MarshaledSize %d", len(raw), MarshaledSize(bits, lanes))
+				}
+				var got Key
+				if err := got.UnmarshalBinary(raw); err != nil {
+					t.Fatalf("unmarshal: %v", err)
+				}
+				if got.Bits != k.Bits || got.Lanes != k.Lanes || got.Party != k.Party || got.Root != k.Root {
+					t.Fatal("header fields mismatch after round trip")
+				}
+				for i := range k.CWs {
+					if got.CWs[i] != k.CWs[i] {
+						t.Fatalf("CW %d mismatch", i)
+					}
+				}
+				for i := range k.Final {
+					if got.Final[i] != k.Final[i] {
+						t.Fatalf("final lane %d mismatch", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUnmarshalRejectsGarbage: malformed wire data must error, not panic.
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var k Key
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     make([]byte, 10),
+		"bad magic": append([]byte{0xff, 0xff}, make([]byte, 30)...),
+	}
+	for name, data := range cases {
+		if err := k.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// Corrupt a valid key in every byte position; none may panic, and
+	// header corruptions must error.
+	prg := NewAESPRG()
+	k0, _, err := Gen(prg, 3, 4, []uint32{1}, testRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := k0.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		mut := make([]byte, len(raw))
+		copy(mut, raw)
+		mut[i] ^= 0xff
+		var kk Key
+		_ = kk.UnmarshalBinary(mut) // must not panic
+	}
+	// Truncations must error.
+	for cut := 1; cut < len(raw); cut++ {
+		var kk Key
+		if err := kk.UnmarshalBinary(raw[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// TestMarshalValidation: inconsistent keys must refuse to marshal.
+func TestMarshalValidation(t *testing.T) {
+	bad := []Key{
+		{Bits: 0, Lanes: 1},
+		{Bits: MaxBits + 1, Lanes: 1},
+		{Bits: 3, Lanes: 1, CWs: make([]CW, 2), Final: []uint32{1}},
+		{Bits: 3, Lanes: 2, CWs: make([]CW, 3), Final: []uint32{1}},
+	}
+	for i, k := range bad {
+		if _, err := k.MarshalBinary(); err == nil {
+			t.Errorf("case %d: expected marshal error", i)
+		}
+	}
+}
+
+// TestQuickRoundTripStillEvaluates: after a round trip the key must still
+// satisfy the point-function property at alpha.
+func TestQuickRoundTripStillEvaluates(t *testing.T) {
+	prg := NewChaChaPRG()
+	rng := testRand(77)
+	const bits = 10
+	f := func(alphaRaw uint16, beta uint32) bool {
+		alpha := uint64(alphaRaw) % (1 << bits)
+		k0, k1, err := Gen(prg, alpha, bits, []uint32{beta}, rng)
+		if err != nil {
+			return false
+		}
+		raw0, _ := k0.MarshalBinary()
+		raw1, _ := k1.MarshalBinary()
+		var r0, r1 Key
+		if r0.UnmarshalBinary(raw0) != nil || r1.UnmarshalBinary(raw1) != nil {
+			return false
+		}
+		v0, e0 := EvalAt(prg, &r0, alpha)
+		v1, e1 := EvalAt(prg, &r1, alpha)
+		if e0 != nil || e1 != nil {
+			return false
+		}
+		return v0[0]+v1[0] == beta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKeySizeIsLogarithmic pins the O(log L) communication claim: doubling
+// the domain adds exactly 17 bytes.
+func TestKeySizeIsLogarithmic(t *testing.T) {
+	for bits := 1; bits < MaxBits; bits++ {
+		if MarshaledSize(bits+1, 1)-MarshaledSize(bits, 1) != 17 {
+			t.Fatalf("key growth at bits=%d is not 17 bytes/level", bits)
+		}
+	}
+	// A 1M-entry scalar key is well under 1 KB — the paper quotes 1.25 KB
+	// for its codeword format; ours is the tighter BGI15 layout.
+	if s := MarshaledSize(20, 1); s > 1280 {
+		t.Errorf("1M-entry key is %d bytes, want <= 1280", s)
+	}
+}

@@ -1,0 +1,102 @@
+package dpf
+
+import "fmt"
+
+// PRG is the pseudorandom generator that drives the GGM tree. One Expand
+// call derives both children of a node (256 bits of output); the embedded
+// control bits are taken from — and then cleared in — the low bit of each
+// child seed, the standard Boyle–Gilboa–Ishai packing.
+//
+// Implementations also report modeled per-block cycle costs used by the GPU
+// and CPU device models (paper §3.2.6 observes that PRF choice dominates GPU
+// DPF performance because GPUs lack AES hardware).
+type PRG interface {
+	// Name identifies the PRF for reports ("aes128", "chacha20", ...).
+	Name() string
+	// Expand derives the left and right child seeds and control bits.
+	Expand(s Seed) (left, right Seed, tL, tR uint8)
+	// Fill deterministically expands s into dst (counter mode). Used by
+	// Convert for wide output groups.
+	Fill(s Seed, dst []byte)
+	// GPUCyclesPerBlock is the modeled cycle cost of one 128-bit output
+	// block on a single GPU thread (software implementation, no crypto
+	// hardware).
+	GPUCyclesPerBlock() float64
+	// CPUCyclesPerBlock is the modeled cycle cost of one 128-bit output
+	// block on one Xeon core, using hardware intrinsics where they exist
+	// (AES-NI, SHA-NI, AVX2).
+	CPUCyclesPerBlock() float64
+}
+
+// BlocksPerExpand is the number of 128-bit PRF blocks one Expand consumes.
+// The paper counts "one PRF call per node child"; an Expand derives both
+// children, hence two blocks.
+const BlocksPerExpand = 2
+
+// Convert maps a leaf seed into `lanes` output-group elements (Z_2^32 each).
+// For lanes <= 4 the seed's own bits suffice (the "early termination"
+// optimization: zero extra PRF calls, the case PIR uses). Wider outputs draw
+// from the PRG in counter mode.
+func Convert(prg PRG, s Seed, lanes int) []uint32 {
+	out := make([]uint32, lanes)
+	ConvertInto(prg, s, out)
+	return out
+}
+
+// ConvertInto is Convert without the allocation.
+func ConvertInto(prg PRG, s Seed, out []uint32) {
+	lanes := len(out)
+	if lanes <= 4 {
+		for i := 0; i < lanes; i++ {
+			out[i] = leU32(s[i*4 : i*4+4])
+		}
+		return
+	}
+	buf := make([]byte, lanes*4)
+	prg.Fill(s, buf)
+	for i := 0; i < lanes; i++ {
+		out[i] = leU32(buf[i*4 : i*4+4])
+	}
+}
+
+// ConvertBlocks is the number of extra PRF blocks a Convert of the given
+// width costs, for the cost model.
+func ConvertBlocks(lanes int) int {
+	if lanes <= 4 {
+		return 0
+	}
+	return (lanes*4 + 15) / 16
+}
+
+// NewPRG constructs a PRG by name. Valid names: aes128, chacha20, siphash,
+// highway, sha256.
+func NewPRG(name string) (PRG, error) {
+	switch name {
+	case "aes128":
+		return NewAESPRG(), nil
+	case "chacha20":
+		return NewChaChaPRG(), nil
+	case "siphash":
+		return NewSipPRG(), nil
+	case "highway":
+		return NewHighwayPRG(), nil
+	case "sha256":
+		return NewSHA256PRG(), nil
+	}
+	return nil, fmt.Errorf("dpf: unknown PRG %q", name)
+}
+
+// AllPRGNames lists the supported PRFs in the order Table 5 reports them.
+func AllPRGNames() []string {
+	return []string{"aes128", "sha256", "chacha20", "siphash", "highway"}
+}
+
+// clearControlBits extracts the control bits from the low bit of byte 0 of
+// each child and zeroes them so the seed space stays 127 bits + bit.
+func clearControlBits(l, r *Seed) (tL, tR uint8) {
+	tL = l[0] & 1
+	tR = r[0] & 1
+	l[0] &^= 1
+	r[0] &^= 1
+	return
+}

@@ -1,0 +1,207 @@
+package dpf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPRGDeterminism: Expand and Fill must be pure functions of the seed.
+func TestPRGDeterminism(t *testing.T) {
+	for _, prg := range allPRGs(t) {
+		prg := prg
+		t.Run(prg.Name(), func(t *testing.T) {
+			t.Parallel()
+			var s Seed
+			for i := range s {
+				s[i] = byte(i * 7)
+			}
+			l1, r1, tl1, tr1 := prg.Expand(s)
+			l2, r2, tl2, tr2 := prg.Expand(s)
+			if l1 != l2 || r1 != r2 || tl1 != tl2 || tr1 != tr2 {
+				t.Fatal("Expand not deterministic")
+			}
+			a := make([]byte, 100)
+			b := make([]byte, 100)
+			prg.Fill(s, a)
+			prg.Fill(s, b)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatal("Fill not deterministic")
+				}
+			}
+		})
+	}
+}
+
+// TestPRGChildIndependence: left and right children must differ, control
+// bits must be cleared from the seeds, and different seeds must give
+// different children (collision would break the GGM tree).
+func TestPRGChildIndependence(t *testing.T) {
+	for _, prg := range allPRGs(t) {
+		prg := prg
+		t.Run(prg.Name(), func(t *testing.T) {
+			t.Parallel()
+			seen := make(map[Seed]bool)
+			for i := 0; i < 64; i++ {
+				var s Seed
+				s[0] = byte(i)
+				s[5] = byte(i * 3)
+				l, r, _, _ := prg.Expand(s)
+				if l == r {
+					t.Fatalf("seed %d: left == right", i)
+				}
+				if l[0]&1 != 0 || r[0]&1 != 0 {
+					t.Fatalf("seed %d: control bit not cleared", i)
+				}
+				if seen[l] || seen[r] {
+					t.Fatalf("seed %d: child collision", i)
+				}
+				seen[l], seen[r] = true, true
+			}
+		})
+	}
+}
+
+// TestPRGAvalanche: flipping one seed bit should change roughly half the
+// output bits — a weak but useful PRF sanity check.
+func TestPRGAvalanche(t *testing.T) {
+	for _, prg := range allPRGs(t) {
+		prg := prg
+		t.Run(prg.Name(), func(t *testing.T) {
+			t.Parallel()
+			var base Seed
+			base[3] = 0x5a
+			l0, r0, _, _ := prg.Expand(base)
+			flipped := base
+			flipped[3] ^= 0x10
+			l1, r1, _, _ := prg.Expand(flipped)
+			diff := 0
+			for i := range l0 {
+				diff += popcount(l0[i] ^ l1[i])
+				diff += popcount(r0[i] ^ r1[i])
+			}
+			// 256 output bits; expect ~128 flips. Allow a broad band.
+			if diff < 80 || diff > 176 {
+				t.Errorf("avalanche %d/256 bits flipped, want ≈128", diff)
+			}
+		})
+	}
+}
+
+// TestPRGFillBalance: counter-mode output should be bit-balanced.
+func TestPRGFillBalance(t *testing.T) {
+	for _, prg := range allPRGs(t) {
+		prg := prg
+		t.Run(prg.Name(), func(t *testing.T) {
+			t.Parallel()
+			var s Seed
+			s[9] = 0xc3
+			buf := make([]byte, 4096)
+			prg.Fill(s, buf)
+			ones := 0
+			for _, b := range buf {
+				ones += popcount(b)
+			}
+			frac := float64(ones) / float64(len(buf)*8)
+			if frac < 0.47 || frac > 0.53 {
+				t.Errorf("Fill bit balance %.4f outside [0.47, 0.53]", frac)
+			}
+		})
+	}
+}
+
+// TestQuickPRGSeedSensitivity: distinct seeds give distinct children.
+func TestQuickPRGSeedSensitivity(t *testing.T) {
+	for _, prg := range allPRGs(t) {
+		prg := prg
+		t.Run(prg.Name(), func(t *testing.T) {
+			f := func(a, b [16]byte) bool {
+				if a == b {
+					return true
+				}
+				la, ra, _, _ := prg.Expand(Seed(a))
+				lb, rb, _, _ := prg.Expand(Seed(b))
+				return la != lb && ra != rb
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSipHashVectors pins SipHash-2-4 to the reference test vector from the
+// Aumasson–Bernstein paper (key 000102...0f, message 0001..07).
+func TestSipHashVectors(t *testing.T) {
+	// Reference vector: SipHash-2-4 of the 8-byte message 00..07 under key
+	// 000102030405060708090a0b0c0d0e0f is 0x93f5f5799a932462 (SipHash
+	// paper, appendix test values).
+	k0 := leU64([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	k1 := leU64([]byte{8, 9, 10, 11, 12, 13, 14, 15})
+	m := leU64([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	if got := siphash24(k0, k1, m); got != 0x93f5f5799a932462 {
+		t.Errorf("siphash24 = %#x, want 0x93f5f5799a932462", got)
+	}
+}
+
+// TestChaChaBlockVector pins the ChaCha20 block function against RFC 8439's
+// structure: encrypting with an all-zero key must reproduce a keystream that
+// is stable across refactors (self-consistency + first word spot check that
+// the constants are wired correctly: with zero key/nonce/counter the first
+// state word is the "expa" constant and the output must not equal it).
+func TestChaChaBlockVector(t *testing.T) {
+	var s Seed
+	var out [64]byte
+	chachaBlock(&s, 0, &out)
+	first := leU32(out[0:4])
+	if first == 0x61707865 {
+		t.Error("chacha block output equals initial constant; rounds not applied")
+	}
+	var out2 [64]byte
+	chachaBlock(&s, 1, &out2)
+	if out == out2 {
+		t.Error("different counters produced identical blocks")
+	}
+}
+
+// TestNewPRG covers the constructor and its error path.
+func TestNewPRG(t *testing.T) {
+	for _, name := range AllPRGNames() {
+		p, err := NewPRG(name)
+		if err != nil {
+			t.Fatalf("NewPRG(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("NewPRG(%q).Name() = %q", name, p.Name())
+		}
+		if p.GPUCyclesPerBlock() <= 0 || p.CPUCyclesPerBlock() <= 0 {
+			t.Errorf("%s: non-positive cycle model", name)
+		}
+	}
+	if _, err := NewPRG("des"); err == nil {
+		t.Error("NewPRG(des) should fail")
+	}
+}
+
+// TestPRGRelativeSpeedModel pins the Table 5 ordering: on the GPU model,
+// siphash < chacha20 < highway < aes128 <= sha256 in cycles (QPS order
+// 7447 > 3640 > 1973 > 965 > 921).
+func TestPRGRelativeSpeedModel(t *testing.T) {
+	cost := map[string]float64{}
+	for _, prg := range allPRGs(t) {
+		cost[prg.Name()] = prg.GPUCyclesPerBlock()
+	}
+	if !(cost["siphash"] < cost["chacha20"] && cost["chacha20"] < cost["highway"] &&
+		cost["highway"] < cost["aes128"] && cost["aes128"] <= cost["sha256"]) {
+		t.Errorf("GPU cycle model violates Table 5 ordering: %v", cost)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for b != 0 {
+		n += int(b & 1)
+		b >>= 1
+	}
+	return n
+}

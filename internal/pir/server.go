@@ -1,0 +1,105 @@
+package pir
+
+import (
+	"fmt"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/strategy"
+)
+
+// Server is one of the two non-colluding PIR servers: it holds a replica of
+// the table and expands client keys with a DPF execution strategy. The
+// honest-but-curious server learns nothing from a key except the table
+// shape and the query count.
+type Server struct {
+	party uint8
+	prg   dpf.PRG
+	tab   *Table
+	strat strategy.Strategy
+	ctr   gpu.Counters
+}
+
+// ServerOption customizes a Server.
+type ServerOption func(*Server) error
+
+// WithStrategy overrides the execution strategy (default: the paper's
+// scheduler — membound-fused below 2^22 rows, cooperative groups above).
+func WithStrategy(s strategy.Strategy) ServerOption {
+	return func(sv *Server) error {
+		if s == nil {
+			return fmt.Errorf("pir: nil strategy")
+		}
+		sv.strat = s
+		return nil
+	}
+}
+
+// WithPRG overrides the PRF (default aes128; must match the client).
+func WithPRG(name string) ServerOption {
+	return func(sv *Server) error {
+		prg, err := dpf.NewPRG(name)
+		if err != nil {
+			return err
+		}
+		sv.prg = prg
+		return nil
+	}
+}
+
+// NewServer builds a PIR server for one party (0 or 1) over the table.
+func NewServer(party int, tab *Table, opts ...ServerOption) (*Server, error) {
+	if party != 0 && party != 1 {
+		return nil, fmt.Errorf("pir: party must be 0 or 1, got %d", party)
+	}
+	if tab == nil || tab.NumRows == 0 {
+		return nil, fmt.Errorf("pir: server needs a table")
+	}
+	sv := &Server{
+		party: uint8(party),
+		prg:   dpf.NewAESPRG(),
+		tab:   tab,
+		strat: strategy.Schedule(tab.Bits()),
+	}
+	for _, opt := range opts {
+		if err := opt(sv); err != nil {
+			return nil, err
+		}
+	}
+	return sv, nil
+}
+
+// Party returns which share (0 or 1) this server computes.
+func (s *Server) Party() int { return int(s.party) }
+
+// Table returns the served table (shared, not copied).
+func (s *Server) Table() *Table { return s.tab }
+
+// Counters exposes the accumulated execution counters (PRF blocks, modeled
+// memory, traffic) for reporting.
+func (s *Server) Counters() gpu.Stats { return s.ctr.Snapshot() }
+
+// Answer expands a batch of marshaled keys against the table and returns
+// one answer share per key. Keys for the wrong party or the wrong table
+// shape are rejected.
+func (s *Server) Answer(rawKeys [][]byte) ([][]uint32, error) {
+	if len(rawKeys) == 0 {
+		return nil, fmt.Errorf("pir: empty key batch")
+	}
+	keys := make([]*dpf.Key, len(rawKeys))
+	for i, raw := range rawKeys {
+		var k dpf.Key
+		if err := k.UnmarshalBinary(raw); err != nil {
+			return nil, fmt.Errorf("pir: key %d: %w", i, err)
+		}
+		if k.Party != s.party {
+			return nil, fmt.Errorf("pir: key %d is for party %d, this server is party %d", i, k.Party, s.party)
+		}
+		keys[i] = &k
+	}
+	answers, err := s.strat.Run(s.prg, keys, s.tab, &s.ctr)
+	if err != nil {
+		return nil, fmt.Errorf("pir: evaluating batch: %w", err)
+	}
+	return answers, nil
+}

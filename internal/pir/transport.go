@@ -1,0 +1,183 @@
+package pir
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Endpoint is one PIR server as seen by a client: in-process for
+// simulation, or remote over TCP for a real two-cloud deployment.
+type Endpoint interface {
+	// Answer sends a key batch and returns the answer shares.
+	Answer(keys [][]byte) ([][]uint32, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// InProcess wraps a Server as an Endpoint without a network.
+type InProcess struct{ Server *Server }
+
+// Answer implements Endpoint.
+func (e InProcess) Answer(keys [][]byte) ([][]uint32, error) { return e.Server.Answer(keys) }
+
+// Close implements Endpoint.
+func (e InProcess) Close() error { return nil }
+
+// request and response are the gob wire messages.
+type request struct {
+	Keys [][]byte
+}
+
+type response struct {
+	Answers [][]uint32
+	Err     string
+}
+
+// Serve runs a blocking accept loop answering PIR requests on l. Each
+// connection carries a stream of gob-encoded request/response pairs. Serve
+// returns when the listener closes.
+func Serve(l net.Listener, s *Server) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("pir: accept: %w", err)
+		}
+		go serveConn(conn, s)
+	}
+}
+
+func serveConn(conn net.Conn, s *Server) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer; nothing to report on this side
+		}
+		var resp response
+		answers, err := s.Answer(req.Keys)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Answers = answers
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// Remote is a TCP Endpoint. It is safe for concurrent use; requests are
+// serialized over one connection.
+type Remote struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *gob.Decoder
+	enc  *gob.Encoder
+}
+
+// Dial connects to a PIR server started with Serve.
+func Dial(addr string) (*Remote, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pir: dial %s: %w", addr, err)
+	}
+	return &Remote{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+}
+
+// Answer implements Endpoint.
+func (r *Remote) Answer(keys [][]byte) ([][]uint32, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.enc.Encode(&request{Keys: keys}); err != nil {
+		return nil, fmt.Errorf("pir: send: %w", err)
+	}
+	var resp response
+	if err := r.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("pir: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("pir: server: %s", resp.Err)
+	}
+	return resp.Answers, nil
+}
+
+// Close implements Endpoint.
+func (r *Remote) Close() error { return r.conn.Close() }
+
+// CommStats records the exact application-layer bytes a fetch moved.
+type CommStats struct {
+	// UpBytes is the client→servers key traffic (both servers).
+	UpBytes int64
+	// DownBytes is the servers→client share traffic (both servers).
+	DownBytes int64
+}
+
+// Total is the full communication cost of the exchange.
+func (c CommStats) Total() int64 { return c.UpBytes + c.DownBytes }
+
+// TwoServer drives the complete protocol of Figure 2 against a pair of
+// non-colluding endpoints.
+type TwoServer struct {
+	// Client generates keys and reconstructs rows.
+	Client *Client
+	// E0 and E1 are the party-0 and party-1 servers.
+	E0, E1 Endpoint
+}
+
+// Fetch privately retrieves the given rows. Both servers are queried
+// concurrently, mirroring the deployment where they are different clouds.
+func (ts *TwoServer) Fetch(indices []uint64) ([][]uint32, CommStats, error) {
+	var stats CommStats
+	if len(indices) == 0 {
+		return nil, stats, errors.New("pir: no indices to fetch")
+	}
+	keys0, keys1, err := ts.Client.QueryBatch(indices)
+	if err != nil {
+		return nil, stats, err
+	}
+	for q := range keys0 {
+		stats.UpBytes += int64(len(keys0[q]) + len(keys1[q]))
+	}
+
+	type result struct {
+		answers [][]uint32
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		a, err := ts.E0.Answer(keys0)
+		ch <- result{a, err}
+	}()
+	a1, err1 := ts.E1.Answer(keys1)
+	r0 := <-ch
+	if r0.err != nil {
+		return nil, stats, fmt.Errorf("pir: server 0: %w", r0.err)
+	}
+	if err1 != nil {
+		return nil, stats, fmt.Errorf("pir: server 1: %w", err1)
+	}
+	if len(r0.answers) != len(indices) || len(a1) != len(indices) {
+		return nil, stats, fmt.Errorf("pir: servers returned %d/%d answers for %d queries",
+			len(r0.answers), len(a1), len(indices))
+	}
+	rows := make([][]uint32, len(indices))
+	for q := range indices {
+		stats.DownBytes += int64(len(r0.answers[q])+len(a1[q])) * 4
+		rows[q], err = Reconstruct(r0.answers[q], a1[q])
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return rows, stats, nil
+}
+
+var _ Endpoint = InProcess{}
+var _ Endpoint = (*Remote)(nil)

@@ -1,0 +1,157 @@
+// Package serving provides the server-side request path that turns the
+// paper's batched DPF kernels into a service: a concurrent batcher that
+// groups incoming PIR queries into GPU-sized batches under a size/deadline
+// policy, and a discrete-event simulator that maps offered load to latency
+// percentiles on the modeled device (the systems story behind "a single
+// V100 can serve up to 100,000 queries per second", §1).
+package serving
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Policy controls batch formation.
+type Policy struct {
+	// MaxBatch flushes a batch when this many requests are pending.
+	MaxBatch int
+	// MaxDelay flushes a non-empty batch this long after its oldest
+	// request arrived, bounding queueing latency at low load.
+	MaxDelay time.Duration
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if p.MaxBatch < 1 {
+		return errors.New("serving: MaxBatch must be >= 1")
+	}
+	if p.MaxDelay <= 0 {
+		return errors.New("serving: MaxDelay must be positive")
+	}
+	return nil
+}
+
+// Handler executes one formed batch. Request i's response must be placed
+// at index i of the returned slice.
+type Handler func(batch [][]byte) ([][]uint32, error)
+
+// Batcher groups submitted requests into batches and executes them on a
+// single device worker (the GPU executes one kernel at a time; concurrency
+// comes from batching, §3.2.1). Safe for concurrent Submit.
+type Batcher struct {
+	policy  Policy
+	handler Handler
+
+	mu      sync.Mutex
+	pending []pendingReq
+	timer   *time.Timer
+	closed  bool
+	work    chan []pendingReq
+	done    chan struct{}
+}
+
+type pendingReq struct {
+	key []byte
+	ch  chan result
+}
+
+type result struct {
+	answer []uint32
+	err    error
+}
+
+// NewBatcher starts the batching worker.
+func NewBatcher(policy Policy, handler Handler) (*Batcher, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if handler == nil {
+		return nil, errors.New("serving: nil handler")
+	}
+	b := &Batcher{
+		policy:  policy,
+		handler: handler,
+		work:    make(chan []pendingReq, 16),
+		done:    make(chan struct{}),
+	}
+	go b.worker()
+	return b, nil
+}
+
+// Submit enqueues one query and blocks until its batch completes.
+func (b *Batcher) Submit(key []byte) ([]uint32, error) {
+	ch := make(chan result, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errors.New("serving: batcher closed")
+	}
+	b.pending = append(b.pending, pendingReq{key: key, ch: ch})
+	switch {
+	case len(b.pending) >= b.policy.MaxBatch:
+		b.flushLocked()
+	case len(b.pending) == 1:
+		b.timer = time.AfterFunc(b.policy.MaxDelay, b.deadlineFlush)
+	}
+	b.mu.Unlock()
+	r := <-ch
+	return r.answer, r.err
+}
+
+func (b *Batcher) deadlineFlush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed && len(b.pending) > 0 {
+		b.flushLocked()
+	}
+}
+
+// flushLocked hands the pending batch to the worker. Caller holds mu.
+func (b *Batcher) flushLocked() {
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	batch := b.pending
+	b.pending = nil
+	b.work <- batch
+}
+
+func (b *Batcher) worker() {
+	defer close(b.done)
+	for batch := range b.work {
+		keys := make([][]byte, len(batch))
+		for i, r := range batch {
+			keys[i] = r.key
+		}
+		answers, err := b.handler(keys)
+		if err == nil && len(answers) != len(batch) {
+			err = errors.New("serving: handler returned wrong answer count")
+		}
+		for i, r := range batch {
+			if err != nil {
+				r.ch <- result{err: err}
+				continue
+			}
+			r.ch <- result{answer: answers[i]}
+		}
+	}
+}
+
+// Close flushes any pending batch and stops the worker. Submissions after
+// Close fail; in-flight submissions complete.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	if len(b.pending) > 0 {
+		b.flushLocked()
+	}
+	close(b.work)
+	b.mu.Unlock()
+	<-b.done
+}

@@ -1,0 +1,85 @@
+package strategy
+
+import (
+	"sync"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// BranchParallel assigns each thread one leaf (or a range of leaves) and
+// recomputes the whole root-to-leaf path per leaf (Figure 5a). It exposes
+// maximal parallelism and needs almost no intermediate memory, but performs
+// O(L·log L) PRF work instead of the optimal O(L) — the redundancy the
+// paper's Figure 6 charts.
+type BranchParallel struct{}
+
+// Name implements Strategy.
+func (BranchParallel) Name() string { return "branch-parallel" }
+
+// Run implements Strategy.
+func (BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	bits := tab.Bits()
+	domain := 1 << uint(bits)
+	// Modeled device allocations: per-query output accumulators only; the
+	// per-thread path state lives in registers.
+	outBytes := int64(len(keys)) * int64(tab.Lanes) * 4
+	ctr.Alloc(outBytes)
+	defer ctr.Free(outBytes)
+	ctr.AddLaunch()
+
+	answers := make([][]uint32, len(keys))
+	for q, k := range keys {
+		ans := make([]uint32, tab.Lanes)
+		var mu sync.Mutex
+		gpu.ParallelForChunked(domain, 0, func(lo, hi int) {
+			local := make([]uint32, tab.Lanes)
+			for j := lo; j < hi; j++ {
+				s, t := k.Root, k.Party
+				for level := 0; level < bits; level++ {
+					bit := uint8(j>>uint(bits-1-level)) & 1
+					s, t = dpf.Step(prg, s, t, k.CWs[level], bit)
+				}
+				// A GPU thread derives only the needed child per level:
+				// one block per level per leaf.
+				leaf := dpf.LeafValueScalar(k, s, t)
+				if j < tab.NumRows {
+					accumulateRow(local, leaf, tab.Row(j))
+				}
+			}
+			ctr.AddPRFBlocks(int64(hi-lo) * int64(bits))
+			mu.Lock()
+			for i := range ans {
+				ans[i] += local[i]
+			}
+			mu.Unlock()
+		})
+		answers[q] = ans
+	}
+	ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+	ctr.AddWrite(outBytes)
+	return answers, nil
+}
+
+// Model implements Strategy.
+func (BranchParallel) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
+	domain := int64(1) << uint(bits)
+	outBytes := int64(batch) * int64(lanes) * 4
+	st := gpu.Stats{
+		PRFBlocks:    int64(batch) * domain * int64(bits),
+		ReadBytes:    tableReadBytes(batch, bits, lanes),
+		WriteBytes:   outBytes,
+		Launches:     1,
+		PeakMemBytes: outBytes,
+	}
+	p := gpu.KernelProfile{
+		Stats:             st,
+		PRGCyclesPerBlock: prg.GPUCyclesPerBlock(),
+		Parallelism:       int64(batch) * domain,
+		ArithCycles:       dotArithCycles(batch, bits, lanes),
+	}
+	return finishReport(dev, BranchParallel{}.Name(), prg, bits, batch, lanes, p)
+}

@@ -1,0 +1,145 @@
+package strategy
+
+import (
+	"sync"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// CoopGroups is the paper's batch/table-size-aware scheduling (§3.2.5): for
+// very large tables a *single* DPF already saturates the device, so all
+// blocks cooperate on one DPF at a time (CUDA cooperative groups provide
+// the required grid-wide barrier per level). Queries in the batch execute
+// back to back, which slashes per-query latency on huge tables; on small
+// tables the per-level grid synchronization dominates and utilization
+// collapses — exactly Figure 9b.
+type CoopGroups struct{}
+
+// Name implements Strategy.
+func (CoopGroups) Name() string { return "coop-groups" }
+
+// CoopThresholdBits is the table size (log2) above which the paper selects
+// cooperative groups over batched execution (2^22 entries, §3.2.5).
+const CoopThresholdBits = 22
+
+// Schedule picks the execution strategy the paper's scheduler would: the
+// fused memory-bounded traversal below the threshold, cooperative groups at
+// or above it.
+func Schedule(bits int) Strategy {
+	if bits >= CoopThresholdBits {
+		return CoopGroups{}
+	}
+	return MemBoundTree{K: DefaultK, Fused: true}
+}
+
+// coopMemBytes models one query's working set: the two widest ping-pong
+// level buffers, exactly one query resident at a time.
+func coopMemBytes(bits, lanes int) int64 {
+	domain := int64(1) << uint(bits)
+	return domain*nodeBytes + domain/2*nodeBytes + int64(lanes)*4
+}
+
+// Run implements Strategy. Queries run sequentially; each level of each
+// query's tree is expanded with full-width parallelism.
+func (CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	bits := tab.Bits()
+	mem := coopMemBytes(bits, tab.Lanes)
+	ctr.Alloc(mem)
+	defer ctr.Free(mem)
+
+	domain := 1 << uint(bits)
+	answers := make([][]uint32, len(keys))
+	for q, k := range keys {
+		seeds := make([]dpf.Seed, 1, domain)
+		ts := make([]uint8, 1, domain)
+		seeds[0], ts[0] = k.Root, k.Party
+		for level := 0; level < bits; level++ {
+			cw := k.CWs[level]
+			n := len(seeds)
+			next := make([]dpf.Seed, 2*n)
+			nextT := make([]uint8, 2*n)
+			gpu.ParallelForChunked(n, 0, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ls, lt, rs, rt := dpf.StepBoth(prg, seeds[i], ts[i], cw)
+					next[2*i], next[2*i+1] = ls, rs
+					nextT[2*i], nextT[2*i+1] = lt, rt
+				}
+				ctr.AddPRFBlocks(int64(hi-lo) * dpf.BlocksPerExpand)
+			})
+			seeds, ts = next, nextT
+			ctr.AddLaunch() // grid-wide barrier per level
+		}
+		ans := make([]uint32, tab.Lanes)
+		var mu sync.Mutex
+		gpu.ParallelForChunked(tab.NumRows, 0, func(lo, hi int) {
+			local := make([]uint32, tab.Lanes)
+			for j := lo; j < hi; j++ {
+				leaf := dpf.LeafValueScalar(k, seeds[j], ts[j])
+				accumulateRow(local, leaf, tab.Row(j))
+			}
+			mu.Lock()
+			for i := range ans {
+				ans[i] += local[i]
+			}
+			mu.Unlock()
+		})
+		answers[q] = ans
+	}
+	ctr.AddRead(int64(len(keys)) * (int64(tab.NumRows)*int64(tab.Lanes)*4 + int64(domain)*nodeBytes))
+	ctr.AddWrite(int64(len(keys)) * (int64(domain)*2*nodeBytes + int64(tab.Lanes)*4))
+	return answers, nil
+}
+
+// Model implements Strategy. Latency is summed per level because the
+// exposed parallelism is the level width: narrow levels near the root leave
+// the device mostly idle, and every level pays a grid-sync (launch)
+// overhead.
+func (CoopGroups) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
+	domain := int64(1) << uint(bits)
+	if coopMemBytes(bits, lanes) > dev.GlobalMemBytes {
+		return Report{}, gpu.ErrOutOfMemory
+	}
+	var perQuery float64 // seconds
+	var cycles float64
+	for level := 0; level < bits; level++ {
+		width := int64(1) << uint(level) // nodes expanded at this level
+		levelCycles := float64(width*dpf.BlocksPerExpand) * prg.GPUCyclesPerBlock()
+		cycles += levelCycles
+		occ := dev.Occupancy(width)
+		lanesActive := occ * float64(dev.TotalLanes())
+		perQuery += levelCycles / (lanesActive * dev.ClockHz)
+		perQuery += dev.LaunchOverhead.Seconds()
+	}
+	// Fused dot product at the leaf level, full width.
+	dot := dotArithCycles(1, bits, lanes)
+	cycles += dot
+	perQuery += dot / (float64(dev.TotalLanes()) * dev.ClockHz)
+	memSec := float64(domain*int64(lanes)*4) / dev.MemBandwidthBps
+	if memSec > perQuery {
+		perQuery = memSec
+	}
+	lat := timeFromSeconds(perQuery * float64(batch))
+	util := 0.0
+	if lat > 0 {
+		util = cycles * float64(batch) / (lat.Seconds() * dev.LaneCyclesPerSecond())
+	}
+	r := Report{
+		Strategy:     CoopGroups{}.Name(),
+		PRG:          prg.Name(),
+		Bits:         bits,
+		Batch:        batch,
+		Lanes:        lanes,
+		PRFBlocks:    int64(batch) * (2*domain - 2),
+		PeakMemBytes: coopMemBytes(bits, lanes),
+		Latency:      lat,
+		Utilization:  util,
+	}
+	if lat > 0 {
+		r.Throughput = float64(batch) / lat.Seconds()
+	}
+	return r, nil
+}

@@ -1,0 +1,91 @@
+package strategy
+
+import (
+	"fmt"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// CPUBaseline is the optimized CPU DPF-PIR the paper compares against
+// (Google Research's distributed_point_functions library on a Xeon Gold
+// 6230 with AES-NI): a full level-order expansion followed by the table dot
+// product, run on a configurable number of threads.
+//
+// Run really executes on the host; Model prices the same work on the
+// configured CPUModel with hardware-crypto cycle constants, reproducing
+// Table 4's single-thread and 32-thread rows.
+type CPUBaseline struct {
+	// Threads is the worker count (1 = single-threaded row of Table 4).
+	Threads int
+	// CPU is the modeled processor; nil means XeonGold6230.
+	CPU *gpu.CPUModel
+}
+
+// Name implements Strategy.
+func (c CPUBaseline) Name() string { return fmt.Sprintf("cpu-%dt", c.threads()) }
+
+func (c CPUBaseline) threads() int {
+	if c.Threads <= 0 {
+		return 1
+	}
+	return c.Threads
+}
+
+func (c CPUBaseline) cpu() *gpu.CPUModel {
+	if c.CPU == nil {
+		return gpu.XeonGold6230()
+	}
+	return c.CPU
+}
+
+// Run implements Strategy. Queries are distributed over threads; each query
+// is expanded level by level exactly like the reference library.
+func (c CPUBaseline) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	bits := tab.Bits()
+	domain := int64(1) << uint(bits)
+	mem := int64(len(keys)) * (domain*nodeBytes*3/2 + int64(tab.Lanes)*4)
+	ctr.Alloc(mem)
+	defer ctr.Free(mem)
+
+	answers := make([][]uint32, len(keys))
+	gpu.ParallelFor(len(keys), func(q int) {
+		k := keys[q]
+		full := dpf.EvalFull(prg, k)
+		ctr.AddPRFBlocks(2*domain - 2)
+		ans := make([]uint32, tab.Lanes)
+		for j := 0; j < tab.NumRows; j++ {
+			accumulateRow(ans, full[j], tab.Row(j))
+		}
+		answers[q] = ans
+	})
+	ctr.AddRead(int64(len(keys)) * int64(tab.NumRows) * int64(tab.Lanes) * 4)
+	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4)
+	return answers, nil
+}
+
+// Model implements Strategy. dev is unused; the CPU model prices the work.
+func (c CPUBaseline) Model(_ *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
+	domain := int64(1) << uint(bits)
+	blocks := int64(batch) * (2*domain - 2)
+	cycles := float64(blocks)*prg.CPUCyclesPerBlock() + dotArithCycles(batch, bits, lanes)*0.5
+	lat := c.cpu().CPUTime(cycles, c.threads())
+	r := Report{
+		Strategy:     c.Name(),
+		PRG:          prg.Name(),
+		Bits:         bits,
+		Batch:        batch,
+		Lanes:        lanes,
+		PRFBlocks:    blocks,
+		PeakMemBytes: int64(batch) * (domain*nodeBytes*3/2 + int64(lanes)*4),
+		Latency:      lat,
+		Utilization:  float64(min(c.threads(), c.cpu().Cores)) / float64(c.cpu().Cores),
+	}
+	if lat > 0 {
+		r.Throughput = float64(batch) / lat.Seconds()
+	}
+	return r, nil
+}

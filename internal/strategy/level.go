@@ -1,0 +1,108 @@
+package strategy
+
+import (
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// LevelByLevel expands the tree breadth-first, materializing every level in
+// global memory (Figure 5b). Work is the optimal O(L), but the working set
+// is O(B·L): the ping-pong level buffers plus the expanded one-hot share
+// vector that the separate matrix-multiplication kernel consumes. The
+// memory footprint is what caps its batch size (Figure 6, Figure 13).
+type LevelByLevel struct{}
+
+// Name implements Strategy.
+func (LevelByLevel) Name() string { return "level-by-level" }
+
+// levelMemBytes models the per-batch device working set: for each in-flight
+// query, the two ping-pong level buffers (L + L/2 nodes at the widest
+// moment) plus the L·4-byte expanded leaf vector handed to the matmul.
+func levelMemBytes(batch, bits, lanes int) int64 {
+	domain := int64(1) << uint(bits)
+	perQuery := domain*nodeBytes + domain/2*nodeBytes + domain*4
+	return int64(batch)*perQuery + int64(batch)*int64(lanes)*4
+}
+
+// levelTrafficBytes models global-memory traffic: every level is written
+// once and read once as the parent of the next, and the leaf vector makes a
+// write+read round trip into the matmul kernel.
+func levelTrafficBytes(batch, bits int) (reads, writes int64) {
+	domain := int64(1) << uint(bits)
+	nodeW := (2*domain - 2) * nodeBytes
+	nodeR := (domain - 2) * nodeBytes
+	leaf := domain * 4
+	return int64(batch) * (nodeR + leaf), int64(batch) * (nodeW + leaf)
+}
+
+// Run implements Strategy.
+func (LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	bits := tab.Bits()
+	mem := levelMemBytes(len(keys), bits, tab.Lanes)
+	ctr.Alloc(mem)
+	defer ctr.Free(mem)
+	ctr.AddLaunch() // expansion kernel
+	ctr.AddLaunch() // matmul kernel
+
+	answers := make([][]uint32, len(keys))
+	gpu.ParallelFor(len(keys), func(q int) {
+		k := keys[q]
+		domain := 1 << uint(bits)
+		seeds := make([]dpf.Seed, 1, domain)
+		ts := make([]uint8, 1, domain)
+		seeds[0], ts[0] = k.Root, k.Party
+		next := make([]dpf.Seed, 0, domain)
+		nextT := make([]uint8, 0, domain)
+		var blocks int64
+		for level := 0; level < bits; level++ {
+			cw := k.CWs[level]
+			next = next[:0]
+			nextT = nextT[:0]
+			for i := range seeds {
+				ls, lt, rs, rt := dpf.StepBoth(prg, seeds[i], ts[i], cw)
+				next = append(next, ls, rs)
+				nextT = append(nextT, lt, rt)
+			}
+			blocks += int64(len(seeds)) * dpf.BlocksPerExpand
+			seeds, next = next, seeds
+			ts, nextT = nextT, ts
+		}
+		ctr.AddPRFBlocks(blocks)
+		// Separate matmul pass over the expanded leaf vector.
+		ans := make([]uint32, tab.Lanes)
+		for j := 0; j < tab.NumRows; j++ {
+			leaf := dpf.LeafValueScalar(k, seeds[j], ts[j])
+			accumulateRow(ans, leaf, tab.Row(j))
+		}
+		answers[q] = ans
+	})
+	r, w := levelTrafficBytes(len(keys), bits)
+	ctr.AddRead(r + tableReadBytes(len(keys), bits, tab.Lanes))
+	ctr.AddWrite(w)
+	return answers, nil
+}
+
+// Model implements Strategy.
+func (LevelByLevel) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
+	domain := int64(1) << uint(bits)
+	r, w := levelTrafficBytes(batch, bits)
+	st := gpu.Stats{
+		PRFBlocks:    int64(batch) * (2*domain - 2),
+		ReadBytes:    r + tableReadBytes(batch, bits, lanes),
+		WriteBytes:   w,
+		Launches:     2,
+		PeakMemBytes: levelMemBytes(batch, bits, lanes),
+	}
+	p := gpu.KernelProfile{
+		Stats:             st,
+		PRGCyclesPerBlock: prg.GPUCyclesPerBlock(),
+		// The bottom half of the tree carries most of the work, so the
+		// exposed parallelism is effectively batch × L/2.
+		Parallelism: int64(batch) * domain / 2,
+		ArithCycles: dotArithCycles(batch, bits, lanes),
+	}
+	return finishReport(dev, LevelByLevel{}.Name(), prg, bits, batch, lanes, p)
+}

@@ -1,0 +1,192 @@
+package strategy
+
+import (
+	"fmt"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// DefaultK is the frontier width the paper settles on for the V100
+// (§3.2.3): wide enough to expose parallelism, narrow enough to keep the
+// working set on-chip.
+const DefaultK = 128
+
+// MemBoundTree is the paper's memory-bounded tree traversal (§3.2.3): a
+// depth-first descent that keeps at most K nodes per level alive, giving
+// optimal O(L) work with an O(B·K·log L) working set instead of
+// level-by-level's O(B·L). With Fused set, the leaf dot product against the
+// table is fused into the traversal (§3.2.4), eliminating the expanded
+// one-hot vector's global-memory round trip entirely.
+type MemBoundTree struct {
+	// K is the frontier width; 0 means DefaultK.
+	K int
+	// Fused enables DPF×matmul operator fusion.
+	Fused bool
+}
+
+// Name implements Strategy.
+func (m MemBoundTree) Name() string {
+	if m.Fused {
+		return "membound-fused"
+	}
+	return "membound-unfused"
+}
+
+func (m MemBoundTree) k() int {
+	if m.K <= 0 {
+		return DefaultK
+	}
+	return m.K
+}
+
+// memBoundLevels is the number of recursion frames holding a K-wide buffer.
+func memBoundLevels(bits, k int) int {
+	lg := 0
+	for 1<<uint(lg+1) <= k {
+		lg++
+	}
+	levels := bits - lg + 1
+	if levels < 1 {
+		levels = 1
+	}
+	return levels
+}
+
+// memBytes models the modeled device working set of the batch.
+func (m MemBoundTree) memBytes(batch, bits, lanes int) int64 {
+	k := int64(m.k())
+	levels := int64(memBoundLevels(bits, m.k()))
+	perQuery := levels*2*k*nodeBytes + int64(lanes)*4
+	if !m.Fused {
+		perQuery += (int64(1) << uint(bits)) * 4 // expanded leaf vector
+	}
+	return int64(batch) * perQuery
+}
+
+type mbNode struct {
+	s dpf.Seed
+	t uint8
+}
+
+// Run implements Strategy.
+func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	k := m.k()
+	if k&(k-1) != 0 {
+		return nil, fmt.Errorf("strategy: K=%d must be a power of two", k)
+	}
+	bits := tab.Bits()
+	mem := m.memBytes(len(keys), bits, tab.Lanes)
+	ctr.Alloc(mem)
+	defer ctr.Free(mem)
+	ctr.AddLaunch()
+	if !m.Fused {
+		ctr.AddLaunch() // separate matmul kernel
+	}
+
+	answers := make([][]uint32, len(keys))
+	gpu.ParallelFor(len(keys), func(q int) {
+		key := keys[q]
+		ans := make([]uint32, tab.Lanes)
+		var leafVec []uint32
+		if !m.Fused {
+			leafVec = make([]uint32, 1<<uint(bits))
+		}
+		var blocks int64
+		var walk func(nodes []mbNode, depth int, base uint64)
+		walk = func(nodes []mbNode, depth int, base uint64) {
+			if depth == bits {
+				for i, nd := range nodes {
+					j := base + uint64(i)
+					leaf := dpf.LeafValueScalar(key, nd.s, nd.t)
+					if m.Fused {
+						if j < uint64(tab.NumRows) {
+							accumulateRow(ans, leaf, tab.Row(int(j)))
+						}
+					} else {
+						leafVec[j] = leaf
+					}
+				}
+				return
+			}
+			cw := key.CWs[depth]
+			children := make([]mbNode, 0, 2*len(nodes))
+			for _, nd := range nodes {
+				ls, lt, rs, rt := dpf.StepBoth(prg, nd.s, nd.t, cw)
+				children = append(children, mbNode{ls, lt}, mbNode{rs, rt})
+			}
+			blocks += int64(len(nodes)) * dpf.BlocksPerExpand
+			if len(children) <= k {
+				walk(children, depth+1, base)
+				return
+			}
+			half := len(children) / 2
+			span := uint64(1) << uint(bits-depth-1)
+			walk(children[:half], depth+1, base)
+			walk(children[half:], depth+1, base+uint64(half)*span)
+		}
+		walk([]mbNode{{key.Root, key.Party}}, 0, 0)
+		if !m.Fused {
+			for j := 0; j < tab.NumRows; j++ {
+				accumulateRow(ans, leafVec[j], tab.Row(j))
+			}
+		}
+		ctr.AddPRFBlocks(blocks)
+		answers[q] = ans
+	})
+	reads := tableReadBytes(len(keys), bits, tab.Lanes)
+	writes := int64(len(keys)) * int64(tab.Lanes) * 4
+	if !m.Fused {
+		leafBytes := int64(len(keys)) * (int64(1) << uint(bits)) * 4
+		reads += leafBytes
+		writes += leafBytes
+	}
+	ctr.AddRead(reads)
+	ctr.AddWrite(writes)
+	return answers, nil
+}
+
+// Model implements Strategy.
+func (m MemBoundTree) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
+	domain := int64(1) << uint(bits)
+	reads := tableReadBytes(batch, bits, lanes)
+	writes := int64(batch) * int64(lanes) * 4
+	launches := int64(1)
+	if !m.Fused {
+		leafBytes := int64(batch) * domain * 4
+		reads += leafBytes
+		writes += leafBytes
+		launches++
+	}
+	st := gpu.Stats{
+		PRFBlocks:    int64(batch) * (2*domain - 2),
+		ReadBytes:    reads,
+		WriteBytes:   writes,
+		Launches:     launches,
+		PeakMemBytes: m.memBytes(batch, bits, lanes),
+	}
+	p := gpu.KernelProfile{
+		Stats:             st,
+		PRGCyclesPerBlock: prg.GPUCyclesPerBlock(),
+		Parallelism:       int64(batch) * int64(m.k()),
+		ArithCycles:       dotArithCycles(batch, bits, lanes),
+	}
+	r, err := finishReport(dev, m.Name(), prg, bits, batch, lanes, p)
+	if err != nil {
+		return r, err
+	}
+	if !m.Fused {
+		// An unfused pipeline cannot overlap the expansion kernel's compute
+		// with the matmul kernel's memory traffic; serialize the phases
+		// (this is what Figure 14 measures).
+		memSec := float64(st.ReadBytes+st.WriteBytes) / dev.MemBandwidthBps
+		r.Latency += timeFromSeconds(memSec)
+		if r.Latency > 0 {
+			r.Throughput = float64(batch) / r.Latency.Seconds()
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,149 @@
+package strategy
+
+import (
+	"fmt"
+	"sync"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// MultiGPU implements the paper's multi-GPU scaling scheme (§3.2.7): when
+// one table exceeds a single device's memory, each of N devices evaluates
+// the DPF over a 1/N shard of the index range and the partial dot products
+// are summed — correct because the final reduction is linear. Each device
+// effectively sees a table of L/N entries, so per-query latency drops
+// ~linearly with N, while a larger batch is needed to keep every device
+// utilized (the paper's closing observation, verified by the model).
+type MultiGPU struct {
+	// Devices is the shard count N (>= 1).
+	Devices int
+	// K is the per-device frontier width (0 = DefaultK). Sharded
+	// execution always fuses the dot product.
+	K int
+}
+
+// Name implements Strategy.
+func (m MultiGPU) Name() string { return fmt.Sprintf("multigpu-%d", m.n()) }
+
+func (m MultiGPU) n() int {
+	if m.Devices < 1 {
+		return 1
+	}
+	return m.Devices
+}
+
+func (m MultiGPU) k() int {
+	if m.K <= 0 {
+		return DefaultK
+	}
+	return m.K
+}
+
+// Run implements Strategy: every (query, shard) pair really evaluates its
+// index range via the pruned DFS and accumulates the partial answer.
+func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	n := m.n()
+	bits := tab.Bits()
+	domain := uint64(1) << uint(bits)
+	if uint64(n) > domain {
+		return nil, fmt.Errorf("strategy: %d shards exceed domain %d", n, domain)
+	}
+	// Modeled per-device working set mirrors the fused membound traversal
+	// on a table of L/N rows.
+	inner := MemBoundTree{K: m.k(), Fused: true}
+	shardBits := shardDepth(bits, n)
+	mem := int64(n) * inner.memBytes(len(keys), shardBits, tab.Lanes)
+	ctr.Alloc(mem)
+	defer ctr.Free(mem)
+	ctr.AddLaunch()
+
+	answers := make([][]uint32, len(keys))
+	for q := range answers {
+		answers[q] = make([]uint32, tab.Lanes)
+	}
+	var mu sync.Mutex
+	type job struct{ q, shard int }
+	jobs := make([]job, 0, len(keys)*n)
+	for q := range keys {
+		for s := 0; s < n; s++ {
+			jobs = append(jobs, job{q, s})
+		}
+	}
+	var firstErr error
+	var errMu sync.Mutex
+	gpu.ParallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		lo := uint64(j.shard) * domain / uint64(n)
+		hi := uint64(j.shard+1) * domain / uint64(n)
+		buf := make([]uint32, hi-lo)
+		if err := dpf.EvalRange(prg, keys[j.q], lo, hi, buf); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		// Pruned DFS costs ~2·span + 2·depth blocks for the shard path.
+		ctr.AddPRFBlocks(2*int64(hi-lo) - 2 + 2*int64(bits))
+		local := make([]uint32, tab.Lanes)
+		for jdx := lo; jdx < hi && jdx < uint64(tab.NumRows); jdx++ {
+			accumulateRow(local, buf[jdx-lo], tab.Row(int(jdx)))
+		}
+		mu.Lock()
+		for l := range local {
+			answers[j.q][l] += local[l]
+		}
+		mu.Unlock()
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4 * int64(n))
+	return answers, nil
+}
+
+// Model implements Strategy: each device runs the fused membound model on
+// an L/N-entry shard; devices run in parallel, so batch latency is the
+// shard latency plus a small cross-device reduction.
+func (m MultiGPU) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
+	n := m.n()
+	inner := MemBoundTree{K: m.k(), Fused: true}
+	shardBits := shardDepth(bits, n)
+	rep, err := inner.Model(dev, prg, shardBits, batch, lanes)
+	if err != nil {
+		return Report{}, fmt.Errorf("strategy %s: %w", m.Name(), err)
+	}
+	// Cross-device reduction: each device ships batch×lanes partial sums.
+	reduceSec := float64(int64(n)*int64(batch)*int64(lanes)*4) / dev.MemBandwidthBps
+	rep.Strategy = m.Name()
+	rep.Bits = bits
+	// Total fleet work: each shard re-derives its root-to-shard path, so
+	// sharding costs 2·bits extra blocks per (query, shard) over the
+	// single-device optimum.
+	rep.PRFBlocks = int64(n)*rep.PRFBlocks + int64(batch)*int64(n)*2*int64(bits)
+	rep.PeakMemBytes = int64(n) * rep.PeakMemBytes // fleet total
+	rep.Latency += timeFromSeconds(reduceSec)
+	if rep.Latency > 0 {
+		rep.Throughput = float64(batch) / rep.Latency.Seconds()
+	}
+	return rep, nil
+}
+
+// shardDepth is the tree depth of one shard's effective table.
+func shardDepth(bits, n int) int {
+	d := bits
+	for n > 1 {
+		d--
+		n /= 2
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}

@@ -1,0 +1,156 @@
+package strategy
+
+import (
+	"fmt"
+	"time"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// nodeBytes is the modeled device footprint of one tree node: a 128-bit
+// seed plus its control bit.
+const nodeBytes = 17
+
+// tileQueries is the modeled matrix-multiplication tile width: one pass
+// over the table serves this many queries' dot products (the paper batches
+// per-table dot products into one matrix-matrix multiply, §3.1).
+const tileQueries = 32
+
+// Strategy is one DPF execution strategy.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Run evaluates the batch of keys against tab, accumulating counts
+	// into ctr, and returns one answer share vector (tab.Lanes wide) per
+	// key. Keys must be scalar (one lane) and match the table's Bits.
+	Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error)
+	// Model analytically predicts the device-side execution of a batch of
+	// the given shape and converts it to a Report via dev's cost model.
+	Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error)
+}
+
+// Report is the modeled outcome of executing one batch.
+type Report struct {
+	// Strategy and PRG identify the configuration.
+	Strategy string
+	PRG      string
+	// Bits, Batch and Lanes describe the workload shape.
+	Bits  int
+	Batch int
+	Lanes int
+	// PRFBlocks is the total 128-bit PRF block count for the batch.
+	PRFBlocks int64
+	// PeakMemBytes is the modeled peak device memory.
+	PeakMemBytes int64
+	// Latency is the modeled batch latency; Throughput is queries/second
+	// at that latency; Utilization is the achieved fraction of device
+	// lanes.
+	Latency     time.Duration
+	Throughput  float64
+	Utilization float64
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s/%s L=2^%d B=%d lanes=%d: %.3g QPS, %v, util %.1f%%, peak %.1f MB",
+		r.Strategy, r.PRG, r.Bits, r.Batch, r.Lanes,
+		r.Throughput, r.Latency.Round(10*time.Microsecond), r.Utilization*100,
+		float64(r.PeakMemBytes)/(1<<20))
+}
+
+// validateKeys checks the Run preconditions shared by all strategies.
+func validateKeys(keys []*dpf.Key, tab *Table) error {
+	if len(keys) == 0 {
+		return fmt.Errorf("strategy: empty batch")
+	}
+	bits := tab.Bits()
+	for i, k := range keys {
+		if k.Lanes != 1 {
+			return fmt.Errorf("strategy: key %d has %d lanes; PIR keys are scalar", i, k.Lanes)
+		}
+		if k.Bits != bits {
+			return fmt.Errorf("strategy: key %d has %d bits, table needs %d", i, k.Bits, bits)
+		}
+	}
+	return nil
+}
+
+// accumulateRow adds leaf·row into ans lane-wise (mod 2^32).
+func accumulateRow(ans []uint32, leaf uint32, row []uint32) {
+	for i, v := range row {
+		ans[i] += leaf * v
+	}
+}
+
+// tableReadBytes models the global-memory traffic of the fused/tiled dot
+// product: one table pass per tile of queries.
+func tableReadBytes(batch, bits, lanes int) int64 {
+	rows := int64(1) << uint(bits)
+	tiles := int64((batch + tileQueries - 1) / tileQueries)
+	return tiles * rows * int64(lanes) * 4
+}
+
+// dotArithCycles models the multiply-accumulate work of the dot product
+// (one lane-cycle per MAC).
+func dotArithCycles(batch, bits, lanes int) float64 {
+	rows := float64(int64(1) << uint(bits))
+	return float64(batch) * rows * float64(lanes)
+}
+
+// finishReport converts a kernel profile into a Report.
+func finishReport(dev *gpu.Device, name string, prg dpf.PRG, bits, batch, lanes int, p gpu.KernelProfile) (Report, error) {
+	lat, util, err := dev.Estimate(p)
+	if err != nil {
+		return Report{}, fmt.Errorf("strategy %s (L=2^%d B=%d): %w", name, bits, batch, err)
+	}
+	r := Report{
+		Strategy:     name,
+		PRG:          prg.Name(),
+		Bits:         bits,
+		Batch:        batch,
+		Lanes:        lanes,
+		PRFBlocks:    p.Stats.PRFBlocks,
+		PeakMemBytes: p.Stats.PeakMemBytes,
+		Latency:      lat,
+		Utilization:  util,
+	}
+	if lat > 0 {
+		r.Throughput = float64(batch) / lat.Seconds()
+	}
+	return r, nil
+}
+
+// timeFromSeconds converts a float second count to a Duration.
+func timeFromSeconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// TuneBatch sweeps power-of-two batch sizes and returns the batch that
+// maximizes modeled throughput subject to a latency budget (0 = unlimited)
+// and device memory. This is the paper's per-experiment batch tuning
+// ("batch size is tuned for each experiment separately", §5.1).
+func TuneBatch(dev *gpu.Device, s Strategy, prg dpf.PRG, bits, lanes int, maxLatency time.Duration) (Report, error) {
+	var best Report
+	found := false
+	for b := 1; b <= 1<<17; b *= 2 {
+		r, err := s.Model(dev, prg, bits, b, lanes)
+		if err != nil {
+			break // OOM: larger batches only get worse
+		}
+		if maxLatency > 0 && r.Latency > maxLatency {
+			if !found {
+				// Even batch 1 exceeds the budget; report it anyway so
+				// callers can see by how much.
+				return r, fmt.Errorf("strategy: no batch size meets latency budget %v (batch 1 takes %v)", maxLatency, r.Latency)
+			}
+			break
+		}
+		if !found || r.Throughput > best.Throughput {
+			best, found = r, true
+		}
+	}
+	if !found {
+		return Report{}, fmt.Errorf("strategy: no feasible batch size for %s at L=2^%d", s.Name(), bits)
+	}
+	return best, nil
+}

@@ -1,0 +1,60 @@
+// Package strategy implements the paper's DPF execution strategies
+// (§3.2): branch-parallel, level-by-level, memory-bounded tree traversal
+// with and without operator fusion, cooperative-groups scheduling for very
+// large tables, and the CPU baseline.
+//
+// Every strategy does two things:
+//
+//   - Run really evaluates a batch of DPF keys against a table on the host
+//     (bounded parallelism via internal/gpu.ParallelFor), producing correct
+//     secret shares while counting PRF blocks, modeled device-memory
+//     allocations and global-memory traffic into a gpu.Counters.
+//   - Model produces the same counts analytically and converts them into
+//     modeled device latency/throughput/utilization via the gpu cost model.
+//
+// Tests pin Run's counted totals to Model's analytic totals, so the
+// experiment harness can use Model at paper scale (tables of 2^24+ entries)
+// without hours of host compute, while correctness and the count formulas
+// are validated by real execution at smaller scale.
+package strategy
+
+import "fmt"
+
+// Table is an embedding table held by one PIR server: NumRows rows of
+// Lanes 32-bit lanes each (entry bytes = 4·Lanes). The DPF domain is the
+// next power of two ≥ NumRows; leaves beyond NumRows contribute nothing.
+type Table struct {
+	// NumRows is the number of embedding entries.
+	NumRows int
+	// Lanes is the entry width in uint32 lanes.
+	Lanes int
+	// Data is the row-major table content, len NumRows·Lanes.
+	Data []uint32
+}
+
+// NewTable allocates a zeroed table.
+func NewTable(rows, lanes int) (*Table, error) {
+	if rows <= 0 || lanes <= 0 {
+		return nil, fmt.Errorf("strategy: invalid table shape %dx%d", rows, lanes)
+	}
+	return &Table{NumRows: rows, Lanes: lanes, Data: make([]uint32, rows*lanes)}, nil
+}
+
+// Row returns row i as a slice into the table.
+func (t *Table) Row(i int) []uint32 { return t.Data[i*t.Lanes : (i+1)*t.Lanes] }
+
+// Bits returns the DPF tree depth for this table: ceil(log2(NumRows)),
+// minimum 1.
+func (t *Table) Bits() int {
+	bits := 1
+	for 1<<uint(bits) < t.NumRows {
+		bits++
+	}
+	return bits
+}
+
+// SizeBytes is the table's memory footprint.
+func (t *Table) SizeBytes() int64 { return int64(t.NumRows) * int64(t.Lanes) * 4 }
+
+// EntryBytes is one row's size in bytes.
+func (t *Table) EntryBytes() int { return t.Lanes * 4 }
