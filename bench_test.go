@@ -10,6 +10,7 @@ package gpudpf_test
 import (
 	"fmt"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"testing"
 
 	"gpudpf/internal/batchpir"
@@ -276,10 +277,10 @@ func BenchmarkFig16Plan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(6))
+	rng := randv2.New(randv2.NewPCG(6, 0))
 	wanted := make([]uint64, 24)
 	for i := range wanted {
-		wanted[i] = uint64(rng.Intn(items))
+		wanted[i] = uint64(rng.IntN(items))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -354,7 +355,7 @@ func BenchmarkFig20BatchPIR(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := batchpir.NewClient("siphash", cfg, rand.New(rand.NewSource(9)))
+	c, err := batchpir.NewClient("siphash", cfg, randv2.New(randv2.NewPCG(9, 0)))
 	if err != nil {
 		b.Fatal(err)
 	}

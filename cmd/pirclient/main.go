@@ -2,6 +2,10 @@
 // instances. Neither server learns which index was queried.
 //
 //	pirclient -server0 host0:7700 -server1 host1:7701 -rows 65536 -index 12345
+//
+// With -repeat N the fetch runs N times and reports aggregate
+// queries/second — a simple load generator for the servers' batched
+// engine path.
 package main
 
 import (
@@ -10,6 +14,7 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"gpudpf/internal/pir"
 )
@@ -20,6 +25,7 @@ func main() {
 	rows := flag.Int("rows", 65536, "table rows (must match servers)")
 	prg := flag.String("prg", "aes128", "PRF (must match servers)")
 	indices := flag.String("index", "0", "comma-separated row indices to fetch privately")
+	repeat := flag.Int("repeat", 1, "fetch the index set this many times and report aggregate QPS")
 	flag.Parse()
 
 	var wanted []uint64
@@ -47,15 +53,27 @@ func main() {
 		log.Fatalf("pirclient: %v", err)
 	}
 	ts := &pir.TwoServer{Client: client, E0: e0, E1: e1}
+	start := time.Now()
 	got, stats, err := ts.Fetch(wanted)
 	if err != nil {
 		log.Fatalf("pirclient: %v", err)
 	}
+	for i := 1; i < *repeat; i++ {
+		if _, _, err := ts.Fetch(wanted); err != nil {
+			log.Fatalf("pirclient: repeat %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
 	for q, idx := range wanted {
 		fmt.Printf("row %d: % x ...\n", idx, head(got[q], 8))
 	}
 	fmt.Printf("communication: %d bytes up, %d bytes down (%d bytes/query/server key)\n",
 		stats.UpBytes, stats.DownBytes, client.KeyBytes())
+	if *repeat > 1 {
+		total := *repeat * len(wanted)
+		fmt.Printf("load: %d queries in %v (%.0f queries/sec)\n",
+			total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	}
 }
 
 func head(row []uint32, n int) []uint32 {

@@ -3,8 +3,13 @@
 // machines/clouds) with the same table seed, then query them with
 // pirclient.
 //
-//	pirserver -party 0 -addr :7700 -rows 65536 -lanes 32 -seed 42
-//	pirserver -party 1 -addr :7701 -rows 65536 -lanes 32 -seed 42
+// Requests flow through the same path the benchmarks measure: a
+// serving.Batcher groups incoming keys under a size/deadline policy and
+// executes each formed batch on a sharded engine.Replica, so concurrent
+// clients share table passes instead of queueing behind each other.
+//
+//	pirserver -party 0 -addr :7700 -rows 65536 -lanes 32 -seed 42 -shards 4
+//	pirserver -party 1 -addr :7701 -rows 65536 -lanes 32 -seed 42 -shards 4
 package main
 
 import (
@@ -13,8 +18,11 @@ import (
 	"log"
 	"math/rand"
 	"net"
+	"time"
 
+	"gpudpf/internal/engine"
 	"gpudpf/internal/pir"
+	"gpudpf/internal/serving"
 )
 
 func main() {
@@ -24,25 +32,57 @@ func main() {
 	lanes := flag.Int("lanes", 32, "uint32 lanes per row (entry bytes / 4)")
 	seed := flag.Int64("seed", 42, "deterministic table content seed (must match the peer)")
 	prg := flag.String("prg", "aes128", "PRF (must match clients): aes128, chacha20, siphash, highway, sha256")
+	shards := flag.Int("shards", 0, "row-range shards evaluated concurrently (0 = unsharded)")
+	workers := flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
+	batch := flag.Int("batch", 64, "max keys per formed batch (0 disables the batching front door)")
+	maxDelay := flag.Duration("maxdelay", 2*time.Millisecond, "max time a request waits for its batch to fill")
 	flag.Parse()
 
 	tab, err := buildTable(*rows, *lanes, *seed)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	srv, err := pir.NewServer(*party, tab, pir.WithPRG(*prg))
+	srv, err := pir.NewServer(*party, tab, pir.WithPRG(*prg), pir.WithSharding(*shards, *workers))
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
+	}
+	front := pir.Answerer(srv)
+	if *batch > 0 {
+		b, err := serving.NewEngineBatcher(serving.Policy{MaxBatch: *batch, MaxDelay: *maxDelay}, srv.Engine())
+		if err != nil {
+			log.Fatalf("pirserver: %v", err)
+		}
+		defer b.Close()
+		front = batchFront{b, srv.Engine()}
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s)",
-		*party, *rows, *lanes*4, l.Addr(), *prg)
-	if err := pir.Serve(l, srv); err != nil {
+	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s shards=%d batch=%d)",
+		*party, *rows, *lanes*4, l.Addr(), *prg, srv.Engine().Shards(), *batch)
+	if err := pir.Serve(l, front); err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
+}
+
+// batchFront feeds pre-batched TCP requests into the shared batching front
+// door: each request's keys are submitted concurrently, so keys from many
+// connections coalesce into the same engine batches. Keys are validated
+// before submission — a malformed key fails only its own request, never
+// the co-batched requests of other clients.
+type batchFront struct {
+	b   *serving.Batcher
+	eng *engine.Replica
+}
+
+func (f batchFront) Answer(keys [][]byte) ([][]uint32, error) {
+	for i, key := range keys {
+		if err := f.eng.ValidateKey(key); err != nil {
+			return nil, fmt.Errorf("key %d: %w", i, err)
+		}
+	}
+	return f.b.SubmitAll(keys)
 }
 
 // buildTable fills the table deterministically so two independently started

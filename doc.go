@@ -6,7 +6,34 @@
 // split, embedding co-location, fixed query budgets), evaluated end to end
 // on synthetic MovieLens / Taobao / WikiText-2 stand-ins.
 //
+// The server request path is unified behind a single layered stack,
+// dpf → strategy → engine → pir/batchpir → core/serving → cmd:
+//
+//   - internal/dpf holds the distributed point function itself: key
+//     generation, per-level expansion, and the pruned range evaluation
+//     (EvalRange) that makes row-range sharding cheap.
+//   - internal/strategy implements the paper's execution strategies
+//     (branch-parallel, level-by-level, memory-bounded fused traversal,
+//     cooperative groups, multi-GPU, CPU baseline). Every strategy is
+//     shard-aware: RunRange evaluates a batch against a row range,
+//     returning partial answer shares that sum to the full answer.
+//   - internal/engine is the one seam every answer flows through: the
+//     Backend interface plus the sharded Replica, which partitions a table
+//     into contiguous row ranges and fans each key batch across a bounded
+//     worker pool, merging per-shard partial sums. Future backends (GPU
+//     simulation, multi-device, remote shards) plug in here.
+//   - internal/pir and internal/batchpir are thin protocol adapters over
+//     engine replicas: the two-server PIR protocol of §3.1 and the partial
+//     batch retrieval scheme of §4.1 (bins answered concurrently).
+//   - internal/core wires the private on-device inference service (both
+//     parties queried concurrently); internal/serving adds the batching
+//     front door and the load/latency simulator.
+//   - cmd/pirserver serves real TCP traffic through the same
+//     batcher+engine path the benchmarks measure; cmd/pirclient queries
+//     it (and load-tests it with -repeat).
+//
 // The implementation lives under internal/; see README.md for the layout,
-// examples/ for runnable scenarios, and bench_test.go for the per-artifact
-// benchmark targets.
+// examples/ for runnable scenarios, and bench_test.go plus
+// internal/engine's BenchmarkEngineAnswer for the per-artifact benchmark
+// targets.
 package gpudpf

@@ -1,0 +1,3 @@
+module gpudpf
+
+go 1.22

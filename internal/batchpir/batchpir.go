@@ -11,7 +11,7 @@ package batchpir
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/pir"
@@ -129,7 +129,7 @@ func BuildPlan(cfg Config, indices []uint64, rng *rand.Rand) (Plan, error) {
 	}
 	for b := range p.Offsets {
 		if p.Served[b] < 0 {
-			p.Offsets[b] = uint64(rng.Intn(cfg.BinRows(b)))
+			p.Offsets[b] = uint64(rng.IntN(cfg.BinRows(b)))
 		}
 	}
 	return p, nil

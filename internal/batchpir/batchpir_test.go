@@ -1,7 +1,7 @@
 package batchpir
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
@@ -14,7 +14,7 @@ func testTable(t *testing.T, rows, lanes int) *pir.Table {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(int64(rows)))
+	rng := rand.New(rand.NewPCG(uint64(rows), 0))
 	for i := range tab.Data {
 		tab.Data[i] = rng.Uint32()
 	}
@@ -48,7 +48,7 @@ func TestConfig(t *testing.T) {
 
 func TestBuildPlan(t *testing.T) {
 	cfg := Config{NumRows: 64, BinSize: 16} // 4 bins
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	// 3, 5 collide in bin 0; 20 in bin 1; 50 in bin 3. Bin 2 gets a dummy.
 	plan, err := BuildPlan(cfg, []uint64{3, 5, 20, 50}, rng)
 	if err != nil {
@@ -85,7 +85,7 @@ func TestBuildPlan(t *testing.T) {
 // and domain of queries is the same no matter the access pattern.
 func TestPlanShapeIsPatternIndependent(t *testing.T) {
 	cfg := Config{NumRows: 128, BinSize: 16}
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	patterns := [][]uint64{
 		{},
 		{0},
@@ -123,7 +123,7 @@ func TestEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := NewClient("aes128", cfg, rand.New(rand.NewSource(3)))
+		c, err := NewClient("aes128", cfg, rand.New(rand.NewPCG(3, 0)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestEndToEnd(t *testing.T) {
 // TestExpectedRetrievalRate: analytic model vs Monte Carlo within 2%.
 func TestExpectedRetrievalRate(t *testing.T) {
 	cfg := Config{NumRows: 1024, BinSize: 32} // 32 bins
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewPCG(4, 0))
 	const q = 16
 	const trials = 2000
 	got := 0.0
@@ -166,7 +166,7 @@ func TestExpectedRetrievalRate(t *testing.T) {
 		idx := make([]uint64, 0, q)
 		seen := map[uint64]bool{}
 		for len(idx) < q {
-			v := uint64(rng.Intn(cfg.NumRows))
+			v := uint64(rng.IntN(cfg.NumRows))
 			if !seen[v] {
 				seen[v] = true
 				idx = append(idx, v)
@@ -226,7 +226,7 @@ func TestQuickDecodeMatchesTable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewClient("siphash", cfg, rand.New(rand.NewSource(5)))
+	c, err := NewClient("siphash", cfg, rand.New(rand.NewPCG(5, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,29 +1,37 @@
 package batchpir
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
-	"math/rand"
+	"io"
+	"math/rand/v2"
 
+	"gpudpf/internal/engine"
+	"gpudpf/internal/gpu"
 	"gpudpf/internal/pir"
 )
 
-// Server is one party's PBR server: one pir.Server per bin over a shared
-// table.
+// Server is one party's PBR server: a thin adapter over one engine.Replica
+// per bin. Bins are independent sub-tables, so a round's per-bin queries
+// are evaluated concurrently on the host's bounded worker pool instead of
+// bin-by-bin — the batch-parallel serving loop the paper's throughput
+// numbers assume.
 type Server struct {
 	cfg  Config
-	bins []*pir.Server
+	bins []*engine.Replica
 }
 
-// NewServer splits the table per cfg and builds per-bin PIR servers for the
-// given party.
+// NewServer splits the table per cfg and builds per-bin engine replicas for
+// the given party.
 func NewServer(party int, tab *pir.Table, cfg Config, opts ...pir.ServerOption) (*Server, error) {
 	binTabs, err := SplitTable(cfg, tab)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, bins: make([]*pir.Server, len(binTabs))}
+	s := &Server{cfg: cfg, bins: make([]*engine.Replica, len(binTabs))}
 	for b, bt := range binTabs {
-		s.bins[b], err = pir.NewServer(party, bt, opts...)
+		s.bins[b], err = pir.NewReplica(party, bt, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("batchpir: bin %d: %w", b, err)
 		}
@@ -34,32 +42,44 @@ func NewServer(party int, tab *pir.Table, cfg Config, opts ...pir.ServerOption) 
 // Update overwrites one row's content in place (an embedding-table value
 // update without insertion/deletion — the paper's transparent update path,
 // §4.2 "Changes to Embedding Table"). Clients are unaffected: indexing and
-// key shapes do not change.
+// key shapes do not change. The write is serialized against in-flight
+// Answers on the affected bin.
 func (s *Server) Update(row uint64, vals []uint32) error {
 	if row >= uint64(s.cfg.NumRows) {
 		return fmt.Errorf("batchpir: update row %d outside table of %d rows", row, s.cfg.NumRows)
 	}
 	bin, off := s.cfg.Bin(row)
-	tab := s.bins[bin].Table()
-	if len(vals) != tab.Lanes {
-		return fmt.Errorf("batchpir: update has %d lanes, table rows have %d", len(vals), tab.Lanes)
+	if err := s.bins[bin].Update(off, vals); err != nil {
+		return fmt.Errorf("batchpir: %w", err)
 	}
-	copy(tab.Row(int(off)), vals)
 	return nil
 }
 
 // Answer evaluates one key per bin and returns one share row per bin.
 func (s *Server) Answer(keys [][]byte) ([][]uint32, error) {
+	return s.AnswerContext(context.Background(), keys)
+}
+
+// AnswerContext is Answer with cancellation: bins are fanned across the
+// bounded host pool, and ctx stops unstarted bins.
+func (s *Server) AnswerContext(ctx context.Context, keys [][]byte) ([][]uint32, error) {
 	if len(keys) != len(s.bins) {
 		return nil, fmt.Errorf("batchpir: got %d keys for %d bins", len(keys), len(s.bins))
 	}
 	out := make([][]uint32, len(keys))
-	for b, key := range keys {
-		ans, err := s.bins[b].Answer([][]byte{key})
+	errs := make([]error, len(keys))
+	gpu.ParallelFor(len(s.bins), func(b int) {
+		ans, err := s.bins[b].Answer(ctx, [][]byte{keys[b]})
+		if err != nil {
+			errs[b] = err
+			return
+		}
+		out[b] = ans[0]
+	})
+	for b, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("batchpir: bin %d: %w", b, err)
 		}
-		out[b] = ans[0]
 	}
 	return out, nil
 }
@@ -71,13 +91,41 @@ type Client struct {
 	rng *rand.Rand
 }
 
+// rngReader adapts the planning RNG into the io.Reader key generation
+// consumes, so one seeded stream drives both dummy offsets and keys in
+// reproducible tests.
+type rngReader struct{ rng *rand.Rand }
+
+func (r rngReader) Read(p []byte) (n int, err error) {
+	for len(p) >= 8 {
+		binary.LittleEndian.PutUint64(p, r.rng.Uint64())
+		p = p[8:]
+		n += 8
+	}
+	if len(p) > 0 {
+		v := r.rng.Uint64()
+		for i := range p {
+			p[i] = byte(v >> (8 * i))
+		}
+		n += len(p)
+	}
+	return n, nil
+}
+
 // NewClient builds a PBR client. rng drives dummy-offset selection and key
-// generation (pass a seeded source for reproducible tests).
+// generation (pass a seeded source for reproducible tests; nil draws a
+// random seed and keeps crypto/rand for key generation).
 func NewClient(prgName string, cfg Config, rng *rand.Rand) (*Client, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	pc, err := pir.NewClient(prgName, cfg.BinSize, rng)
+	var keyRng io.Reader
+	if rng == nil {
+		rng = rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+	} else {
+		keyRng = rngReader{rng}
+	}
+	pc, err := pir.NewClient(prgName, cfg.BinSize, keyRng)
 	if err != nil {
 		return nil, err
 	}

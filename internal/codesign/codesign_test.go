@@ -1,7 +1,7 @@
 package codesign
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -22,10 +22,10 @@ func fixture(items int) (freq []int64, co [][]uint64, traces [][]uint64) {
 		co[i] = []uint64{uint64(i + 1)}
 		co[i+1] = []uint64{uint64(i)}
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(1, 0))
 	for t := 0; t < 200; t++ {
-		base := uint64(rng.Intn(items/2)) * 2
-		traces = append(traces, []uint64{base, base + 1, uint64(rng.Intn(items))})
+		base := uint64(rng.IntN(items/2)) * 2
+		traces = append(traces, []uint64{base, base + 1, uint64(rng.IntN(items))})
 	}
 	return
 }
@@ -132,7 +132,7 @@ func TestPlanBudgetInvariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewPCG(2, 0))
 	patterns := [][]uint64{
 		{},
 		{0},
@@ -162,7 +162,7 @@ func TestPlanColocationSavesQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewPCG(3, 0))
 	p, err := l.Plan([]uint64{10, 11}, rng) // co-located pair
 	if err != nil {
 		t.Fatal(err)
@@ -192,7 +192,7 @@ func TestPlanPriorityOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewPCG(4, 0))
 	p, err := l.Plan([]uint64{30, 20}, rng)
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +211,7 @@ func TestPlanPriorityOrder(t *testing.T) {
 // cost vs the plain layout on the fixture workload.
 func TestSimulateDropsAndCost(t *testing.T) {
 	freq, co, traces := fixture(64)
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewPCG(5, 0))
 	plain, err := BuildLayout(64, 2, freq, co, Params{QFull: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -314,9 +314,9 @@ func TestSearchFindsCodesignWin(t *testing.T) {
 		Freq: freq, Cooccur: co,
 		Device: gpu.TeslaV100(),
 		PRG:    dpf.NewAESPRG(),
-		Rng:    rand.New(rand.NewSource(6)),
+		Rng:    rand.New(rand.NewPCG(6, 0)),
 		Quality: func(l *Layout) (float64, error) {
-			drops, err := l.SimulateDrops(traces, freq, rand.New(rand.NewSource(7)))
+			drops, err := l.SimulateDrops(traces, freq, rand.New(rand.NewPCG(7, 0)))
 			if err != nil {
 				return 0, err
 			}

@@ -1,7 +1,7 @@
 package codesign
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 )
@@ -100,7 +100,7 @@ func TestQuickPlanPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewPCG(9, 0))
 	f := func(raw []uint16) bool {
 		if len(raw) > 30 {
 			raw = raw[:30]

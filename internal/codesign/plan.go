@@ -1,7 +1,7 @@
 package codesign
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"sort"
 
 	"gpudpf/internal/batchpir"

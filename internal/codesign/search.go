@@ -2,7 +2,7 @@ package codesign
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"time"
 
 	"gpudpf/internal/dpf"

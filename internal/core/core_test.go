@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
 	"gpudpf/internal/codesign"
@@ -221,5 +220,4 @@ func TestDeterministicWithSeed(t *testing.T) {
 	if a.Comm != b.Comm || a.Retrieved != b.Retrieved {
 		t.Error("same seed produced different traces")
 	}
-	_ = rand.Int
 }

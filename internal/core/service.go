@@ -11,7 +11,8 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
+	"sync"
 	"time"
 
 	"gpudpf/internal/batchpir"
@@ -52,6 +53,12 @@ type Service struct {
 	prg    dpf.PRG
 	layout *codesign.Layout
 	rng    *rand.Rand
+
+	// mu serializes UpdateEmbeddings against FetchEmbeddings: the two
+	// parties' in-process replicas alias one table, so the engines'
+	// per-replica locks alone cannot order a party-0 update against a
+	// party-1 answer (and the client rng/cache are single-threaded).
+	mu sync.Mutex
 
 	fullClient, hotClient *batchpir.Client
 	fullS0, fullS1        *batchpir.Server
@@ -112,7 +119,7 @@ func New(cfg Config, emb [][]float32) (*Service, error) {
 		cfg:     cfg,
 		prg:     prg,
 		layout:  cfg.Layout,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(rand.NewPCG(uint64(cfg.Seed), 0)),
 		cache:   newEmbCache(cfg.CacheEntries),
 		fullTab: full,
 		hotTab:  hot,
@@ -151,6 +158,8 @@ func New(cfg Config, emb [][]float32) (*Service, error) {
 // retrieved; budget-dropped items are simply absent (the model treats them
 // as missing features). The Trace reports what happened and at what cost.
 func (s *Service) FetchEmbeddings(wanted []uint64) (map[uint64][]float32, *Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	tr := &Trace{}
 	out := map[uint64][]float32{}
 	var misses []uint64
@@ -197,6 +206,8 @@ func (s *Service) FetchEmbeddings(wanted []uint64) (map[uint64][]float32, *Trace
 }
 
 // fetchTable runs one table's PBR round and decodes served rows into items.
+// The two parties answer concurrently through the engine-backed servers,
+// mirroring the deployment where they are different clouds.
 func (s *Service) fetchTable(c *batchpir.Client, s0, s1 *batchpir.Server,
 	offsets []uint64, servedRows []int64, plan *codesign.InferencePlan,
 	out map[uint64][]float32, tr *Trace) error {
@@ -207,14 +218,24 @@ func (s *Service) fetchTable(c *batchpir.Client, s0, s1 *batchpir.Server,
 	for b := range k0 {
 		tr.Comm.UpBytes += int64(len(k0[b]) + len(k1[b]))
 	}
-	a0, err := s0.Answer(k0)
-	if err != nil {
-		return err
+	type answer struct {
+		shares [][]uint32
+		err    error
 	}
-	a1, err := s1.Answer(k1)
-	if err != nil {
-		return err
+	ch := make(chan answer, 1)
+	go func() {
+		a, err := s0.Answer(k0)
+		ch <- answer{a, err}
+	}()
+	a1, err1 := s1.Answer(k1)
+	r0 := <-ch
+	if r0.err != nil {
+		return fmt.Errorf("core: party 0: %w", r0.err)
 	}
+	if err1 != nil {
+		return fmt.Errorf("core: party 1: %w", err1)
+	}
+	a0 := r0.shares
 	for b := range a0 {
 		tr.Comm.DownBytes += int64(len(a0[b])+len(a1[b])) * 4
 		if servedRows[b] < 0 {
@@ -263,6 +284,8 @@ func (s *Service) modelLatency(tr *Trace) {
 // sync. Insertions/deletions (which change indexing) require rebuilding the
 // layout and redeploying the client map, exactly as in the paper.
 func (s *Service) UpdateEmbeddings(updates map[uint64][]float32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for item, vec := range updates {
 		if item >= uint64(s.layout.Items) {
 			return fmt.Errorf("core: update for item %d outside table of %d items", item, s.layout.Items)

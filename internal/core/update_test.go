@@ -84,3 +84,29 @@ func TestUpdatePreservesQueryShape(t *testing.T) {
 		t.Errorf("update changed the wire shape: %+v vs %+v", before.Comm, after.Comm)
 	}
 }
+
+// TestConcurrentFetchAndUpdate: FetchEmbeddings and UpdateEmbeddings may
+// race from the caller's perspective; the service-level lock must order
+// them (the two parties' replicas alias one table, so engine-level locks
+// alone cannot). Run under -race in CI.
+func TestConcurrentFetchAndUpdate(t *testing.T) {
+	svc, _, _ := testService(t, codesign.Params{C: 1, HotRows: 8, QHot: 4, QFull: 8}, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		vec := []float32{9, 8, 7, 6}
+		for i := 0; i < 10; i++ {
+			if err := svc.UpdateEmbeddings(map[uint64][]float32{uint64(i % 64): vec}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if _, _, err := svc.FetchEmbeddings([]uint64{uint64(63 - i)}); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	<-done
+}

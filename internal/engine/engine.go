@@ -1,0 +1,265 @@
+// Package engine unifies the server-side request path behind one seam: a
+// Backend interface that every consumer (pir.Server, batchpir.Server,
+// core.Service, serving.Batcher, cmd/pirserver) routes answers through, and
+// a sharded Replica implementation that partitions the table into
+// contiguous row ranges and fans each key batch across a bounded worker
+// pool. Shares are additive (mod 2^32, lane-wise), so per-shard partial
+// sums merge into exactly the answers a sequential evaluation produces —
+// the same linearity the paper's multi-GPU scheme exploits (§3.2.7), here
+// applied inside one replica so the hot path is parallel end to end.
+// Future backends (GPU simulation, multi-device, remote shards) plug into
+// the same interface.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/strategy"
+)
+
+// Backend is one party's answer engine as seen by every request path.
+type Backend interface {
+	// Answer expands a batch of marshaled DPF keys against the table and
+	// returns one answer share (Lanes wide) per key. Safe for concurrent
+	// use; ctx cancels work between shards.
+	Answer(ctx context.Context, keys [][]byte) ([][]uint32, error)
+	// Update overwrites one row's content in place (the paper's
+	// transparent embedding-update path, §4.2), serialized against this
+	// backend's own in-flight Answers. Backends built over a shared table
+	// (e.g. both parties' replicas in one process) do not see each
+	// other's locks — callers owning such a pair must serialize updates
+	// against answers themselves, as core.Service does.
+	Update(row uint64, vals []uint32) error
+	// Counters exposes the accumulated execution counters (PRF blocks,
+	// modeled memory, traffic) for reporting.
+	Counters() gpu.Stats
+	// Shape returns the served table's row and lane counts.
+	Shape() (rows, lanes int)
+}
+
+// Config assembles a Replica.
+type Config struct {
+	// Party is which share (0 or 1) the replica computes.
+	Party int
+	// Shards partitions the table into this many contiguous row ranges;
+	// 0 or 1 is the unsharded, sequential-equivalent configuration.
+	// Shards beyond the row count are clamped.
+	Shards int
+	// Workers bounds the shard worker pool (0 = GOMAXPROCS).
+	Workers int
+	// PRG is the PRF shared with clients (nil = aes128).
+	PRG dpf.PRG
+	// Strategy overrides the execution strategy (nil = the paper's
+	// scheduler for the table's size).
+	Strategy strategy.Strategy
+}
+
+// Replica is the sharded Backend over one party's table replica.
+type Replica struct {
+	party   uint8
+	prg     dpf.PRG
+	strat   strategy.Strategy
+	tab     *strategy.Table
+	bounds  []int // shard i covers rows [bounds[i], bounds[i+1])
+	workers int
+
+	// mu serializes Update (write) against in-flight Answers (read) so
+	// a row never changes mid-batch.
+	mu  sync.RWMutex
+	ctr gpu.Counters
+}
+
+// NewReplica builds the sharded engine over the table. The table is shared,
+// not copied; all mutations must go through Update.
+func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
+	if cfg.Party != 0 && cfg.Party != 1 {
+		return nil, fmt.Errorf("engine: party must be 0 or 1, got %d", cfg.Party)
+	}
+	if tab == nil || tab.NumRows == 0 {
+		return nil, fmt.Errorf("engine: replica needs a table")
+	}
+	if cfg.Shards < 0 || cfg.Workers < 0 {
+		return nil, fmt.Errorf("engine: negative Shards/Workers (%d/%d)", cfg.Shards, cfg.Workers)
+	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > tab.NumRows {
+		shards = tab.NumRows
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	prg := cfg.PRG
+	if prg == nil {
+		prg = dpf.NewAESPRG()
+	}
+	strat := cfg.Strategy
+	if strat == nil {
+		// Schedule for the shard width, not the whole table: a shard only
+		// walks its own range, so a 2^24 table split 8 ways wants the
+		// strategy for 2^21-row tables. Scheduling on table bits would
+		// hand large sharded tables CoopGroups, whose breadth-first
+		// RunRange cannot prune and would multiply total work by the
+		// shard count.
+		shardRows := (tab.NumRows + shards - 1) / shards
+		widthBits := 1
+		for 1<<uint(widthBits) < shardRows {
+			widthBits++
+		}
+		strat = strategy.Schedule(widthBits)
+	}
+	bounds := make([]int, shards+1)
+	for i := range bounds {
+		bounds[i] = i * tab.NumRows / shards
+	}
+	return &Replica{
+		party:   uint8(cfg.Party),
+		prg:     prg,
+		strat:   strat,
+		tab:     tab,
+		bounds:  bounds,
+		workers: workers,
+	}, nil
+}
+
+// Party returns which share (0 or 1) this replica computes.
+func (r *Replica) Party() int { return int(r.party) }
+
+// Table returns the served table (shared, not copied).
+func (r *Replica) Table() *strategy.Table { return r.tab }
+
+// Shards returns the shard count.
+func (r *Replica) Shards() int { return len(r.bounds) - 1 }
+
+// Strategy returns the execution strategy shards run.
+func (r *Replica) Strategy() strategy.Strategy { return r.strat }
+
+// Shape implements Backend.
+func (r *Replica) Shape() (rows, lanes int) { return r.tab.NumRows, r.tab.Lanes }
+
+// Counters implements Backend.
+func (r *Replica) Counters() gpu.Stats { return r.ctr.Snapshot() }
+
+// ValidateKey checks a marshaled key against the replica without
+// evaluating it: it must unmarshal, carry this replica's party, be scalar,
+// and match the table's tree depth. Front doors that coalesce many
+// clients' keys into one batch (serving.Batcher) use it to reject a bad
+// key at its own request instead of failing every co-batched request.
+func (r *Replica) ValidateKey(raw []byte) error {
+	var k dpf.Key
+	if err := k.UnmarshalBinary(raw); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if k.Party != r.party {
+		return fmt.Errorf("engine: key is for party %d, this replica is party %d", k.Party, r.party)
+	}
+	if k.Lanes != 1 {
+		return fmt.Errorf("engine: key has %d lanes; PIR keys are scalar", k.Lanes)
+	}
+	if bits := r.tab.Bits(); k.Bits != bits {
+		return fmt.Errorf("engine: key has %d bits, table needs %d", k.Bits, bits)
+	}
+	return nil
+}
+
+// Answer implements Backend: keys are unmarshaled and validated once, then
+// every shard evaluates the whole batch over its row range on the bounded
+// worker pool, and the per-shard partial shares are summed lane-wise.
+func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, error) {
+	if len(rawKeys) == 0 {
+		return nil, fmt.Errorf("engine: empty key batch")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	keys := make([]*dpf.Key, len(rawKeys))
+	for i, raw := range rawKeys {
+		var k dpf.Key
+		if err := k.UnmarshalBinary(raw); err != nil {
+			return nil, fmt.Errorf("engine: key %d: %w", i, err)
+		}
+		if k.Party != r.party {
+			return nil, fmt.Errorf("engine: key %d is for party %d, this replica is party %d", i, k.Party, r.party)
+		}
+		keys[i] = &k
+	}
+
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	shards := r.Shards()
+	if shards == 1 {
+		answers, err := r.strat.RunRange(r.prg, keys, r.tab, 0, r.tab.NumRows, &r.ctr)
+		if err != nil {
+			return nil, fmt.Errorf("engine: evaluating batch: %w", err)
+		}
+		return answers, nil
+	}
+
+	partials := make([][][]uint32, shards)
+	errs := make([]error, shards)
+	jobs := make(chan int)
+	workers := r.workers
+	if workers > shards {
+		workers = shards
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				partials[i], errs[i] = r.strat.RunRange(r.prg, keys, r.tab, r.bounds[i], r.bounds[i+1], &r.ctr)
+			}
+		}()
+	}
+	for i := 0; i < shards; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: shard %d [%d,%d): %w", i, r.bounds[i], r.bounds[i+1], err)
+		}
+	}
+
+	// Merge: shard 0's partials become the answers, the rest accumulate in.
+	answers := partials[0]
+	for s := 1; s < shards; s++ {
+		for q := range answers {
+			part := partials[s][q]
+			for l := range answers[q] {
+				answers[q][l] += part[l]
+			}
+		}
+	}
+	return answers, nil
+}
+
+// Update implements Backend.
+func (r *Replica) Update(row uint64, vals []uint32) error {
+	if row >= uint64(r.tab.NumRows) {
+		return fmt.Errorf("engine: update row %d outside table of %d rows", row, r.tab.NumRows)
+	}
+	if len(vals) != r.tab.Lanes {
+		return fmt.Errorf("engine: update has %d lanes, table rows have %d", len(vals), r.tab.Lanes)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	copy(r.tab.Row(int(row)), vals)
+	return nil
+}
+
+var _ Backend = (*Replica)(nil)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"sync"
 
 	"gpudpf/internal/codesign"
@@ -57,7 +58,7 @@ func (a *App) RelaxedTarget() float64 { return a.Baseline - a.RelaxedTol }
 // and re-scoring the model (deterministic dummy randomness so grid points
 // are comparable).
 func (a *App) Quality(l *codesign.Layout) (float64, error) {
-	drops, err := l.SimulateDrops(a.TestTraces, a.Freq, rand.New(rand.NewSource(7)))
+	drops, err := l.SimulateDrops(a.TestTraces, a.Freq, randv2.New(randv2.NewPCG(7, 0)))
 	if err != nil {
 		return 0, err
 	}

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	randv2 "math/rand/v2"
 	"sync"
 	"time"
 
@@ -126,7 +126,7 @@ func searchApp(app *App, space codesign.Space, budgets codesign.Budgets, kind st
 		Quality: app.Quality,
 		Device:  gpu.TeslaV100(),
 		PRG:     dpf.NewAESPRG(),
-		Rng:     rand.New(rand.NewSource(11)),
+		Rng:     randv2.New(randv2.NewPCG(11, 0)),
 	}
 	cands, err := s.Search(space, budgets)
 	if err != nil {

@@ -1,105 +1,133 @@
 package pir
 
 import (
+	"context"
 	"fmt"
 
 	"gpudpf/internal/dpf"
+	"gpudpf/internal/engine"
 	"gpudpf/internal/gpu"
 	"gpudpf/internal/strategy"
 )
 
-// Server is one of the two non-colluding PIR servers: it holds a replica of
-// the table and expands client keys with a DPF execution strategy. The
-// honest-but-curious server learns nothing from a key except the table
-// shape and the query count.
+// Server is one of the two non-colluding PIR servers: a thin adapter over
+// an engine.Replica that holds a replica of the table and expands client
+// keys with a DPF execution strategy. The honest-but-curious server learns
+// nothing from a key except the table shape and the query count.
 type Server struct {
-	party uint8
-	prg   dpf.PRG
-	tab   *Table
-	strat strategy.Strategy
-	ctr   gpu.Counters
+	eng *engine.Replica
+}
+
+// serverConfig collects option state before the engine replica is built.
+type serverConfig struct {
+	prg     dpf.PRG
+	strat   strategy.Strategy
+	shards  int
+	workers int
 }
 
 // ServerOption customizes a Server.
-type ServerOption func(*Server) error
+type ServerOption func(*serverConfig) error
 
 // WithStrategy overrides the execution strategy (default: the paper's
 // scheduler — membound-fused below 2^22 rows, cooperative groups above).
 func WithStrategy(s strategy.Strategy) ServerOption {
-	return func(sv *Server) error {
+	return func(cfg *serverConfig) error {
 		if s == nil {
 			return fmt.Errorf("pir: nil strategy")
 		}
-		sv.strat = s
+		cfg.strat = s
 		return nil
 	}
 }
 
 // WithPRG overrides the PRF (default aes128; must match the client).
 func WithPRG(name string) ServerOption {
-	return func(sv *Server) error {
+	return func(cfg *serverConfig) error {
 		prg, err := dpf.NewPRG(name)
 		if err != nil {
 			return err
 		}
-		sv.prg = prg
+		cfg.prg = prg
 		return nil
 	}
 }
 
-// NewServer builds a PIR server for one party (0 or 1) over the table.
-func NewServer(party int, tab *Table, opts ...ServerOption) (*Server, error) {
-	if party != 0 && party != 1 {
-		return nil, fmt.Errorf("pir: party must be 0 or 1, got %d", party)
+// WithSharding partitions the table into shards contiguous row ranges
+// evaluated concurrently on a pool of workers goroutines (engine.Config's
+// Shards/Workers; zero values keep the defaults).
+func WithSharding(shards, workers int) ServerOption {
+	return func(cfg *serverConfig) error {
+		if shards < 0 || workers < 0 {
+			return fmt.Errorf("pir: negative shards/workers (%d/%d)", shards, workers)
+		}
+		cfg.shards = shards
+		cfg.workers = workers
+		return nil
 	}
+}
+
+// NewReplica resolves the server options into a sharded engine replica —
+// the shared constructor behind Server and batchpir's per-bin engines.
+func NewReplica(party int, tab *Table, opts ...ServerOption) (*engine.Replica, error) {
 	if tab == nil || tab.NumRows == 0 {
 		return nil, fmt.Errorf("pir: server needs a table")
 	}
-	sv := &Server{
-		party: uint8(party),
-		prg:   dpf.NewAESPRG(),
-		tab:   tab,
-		strat: strategy.Schedule(tab.Bits()),
-	}
+	var cfg serverConfig
 	for _, opt := range opts {
-		if err := opt(sv); err != nil {
+		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
 	}
-	return sv, nil
+	return engine.NewReplica(tab, engine.Config{
+		Party:    party,
+		Shards:   cfg.shards,
+		Workers:  cfg.workers,
+		PRG:      cfg.prg,
+		Strategy: cfg.strat,
+	})
+}
+
+// NewServer builds a PIR server for one party (0 or 1) over the table.
+func NewServer(party int, tab *Table, opts ...ServerOption) (*Server, error) {
+	eng, err := NewReplica(party, tab, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng}, nil
 }
 
 // Party returns which share (0 or 1) this server computes.
-func (s *Server) Party() int { return int(s.party) }
+func (s *Server) Party() int { return s.eng.Party() }
 
 // Table returns the served table (shared, not copied).
-func (s *Server) Table() *Table { return s.tab }
+func (s *Server) Table() *Table { return s.eng.Table() }
+
+// Engine returns the underlying engine replica — the Backend seam callers
+// plug into for batched serving (serving.NewEngineBatcher) or direct
+// context-aware answering.
+func (s *Server) Engine() *engine.Replica { return s.eng }
 
 // Counters exposes the accumulated execution counters (PRF blocks, modeled
 // memory, traffic) for reporting.
-func (s *Server) Counters() gpu.Stats { return s.ctr.Snapshot() }
+func (s *Server) Counters() gpu.Stats { return s.eng.Counters() }
 
 // Answer expands a batch of marshaled keys against the table and returns
 // one answer share per key. Keys for the wrong party or the wrong table
 // shape are rejected.
 func (s *Server) Answer(rawKeys [][]byte) ([][]uint32, error) {
-	if len(rawKeys) == 0 {
-		return nil, fmt.Errorf("pir: empty key batch")
-	}
-	keys := make([]*dpf.Key, len(rawKeys))
-	for i, raw := range rawKeys {
-		var k dpf.Key
-		if err := k.UnmarshalBinary(raw); err != nil {
-			return nil, fmt.Errorf("pir: key %d: %w", i, err)
-		}
-		if k.Party != s.party {
-			return nil, fmt.Errorf("pir: key %d is for party %d, this server is party %d", i, k.Party, s.party)
-		}
-		keys[i] = &k
-	}
-	answers, err := s.strat.Run(s.prg, keys, s.tab, &s.ctr)
+	answers, err := s.eng.Answer(context.Background(), rawKeys)
 	if err != nil {
-		return nil, fmt.Errorf("pir: evaluating batch: %w", err)
+		return nil, fmt.Errorf("pir: %w", err)
 	}
 	return answers, nil
+}
+
+// Update overwrites one row's content in place, serialized against
+// in-flight Answers (the paper's transparent update path, §4.2).
+func (s *Server) Update(row uint64, vals []uint32) error {
+	if err := s.eng.Update(row, vals); err != nil {
+		return fmt.Errorf("pir: %w", err)
+	}
+	return nil
 }

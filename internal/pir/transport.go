@@ -8,17 +8,23 @@ import (
 	"sync"
 )
 
+// Answerer is anything that can answer a marshaled key batch: a Server, an
+// engine backend adapter, or a serving.Batcher front door.
+type Answerer interface {
+	Answer(keys [][]byte) ([][]uint32, error)
+}
+
 // Endpoint is one PIR server as seen by a client: in-process for
 // simulation, or remote over TCP for a real two-cloud deployment.
 type Endpoint interface {
-	// Answer sends a key batch and returns the answer shares.
-	Answer(keys [][]byte) ([][]uint32, error)
+	Answerer
 	// Close releases the endpoint.
 	Close() error
 }
 
-// InProcess wraps a Server as an Endpoint without a network.
-type InProcess struct{ Server *Server }
+// InProcess wraps any Answerer (typically a *Server) as an Endpoint
+// without a network.
+type InProcess struct{ Server Answerer }
 
 // Answer implements Endpoint.
 func (e InProcess) Answer(keys [][]byte) ([][]uint32, error) { return e.Server.Answer(keys) }
@@ -38,8 +44,9 @@ type response struct {
 
 // Serve runs a blocking accept loop answering PIR requests on l. Each
 // connection carries a stream of gob-encoded request/response pairs. Serve
-// returns when the listener closes.
-func Serve(l net.Listener, s *Server) error {
+// returns when the listener closes. s may be a *Server or any other
+// request path (e.g. a batching front door over an engine replica).
+func Serve(l net.Listener, s Answerer) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -52,7 +59,7 @@ func Serve(l net.Listener, s *Server) error {
 	}
 }
 
-func serveConn(conn net.Conn, s *Server) {
+func serveConn(conn net.Conn, s Answerer) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)

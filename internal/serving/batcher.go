@@ -47,6 +47,9 @@ type Batcher struct {
 	pending []pendingReq
 	timer   *time.Timer
 	closed  bool
+	// sending tracks batches taken under mu but not yet handed to work,
+	// so Close can wait for them before closing the channel.
+	sending sync.WaitGroup
 	work    chan []pendingReq
 	done    chan struct{}
 }
@@ -88,34 +91,53 @@ func (b *Batcher) Submit(key []byte) ([]uint32, error) {
 		return nil, errors.New("serving: batcher closed")
 	}
 	b.pending = append(b.pending, pendingReq{key: key, ch: ch})
+	var batch []pendingReq
 	switch {
 	case len(b.pending) >= b.policy.MaxBatch:
-		b.flushLocked()
+		batch = b.takeLocked()
 	case len(b.pending) == 1:
 		b.timer = time.AfterFunc(b.policy.MaxDelay, b.deadlineFlush)
 	}
 	b.mu.Unlock()
+	b.dispatch(batch)
 	r := <-ch
 	return r.answer, r.err
 }
 
 func (b *Batcher) deadlineFlush() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var batch []pendingReq
 	if !b.closed && len(b.pending) > 0 {
-		b.flushLocked()
+		batch = b.takeLocked()
 	}
+	b.mu.Unlock()
+	b.dispatch(batch)
 }
 
-// flushLocked hands the pending batch to the worker. Caller holds mu.
-func (b *Batcher) flushLocked() {
+// takeLocked detaches the pending batch and registers the hand-off. Caller
+// holds mu; the returned batch must be passed to dispatch after unlocking —
+// sending on b.work under the mutex would stall every Submit and the
+// deadline timer whenever the worker falls behind.
+func (b *Batcher) takeLocked() []pendingReq {
 	if b.timer != nil {
 		b.timer.Stop()
 		b.timer = nil
 	}
 	batch := b.pending
 	b.pending = nil
+	if len(batch) > 0 {
+		b.sending.Add(1)
+	}
+	return batch
+}
+
+// dispatch hands a taken batch to the worker, outside the mutex.
+func (b *Batcher) dispatch(batch []pendingReq) {
+	if len(batch) == 0 {
+		return
+	}
 	b.work <- batch
+	b.sending.Done()
 }
 
 func (b *Batcher) worker() {
@@ -148,10 +170,12 @@ func (b *Batcher) Close() {
 		return
 	}
 	b.closed = true
-	if len(b.pending) > 0 {
-		b.flushLocked()
-	}
-	close(b.work)
+	batch := b.takeLocked()
 	b.mu.Unlock()
+	b.dispatch(batch)
+	// Wait for every taken-but-unsent batch (ours and any concurrent
+	// deadline/size flush) before closing the channel under the worker.
+	b.sending.Wait()
+	close(b.work)
 	<-b.done
 }

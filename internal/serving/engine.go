@@ -1,0 +1,46 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"gpudpf/internal/engine"
+)
+
+// NewEngineBatcher builds a Batcher whose formed batches execute on an
+// engine backend — the production request path: cmd/pirserver's TCP
+// front end, the benchmarks, and the simulator all meet the same
+// engine.Backend seam here.
+func NewEngineBatcher(policy Policy, be engine.Backend) (*Batcher, error) {
+	if be == nil {
+		return nil, errors.New("serving: nil backend")
+	}
+	return NewBatcher(policy, func(batch [][]byte) ([][]uint32, error) {
+		return be.Answer(context.Background(), batch)
+	})
+}
+
+// SubmitAll submits a key batch concurrently and returns the answers in
+// key order. It lets a transport that receives pre-batched requests (one
+// TCP request may carry many keys) feed the shared batching front door
+// without serializing on per-key round trips.
+func (b *Batcher) SubmitAll(keys [][]byte) ([][]uint32, error) {
+	out := make([][]uint32, len(keys))
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	wg.Add(len(keys))
+	for i, key := range keys {
+		go func(i int, key []byte) {
+			defer wg.Done()
+			out[i], errs[i] = b.Submit(key)
+		}(i, key)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -18,12 +18,32 @@ type BranchParallel struct{}
 func (BranchParallel) Name() string { return "branch-parallel" }
 
 // Run implements Strategy.
-func (BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+func (b BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
+	// The full run assigns one thread per domain leaf (including the
+	// zero-row tail beyond NumRows), keeping the calibrated totals.
+	return b.run(prg, keys, tab, 0, 1<<uint(tab.Bits()), true, ctr)
+}
+
+// RunRange implements Strategy: path-per-leaf execution prunes perfectly —
+// only the range's leaves get a thread.
+func (b BranchParallel) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return nil, err
+	}
+	return b.run(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr)
+}
+
+func (BranchParallel) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters) ([][]uint32, error) {
 	bits := tab.Bits()
-	domain := 1 << uint(bits)
+	if full {
+		rlo, rhi = 0, 1<<uint(bits)
+	}
 	// Modeled device allocations: per-query output accumulators only; the
 	// per-thread path state lives in registers.
 	outBytes := int64(len(keys)) * int64(tab.Lanes) * 4
@@ -35,9 +55,9 @@ func (BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 	for q, k := range keys {
 		ans := make([]uint32, tab.Lanes)
 		var mu sync.Mutex
-		gpu.ParallelForChunked(domain, 0, func(lo, hi int) {
+		gpu.ParallelForChunked(rhi-rlo, 0, func(clo, chi int) {
 			local := make([]uint32, tab.Lanes)
-			for j := lo; j < hi; j++ {
+			for j := rlo + clo; j < rlo+chi; j++ {
 				s, t := k.Root, k.Party
 				for level := 0; level < bits; level++ {
 					bit := uint8(j>>uint(bits-1-level)) & 1
@@ -50,7 +70,7 @@ func (BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 					accumulateRow(local, leaf, tab.Row(j))
 				}
 			}
-			ctr.AddPRFBlocks(int64(hi-lo) * int64(bits))
+			ctr.AddPRFBlocks(int64(chi-clo) * int64(bits))
 			mu.Lock()
 			for i := range ans {
 				ans[i] += local[i]
@@ -59,7 +79,11 @@ func (BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 		})
 		answers[q] = ans
 	}
-	ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+	if full {
+		ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+	} else {
+		ctr.AddRead(rangeReadBytes(len(keys), tab.Lanes, rhi-rlo))
+	}
 	ctr.AddWrite(outBytes)
 	return answers, nil
 }

@@ -42,10 +42,28 @@ func coopMemBytes(bits, lanes int) int64 {
 
 // Run implements Strategy. Queries run sequentially; each level of each
 // query's tree is expanded with full-width parallelism.
-func (CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+func (c CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
+	return c.run(prg, keys, tab, 0, tab.NumRows, ctr)
+}
+
+// RunRange implements Strategy. The grid-wide level expansion is inherently
+// whole-tree, so the range restricts only the leaf dot product — like
+// level-by-level, sharding buys dot-product parallelism here, not PRF
+// savings.
+func (c CoopGroups) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return nil, err
+	}
+	return c.run(prg, keys, tab, lo, hi, ctr)
+}
+
+func (CoopGroups) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, ctr *gpu.Counters) ([][]uint32, error) {
 	bits := tab.Bits()
 	mem := coopMemBytes(bits, tab.Lanes)
 	ctr.Alloc(mem)
@@ -75,9 +93,9 @@ func (CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counter
 		}
 		ans := make([]uint32, tab.Lanes)
 		var mu sync.Mutex
-		gpu.ParallelForChunked(tab.NumRows, 0, func(lo, hi int) {
+		gpu.ParallelForChunked(rhi-rlo, 0, func(lo, hi int) {
 			local := make([]uint32, tab.Lanes)
-			for j := lo; j < hi; j++ {
+			for j := rlo + lo; j < rlo+hi; j++ {
 				leaf := dpf.LeafValueScalar(k, seeds[j], ts[j])
 				accumulateRow(local, leaf, tab.Row(j))
 			}
@@ -89,7 +107,7 @@ func (CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counter
 		})
 		answers[q] = ans
 	}
-	ctr.AddRead(int64(len(keys)) * (int64(tab.NumRows)*int64(tab.Lanes)*4 + int64(domain)*nodeBytes))
+	ctr.AddRead(int64(len(keys)) * (int64(rhi-rlo)*int64(tab.Lanes)*4 + int64(domain)*nodeBytes))
 	ctr.AddWrite(int64(len(keys)) * (int64(domain)*2*nodeBytes + int64(tab.Lanes)*4))
 	return answers, nil
 }

@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"fmt"
+	"sync"
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/gpu"
@@ -63,6 +64,56 @@ func (c CPUBaseline) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Coun
 		answers[q] = ans
 	})
 	ctr.AddRead(int64(len(keys)) * int64(tab.NumRows) * int64(tab.Lanes) * 4)
+	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4)
+	return answers, nil
+}
+
+// RunRange implements Strategy: the range is evaluated with the pruned
+// depth-first dpf.EvalRange, costing O(range + log L) PRF calls per key
+// instead of the full O(L) expansion.
+func (c CPUBaseline) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return nil, err
+	}
+	if fullRange(tab, lo, hi) {
+		return c.Run(prg, keys, tab, ctr)
+	}
+	bits := tab.Bits()
+	rows := hi - lo
+	mem := int64(len(keys)) * (int64(rows)*4 + int64(tab.Lanes)*4)
+	ctr.Alloc(mem)
+	defer ctr.Free(mem)
+
+	answers := make([][]uint32, len(keys))
+	var firstErr error
+	var errMu sync.Mutex
+	gpu.ParallelFor(len(keys), func(q int) {
+		k := keys[q]
+		buf := make([]uint32, rows)
+		if err := dpf.EvalRange(prg, k, uint64(lo), uint64(hi), buf); err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		// Pruned DFS: ~2·range blocks for the subtrees plus the
+		// root-to-range path.
+		ctr.AddPRFBlocks(2*int64(rows) - 2 + 2*int64(bits))
+		ans := make([]uint32, tab.Lanes)
+		for j := lo; j < hi; j++ {
+			accumulateRow(ans, buf[j-lo], tab.Row(j))
+		}
+		answers[q] = ans
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	ctr.AddRead(int64(len(keys)) * int64(rows) * int64(tab.Lanes) * 4)
 	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4)
 	return answers, nil
 }

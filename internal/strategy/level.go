@@ -36,10 +36,28 @@ func levelTrafficBytes(batch, bits int) (reads, writes int64) {
 }
 
 // Run implements Strategy.
-func (LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
+func (l LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
+	return l.run(prg, keys, tab, 0, tab.NumRows, true, ctr)
+}
+
+// RunRange implements Strategy. Breadth-first expansion materializes every
+// level whole, so the range cannot prune PRF work — it only restricts the
+// matmul pass. Sharding this strategy buys dot-product parallelism, not
+// expansion savings.
+func (l LevelByLevel) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return nil, err
+	}
+	return l.run(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr)
+}
+
+func (LevelByLevel) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters) ([][]uint32, error) {
 	bits := tab.Bits()
 	mem := levelMemBytes(len(keys), bits, tab.Lanes)
 	ctr.Alloc(mem)
@@ -71,16 +89,20 @@ func (LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Count
 			ts, nextT = nextT, ts
 		}
 		ctr.AddPRFBlocks(blocks)
-		// Separate matmul pass over the expanded leaf vector.
+		// Separate matmul pass over the range's slice of the leaf vector.
 		ans := make([]uint32, tab.Lanes)
-		for j := 0; j < tab.NumRows; j++ {
+		for j := rlo; j < rhi; j++ {
 			leaf := dpf.LeafValueScalar(k, seeds[j], ts[j])
 			accumulateRow(ans, leaf, tab.Row(j))
 		}
 		answers[q] = ans
 	})
 	r, w := levelTrafficBytes(len(keys), bits)
-	ctr.AddRead(r + tableReadBytes(len(keys), bits, tab.Lanes))
+	if full {
+		ctr.AddRead(r + tableReadBytes(len(keys), bits, tab.Lanes))
+	} else {
+		ctr.AddRead(r + rangeReadBytes(len(keys), tab.Lanes, rhi-rlo))
+	}
 	ctr.AddWrite(w)
 	return answers, nil
 }

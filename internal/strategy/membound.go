@@ -74,12 +74,46 @@ func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
+	// The full run walks the whole domain (leaves beyond NumRows carry
+	// zero rows), keeping the calibrated counter totals.
+	return m.run(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), true, ctr)
+}
+
+// RunRange implements Strategy: the descent prunes every K-wide node group
+// whose leaf span misses [lo, hi), so a 1/N range costs ~1/N of the PRF
+// work plus one root-to-range path.
+func (m MemBoundTree) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return nil, err
+	}
+	return m.run(prg, keys, tab, uint64(lo), uint64(hi), fullRange(tab, lo, hi), ctr)
+}
+
+// run evaluates leaves [lo, hi) in domain coordinates. full selects the
+// calibrated whole-table accounting; partial ranges are costed
+// proportionally.
+func (m MemBoundTree) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi uint64, full bool, ctr *gpu.Counters) ([][]uint32, error) {
 	k := m.k()
 	if k&(k-1) != 0 {
 		return nil, fmt.Errorf("strategy: K=%d must be a power of two", k)
 	}
 	bits := tab.Bits()
-	mem := m.memBytes(len(keys), bits, tab.Lanes)
+	if full {
+		hi = uint64(1) << uint(bits)
+	}
+	var mem int64
+	if full {
+		mem = m.memBytes(len(keys), bits, tab.Lanes)
+	} else {
+		perQuery := int64(memBoundLevels(bits, k))*2*int64(k)*nodeBytes + int64(tab.Lanes)*4
+		if !m.Fused {
+			perQuery += int64(hi-lo) * 4
+		}
+		mem = int64(len(keys)) * perQuery
+	}
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 	ctr.AddLaunch()
@@ -93,21 +127,28 @@ func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 		ans := make([]uint32, tab.Lanes)
 		var leafVec []uint32
 		if !m.Fused {
-			leafVec = make([]uint32, 1<<uint(bits))
+			leafVec = make([]uint32, hi-lo)
 		}
 		var blocks int64
 		var walk func(nodes []mbNode, depth int, base uint64)
 		walk = func(nodes []mbNode, depth int, base uint64) {
+			span := uint64(1) << uint(bits-depth)
+			if base >= hi || base+span*uint64(len(nodes)) <= lo {
+				return // whole group outside the range
+			}
 			if depth == bits {
 				for i, nd := range nodes {
 					j := base + uint64(i)
+					if j < lo || j >= hi {
+						continue
+					}
 					leaf := dpf.LeafValueScalar(key, nd.s, nd.t)
 					if m.Fused {
 						if j < uint64(tab.NumRows) {
 							accumulateRow(ans, leaf, tab.Row(int(j)))
 						}
 					} else {
-						leafVec[j] = leaf
+						leafVec[j-lo] = leaf
 					}
 				}
 				return
@@ -124,23 +165,28 @@ func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 				return
 			}
 			half := len(children) / 2
-			span := uint64(1) << uint(bits-depth-1)
+			childSpan := span / 2
 			walk(children[:half], depth+1, base)
-			walk(children[half:], depth+1, base+uint64(half)*span)
+			walk(children[half:], depth+1, base+uint64(half)*childSpan)
 		}
 		walk([]mbNode{{key.Root, key.Party}}, 0, 0)
 		if !m.Fused {
-			for j := 0; j < tab.NumRows; j++ {
-				accumulateRow(ans, leafVec[j], tab.Row(j))
+			for j := lo; j < hi && j < uint64(tab.NumRows); j++ {
+				accumulateRow(ans, leafVec[j-lo], tab.Row(int(j)))
 			}
 		}
 		ctr.AddPRFBlocks(blocks)
 		answers[q] = ans
 	})
-	reads := tableReadBytes(len(keys), bits, tab.Lanes)
-	writes := int64(len(keys)) * int64(tab.Lanes) * 4
+	var reads, writes int64
+	if full {
+		reads = tableReadBytes(len(keys), bits, tab.Lanes)
+	} else {
+		reads = rangeReadBytes(len(keys), tab.Lanes, int(hi-lo))
+	}
+	writes = int64(len(keys)) * int64(tab.Lanes) * 4
 	if !m.Fused {
-		leafBytes := int64(len(keys)) * (int64(1) << uint(bits)) * 4
+		leafBytes := int64(len(keys)) * int64(hi-lo) * 4
 		reads += leafBytes
 		writes += leafBytes
 	}

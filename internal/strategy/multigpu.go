@@ -46,11 +46,40 @@ func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counter
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
+	return m.run(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr)
+}
+
+// RunRange implements Strategy: the device shards split [lo, hi) instead of
+// the whole domain, so a replica-level shard nests cleanly inside the
+// multi-device split. Ranges narrower than the device count use one device
+// per leaf.
+func (m MultiGPU) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
+	if err := validateKeys(keys, tab); err != nil {
+		return nil, err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return nil, err
+	}
+	if m.n() > hi-lo {
+		m.Devices = hi - lo
+	}
+	if fullRange(tab, lo, hi) {
+		// Whole-table range: walk the full padded domain like Run, keeping
+		// the calibrated counter accounting (cf. fullRange in the other
+		// strategies).
+		return m.run(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr)
+	}
+	return m.run(prg, keys, tab, uint64(lo), uint64(hi), ctr)
+}
+
+// run evaluates leaves [rlo, rhi) in domain coordinates, split across the
+// modeled devices.
+func (m MultiGPU) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uint64, ctr *gpu.Counters) ([][]uint32, error) {
 	n := m.n()
 	bits := tab.Bits()
 	domain := uint64(1) << uint(bits)
-	if uint64(n) > domain {
-		return nil, fmt.Errorf("strategy: %d shards exceed domain %d", n, domain)
+	if uint64(n) > rhi-rlo || rhi > domain {
+		return nil, fmt.Errorf("strategy: %d shards exceed range [%d,%d) of domain %d", n, rlo, rhi, domain)
 	}
 	// Modeled per-device working set mirrors the fused membound traversal
 	// on a table of L/N rows.
@@ -75,10 +104,11 @@ func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counter
 	}
 	var firstErr error
 	var errMu sync.Mutex
+	width := rhi - rlo
 	gpu.ParallelFor(len(jobs), func(i int) {
 		j := jobs[i]
-		lo := uint64(j.shard) * domain / uint64(n)
-		hi := uint64(j.shard+1) * domain / uint64(n)
+		lo := rlo + uint64(j.shard)*width/uint64(n)
+		hi := rlo + uint64(j.shard+1)*width/uint64(n)
 		buf := make([]uint32, hi-lo)
 		if err := dpf.EvalRange(prg, keys[j.q], lo, hi, buf); err != nil {
 			errMu.Lock()
@@ -103,7 +133,11 @@ func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counter
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+	if rlo == 0 && rhi == uint64(1)<<uint(bits) {
+		ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+	} else {
+		ctr.AddRead(rangeReadBytes(len(keys), tab.Lanes, int(width)))
+	}
 	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4 * int64(n))
 	return answers, nil
 }

@@ -1,0 +1,98 @@
+package strategy
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// TestRunRangePartition: for every strategy, summing the partial shares of
+// ranges that partition [0, NumRows) reproduces Run's answers exactly —
+// the linearity engine.Replica's sharding relies on.
+func TestRunRangePartition(t *testing.T) {
+	const rows, lanes = 300, 3 // non-power-of-two rows exercise the domain tail
+	prg := dpf.NewAESPRG()
+	tab, err := NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	indices := []uint64{0, 13, 255, 299}
+	keys := make([]*dpf.Key, len(indices))
+	for q, idx := range indices {
+		k0, _, err := dpf.Gen(prg, idx, tab.Bits(), []uint32{1}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[q] = &k0
+	}
+	// Uneven cuts, including a range that ends exactly at NumRows (inside
+	// the padded domain tail).
+	cuts := []int{0, 1, 97, 256, rows}
+
+	for _, s := range []Strategy{
+		CPUBaseline{Threads: 2},
+		BranchParallel{},
+		LevelByLevel{},
+		MemBoundTree{K: 8, Fused: true},
+		MemBoundTree{K: 8, Fused: false},
+		CoopGroups{},
+		MultiGPU{Devices: 2, K: 8},
+	} {
+		t.Run(s.Name(), func(t *testing.T) {
+			var ctr gpu.Counters
+			want, err := s.Run(prg, keys, tab, &ctr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([][]uint32, len(keys))
+			for q := range got {
+				got[q] = make([]uint32, lanes)
+			}
+			for c := 0; c+1 < len(cuts); c++ {
+				part, err := s.RunRange(prg, keys, tab, cuts[c], cuts[c+1], &ctr)
+				if err != nil {
+					t.Fatalf("range [%d,%d): %v", cuts[c], cuts[c+1], err)
+				}
+				for q := range part {
+					for l := range part[q] {
+						got[q][l] += part[q][l]
+					}
+				}
+			}
+			for q := range want {
+				for l := range want[q] {
+					if got[q][l] != want[q][l] {
+						t.Fatalf("key %d lane %d: partition sum %d != full run %d", q, l, got[q][l], want[q][l])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunRangeValidation: bad ranges are rejected.
+func TestRunRangeValidation(t *testing.T) {
+	prg := dpf.NewAESPRG()
+	tab, err := NewTable(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, _, err := dpf.Gen(prg, 3, tab.Bits(), []uint32{1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []*dpf.Key{&k0}
+	s := MemBoundTree{K: 8, Fused: true}
+	var ctr gpu.Counters
+	for _, r := range [][2]int{{-1, 4}, {4, 4}, {8, 4}, {0, 17}} {
+		if _, err := s.RunRange(prg, keys, tab, r[0], r[1], &ctr); err == nil {
+			t.Errorf("range [%d,%d) accepted", r[0], r[1])
+		}
+	}
+}

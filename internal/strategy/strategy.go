@@ -25,6 +25,17 @@ type Strategy interface {
 	// into ctr, and returns one answer share vector (tab.Lanes wide) per
 	// key. Keys must be scalar (one lane) and match the table's Bits.
 	Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error)
+	// RunRange evaluates the batch against rows [lo, hi) of tab only,
+	// returning per-key partial answer shares (tab.Lanes wide). Summing
+	// the partials of ranges that partition [0, NumRows) lane-wise
+	// (mod 2^32) yields exactly Run's answers — the seam engine.Replica
+	// shards on. Tree strategies prune subtrees outside the range where
+	// their traversal order allows it, so a 1/N range costs ~1/N of the
+	// full evaluation; breadth-first strategies (level-by-level,
+	// coop-groups) still expand the whole tree and only restrict the dot
+	// product. Counter accounting for partial ranges is proportional, not
+	// pinned to Model.
+	RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error)
 	// Model analytically predicts the device-side execution of a batch of
 	// the given shape and converts it to a Report via dev's cost model.
 	Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error)
@@ -75,6 +86,19 @@ func validateKeys(keys []*dpf.Key, tab *Table) error {
 	return nil
 }
 
+// validateRange checks a RunRange row range against the table.
+func validateRange(tab *Table, lo, hi int) error {
+	if lo < 0 || hi > tab.NumRows || lo >= hi {
+		return fmt.Errorf("strategy: row range [%d,%d) invalid for table of %d rows", lo, hi, tab.NumRows)
+	}
+	return nil
+}
+
+// fullRange reports whether [lo, hi) covers the whole table, in which case
+// strategies keep the calibrated full-run counter accounting (pinned to
+// Model by the tests).
+func fullRange(tab *Table, lo, hi int) bool { return lo == 0 && hi == tab.NumRows }
+
 // accumulateRow adds leaf·row into ans lane-wise (mod 2^32).
 func accumulateRow(ans []uint32, leaf uint32, row []uint32) {
 	for i, v := range row {
@@ -88,6 +112,13 @@ func tableReadBytes(batch, bits, lanes int) int64 {
 	rows := int64(1) << uint(bits)
 	tiles := int64((batch + tileQueries - 1) / tileQueries)
 	return tiles * rows * int64(lanes) * 4
+}
+
+// rangeReadBytes is tableReadBytes for a partial row range: one pass over
+// the range's rows per tile of queries.
+func rangeReadBytes(batch, lanes, rows int) int64 {
+	tiles := int64((batch + tileQueries - 1) / tileQueries)
+	return tiles * int64(rows) * int64(lanes) * 4
 }
 
 // dotArithCycles models the multiply-accumulate work of the dot product
