@@ -23,6 +23,7 @@ import (
 	"gpudpf/internal/ml"
 	"gpudpf/internal/netsim"
 	"gpudpf/internal/pir"
+	"gpudpf/internal/seedbaseline"
 	"gpudpf/internal/strategy"
 )
 
@@ -53,6 +54,45 @@ func benchKeys(b *testing.B, prg dpf.PRG, tab *strategy.Table, batch int) []*dpf
 	return keys
 }
 
+// BenchmarkTiledAnswer compares the seed per-query hot path (the frozen
+// internal/seedbaseline walk — one aes.NewCipher per tree node, one full
+// table pass per query) against the tiled/batched execution across batch
+// sizes, on a 2^16-row table of 64-byte entries.
+//
+// The "tiled" case is the restructured MemBoundTree hot path: batched PRF
+// calls (ExpandBatch through reusable key-schedule scratch instead of
+// aes.NewCipher per node), pooled frontier/leaf buffers, and one
+// streaming table pass per tile of 32 queries (accumulateTile). At batch
+// ≥ 32 the tiled path must be ≥ 2× the per-query throughput;
+// cmd/benchjson runs the same comparison programmatically and emits
+// BENCH_hotpath.json.
+func BenchmarkTiledAnswer(b *testing.B) {
+	const rows, lanes = 1 << 16, 16
+	prg := dpf.NewAESPRG()
+	tab := benchTable(b, rows, lanes)
+	for _, batch := range []int{1, 8, 32, 128} {
+		keys := benchKeys(b, prg, tab, batch)
+		b.Run(fmt.Sprintf("perquery/B=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(batch) * rows * lanes * 4)
+			for i := 0; i < b.N; i++ {
+				_ = seedbaseline.Run(prg, keys, tab, 128)
+			}
+		})
+		b.Run(fmt.Sprintf("tiled/B=%d", batch), func(b *testing.B) {
+			s := strategy.MemBoundTree{K: 128, Fused: true}
+			b.ReportAllocs()
+			b.SetBytes(int64(batch) * rows * lanes * 4)
+			for i := 0; i < b.N; i++ {
+				var ctr gpu.Counters
+				if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig3Gen measures client-side key generation (Figure 3's cheap
 // half) across domain sizes.
 func BenchmarkFig3Gen(b *testing.B) {
@@ -80,6 +120,7 @@ func BenchmarkFig3Eval(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = dpf.EvalFull(prg, &k0)
 			}
@@ -100,6 +141,7 @@ func BenchmarkFig6Strategies(b *testing.B) {
 		strategy.CoopGroups{},
 	} {
 		b.Run(s.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var ctr gpu.Counters
 				if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
@@ -119,6 +161,7 @@ func BenchmarkFig8KSweep(b *testing.B) {
 	for _, k := range []int{8, 32, 128, 512} {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
 			s := strategy.MemBoundTree{K: k, Fused: true}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var ctr gpu.Counters
 				if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
@@ -138,6 +181,7 @@ func BenchmarkFig9Batch(b *testing.B) {
 		keys := benchKeys(b, prg, tab, batch)
 		b.Run(fmt.Sprintf("B=%d", batch), func(b *testing.B) {
 			s := strategy.MemBoundTree{K: 128, Fused: true}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var ctr gpu.Counters
 				if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
@@ -170,6 +214,7 @@ func BenchmarkFig14Fusion(b *testing.B) {
 	for _, fused := range []bool{true, false} {
 		b.Run(fmt.Sprintf("fused=%v", fused), func(b *testing.B) {
 			s := strategy.MemBoundTree{K: 128, Fused: fused}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var ctr gpu.Counters
 				if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
@@ -189,6 +234,7 @@ func BenchmarkTable4CPU(b *testing.B) {
 	for _, threads := range []int{1, 32} {
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
 			s := strategy.CPUBaseline{Threads: threads}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				var ctr gpu.Counters
 				if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
@@ -210,6 +256,7 @@ func BenchmarkTable5PRFs(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			var s dpf.Seed
+			b.ReportAllocs()
 			b.SetBytes(32)
 			for i := 0; i < b.N; i++ {
 				l, _, _, _ := prg.Expand(s)

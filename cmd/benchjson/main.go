@@ -1,0 +1,153 @@
+// Command benchjson runs the engine hot-path comparison programmatically
+// and writes a machine-readable benchmark file (default BENCH_hotpath.json)
+// that starts the repo's measured performance trajectory.
+//
+// Two cases run per batch size, the same pair BenchmarkTiledAnswer
+// measures:
+//
+//   - seed: the seed revision's per-query MemBoundTree hot path — scalar
+//     PRF expansion (aes.NewCipher per tree node), freshly appended child
+//     groups, one full table pass per query.
+//   - tiled: the batched/tiled hot path — dpf.ExpandBatch frontiers,
+//     pooled scratch, one streaming table pass per tile of 32 queries.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_hotpath.json] [-rows 65536] [-lanes 16] [-batches 1,8,32,128]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/seedbaseline"
+	"gpudpf/internal/strategy"
+)
+
+// Case is one measured benchmark configuration.
+type Case struct {
+	Name        string  `json:"name"`
+	Batch       int     `json:"batch"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	QPS         float64 `json:"qps"`
+}
+
+// Output is the BENCH_hotpath.json schema.
+type Output struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	GoOS          string             `json:"goos"`
+	GoArch        string             `json:"goarch"`
+	GoMaxProcs    int                `json:"gomaxprocs"`
+	Rows          int                `json:"rows"`
+	Lanes         int                `json:"lanes"`
+	PRG           string             `json:"prg"`
+	Cases         []Case             `json:"cases"`
+	Speedup       map[string]float64 `json:"speedup_tiled_over_seed"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_hotpath.json", "output file")
+	rows := flag.Int("rows", 1<<16, "table rows")
+	lanes := flag.Int("lanes", 16, "uint32 lanes per row")
+	batches := flag.String("batches", "1,8,32,128", "comma-separated batch sizes")
+	flag.Parse()
+
+	tab, err := strategy.NewTable(*rows, *lanes)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	prg := dpf.NewAESPRG()
+
+	o := Output{
+		GeneratedUnix: time.Now().Unix(),
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Rows:          *rows,
+		Lanes:         *lanes,
+		PRG:           prg.Name(),
+		Speedup:       map[string]float64{},
+	}
+
+	for _, bs := range strings.Split(*batches, ",") {
+		batch, err := strconv.Atoi(strings.TrimSpace(bs))
+		if err != nil || batch <= 0 {
+			log.Fatalf("benchjson: bad batch %q", bs)
+		}
+		keys := make([]*dpf.Key, batch)
+		for q := range keys {
+			k0, _, err := dpf.Gen(prg, uint64(rng.Intn(tab.NumRows)), tab.Bits(), []uint32{1}, rng)
+			if err != nil {
+				log.Fatalf("benchjson: %v", err)
+			}
+			keys[q] = &k0
+		}
+		seed := measure("seed", batch, func() {
+			seedbaseline.Run(prg, keys, tab, 128)
+		})
+		tiled := measure("tiled", batch, func() {
+			var ctr gpu.Counters
+			s := strategy.MemBoundTree{K: 128, Fused: true}
+			if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
+				log.Fatalf("benchjson: %v", err)
+			}
+		})
+		o.Cases = append(o.Cases, seed, tiled)
+		if tiled.NsPerOp > 0 {
+			o.Speedup[strconv.Itoa(batch)] = seed.NsPerOp / tiled.NsPerOp
+		}
+		fmt.Printf("batch=%d: seed %.1fms (%d allocs/op), tiled %.1fms (%d allocs/op), speedup %.2fx\n",
+			batch, seed.NsPerOp/1e6, seed.AllocsPerOp, tiled.NsPerOp/1e6, tiled.AllocsPerOp,
+			seed.NsPerOp/tiled.NsPerOp)
+	}
+
+	buf, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure runs fn via testing.Benchmark (which auto-scales iterations to
+// its time target; the loop must run exactly b.N times or the per-op
+// numbers skew).
+func measure(name string, batch int, fn func()) Case {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	c := Case{
+		Name:        name,
+		Batch:       batch,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if c.NsPerOp > 0 {
+		c.QPS = float64(batch) / (c.NsPerOp / 1e9)
+	}
+	return c
+}

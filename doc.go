@@ -11,17 +11,30 @@
 //
 //   - internal/dpf holds the distributed point function itself: key
 //     generation, per-level expansion, and the pruned range evaluation
-//     (EvalRange) that makes row-range sharding cheap.
+//     (EvalRange) that makes row-range sharding cheap. The PRG layer is
+//     batched: every PRF implements ExpandBatch (AES through an AES-NI
+//     schedule+encrypt pipeline on amd64, with a pure-Go fallback; the
+//     others with hoisted per-call state), and StepBothBatch /
+//     LeafValuesInto advance a whole tree frontier per call with zero
+//     steady-state allocations.
 //   - internal/strategy implements the paper's execution strategies
 //     (branch-parallel, level-by-level, memory-bounded fused traversal,
 //     cooperative groups, multi-GPU, CPU baseline). Every strategy is
 //     shard-aware: RunRange evaluates a batch against a row range,
-//     returning partial answer shares that sum to the full answer.
+//     returning partial answer shares that sum to the full answer — and
+//     query-tiled: leaf shares for a tile of up to 32 queries are expanded
+//     first, then ONE streaming pass over the row range accumulates all
+//     the tile's dot products (accumulateTile), so a batch of B queries
+//     streams the table ⌈B/32⌉ times instead of B. RunRangeInto
+//     accumulates into caller-provided buffers through pooled scratch.
 //   - internal/engine is the one seam every answer flows through: the
 //     Backend interface plus the sharded Replica, which partitions a table
 //     into contiguous row ranges and fans each key batch across a bounded
-//     worker pool, merging per-shard partial sums. Future backends (GPU
-//     simulation, multi-device, remote shards) plug in here.
+//     worker pool, merging per-shard partial sums in place. Unmarshaled
+//     keys and shard partials are pooled, so the steady-state Answer
+//     allocates nothing beyond the returned answer slices (enforced by
+//     AllocsPerRun tests). Future backends (GPU simulation, multi-device,
+//     remote shards) plug in here.
 //   - internal/pir and internal/batchpir are thin protocol adapters over
 //     engine replicas: the two-server PIR protocol of §3.1 and the partial
 //     batch retrieval scheme of §4.1 (bins answered concurrently).
@@ -36,4 +49,16 @@
 // examples/ for runnable scenarios, and bench_test.go plus
 // internal/engine's BenchmarkEngineAnswer for the per-artifact benchmark
 // targets.
+//
+// # Reading the bench JSON
+//
+// cmd/benchjson measures the seed per-query hot path against the
+// tiled/batched one and writes BENCH_hotpath.json. Each entry in "cases"
+// is one (path, batch) measurement: "seed" is the pre-tiling per-query
+// implementation, "tiled" the current hot path; ns_per_op is one whole
+// batch, qps = batch / seconds_per_op, and allocs_per_op should stay in
+// single digits for "tiled" (the seed path allocates per tree node).
+// "speedup_tiled_over_seed" maps batch size → throughput ratio; CI's
+// bench job regenerates the file as an artifact on every run, so the
+// trajectory of these numbers is the repo's performance history.
 package gpudpf

@@ -1,6 +1,9 @@
 package dpf
 
-import "crypto/aes"
+import (
+	"crypto/aes"
+	"encoding/binary"
+)
 
 // AESPRG implements the GGM PRG with AES-128 in a fixed-key-per-node counter
 // construction: the node seed is the AES key and the children are
@@ -31,6 +34,77 @@ func (*AESPRG) Expand(s Seed) (left, right Seed, tL, tR uint8) {
 	c.Encrypt(right[:], in[:])
 	tL, tR = clearControlBits(&left, &right)
 	return
+}
+
+// ExpandBatch implements PRG. Instead of aes.NewCipher per node (a heap
+// allocation plus cipher.Block indirection, the GGM-rekey cost §3.2.6 pins
+// as the bottleneck), the key schedule is expanded into stack scratch that
+// is re-keyed for every seed — the whole frontier advances with zero
+// allocations.
+func (*AESPRG) ExpandBatch(seeds []Seed, left, right []Seed, tL, tR []uint8) {
+	if aesniOK {
+		for i := range seeds {
+			aesniExpandPair(&seeds[i], &left[i], &right[i])
+			tL[i], tR[i] = clearControlBits(&left[i], &right[i])
+		}
+		return
+	}
+	var rkA, rkB aesRoundKeys
+	i := 0
+	for ; i+1 < len(seeds); i += 2 {
+		expand2(&rkA, &rkB, &seeds[i], &seeds[i+1])
+		rkA.encryptPair(&left[i], &right[i])
+		rkB.encryptPair(&left[i+1], &right[i+1])
+		tL[i], tR[i] = clearControlBits(&left[i], &right[i])
+		tL[i+1], tR[i+1] = clearControlBits(&left[i+1], &right[i+1])
+	}
+	if i < len(seeds) {
+		rkA.expand(&seeds[i])
+		rkA.encryptPair(&left[i], &right[i])
+		tL[i], tR[i] = clearControlBits(&left[i], &right[i])
+	}
+}
+
+// stepBothBatch is the fused frontier advance StepBothBatch dispatches to
+// for AES: children are encrypted directly into next (interleaved leaf
+// order) and the correction word is applied in place — no intermediate
+// scratch buffers at all.
+func (*AESPRG) stepBothBatch(seeds []Seed, ts []uint8, cw CW, next []Seed, nextT []uint8) {
+	correct := func(i int) {
+		l, r := &next[2*i], &next[2*i+1]
+		lt := l[0] & 1
+		rt := r[0] & 1
+		l[0] &^= 1
+		r[0] &^= 1
+		if ts[i] == 1 {
+			xorSeedInto(l, &cw.S)
+			xorSeedInto(r, &cw.S)
+			lt ^= cw.TL
+			rt ^= cw.TR
+		}
+		nextT[2*i], nextT[2*i+1] = lt, rt
+	}
+	if aesniOK {
+		for i := range seeds {
+			aesniExpandPair(&seeds[i], &next[2*i], &next[2*i+1])
+			correct(i)
+		}
+		return
+	}
+	var rkA, rkB aesRoundKeys
+	i := 0
+	for ; i+1 < len(seeds); i += 2 {
+		expand2(&rkA, &rkB, &seeds[i], &seeds[i+1])
+		rkA.encryptPair(&next[2*i], &next[2*i+1])
+		rkB.encryptPair(&next[2*i+2], &next[2*i+3])
+		correct(i)
+		correct(i + 1)
+	}
+	if i < len(seeds) {
+		rkA.expand(&seeds[i])
+		rkA.encryptPair(&next[2*i], &next[2*i+1])
+		correct(i)
+	}
 }
 
 // Fill implements PRG (counter mode starting at block 2 so it never collides
@@ -64,7 +138,5 @@ func (*AESPRG) GPUCyclesPerBlock() float64 { return 2500 }
 func (*AESPRG) CPUCyclesPerBlock() float64 { return 640 }
 
 func putU64(b []byte, v uint64) {
-	for i := 0; i < 8; i++ {
-		b[i] = byte(v >> (8 * i))
-	}
+	binary.LittleEndian.PutUint64(b, v)
 }

@@ -1,0 +1,34 @@
+package dpf
+
+import "testing"
+
+// BenchmarkScalarExpand measures the scalar AES Expand — one
+// aes.NewCipher (heap allocation + key schedule) per call, the GGM rekey
+// cost the paper pins as the PRF bottleneck (§3.2.6).
+func BenchmarkScalarExpand(b *testing.B) {
+	prg := NewAESPRG()
+	var s Seed
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l, _, _, _ := prg.Expand(s)
+		s = l
+	}
+}
+
+// BenchmarkBatchExpand128 measures a 128-wide ExpandBatch (one K-wide
+// frontier advance): AES-NI schedule+encrypt per node on amd64, pure-Go
+// T-tables elsewhere, zero allocations either way.
+func BenchmarkBatchExpand128(b *testing.B) {
+	prg := NewAESPRG()
+	seeds := make([]Seed, 128)
+	left := make([]Seed, 128)
+	right := make([]Seed, 128)
+	tl := make([]uint8, 128)
+	tr := make([]uint8, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prg.ExpandBatch(seeds, left, right, tl, tr)
+		copy(seeds, left)
+	}
+}

@@ -1,0 +1,25 @@
+//go:build amd64 && !purego
+
+package dpf
+
+// Hardware AES for the batched GGM hot path. aesniExpandPair runs the
+// whole per-node job — AES-128 key schedule from the node seed plus the
+// two child-block encryptions E_seed(0), E_seed(1) — inside XMM registers
+// with AESKEYGENASSIST/AESENC, so a frontier advance costs neither a heap
+// allocation nor a round-key store/reload. The GGM rekey-per-node cost the
+// paper singles out (§3.2.6) drops to the key-schedule dependency chain
+// itself. Output is bit-identical to crypto/aes (TestAESBlockMatchesStdlib
+// pins the pure-Go path, TestExpandBatchMatchesExpand pins this one).
+
+// aesniExpandPair computes left = AES_seed(block0), right = AES_seed(block1)
+// with the AES-NI schedule+encrypt pipeline. Implemented in aesni_amd64.s.
+//
+//go:noescape
+func aesniExpandPair(seed, left, right *Seed)
+
+// hasAESNI reports CPUID.1:ECX.AES[bit 25]. Implemented in aesni_amd64.s.
+func hasAESNI() bool
+
+// aesniOK gates the hardware path; the pure-Go T-table implementation is
+// the fallback (and the reference the tests compare against).
+var aesniOK = hasAESNI()

@@ -1,0 +1,59 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func aesniExpandPair(seed, left, right *Seed)
+//
+// AES-128: expand the key schedule from *seed and encrypt the two GGM
+// child plaintexts (block of zeros; block with byte0 = 1) in lockstep.
+// The schedule never leaves the registers: each round key is produced by
+// the standard AESKEYGENASSIST ladder (t = assist(key, rcon) broadcast;
+// key ^= key<<32 ^ key<<64 ^ key<<96 ^ t) and consumed immediately by two
+// AESENCs. Register use: X0 round key, X1 assist, X2 ladder temp,
+// X8/X9 the two cipher states.
+#define EXPAND_ROUND(rcon, enc) \
+	AESKEYGENASSIST $rcon, X0, X1 \
+	PSHUFD  $0xff, X1, X1 \
+	MOVO    X0, X2        \
+	PSLLDQ  $4, X2        \
+	PXOR    X2, X0        \
+	PSLLDQ  $4, X2        \
+	PXOR    X2, X0        \
+	PSLLDQ  $4, X2        \
+	PXOR    X2, X0        \
+	PXOR    X1, X0        \
+	enc     X0, X8        \
+	enc     X0, X9
+
+TEXT ·aesniExpandPair(SB), NOSPLIT, $0-24
+	MOVQ seed+0(FP), AX
+	MOVQ left+8(FP), BX
+	MOVQ right+16(FP), CX
+	MOVOU (AX), X0       // round key 0 = node seed
+	PXOR  X8, X8         // block 0: all zeros
+	MOVQ  $1, DX
+	MOVQ  DX, X9         // block 1: byte 0 = 0x01
+	PXOR  X0, X8         // initial AddRoundKey
+	PXOR  X0, X9
+	EXPAND_ROUND(0x01, AESENC)
+	EXPAND_ROUND(0x02, AESENC)
+	EXPAND_ROUND(0x04, AESENC)
+	EXPAND_ROUND(0x08, AESENC)
+	EXPAND_ROUND(0x10, AESENC)
+	EXPAND_ROUND(0x20, AESENC)
+	EXPAND_ROUND(0x40, AESENC)
+	EXPAND_ROUND(0x80, AESENC)
+	EXPAND_ROUND(0x1b, AESENC)
+	EXPAND_ROUND(0x36, AESENCLAST)
+	MOVOU X8, (BX)
+	MOVOU X9, (CX)
+	RET
+
+// func hasAESNI() bool
+TEXT ·hasAESNI(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	SHRL $25, CX
+	ANDL $1, CX
+	MOVB CX, ret+0(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package dpf
+
+// Non-amd64 builds (and -tags purego) take the pure-Go T-table AES path.
+
+const aesniOK = false
+
+func aesniExpandPair(seed, left, right *Seed) {
+	panic("dpf: aesniExpandPair without AES-NI")
+}

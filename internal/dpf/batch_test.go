@@ -1,0 +1,273 @@
+package dpf
+
+import (
+	"crypto/aes"
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+)
+
+// TestAESBlockMatchesStdlib pins the software AES-128 (aesblock.go) to
+// crypto/aes: same key schedule, same ciphertext, for random keys and
+// plaintexts.
+func TestAESBlockMatchesStdlib(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	var key, src [16]byte
+	var got, want [16]byte
+	var rk aesRoundKeys
+	for trial := 0; trial < 200; trial++ {
+		rng.Read(key[:])
+		rng.Read(src[:])
+		c, err := aes.NewCipher(key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Encrypt(want[:], src[:])
+		rk.expand((*Seed)(&key))
+		rk.encrypt(got[:], src[:])
+		if got != want {
+			t.Fatalf("trial %d: software AES %x != stdlib %x (key %x, src %x)", trial, got, want, key, src)
+		}
+	}
+}
+
+// TestExpandBatchMatchesExpand pins every PRF's native ExpandBatch to its
+// scalar Expand, bit for bit, across random seeds and batch widths.
+func TestExpandBatchMatchesExpand(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	for _, name := range AllPRGNames() {
+		prg, err := NewPRG(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 7, 64} {
+				seeds := make([]Seed, n)
+				for i := range seeds {
+					rng.Read(seeds[i][:])
+				}
+				left := make([]Seed, n)
+				right := make([]Seed, n)
+				tl := make([]uint8, n)
+				tr := make([]uint8, n)
+				prg.ExpandBatch(seeds, left, right, tl, tr)
+				for i := range seeds {
+					wl, wr, wtl, wtr := prg.Expand(seeds[i])
+					if left[i] != wl || right[i] != wr || tl[i] != wtl || tr[i] != wtr {
+						t.Fatalf("n=%d i=%d: batch (%x,%x,%d,%d) != scalar (%x,%x,%d,%d)",
+							n, i, left[i], right[i], tl[i], tr[i], wl, wr, wtl, wtr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScalarExpandBatchFallback: the exported fallback matches the native
+// batch implementations (they are both pinned to Expand).
+func TestScalarExpandBatchFallback(t *testing.T) {
+	prg := NewChaChaPRG()
+	seeds := make([]Seed, 5)
+	for i := range seeds {
+		rand.Read(seeds[i][:])
+	}
+	l1 := make([]Seed, 5)
+	r1 := make([]Seed, 5)
+	tl1 := make([]uint8, 5)
+	tr1 := make([]uint8, 5)
+	l2 := make([]Seed, 5)
+	r2 := make([]Seed, 5)
+	tl2 := make([]uint8, 5)
+	tr2 := make([]uint8, 5)
+	prg.ExpandBatch(seeds, l1, r1, tl1, tr1)
+	ScalarExpandBatch(prg, seeds, l2, r2, tl2, tr2)
+	for i := range seeds {
+		if l1[i] != l2[i] || r1[i] != r2[i] || tl1[i] != tl2[i] || tr1[i] != tr2[i] {
+			t.Fatalf("i=%d: native and scalar fallback disagree", i)
+		}
+	}
+}
+
+// TestStepBothBatchMatchesStepBoth: a batched frontier advance produces the
+// children StepBoth produces, in leaf order, control bits corrected.
+func TestStepBothBatchMatchesStepBoth(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	for _, name := range AllPRGNames() {
+		prg, err := NewPRG(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 9
+		seeds := make([]Seed, n)
+		ts := make([]uint8, n)
+		for i := range seeds {
+			rng.Read(seeds[i][:])
+			ts[i] = uint8(i & 1)
+		}
+		var cw CW
+		rng.Read(cw.S[:])
+		cw.TL, cw.TR = 1, 0
+		next := make([]Seed, 2*n)
+		nextT := make([]uint8, 2*n)
+		var sc BatchScratch
+		StepBothBatch(prg, seeds, ts, cw, next, nextT, &sc)
+		for i := 0; i < n; i++ {
+			ls, lt, rs, rt := StepBoth(prg, seeds[i], ts[i], cw)
+			if next[2*i] != ls || next[2*i+1] != rs || nextT[2*i] != lt || nextT[2*i+1] != rt {
+				t.Fatalf("%s: node %d batch step disagrees with StepBoth", name, i)
+			}
+		}
+	}
+}
+
+// TestStepBatchMatchesStep: the per-key batched descent matches Step for
+// both child directions.
+func TestStepBatchMatchesStep(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(4))
+	prg := NewAESPRG()
+	const n = 6
+	for _, bit := range []uint8{0, 1} {
+		seeds := make([]Seed, n)
+		ts := make([]uint8, n)
+		cws := make([]CW, n)
+		wantS := make([]Seed, n)
+		wantT := make([]uint8, n)
+		for i := range seeds {
+			rng.Read(seeds[i][:])
+			rng.Read(cws[i].S[:])
+			ts[i] = uint8(i % 2)
+			cws[i].TL = uint8(i % 2)
+			cws[i].TR = uint8((i + 1) % 2)
+			wantS[i], wantT[i] = Step(prg, seeds[i], ts[i], cws[i], bit)
+		}
+		var sc BatchScratch
+		StepBatch(prg, seeds, ts, cws, bit, &sc)
+		for i := range seeds {
+			if seeds[i] != wantS[i] || ts[i] != wantT[i] {
+				t.Fatalf("bit=%d node %d: StepBatch disagrees with Step", bit, i)
+			}
+		}
+	}
+}
+
+// TestEvalFullIntoMatchesEvalFull: the scratch-backed expansion reproduces
+// EvalFull for scalar and multi-lane keys, and a reused scratch stays
+// correct across differently sized keys.
+func TestEvalFullIntoMatchesEvalFull(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(5))
+	prg := NewSipPRG()
+	var sc FrontierScratch
+	for _, shape := range []struct{ bits, lanes int }{{6, 1}, {8, 1}, {5, 3}, {7, 8}, {4, 1}} {
+		beta := make([]uint32, shape.lanes)
+		for i := range beta {
+			beta[i] = rng.Uint32()
+		}
+		k0, k1, err := Gen(prg, uint64(rng.Intn(1<<shape.bits)), shape.bits, beta, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []*Key{&k0, &k1} {
+			want := EvalFull(prg, k)
+			got := make([]uint32, len(want))
+			EvalFullInto(prg, k, got, &sc)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("bits=%d lanes=%d party=%d: EvalFullInto[%d]=%d want %d",
+						shape.bits, shape.lanes, k.Party, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLeafValuesIntoMatchesLeafValueScalar: the frontier-wide conversion is
+// the scalar one.
+func TestLeafValuesIntoMatchesLeafValueScalar(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(6))
+	prg := NewAESPRG()
+	k0, k1, err := Gen(prg, 11, 5, []uint32{9}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []*Key{&k0, &k1} {
+		const n = 8
+		seeds := make([]Seed, n)
+		ts := make([]uint8, n)
+		for i := range seeds {
+			rng.Read(seeds[i][:])
+			ts[i] = uint8(i & 1)
+		}
+		got := make([]uint32, n)
+		LeafValuesInto(k, seeds, ts, got)
+		for i := range seeds {
+			if want := LeafValueScalar(k, seeds[i], ts[i]); got[i] != want {
+				t.Fatalf("party=%d leaf %d: %d want %d", k.Party, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestExpandBatchAllocs: once the scratch is warm, a frontier advance must
+// not allocate — this is the tentpole's zero-allocation PRG contract. The
+// sha256 PRF hoists its digest per call (a handful of allocations per
+// batch, not per node), so it gets a small per-call budget.
+func TestExpandBatchAllocs(t *testing.T) {
+	const n = 128
+	seeds := make([]Seed, n)
+	for i := range seeds {
+		rand.Read(seeds[i][:])
+	}
+	left := make([]Seed, n)
+	right := make([]Seed, n)
+	tl := make([]uint8, n)
+	tr := make([]uint8, n)
+	budgets := map[string]float64{"aes128": 0, "chacha20": 0, "siphash": 0, "highway": 0, "sha256": 4}
+	for _, name := range AllPRGNames() {
+		prg, err := NewPRG(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			prg.ExpandBatch(seeds, left, right, tl, tr)
+		})
+		if allocs > budgets[name] {
+			t.Errorf("%s: ExpandBatch of %d nodes allocates %.1f/call, budget %.0f", name, n, allocs, budgets[name])
+		}
+	}
+}
+
+// TestUnmarshalReusesCapacity: unmarshaling into a key that already holds
+// big-enough slices must not allocate new ones (the engine's key pool
+// relies on this).
+func TestUnmarshalReusesCapacity(t *testing.T) {
+	prg := NewAESPRG()
+	rng := mrand.New(mrand.NewSource(7))
+	k0, _, err := Gen(prg, 3, 10, []uint32{1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := k0.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k Key
+	if err := k.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := k.UnmarshalBinary(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state UnmarshalBinary allocates %.1f/call, want 0", allocs)
+	}
+	// And the reused key still round-trips.
+	raw2, err := k.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw2) != string(raw) {
+		t.Error("reused key does not round-trip")
+	}
+}

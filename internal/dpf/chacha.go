@@ -26,6 +26,18 @@ func (*ChaChaPRG) Expand(s Seed) (left, right Seed, tL, tR uint8) {
 	return
 }
 
+// ExpandBatch implements PRG: the 64-byte block buffer is hoisted out of
+// the per-node loop (ChaCha20 itself is already allocation-free).
+func (*ChaChaPRG) ExpandBatch(seeds []Seed, left, right []Seed, tL, tR []uint8) {
+	var out [64]byte
+	for i := range seeds {
+		chachaBlock(&seeds[i], 0, &out)
+		copy(left[i][:], out[0:16])
+		copy(right[i][:], out[16:32])
+		tL[i], tR[i] = clearControlBits(&left[i], &right[i])
+	}
+}
+
 // Fill implements PRG.
 func (*ChaChaPRG) Fill(s Seed, dst []byte) {
 	var out [64]byte

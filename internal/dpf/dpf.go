@@ -15,6 +15,7 @@
 package dpf
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -179,13 +180,98 @@ func StepBoth(prg PRG, s Seed, t uint8, cw CW) (ls Seed, lt uint8, rs Seed, rt u
 	return l, tl, r, tr
 }
 
+// BatchScratch holds the reusable child buffers the batched tree steps
+// expand through. The zero value is ready to use; buffers grow on demand
+// and are retained, so steady-state frontier advances allocate nothing.
+type BatchScratch struct {
+	left, right []Seed
+	tl, tr      []uint8
+}
+
+func (b *BatchScratch) grow(n int) {
+	if cap(b.left) < n {
+		b.left = make([]Seed, n)
+		b.right = make([]Seed, n)
+		b.tl = make([]uint8, n)
+		b.tr = make([]uint8, n)
+	}
+	b.left, b.right = b.left[:n], b.right[:n]
+	b.tl, b.tr = b.tl[:n], b.tr[:n]
+}
+
+// StepBothBatch advances a whole frontier one level in a single ExpandBatch
+// call: the nodes (seeds[i], ts[i]) all sit at the same depth and share the
+// correction word cw, and their children land in leaf order — node i's left
+// child at next[2i], its right child at next[2i+1]. next and nextT must
+// have length 2·len(seeds) and must not alias seeds/ts (use ping-pong
+// buffers). This is the K-wide step the paper's memory-bounded traversal
+// performs per kernel iteration (§3.2.3), with the PRF state hoisted so the
+// whole level costs zero allocations.
+func StepBothBatch(prg PRG, seeds []Seed, ts []uint8, cw CW, next []Seed, nextT []uint8, sc *BatchScratch) {
+	if a, ok := prg.(*AESPRG); ok {
+		// The default PRF gets a fully fused step: child blocks are
+		// encrypted straight into next and the correction word applied in
+		// place, skipping the scratch round trip (measurably hot at K-wide
+		// frontiers).
+		a.stepBothBatch(seeds, ts, cw, next, nextT)
+		return
+	}
+	n := len(seeds)
+	sc.grow(n)
+	prg.ExpandBatch(seeds, sc.left, sc.right, sc.tl, sc.tr)
+	for i := 0; i < n; i++ {
+		l, r := sc.left[i], sc.right[i]
+		lt, rt := sc.tl[i], sc.tr[i]
+		if ts[i] == 1 {
+			l = xorSeed(l, cw.S)
+			r = xorSeed(r, cw.S)
+			lt ^= cw.TL
+			rt ^= cw.TR
+		}
+		next[2*i], next[2*i+1] = l, r
+		nextT[2*i], nextT[2*i+1] = lt, rt
+	}
+}
+
+// StepBatch advances n independent per-key node states one level down the
+// bit-selected child in one ExpandBatch call; cws[i] is key i's correction
+// word for this level. seeds and ts are updated in place. This batches the
+// path-per-leaf strategies across a query tile: the leaf index (hence bit)
+// is shared, the keys differ.
+func StepBatch(prg PRG, seeds []Seed, ts []uint8, cws []CW, bit uint8, sc *BatchScratch) {
+	n := len(seeds)
+	sc.grow(n)
+	prg.ExpandBatch(seeds, sc.left, sc.right, sc.tl, sc.tr)
+	for i := 0; i < n; i++ {
+		var s Seed
+		var t uint8
+		if bit == 0 {
+			s, t = sc.left[i], sc.tl[i]
+		} else {
+			s, t = sc.right[i], sc.tr[i]
+		}
+		if ts[i] == 1 {
+			s = xorSeed(s, cws[i].S)
+			if bit == 0 {
+				t ^= cws[i].TL
+			} else {
+				t ^= cws[i].TR
+			}
+		}
+		seeds[i], ts[i] = s, t
+	}
+}
+
 // LeafValue converts a leaf node state into this party's output-group share,
 // applying the final correction word and the party sign. dst must have
-// k.Lanes entries; it is returned for convenience.
+// k.Lanes entries; it is returned for convenience. The conversion happens
+// in place via ConvertInto, so keys up to four lanes wide (the PIR hot
+// path) cost zero allocations.
 func LeafValue(prg PRG, k *Key, s Seed, t uint8, dst []uint32) []uint32 {
-	conv := Convert(prg, s, k.Lanes)
+	dst = dst[:k.Lanes]
+	ConvertInto(prg, s, dst)
 	for i := 0; i < k.Lanes; i++ {
-		v := conv[i]
+		v := dst[i]
 		if t == 1 {
 			v += k.Final[i]
 		}
@@ -195,6 +281,25 @@ func LeafValue(prg PRG, k *Key, s Seed, t uint8, dst []uint32) []uint32 {
 		dst[i] = v
 	}
 	return dst
+}
+
+// LeafValuesInto converts a whole frontier of leaf states into this
+// party's scalar output shares: dst[i] = LeafValueScalar(k, seeds[i],
+// ts[i]). The key must be scalar (one lane — the PIR hot path, where the
+// conversion reads straight from the seed with no PRF call).
+func LeafValuesInto(k *Key, seeds []Seed, ts []uint8, dst []uint32) {
+	final := k.Final[0]
+	neg := k.Party == 1
+	for i := range seeds {
+		v := leU32(seeds[i][0:4])
+		if ts[i] == 1 {
+			v += final
+		}
+		if neg {
+			v = -v
+		}
+		dst[i] = v
+	}
 }
 
 // LeafValueScalar is LeafValue specialized to one-lane keys (the PIR hot
@@ -226,42 +331,78 @@ func EvalAt(prg PRG, k *Key, x uint64) ([]uint32, error) {
 	return LeafValue(prg, k, s, t, out), nil
 }
 
+// FrontierScratch holds the ping-pong level buffers a full breadth-first
+// expansion walks through, plus the batch scratch underneath. The zero
+// value is ready to use; buffers grow to the largest domain seen and are
+// retained, so steady-state full expansions allocate nothing.
+type FrontierScratch struct {
+	seeds, next []Seed
+	ts, nextT   []uint8
+	batch       BatchScratch
+}
+
+func (f *FrontierScratch) grow(n uint64) {
+	if uint64(cap(f.seeds)) < n {
+		f.seeds = make([]Seed, n)
+		f.next = make([]Seed, n)
+		f.ts = make([]uint8, n)
+		f.nextT = make([]uint8, n)
+	}
+}
+
 // EvalFull expands the entire domain level by level and returns the flat
 // share vector of length 2^Bits * Lanes. This is the reference expansion
 // (and the core of the CPU level-by-level baseline): 2L-2 PRF calls, O(L)
 // intermediate memory.
 func EvalFull(prg PRG, k *Key) []uint32 {
-	n := k.Domain()
-	seeds := make([]Seed, 1, n)
-	ts := make([]uint8, 1, n)
-	seeds[0], ts[0] = k.Root, k.Party
-	nextSeeds := make([]Seed, 0, n)
-	nextTs := make([]uint8, 0, n)
-	for level := 0; level < k.Bits; level++ {
-		cw := k.CWs[level]
-		nextSeeds = nextSeeds[:0]
-		nextTs = nextTs[:0]
-		for i := range seeds {
-			ls, lt, rs, rt := StepBoth(prg, seeds[i], ts[i], cw)
-			nextSeeds = append(nextSeeds, ls, rs)
-			nextTs = append(nextTs, lt, rt)
-		}
-		seeds, nextSeeds = nextSeeds, seeds
-		ts, nextTs = nextTs, ts
-	}
-	out := make([]uint32, n*uint64(k.Lanes))
-	tmp := make([]uint32, k.Lanes)
-	for j := uint64(0); j < n; j++ {
-		LeafValue(prg, k, seeds[j], ts[j], tmp)
-		copy(out[j*uint64(k.Lanes):], tmp)
-	}
+	out := make([]uint32, k.Domain()*uint64(k.Lanes))
+	var sc FrontierScratch
+	EvalFullInto(prg, k, out, &sc)
 	return out
+}
+
+// ExpandFrontier expands the key's whole tree breadth-first through the
+// scratch — one StepBothBatch (a single batched PRF call) per level — and
+// returns the leaf-level frontier: Domain() seeds and control bits, valid
+// until the scratch's next use. Steady state allocates nothing once the
+// scratch has seen the domain size.
+func (f *FrontierScratch) ExpandFrontier(prg PRG, k *Key) ([]Seed, []uint8) {
+	f.grow(k.Domain())
+	seeds, ts := f.seeds[:1], f.ts[:1]
+	next, nextT := f.next, f.nextT
+	seeds[0], ts[0] = k.Root, k.Party
+	for level := 0; level < k.Bits; level++ {
+		w := len(seeds)
+		StepBothBatch(prg, seeds, ts, k.CWs[level], next[:2*w], nextT[:2*w], &f.batch)
+		seeds, next = next[:2*w], seeds[:cap(seeds)]
+		ts, nextT = nextT[:2*w], ts[:cap(ts)]
+	}
+	// Keep the scratch's buffer identities stable for the next call.
+	f.seeds, f.next = seeds[:cap(seeds)], next[:cap(next)]
+	f.ts, f.nextT = ts[:cap(ts)], nextT[:cap(nextT)]
+	return seeds, ts
+}
+
+// EvalFullInto is EvalFull through caller-provided output and scratch. out
+// must have length Domain()·Lanes.
+func EvalFullInto(prg PRG, k *Key, out []uint32, sc *FrontierScratch) {
+	seeds, ts := sc.ExpandFrontier(prg, k)
+	if k.Lanes == 1 {
+		LeafValuesInto(k, seeds, ts, out)
+		return
+	}
+	lanes := uint64(k.Lanes)
+	for j := uint64(0); j < k.Domain(); j++ {
+		LeafValue(prg, k, seeds[j], ts[j], out[j*lanes:(j+1)*lanes])
+	}
 }
 
 // EvalRange evaluates leaves [lo, hi) into out (len (hi-lo)*Lanes), using a
 // depth-first traversal that prunes subtrees outside the range. Cost is
 // O((hi-lo) + log L) PRF calls, which makes multi-GPU style sharding
-// (paper §3.2.7) embarrassingly parallel.
+// (paper §3.2.7) embarrassingly parallel. Leaf shares are converted
+// directly into out, so scalar and ≤4-lane keys evaluate with zero
+// allocations.
 func EvalRange(prg PRG, k *Key, lo, hi uint64, out []uint32) error {
 	if lo > hi || hi > k.Domain() {
 		return fmt.Errorf("dpf: range [%d,%d) outside domain 2^%d", lo, hi, k.Bits)
@@ -272,34 +413,47 @@ func EvalRange(prg PRG, k *Key, lo, hi uint64, out []uint32) error {
 	if lo == hi {
 		return nil
 	}
-	tmp := make([]uint32, k.Lanes)
-	var walk func(s Seed, t uint8, level int, base uint64)
-	walk = func(s Seed, t uint8, level int, base uint64) {
-		span := uint64(1) << uint(k.Bits-level)
-		if base >= hi || base+span <= lo {
-			return
-		}
-		if level == k.Bits {
-			LeafValue(prg, k, s, t, tmp)
-			copy(out[(base-lo)*uint64(k.Lanes):], tmp)
-			return
-		}
-		ls, lt, rs, rt := StepBoth(prg, s, t, k.CWs[level])
-		walk(ls, lt, level+1, base)
-		walk(rs, rt, level+1, base+span/2)
-	}
-	walk(k.Root, k.Party, 0, 0)
+	evalRangeWalk(prg, k, k.Root, k.Party, 0, 0, lo, hi, out)
 	return nil
 }
 
+// evalRangeWalk is EvalRange's pruned descent. It is a plain recursive
+// function (not a closure) so the walk itself never touches the heap.
+func evalRangeWalk(prg PRG, k *Key, s Seed, t uint8, level int, base, lo, hi uint64, out []uint32) {
+	span := uint64(1) << uint(k.Bits-level)
+	if base >= hi || base+span <= lo {
+		return
+	}
+	if level == k.Bits {
+		if k.Lanes == 1 {
+			out[base-lo] = LeafValueScalar(k, s, t)
+		} else {
+			lanes := uint64(k.Lanes)
+			LeafValue(prg, k, s, t, out[(base-lo)*lanes:(base-lo+1)*lanes])
+		}
+		return
+	}
+	ls, lt, rs, rt := StepBoth(prg, s, t, k.CWs[level])
+	evalRangeWalk(prg, k, ls, lt, level+1, base, lo, hi, out)
+	evalRangeWalk(prg, k, rs, rt, level+1, base+span/2, lo, hi, out)
+}
+
+// xorSeedInto XORs b into a in place, two 64-bit words at a time.
+func xorSeedInto(a, b *Seed) {
+	binary.LittleEndian.PutUint64(a[0:8], binary.LittleEndian.Uint64(a[0:8])^binary.LittleEndian.Uint64(b[0:8]))
+	binary.LittleEndian.PutUint64(a[8:16], binary.LittleEndian.Uint64(a[8:16])^binary.LittleEndian.Uint64(b[8:16]))
+}
+
+// xorSeed XORs two seeds as a pair of 64-bit words (the compiler lowers
+// the binary loads/stores to single moves — the byte loop this replaces
+// showed up in the hot-path profile).
 func xorSeed(a, b Seed) Seed {
 	var out Seed
-	for i := range out {
-		out[i] = a[i] ^ b[i]
-	}
+	binary.LittleEndian.PutUint64(out[0:8], binary.LittleEndian.Uint64(a[0:8])^binary.LittleEndian.Uint64(b[0:8]))
+	binary.LittleEndian.PutUint64(out[8:16], binary.LittleEndian.Uint64(a[8:16])^binary.LittleEndian.Uint64(b[8:16]))
 	return out
 }
 
 func leU32(b []byte) uint32 {
-	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return binary.LittleEndian.Uint32(b)
 }

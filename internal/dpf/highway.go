@@ -32,6 +32,21 @@ func (*HighwayPRG) Expand(s Seed) (left, right Seed, tL, tR uint8) {
 	return
 }
 
+// ExpandBatch implements PRG: one hwState and output buffer are hoisted
+// out of the loop and re-keyed per node.
+func (*HighwayPRG) ExpandBatch(seeds []Seed, left, right []Seed, tL, tR []uint8) {
+	var st hwState
+	var out [32]byte
+	for i := range seeds {
+		st.reset(&seeds[i])
+		st.update(0)
+		st.finalize(&out)
+		copy(left[i][:], out[0:16])
+		copy(right[i][:], out[16:32])
+		tL[i], tR[i] = clearControlBits(&left[i], &right[i])
+	}
+}
+
 // Fill implements PRG.
 func (*HighwayPRG) Fill(s Seed, dst []byte) {
 	var st hwState

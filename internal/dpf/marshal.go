@@ -82,7 +82,14 @@ func (k *Key) UnmarshalBinary(data []byte) error {
 	off := 8
 	copy(k.Root[:], data[off:off+16])
 	off += 16
-	k.CWs = make([]CW, bits)
+	// Reuse the receiver's slices when they are big enough, so pooled keys
+	// (engine.Replica's steady-state Answer path) unmarshal without
+	// allocating.
+	if cap(k.CWs) >= bits {
+		k.CWs = k.CWs[:bits]
+	} else {
+		k.CWs = make([]CW, bits)
+	}
 	for i := range k.CWs {
 		copy(k.CWs[i].S[:], data[off:off+16])
 		tb := data[off+16]
@@ -93,7 +100,11 @@ func (k *Key) UnmarshalBinary(data []byte) error {
 		k.CWs[i].TR = tb >> 1
 		off += 17
 	}
-	k.Final = make([]uint32, lanes)
+	if cap(k.Final) >= lanes {
+		k.Final = k.Final[:lanes]
+	} else {
+		k.Final = make([]uint32, lanes)
+	}
 	for i := range k.Final {
 		k.Final[i] = binary.LittleEndian.Uint32(data[off:])
 		off += 4

@@ -15,6 +15,14 @@ type PRG interface {
 	Name() string
 	// Expand derives the left and right child seeds and control bits.
 	Expand(s Seed) (left, right Seed, tL, tR uint8)
+	// ExpandBatch derives children for a whole frontier in one call:
+	// for every i, (left[i], right[i], tL[i], tR[i]) = Expand(seeds[i]).
+	// All five slices must have len(seeds). Implementations hoist per-call
+	// state — key schedules, cipher state, digest blocks — out of the
+	// per-node loop so advancing a K-wide frontier performs zero heap
+	// allocations; ScalarExpandBatch is the reference fallback for wrapper
+	// PRGs.
+	ExpandBatch(seeds []Seed, left, right []Seed, tL, tR []uint8)
 	// Fill deterministically expands s into dst (counter mode). Used by
 	// Convert for wide output groups.
 	Fill(s Seed, dst []byte)
@@ -32,6 +40,16 @@ type PRG interface {
 // The paper counts "one PRF call per node child"; an Expand derives both
 // children, hence two blocks.
 const BlocksPerExpand = 2
+
+// ScalarExpandBatch implements ExpandBatch by looping the scalar Expand —
+// the semantic reference every native batch implementation must match
+// bit-for-bit (the batch equivalence tests pin this). Wrapper PRGs that
+// only decorate Expand can delegate here.
+func ScalarExpandBatch(p PRG, seeds []Seed, left, right []Seed, tL, tR []uint8) {
+	for i := range seeds {
+		left[i], right[i], tL[i], tR[i] = p.Expand(seeds[i])
+	}
+}
 
 // Convert maps a leaf seed into `lanes` output-group elements (Z_2^32 each).
 // For lanes <= 4 the seed's own bits suffice (the "early termination"

@@ -41,6 +41,7 @@ func BenchmarkEngineAnswer(b *testing.B) {
 			keys[i] = &k
 		}
 		var ctr gpu.Counters
+		b.ReportAllocs()
 		b.SetBytes(int64(rows) * int64(lanes) * 4)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -62,6 +63,7 @@ func BenchmarkEngineAnswer(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.SetBytes(int64(rows) * int64(lanes) * 4)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

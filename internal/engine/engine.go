@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/gpu"
@@ -52,7 +53,13 @@ type Config struct {
 	Shards int
 	// Workers bounds the shard worker pool (0 = GOMAXPROCS).
 	Workers int
-	// PRG is the PRF shared with clients (nil = aes128).
+	// PRG is the PRF shared with clients (nil = aes128). Every PRF of the
+	// Table 5 sweep (aes128, sha256, chacha20, siphash, highway) is
+	// servable — cmd/pirserver wires this through its -prg flag, so the
+	// sweep is reachable from the TCP serving path. Key validation errors
+	// name the replica's PRF: the wire format carries no PRF identifier,
+	// so a client on the wrong PRF otherwise fails silently with garbage
+	// shares.
 	PRG dpf.PRG
 	// Strategy overrides the execution strategy (nil = the paper's
 	// scheduler for the table's size).
@@ -72,6 +79,12 @@ type Replica struct {
 	// a row never changes mid-batch.
 	mu  sync.RWMutex
 	ctr gpu.Counters
+
+	// scratch recycles Answer's per-call state — unmarshaled keys (whose
+	// correction-word and final-CW slices are reused across calls) and
+	// per-shard partial-share buffers — so the steady-state Answer path
+	// allocates nothing beyond the returned answer slices.
+	scratch sync.Pool
 }
 
 // NewReplica builds the sharded engine over the table. The table is shared,
@@ -153,26 +166,103 @@ func (r *Replica) Counters() gpu.Stats { return r.ctr.Snapshot() }
 // and match the table's tree depth. Front doors that coalesce many
 // clients' keys into one batch (serving.Batcher) use it to reject a bad
 // key at its own request instead of failing every co-batched request.
+// Errors name the replica's PRF: the wire format carries no PRF
+// identifier, so "which PRF does this server expect" is the first question
+// a failing client needs answered.
 func (r *Replica) ValidateKey(raw []byte) error {
 	var k dpf.Key
 	if err := k.UnmarshalBinary(raw); err != nil {
-		return fmt.Errorf("engine: %w", err)
+		return fmt.Errorf("engine (prg=%s): %w", r.prg.Name(), err)
 	}
 	if k.Party != r.party {
-		return fmt.Errorf("engine: key is for party %d, this replica is party %d", k.Party, r.party)
+		return fmt.Errorf("engine (prg=%s): key is for party %d, this replica is party %d", r.prg.Name(), k.Party, r.party)
 	}
 	if k.Lanes != 1 {
-		return fmt.Errorf("engine: key has %d lanes; PIR keys are scalar", k.Lanes)
+		return fmt.Errorf("engine (prg=%s): key has %d lanes; PIR keys are scalar", r.prg.Name(), k.Lanes)
 	}
 	if bits := r.tab.Bits(); k.Bits != bits {
-		return fmt.Errorf("engine: key has %d bits, table needs %d", k.Bits, bits)
+		return fmt.Errorf("engine (prg=%s): key has %d bits, table needs %d", r.prg.Name(), k.Bits, bits)
 	}
 	return nil
 }
 
-// Answer implements Backend: keys are unmarshaled and validated once, then
-// every shard evaluates the whole batch over its row range on the bounded
-// worker pool, and the per-shard partial shares are summed lane-wise.
+// getAnswerScratch pops a pooled scratch or makes the first one.
+func getAnswerScratch(p *sync.Pool) *answerScratch {
+	if sc, ok := p.Get().(*answerScratch); ok {
+		return sc
+	}
+	return new(answerScratch)
+}
+
+// answerScratch is Answer's pooled per-call state. Keys are unmarshaled
+// into retained dpf.Key structs (UnmarshalBinary reuses their CW/Final
+// capacity), and shard partials live in one flat backing that is cleared,
+// not reallocated, per call.
+type answerScratch struct {
+	keys     []dpf.Key
+	keyPtrs  []*dpf.Key
+	flat     []uint32
+	hdr      [][]uint32
+	partials [][][]uint32
+	errs     []error
+}
+
+// grow sizes the scratch for a batch × shards call, preserving the
+// retained keys' internal slices.
+func (s *answerScratch) grow(batch, shards, lanes int) {
+	if cap(s.keys) < batch {
+		keys := make([]dpf.Key, batch)
+		copy(keys, s.keys)
+		s.keys = keys
+	}
+	s.keys = s.keys[:batch]
+	if cap(s.keyPtrs) < batch {
+		s.keyPtrs = make([]*dpf.Key, batch)
+	}
+	s.keyPtrs = s.keyPtrs[:batch]
+	for i := range s.keyPtrs {
+		s.keyPtrs[i] = &s.keys[i]
+	}
+	if shards == 0 {
+		return
+	}
+	need := shards * batch * lanes
+	if cap(s.flat) < need {
+		s.flat = make([]uint32, need)
+	}
+	s.flat = s.flat[:need]
+	clear(s.flat) // strategies accumulate into zeroed partials
+	if cap(s.hdr) < shards*batch {
+		s.hdr = make([][]uint32, shards*batch)
+	}
+	s.hdr = s.hdr[:shards*batch]
+	if cap(s.partials) < shards {
+		s.partials = make([][][]uint32, shards)
+	}
+	s.partials = s.partials[:shards]
+	if cap(s.errs) < shards {
+		s.errs = make([]error, shards)
+	}
+	s.errs = s.errs[:shards]
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	for sh := 0; sh < shards; sh++ {
+		rows := s.hdr[sh*batch : (sh+1)*batch]
+		for q := 0; q < batch; q++ {
+			off := (sh*batch + q) * lanes
+			rows[q] = s.flat[off : off+lanes]
+		}
+		s.partials[sh] = rows
+	}
+}
+
+// Answer implements Backend: keys are unmarshaled and validated once into
+// pooled key structs, then every shard evaluates the whole batch over its
+// row range on the bounded worker pool via the strategy's allocation-free
+// RunRangeInto, and the per-shard partial shares are merged in place into
+// the returned answers. Steady state, the only allocations are the
+// returned answer slices themselves.
 func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, error) {
 	if len(rawKeys) == 0 {
 		return nil, fmt.Errorf("engine: empty key batch")
@@ -180,71 +270,81 @@ func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	keys := make([]*dpf.Key, len(rawKeys))
-	for i, raw := range rawKeys {
-		var k dpf.Key
-		if err := k.UnmarshalBinary(raw); err != nil {
-			return nil, fmt.Errorf("engine: key %d: %w", i, err)
-		}
-		if k.Party != r.party {
-			return nil, fmt.Errorf("engine: key %d is for party %d, this replica is party %d", i, k.Party, r.party)
-		}
-		keys[i] = &k
+	// sc is initialized exactly once and never reassigned: the shard
+	// workers' closure captures it, and capturing a reassigned variable
+	// would heap-move it on every call.
+	sc := getAnswerScratch(&r.scratch)
+	shards := r.Shards()
+	partialShards := shards
+	if shards == 1 {
+		partialShards = 0 // sequential path accumulates straight into answers
 	}
+	sc.grow(len(rawKeys), partialShards, r.tab.Lanes)
+	keys := sc.keyPtrs
+	for i, raw := range rawKeys {
+		if err := keys[i].UnmarshalBinary(raw); err != nil {
+			r.scratch.Put(sc)
+			return nil, fmt.Errorf("engine (prg=%s): key %d: %w", r.prg.Name(), i, err)
+		}
+		if keys[i].Party != r.party {
+			r.scratch.Put(sc)
+			return nil, fmt.Errorf("engine (prg=%s): key %d is for party %d, this replica is party %d", r.prg.Name(), i, keys[i].Party, r.party)
+		}
+	}
+	answers := strategy.NewAnswers(len(rawKeys), r.tab.Lanes)
 
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	shards := r.Shards()
 	if shards == 1 {
-		answers, err := r.strat.RunRange(r.prg, keys, r.tab, 0, r.tab.NumRows, &r.ctr)
+		err := r.strat.RunRangeInto(r.prg, keys, r.tab, 0, r.tab.NumRows, &r.ctr, answers)
+		r.scratch.Put(sc)
 		if err != nil {
 			return nil, fmt.Errorf("engine: evaluating batch: %w", err)
 		}
 		return answers, nil
 	}
 
-	partials := make([][][]uint32, shards)
-	errs := make([]error, shards)
-	jobs := make(chan int)
 	workers := r.workers
 	if workers > shards {
 		workers = shards
 	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shards {
+					return
+				}
 				if err := ctx.Err(); err != nil {
-					errs[i] = err
+					sc.errs[i] = err
 					continue
 				}
-				partials[i], errs[i] = r.strat.RunRange(r.prg, keys, r.tab, r.bounds[i], r.bounds[i+1], &r.ctr)
+				sc.errs[i] = r.strat.RunRangeInto(r.prg, keys, r.tab, r.bounds[i], r.bounds[i+1], &r.ctr, sc.partials[i])
 			}
 		}()
 	}
-	for i := 0; i < shards; i++ {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
-	for i, err := range errs {
+	for i, err := range sc.errs {
 		if err != nil {
+			r.scratch.Put(sc)
 			return nil, fmt.Errorf("engine: shard %d [%d,%d): %w", i, r.bounds[i], r.bounds[i+1], err)
 		}
 	}
 
-	// Merge: shard 0's partials become the answers, the rest accumulate in.
-	answers := partials[0]
-	for s := 1; s < shards; s++ {
+	// Merge the shard partials in place into the answers.
+	for s := 0; s < shards; s++ {
 		for q := range answers {
-			part := partials[s][q]
+			part := sc.partials[s][q]
 			for l := range answers[q] {
 				answers[q][l] += part[l]
 			}
 		}
 	}
+	r.scratch.Put(sc)
 	return answers, nil
 }
 

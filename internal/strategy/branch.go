@@ -12,6 +12,11 @@ import (
 // maximal parallelism and needs almost no intermediate memory, but performs
 // O(L·log L) PRF work instead of the optimal O(L) — the redundancy the
 // paper's Figure 6 charts.
+//
+// Execution is query-tiled: for each leaf, the whole tile's paths descend
+// together (one dpf.StepBatch — a single batched PRF call — per level,
+// since the leaf bit is shared and only the keys differ), and the table
+// row is then read once for all tile queries instead of once per query.
 type BranchParallel struct{}
 
 // Name implements Strategy.
@@ -24,22 +29,38 @@ func (b BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.C
 	}
 	// The full run assigns one thread per domain leaf (including the
 	// zero-row tail beyond NumRows), keeping the calibrated totals.
-	return b.run(prg, keys, tab, 0, 1<<uint(tab.Bits()), true, ctr)
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := b.runInto(prg, keys, tab, 0, 1<<uint(tab.Bits()), true, ctr, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // RunRange implements Strategy: path-per-leaf execution prunes perfectly —
 // only the range's leaves get a thread.
 func (b BranchParallel) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := b.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
-		return nil, err
-	}
-	return b.run(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr)
+	return dst, nil
 }
 
-func (BranchParallel) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters) ([][]uint32, error) {
+// RunRangeInto implements Strategy.
+func (b BranchParallel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, tab); err != nil {
+		return err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return err
+	}
+	if err := validateDst(keys, tab, dst); err != nil {
+		return err
+	}
+	return b.runInto(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr, dst)
+}
+
+func (BranchParallel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
 	if full {
 		rlo, rhi = 0, 1<<uint(bits)
@@ -51,33 +72,55 @@ func (BranchParallel) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int
 	defer ctr.Free(outBytes)
 	ctr.AddLaunch()
 
-	answers := make([][]uint32, len(keys))
-	for q, k := range keys {
-		ans := make([]uint32, tab.Lanes)
+	for t := 0; t < len(keys); t += tileQueries {
+		te := tileEnd(t, len(keys))
+		tile := keys[t:te]
+		tileDst := dst[t:te]
 		var mu sync.Mutex
 		gpu.ParallelForChunked(rhi-rlo, 0, func(clo, chi int) {
-			local := make([]uint32, tab.Lanes)
+			sc := getWalkScratch()
+			sc.growKeys(len(tile))
+			local := sc.growLocal(len(tile), tab.Lanes)
+			// Gather every key's correction words once per chunk — they
+			// depend on the level only, not on the leaf.
+			cwm := sc.growCWMat(bits, len(tile))
+			for level := 0; level < bits; level++ {
+				row := cwm[level*len(tile) : (level+1)*len(tile)]
+				for q, k := range tile {
+					row[q] = k.CWs[level]
+				}
+			}
 			for j := rlo + clo; j < rlo+chi; j++ {
-				s, t := k.Root, k.Party
+				for q, k := range tile {
+					sc.seeds[q], sc.ts[q] = k.Root, k.Party
+				}
 				for level := 0; level < bits; level++ {
 					bit := uint8(j>>uint(bits-1-level)) & 1
-					s, t = dpf.Step(prg, s, t, k.CWs[level], bit)
+					// A GPU thread derives only the needed child per
+					// level: one block per level per leaf, batched across
+					// the query tile.
+					dpf.StepBatch(prg, sc.seeds, sc.ts, cwm[level*len(tile):(level+1)*len(tile)], bit, &sc.batch)
 				}
-				// A GPU thread derives only the needed child per level:
-				// one block per level per leaf.
-				leaf := dpf.LeafValueScalar(k, s, t)
 				if j < tab.NumRows {
-					accumulateRow(local, leaf, tab.Row(j))
+					// One row read serves the whole tile (the tiled
+					// table pass).
+					row := tab.Row(j)
+					for q, k := range tile {
+						leaf := dpf.LeafValueScalar(k, sc.seeds[q], sc.ts[q])
+						accumulateRow(local[q], leaf, row)
+					}
 				}
 			}
-			ctr.AddPRFBlocks(int64(chi-clo) * int64(bits))
+			ctr.AddPRFBlocks(int64(chi-clo) * int64(bits) * int64(len(tile)))
 			mu.Lock()
-			for i := range ans {
-				ans[i] += local[i]
+			for q := range local {
+				for i := range tileDst[q] {
+					tileDst[q][i] += local[q][i]
+				}
 			}
 			mu.Unlock()
+			sc.release()
 		})
-		answers[q] = ans
 	}
 	if full {
 		ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
@@ -85,7 +128,7 @@ func (BranchParallel) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int
 		ctr.AddRead(rangeReadBytes(len(keys), tab.Lanes, rhi-rlo))
 	}
 	ctr.AddWrite(outBytes)
-	return answers, nil
+	return nil
 }
 
 // Model implements Strategy.

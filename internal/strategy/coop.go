@@ -46,7 +46,11 @@ func (c CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Count
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
-	return c.run(prg, keys, tab, 0, tab.NumRows, ctr)
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := c.runInto(prg, keys, tab, 0, tab.NumRows, ctr, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // RunRange implements Strategy. The grid-wide level expansion is inherently
@@ -54,62 +58,80 @@ func (c CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Count
 // level-by-level, sharding buys dot-product parallelism here, not PRF
 // savings.
 func (c CoopGroups) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := c.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
-		return nil, err
-	}
-	return c.run(prg, keys, tab, lo, hi, ctr)
+	return dst, nil
 }
 
-func (CoopGroups) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, ctr *gpu.Counters) ([][]uint32, error) {
+// RunRangeInto implements Strategy.
+func (c CoopGroups) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, tab); err != nil {
+		return err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return err
+	}
+	if err := validateDst(keys, tab, dst); err != nil {
+		return err
+	}
+	return c.runInto(prg, keys, tab, lo, hi, ctr, dst)
+}
+
+// runInto executes queries back to back — one query owns the whole device
+// at a time, which is cooperative groups' point (§3.2.5) and why the dot
+// product here stays per-query rather than query-tiled. Each level still
+// advances through batched PRF calls (dpf.StepBothBatch per chunk) over
+// pooled ping-pong buffers.
+func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
 	mem := coopMemBytes(bits, tab.Lanes)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
 	domain := 1 << uint(bits)
-	answers := make([][]uint32, len(keys))
+	sc := getCoopScratch()
+	cur, curT, next, nextT := sc.growPing(domain)
 	for q, k := range keys {
-		seeds := make([]dpf.Seed, 1, domain)
-		ts := make([]uint8, 1, domain)
-		seeds[0], ts[0] = k.Root, k.Party
+		cur[0], curT[0] = k.Root, k.Party
+		n := 1
 		for level := 0; level < bits; level++ {
 			cw := k.CWs[level]
-			n := len(seeds)
-			next := make([]dpf.Seed, 2*n)
-			nextT := make([]uint8, 2*n)
+			seeds, ts, out, outT := cur[:n], curT[:n], next[:2*n], nextT[:2*n]
 			gpu.ParallelForChunked(n, 0, func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					ls, lt, rs, rt := dpf.StepBoth(prg, seeds[i], ts[i], cw)
-					next[2*i], next[2*i+1] = ls, rs
-					nextT[2*i], nextT[2*i+1] = lt, rt
-				}
+				csc := getWalkScratch()
+				dpf.StepBothBatch(prg, seeds[lo:hi], ts[lo:hi], cw, out[2*lo:2*hi], outT[2*lo:2*hi], &csc.batch)
 				ctr.AddPRFBlocks(int64(hi-lo) * dpf.BlocksPerExpand)
+				csc.release()
 			})
-			seeds, ts = next, nextT
+			cur, next = next, cur
+			curT, nextT = nextT, curT
+			n *= 2
 			ctr.AddLaunch() // grid-wide barrier per level
 		}
-		ans := make([]uint32, tab.Lanes)
+		ans := dst[q]
 		var mu sync.Mutex
 		gpu.ParallelForChunked(rhi-rlo, 0, func(lo, hi int) {
-			local := make([]uint32, tab.Lanes)
+			csc := getWalkScratch()
+			local := csc.growLocal(1, tab.Lanes)[0]
+			leaves := csc.growBuf(hi - lo)
+			dpf.LeafValuesInto(k, cur[rlo+lo:rlo+hi], curT[rlo+lo:rlo+hi], leaves)
 			for j := rlo + lo; j < rlo+hi; j++ {
-				leaf := dpf.LeafValueScalar(k, seeds[j], ts[j])
-				accumulateRow(local, leaf, tab.Row(j))
+				accumulateRow(local, leaves[j-rlo-lo], tab.Row(j))
 			}
 			mu.Lock()
 			for i := range ans {
 				ans[i] += local[i]
 			}
 			mu.Unlock()
+			csc.release()
 		})
-		answers[q] = ans
 	}
+	sc.release()
 	ctr.AddRead(int64(len(keys)) * (int64(rhi-rlo)*int64(tab.Lanes)*4 + int64(domain)*nodeBytes))
 	ctr.AddWrite(int64(len(keys)) * (int64(domain)*2*nodeBytes + int64(tab.Lanes)*4))
-	return answers, nil
+	return nil
 }
 
 // Model implements Strategy. Latency is summed per level because the

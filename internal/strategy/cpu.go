@@ -41,31 +41,42 @@ func (c CPUBaseline) cpu() *gpu.CPUModel {
 }
 
 // Run implements Strategy. Queries are distributed over threads; each query
-// is expanded level by level exactly like the reference library.
+// is expanded level by level exactly like the reference library, then a
+// query-tiled pass streams the table once per tile of tileQueries queries.
 func (c CPUBaseline) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := c.runFullInto(prg, keys, tab, ctr, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
 	domain := int64(1) << uint(bits)
 	mem := int64(len(keys)) * (domain*nodeBytes*3/2 + int64(tab.Lanes)*4)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
-	answers := make([][]uint32, len(keys))
-	gpu.ParallelFor(len(keys), func(q int) {
-		k := keys[q]
-		full := dpf.EvalFull(prg, k)
-		ctr.AddPRFBlocks(2*domain - 2)
-		ans := make([]uint32, tab.Lanes)
-		for j := 0; j < tab.NumRows; j++ {
-			accumulateRow(ans, full[j], tab.Row(j))
-		}
-		answers[q] = ans
-	})
+	for t := 0; t < len(keys); t += tileQueries {
+		te := tileEnd(t, len(keys))
+		tile := keys[t:te]
+		lt := getLeafTile(len(tile), int(domain))
+		gpu.ParallelFor(len(tile), func(i int) {
+			sc := getWalkScratch()
+			dpf.EvalFullInto(prg, tile[i], lt.rows[i], &sc.frontier)
+			ctr.AddPRFBlocks(2*domain - 2)
+			sc.release()
+		})
+		accumulateTile(tab, 0, tab.NumRows, lt.rows, dst[t:te])
+		lt.release()
+	}
 	ctr.AddRead(int64(len(keys)) * int64(tab.NumRows) * int64(tab.Lanes) * 4)
 	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4)
-	return answers, nil
+	return nil
 }
 
 // RunRange implements Strategy: the range is evaluated with the pruned
@@ -78,44 +89,73 @@ func (c CPUBaseline) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi i
 	if err := validateRange(tab, lo, hi); err != nil {
 		return nil, err
 	}
+	dst := NewAnswers(len(keys), tab.Lanes)
 	if fullRange(tab, lo, hi) {
-		return c.Run(prg, keys, tab, ctr)
+		if err := c.runFullInto(prg, keys, tab, ctr, dst); err != nil {
+			return nil, err
+		}
+		return dst, nil
 	}
+	if err := c.runRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// RunRangeInto implements Strategy.
+func (c CPUBaseline) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, tab); err != nil {
+		return err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return err
+	}
+	if err := validateDst(keys, tab, dst); err != nil {
+		return err
+	}
+	if fullRange(tab, lo, hi) {
+		return c.runFullInto(prg, keys, tab, ctr, dst)
+	}
+	return c.runRangeInto(prg, keys, tab, lo, hi, ctr, dst)
+}
+
+func (c CPUBaseline) runRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
 	rows := hi - lo
 	mem := int64(len(keys)) * (int64(rows)*4 + int64(tab.Lanes)*4)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
-	answers := make([][]uint32, len(keys))
 	var firstErr error
 	var errMu sync.Mutex
-	gpu.ParallelFor(len(keys), func(q int) {
-		k := keys[q]
-		buf := make([]uint32, rows)
-		if err := dpf.EvalRange(prg, k, uint64(lo), uint64(hi), buf); err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
+	for t := 0; t < len(keys); t += tileQueries {
+		te := tileEnd(t, len(keys))
+		tile := keys[t:te]
+		lt := getLeafTile(len(tile), rows)
+		gpu.ParallelFor(len(tile), func(i int) {
+			if err := dpf.EvalRange(prg, tile[i], uint64(lo), uint64(hi), lt.rows[i]); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
 			}
-			errMu.Unlock()
-			return
+			// Pruned DFS: ~2·range blocks for the subtrees plus the
+			// root-to-range path.
+			ctr.AddPRFBlocks(2*int64(rows) - 2 + 2*int64(bits))
+		})
+		if firstErr == nil {
+			accumulateTile(tab, lo, hi, lt.rows, dst[t:te])
 		}
-		// Pruned DFS: ~2·range blocks for the subtrees plus the
-		// root-to-range path.
-		ctr.AddPRFBlocks(2*int64(rows) - 2 + 2*int64(bits))
-		ans := make([]uint32, tab.Lanes)
-		for j := lo; j < hi; j++ {
-			accumulateRow(ans, buf[j-lo], tab.Row(j))
-		}
-		answers[q] = ans
-	})
+		lt.release()
+	}
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	ctr.AddRead(int64(len(keys)) * int64(rows) * int64(tab.Lanes) * 4)
 	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4)
-	return answers, nil
+	return nil
 }
 
 // Model implements Strategy. dev is unused; the CPU model prices the work.

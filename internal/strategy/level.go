@@ -10,6 +10,11 @@ import (
 // is O(B·L): the ping-pong level buffers plus the expanded one-hot share
 // vector that the separate matrix-multiplication kernel consumes. The
 // memory footprint is what caps its batch size (Figure 6, Figure 13).
+//
+// The host execution advances each level with one dpf.StepBothBatch (one
+// PRF batch call per level) through pooled ping-pong buffers, and the
+// separate matmul pass is query-tiled: one streaming pass over the row
+// range per tile of tileQueries queries.
 type LevelByLevel struct{}
 
 // Name implements Strategy.
@@ -40,7 +45,11 @@ func (l LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
-	return l.run(prg, keys, tab, 0, tab.NumRows, true, ctr)
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := l.runInto(prg, keys, tab, 0, tab.NumRows, true, ctr, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // RunRange implements Strategy. Breadth-first expansion materializes every
@@ -48,16 +57,28 @@ func (l LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 // matmul pass. Sharding this strategy buys dot-product parallelism, not
 // expansion savings.
 func (l LevelByLevel) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := l.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
-		return nil, err
-	}
-	return l.run(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr)
+	return dst, nil
 }
 
-func (LevelByLevel) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters) ([][]uint32, error) {
+// RunRangeInto implements Strategy.
+func (l LevelByLevel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, tab); err != nil {
+		return err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return err
+	}
+	if err := validateDst(keys, tab, dst); err != nil {
+		return err
+	}
+	return l.runInto(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr, dst)
+}
+
+func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
 	mem := levelMemBytes(len(keys), bits, tab.Lanes)
 	ctr.Alloc(mem)
@@ -65,46 +86,38 @@ func (LevelByLevel) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, 
 	ctr.AddLaunch() // expansion kernel
 	ctr.AddLaunch() // matmul kernel
 
-	answers := make([][]uint32, len(keys))
-	gpu.ParallelFor(len(keys), func(q int) {
-		k := keys[q]
-		domain := 1 << uint(bits)
-		seeds := make([]dpf.Seed, 1, domain)
-		ts := make([]uint8, 1, domain)
-		seeds[0], ts[0] = k.Root, k.Party
-		next := make([]dpf.Seed, 0, domain)
-		nextT := make([]uint8, 0, domain)
-		var blocks int64
-		for level := 0; level < bits; level++ {
-			cw := k.CWs[level]
-			next = next[:0]
-			nextT = nextT[:0]
-			for i := range seeds {
-				ls, lt, rs, rt := dpf.StepBoth(prg, seeds[i], ts[i], cw)
-				next = append(next, ls, rs)
-				nextT = append(nextT, lt, rt)
-			}
-			blocks += int64(len(seeds)) * dpf.BlocksPerExpand
-			seeds, next = next, seeds
-			ts, nextT = nextT, ts
-		}
-		ctr.AddPRFBlocks(blocks)
-		// Separate matmul pass over the range's slice of the leaf vector.
-		ans := make([]uint32, tab.Lanes)
-		for j := rlo; j < rhi; j++ {
-			leaf := dpf.LeafValueScalar(k, seeds[j], ts[j])
-			accumulateRow(ans, leaf, tab.Row(j))
-		}
-		answers[q] = ans
-	})
+	rows := rhi - rlo
+	for t := 0; t < len(keys); t += tileQueries {
+		te := tileEnd(t, len(keys))
+		tile := keys[t:te]
+		lt := getLeafTile(len(tile), rows)
+		gpu.ParallelFor(len(tile), func(i int) {
+			expandLevelByLevel(prg, tile[i], bits, rlo, rhi, lt.rows[i], ctr)
+		})
+		// Query-tiled matmul pass over the range's slice of the leaf
+		// vectors.
+		accumulateTile(tab, rlo, rhi, lt.rows, dst[t:te])
+		lt.release()
+	}
 	r, w := levelTrafficBytes(len(keys), bits)
 	if full {
 		ctr.AddRead(r + tableReadBytes(len(keys), bits, tab.Lanes))
 	} else {
-		ctr.AddRead(r + rangeReadBytes(len(keys), tab.Lanes, rhi-rlo))
+		ctr.AddRead(r + rangeReadBytes(len(keys), tab.Lanes, rows))
 	}
 	ctr.AddWrite(w)
-	return answers, nil
+	return nil
+}
+
+// expandLevelByLevel materializes every level of one key's tree through
+// pooled ping-pong buffers (one batched PRF call per level) and converts
+// leaves [rlo, rhi) into leaf shares.
+func expandLevelByLevel(prg dpf.PRG, k *dpf.Key, bits, rlo, rhi int, leaf []uint32, ctr *gpu.Counters) {
+	sc := getWalkScratch()
+	seeds, ts := sc.frontier.ExpandFrontier(prg, k)
+	ctr.AddPRFBlocks(2*(int64(1)<<uint(bits)) - 2)
+	dpf.LeafValuesInto(k, seeds[rlo:rhi], ts[rlo:rhi], leaf)
+	sc.release()
 }
 
 // Model implements Strategy.

@@ -2,6 +2,7 @@ package strategy
 
 import (
 	"fmt"
+	"runtime"
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/gpu"
@@ -18,6 +19,13 @@ const DefaultK = 128
 // level-by-level's O(B·L). With Fused set, the leaf dot product against the
 // table is fused into the traversal (§3.2.4), eliminating the expanded
 // one-hot vector's global-memory round trip entirely.
+//
+// Execution is tiled and batched: queries are processed in tiles of
+// tileQueries, each query's K-wide frontier advances one dpf.StepBothBatch
+// (one PRF batch call) per group-level, and a single streaming pass over
+// the row range then serves the whole tile's dot products
+// (accumulateTile). All traversal state comes from pooled scratch, so the
+// steady-state hot path allocates nothing beyond the returned answers.
 type MemBoundTree struct {
 	// K is the frontier width; 0 means DefaultK.
 	K int
@@ -64,11 +72,6 @@ func (m MemBoundTree) memBytes(batch, bits, lanes int) int64 {
 	return int64(batch) * perQuery
 }
 
-type mbNode struct {
-	s dpf.Seed
-	t uint8
-}
-
 // Run implements Strategy.
 func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
 	if err := validateKeys(keys, tab); err != nil {
@@ -76,29 +79,45 @@ func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 	}
 	// The full run walks the whole domain (leaves beyond NumRows carry
 	// zero rows), keeping the calibrated counter totals.
-	return m.run(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), true, ctr)
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := m.runInto(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), true, ctr, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // RunRange implements Strategy: the descent prunes every K-wide node group
 // whose leaf span misses [lo, hi), so a 1/N range costs ~1/N of the PRF
 // work plus one root-to-range path.
 func (m MemBoundTree) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := m.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
-		return nil, err
-	}
-	return m.run(prg, keys, tab, uint64(lo), uint64(hi), fullRange(tab, lo, hi), ctr)
+	return dst, nil
 }
 
-// run evaluates leaves [lo, hi) in domain coordinates. full selects the
-// calibrated whole-table accounting; partial ranges are costed
-// proportionally.
-func (m MemBoundTree) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi uint64, full bool, ctr *gpu.Counters) ([][]uint32, error) {
+// RunRangeInto implements Strategy.
+func (m MemBoundTree) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, tab); err != nil {
+		return err
+	}
+	if err := validateRange(tab, lo, hi); err != nil {
+		return err
+	}
+	if err := validateDst(keys, tab, dst); err != nil {
+		return err
+	}
+	return m.runInto(prg, keys, tab, uint64(lo), uint64(hi), fullRange(tab, lo, hi), ctr, dst)
+}
+
+// runInto evaluates leaves [lo, hi) in domain coordinates, accumulating
+// into dst. full selects the calibrated whole-table accounting; partial
+// ranges are costed proportionally.
+func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi uint64, full bool, ctr *gpu.Counters, dst [][]uint32) error {
 	k := m.k()
 	if k&(k-1) != 0 {
-		return nil, fmt.Errorf("strategy: K=%d must be a power of two", k)
+		return fmt.Errorf("strategy: K=%d must be a power of two", k)
 	}
 	bits := tab.Bits()
 	if full {
@@ -121,78 +140,114 @@ func (m MemBoundTree) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi uint6
 		ctr.AddLaunch() // separate matmul kernel
 	}
 
-	answers := make([][]uint32, len(keys))
-	gpu.ParallelFor(len(keys), func(q int) {
-		key := keys[q]
-		ans := make([]uint32, tab.Lanes)
-		var leafVec []uint32
-		if !m.Fused {
-			leafVec = make([]uint32, hi-lo)
+	rows := int(hi - lo)
+	rowHi := int(hi)
+	if rowHi > tab.NumRows {
+		rowHi = tab.NumRows
+	}
+	// Never-reassigned copies for the parallel branch's closure: capturing
+	// a reassigned variable (hi, k) would force it to the heap on every
+	// call, including the allocation-free sequential path.
+	cBits, cK, cLo, cHi := bits, k, lo, hi
+	for t := 0; t < len(keys); t += tileQueries {
+		te := tileEnd(t, len(keys))
+		tile := keys[t:te]
+		lt := getLeafTile(len(tile), rows)
+		// Expansion: each query's K-bounded group walk emits its leaf
+		// shares for [lo, hi) into the tile's leaf matrix. The one-query
+		// and single-core cases run inline — no goroutines, no closure —
+		// so the engine's sequential steady state stays allocation-free.
+		if len(tile) == 1 || runtime.GOMAXPROCS(0) == 1 {
+			for i := range tile {
+				m.expandQuery(prg, tile[i], bits, k, lo, hi, lt.rows[i], ctr)
+			}
+		} else {
+			rows := lt.rows
+			gpu.ParallelFor(len(tile), func(i int) {
+				m.expandQuery(prg, tile[i], cBits, cK, cLo, cHi, rows[i], ctr)
+			})
 		}
-		var blocks int64
-		var walk func(nodes []mbNode, depth int, base uint64)
-		walk = func(nodes []mbNode, depth int, base uint64) {
-			span := uint64(1) << uint(bits-depth)
-			if base >= hi || base+span*uint64(len(nodes)) <= lo {
-				return // whole group outside the range
-			}
-			if depth == bits {
-				for i, nd := range nodes {
-					j := base + uint64(i)
-					if j < lo || j >= hi {
-						continue
-					}
-					leaf := dpf.LeafValueScalar(key, nd.s, nd.t)
-					if m.Fused {
-						if j < uint64(tab.NumRows) {
-							accumulateRow(ans, leaf, tab.Row(int(j)))
-						}
-					} else {
-						leafVec[j-lo] = leaf
-					}
-				}
-				return
-			}
-			cw := key.CWs[depth]
-			children := make([]mbNode, 0, 2*len(nodes))
-			for _, nd := range nodes {
-				ls, lt, rs, rt := dpf.StepBoth(prg, nd.s, nd.t, cw)
-				children = append(children, mbNode{ls, lt}, mbNode{rs, rt})
-			}
-			blocks += int64(len(nodes)) * dpf.BlocksPerExpand
-			if len(children) <= k {
-				walk(children, depth+1, base)
-				return
-			}
-			half := len(children) / 2
-			childSpan := span / 2
-			walk(children[:half], depth+1, base)
-			walk(children[half:], depth+1, base+uint64(half)*childSpan)
-		}
-		walk([]mbNode{{key.Root, key.Party}}, 0, 0)
-		if !m.Fused {
-			for j := lo; j < hi && j < uint64(tab.NumRows); j++ {
-				accumulateRow(ans, leafVec[j-lo], tab.Row(int(j)))
-			}
-		}
-		ctr.AddPRFBlocks(blocks)
-		answers[q] = ans
-	})
+		// Accumulate: ONE streaming pass over the tile's row range serves
+		// all its queries (the §3.1 batched matmul, executed).
+		accumulateTile(tab, int(lo), rowHi, lt.rows, dst[t:te])
+		lt.release()
+	}
+
 	var reads, writes int64
 	if full {
 		reads = tableReadBytes(len(keys), bits, tab.Lanes)
 	} else {
-		reads = rangeReadBytes(len(keys), tab.Lanes, int(hi-lo))
+		reads = rangeReadBytes(len(keys), tab.Lanes, rows)
 	}
 	writes = int64(len(keys)) * int64(tab.Lanes) * 4
 	if !m.Fused {
-		leafBytes := int64(len(keys)) * int64(hi-lo) * 4
+		leafBytes := int64(len(keys)) * int64(rows) * 4
 		reads += leafBytes
 		writes += leafBytes
 	}
 	ctr.AddRead(reads)
 	ctr.AddWrite(writes)
-	return answers, nil
+	return nil
+}
+
+// expandQuery walks one key's memory-bounded descent over [lo, hi) with
+// pooled scratch, writing leaf shares into leaf and counting PRF blocks.
+func (m MemBoundTree) expandQuery(prg dpf.PRG, key *dpf.Key, bits, k int, lo, hi uint64, leaf []uint32, ctr *gpu.Counters) {
+	sc := getWalkScratch()
+	sc.growLevels(bits, k)
+	w := mbWalker{prg: prg, key: key, k: k, bits: bits, lo: lo, hi: hi, leaf: leaf, sc: sc}
+	sc.levels[0][0] = key.Root
+	sc.levelT[0][0] = key.Party
+	w.walk(0, sc.levels[0][:1], sc.levelT[0][:1], 0)
+	ctr.AddPRFBlocks(w.blocks)
+	sc.release()
+}
+
+// mbWalker is one query's memory-bounded descent: groups of at most K
+// nodes advance level by level through the scratch's per-depth buffers,
+// one batched PRF call per group-level.
+type mbWalker struct {
+	prg    dpf.PRG
+	key    *dpf.Key
+	k      int
+	bits   int
+	lo, hi uint64
+	leaf   []uint32 // leaf shares for [lo, hi), indexed j-lo
+	sc     *walkScratch
+	blocks int64
+}
+
+// walk expands the group (seeds, ts) rooted at depth covering leaves
+// [base, base+span·len(seeds)), pruning groups outside [lo, hi).
+func (w *mbWalker) walk(depth int, seeds []dpf.Seed, ts []uint8, base uint64) {
+	span := uint64(1) << uint(w.bits-depth)
+	if base >= w.hi || base+span*uint64(len(seeds)) <= w.lo {
+		return // whole group outside the range
+	}
+	if depth == w.bits {
+		iLo, iHi := 0, len(seeds)
+		if base < w.lo {
+			iLo = int(w.lo - base)
+		}
+		if base+uint64(len(seeds)) > w.hi {
+			iHi = int(w.hi - base)
+		}
+		dpf.LeafValuesInto(w.key, seeds[iLo:iHi], ts[iLo:iHi],
+			w.leaf[base+uint64(iLo)-w.lo:base+uint64(iHi)-w.lo])
+		return
+	}
+	n := len(seeds)
+	next := w.sc.levels[depth+1][:2*n]
+	nextT := w.sc.levelT[depth+1][:2*n]
+	dpf.StepBothBatch(w.prg, seeds, ts, w.key.CWs[depth], next, nextT, &w.sc.batch)
+	w.blocks += int64(n) * dpf.BlocksPerExpand
+	if 2*n <= w.k {
+		w.walk(depth+1, next, nextT, base)
+		return
+	}
+	childSpan := span / 2
+	w.walk(depth+1, next[:n], nextT[:n], base)
+	w.walk(depth+1, next[n:], nextT[n:], base+uint64(n)*childSpan)
 }
 
 // Model implements Strategy.

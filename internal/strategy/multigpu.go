@@ -40,13 +40,18 @@ func (m MultiGPU) k() int {
 	return m.K
 }
 
-// Run implements Strategy: every (query, shard) pair really evaluates its
-// index range via the pruned DFS and accumulates the partial answer.
+// Run implements Strategy: every (query tile, shard) pair really evaluates
+// its index range via the pruned DFS, and one streaming pass over the
+// shard's rows accumulates the whole tile's partial answers.
 func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
 	if err := validateKeys(keys, tab); err != nil {
 		return nil, err
 	}
-	return m.run(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr)
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := m.runInto(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // RunRange implements Strategy: the device shards split [lo, hi) instead of
@@ -54,11 +59,23 @@ func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counter
 // multi-device split. Ranges narrower than the device count use one device
 // per leaf.
 func (m MultiGPU) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	dst := NewAnswers(len(keys), tab.Lanes)
+	if err := m.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
+	return dst, nil
+}
+
+// RunRangeInto implements Strategy.
+func (m MultiGPU) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, tab); err != nil {
+		return err
+	}
 	if err := validateRange(tab, lo, hi); err != nil {
-		return nil, err
+		return err
+	}
+	if err := validateDst(keys, tab, dst); err != nil {
+		return err
 	}
 	if m.n() > hi-lo {
 		m.Devices = hi - lo
@@ -67,19 +84,19 @@ func (m MultiGPU) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int,
 		// Whole-table range: walk the full padded domain like Run, keeping
 		// the calibrated counter accounting (cf. fullRange in the other
 		// strategies).
-		return m.run(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr)
+		return m.runInto(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr, dst)
 	}
-	return m.run(prg, keys, tab, uint64(lo), uint64(hi), ctr)
+	return m.runInto(prg, keys, tab, uint64(lo), uint64(hi), ctr, dst)
 }
 
-// run evaluates leaves [rlo, rhi) in domain coordinates, split across the
-// modeled devices.
-func (m MultiGPU) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uint64, ctr *gpu.Counters) ([][]uint32, error) {
+// runInto evaluates leaves [rlo, rhi) in domain coordinates, split across
+// the modeled devices, accumulating into dst.
+func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uint64, ctr *gpu.Counters, dst [][]uint32) error {
 	n := m.n()
 	bits := tab.Bits()
 	domain := uint64(1) << uint(bits)
 	if uint64(n) > rhi-rlo || rhi > domain {
-		return nil, fmt.Errorf("strategy: %d shards exceed range [%d,%d) of domain %d", n, rlo, rhi, domain)
+		return fmt.Errorf("strategy: %d shards exceed range [%d,%d) of domain %d", n, rlo, rhi, domain)
 	}
 	// Modeled per-device working set mirrors the fused membound traversal
 	// on a table of L/N rows.
@@ -90,16 +107,13 @@ func (m MultiGPU) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uint64,
 	defer ctr.Free(mem)
 	ctr.AddLaunch()
 
-	answers := make([][]uint32, len(keys))
-	for q := range answers {
-		answers[q] = make([]uint32, tab.Lanes)
-	}
 	var mu sync.Mutex
-	type job struct{ q, shard int }
-	jobs := make([]job, 0, len(keys)*n)
-	for q := range keys {
+	type job struct{ tile, shard int }
+	tiles := (len(keys) + tileQueries - 1) / tileQueries
+	jobs := make([]job, 0, tiles*n)
+	for t := 0; t < tiles; t++ {
 		for s := 0; s < n; s++ {
-			jobs = append(jobs, job{q, s})
+			jobs = append(jobs, job{t * tileQueries, s})
 		}
 	}
 	var firstErr error
@@ -107,31 +121,44 @@ func (m MultiGPU) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uint64,
 	width := rhi - rlo
 	gpu.ParallelFor(len(jobs), func(i int) {
 		j := jobs[i]
+		te := tileEnd(j.tile, len(keys))
+		tile := keys[j.tile:te]
 		lo := rlo + uint64(j.shard)*width/uint64(n)
 		hi := rlo + uint64(j.shard+1)*width/uint64(n)
-		buf := make([]uint32, hi-lo)
-		if err := dpf.EvalRange(prg, keys[j.q], lo, hi, buf); err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
+		lt := getLeafTile(len(tile), int(hi-lo))
+		defer lt.release()
+		for q, k := range tile {
+			if err := dpf.EvalRange(prg, k, lo, hi, lt.rows[q]); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
 			}
-			errMu.Unlock()
-			return
+			// Pruned DFS costs ~2·span + 2·depth blocks for the shard path.
+			ctr.AddPRFBlocks(2*int64(hi-lo) - 2 + 2*int64(bits))
 		}
-		// Pruned DFS costs ~2·span + 2·depth blocks for the shard path.
-		ctr.AddPRFBlocks(2*int64(hi-lo) - 2 + 2*int64(bits))
-		local := make([]uint32, tab.Lanes)
-		for jdx := lo; jdx < hi && jdx < uint64(tab.NumRows); jdx++ {
-			accumulateRow(local, buf[jdx-lo], tab.Row(int(jdx)))
+		rowHi := hi
+		if rowHi > uint64(tab.NumRows) {
+			rowHi = uint64(tab.NumRows)
+		}
+		sc := getWalkScratch()
+		local := sc.growLocal(len(tile), tab.Lanes)
+		if lo < rowHi {
+			accumulateTile(tab, int(lo), int(rowHi), lt.rows, local)
 		}
 		mu.Lock()
-		for l := range local {
-			answers[j.q][l] += local[l]
+		for q := range local {
+			for l := range local[q] {
+				dst[j.tile+q][l] += local[q][l]
+			}
 		}
 		mu.Unlock()
+		sc.release()
 	})
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
 	if rlo == 0 && rhi == uint64(1)<<uint(bits) {
 		ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
@@ -139,7 +166,7 @@ func (m MultiGPU) run(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uint64,
 		ctr.AddRead(rangeReadBytes(len(keys), tab.Lanes, int(width)))
 	}
 	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4 * int64(n))
-	return answers, nil
+	return nil
 }
 
 // Model implements Strategy: each device runs the fused membound model on

@@ -12,9 +12,12 @@ import (
 // seed plus its control bit.
 const nodeBytes = 17
 
-// tileQueries is the modeled matrix-multiplication tile width: one pass
-// over the table serves this many queries' dot products (the paper batches
-// per-table dot products into one matrix-matrix multiply, §3.1).
+// tileQueries is the matrix-multiplication tile width: one pass over the
+// table serves this many queries' dot products (the paper batches
+// per-table dot products into one matrix-matrix multiply, §3.1). This is
+// both the modeled width in tableReadBytes and the width the real Run /
+// RunRange hot paths execute — a batch of B queries streams the table
+// ⌈B/32⌉ times, not B times.
 const tileQueries = 32
 
 // Strategy is one DPF execution strategy.
@@ -36,6 +39,13 @@ type Strategy interface {
 	// product. Counter accounting for partial ranges is proportional, not
 	// pinned to Model.
 	RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error)
+	// RunRangeInto is RunRange accumulating into caller-provided answer
+	// buffers: dst[q] (tab.Lanes wide, zeroed by the caller) receives key
+	// q's partial share for rows [lo, hi). Strategies add into dst without
+	// allocating per-call answer storage, which is what lets
+	// engine.Replica pool its shard partials for an allocation-free
+	// steady-state Answer.
+	RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error
 	// Model analytically predicts the device-side execution of a batch of
 	// the given shape and converts it to a Report via dev's cost model.
 	Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error)
@@ -104,6 +114,64 @@ func accumulateRow(ans []uint32, leaf uint32, row []uint32) {
 	for i, v := range row {
 		ans[i] += leaf * v
 	}
+}
+
+// accumulateTile is the executed form of the paper's query-tiled matmul
+// (§3.1, §3.2.4): ONE streaming pass over rows [lo, hi) accumulates every
+// tile query's dot product at once. Each row is read from memory once and
+// reused leaves-wide from cache, instead of the table being streamed once
+// per query — the traffic tableReadBytes has always modeled. leaves[q][j-lo]
+// is query q's leaf share for row j; answers[q] accumulates lane-wise mod
+// 2^32 (order-independent, so tiled output is bit-identical to the scalar
+// per-query pass).
+func accumulateTile(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
+	// The row is staged through a fixed-size stack buffer: answers and the
+	// table share an element type, so without the copy the compiler must
+	// reload every row element once per query against possible aliasing.
+	var rowBuf [64]uint32
+	lanes := tab.Lanes
+	if lanes <= len(rowBuf) {
+		for j := lo; j < hi; j++ {
+			row := rowBuf[:lanes]
+			copy(row, tab.Row(j))
+			for q, lv := range leaves {
+				accumulateRow(answers[q], lv[j-lo], row)
+			}
+		}
+		return
+	}
+	for j := lo; j < hi; j++ {
+		row := tab.Row(j)
+		for q, lv := range leaves {
+			accumulateRow(answers[q], lv[j-lo], row)
+		}
+	}
+}
+
+// NewAnswers allocates a batch of answer accumulators backed by one flat
+// zeroed slice — two allocations for the whole batch, the only ones the
+// steady-state hot path retains. engine.Replica uses it for the answers
+// it returns; strategies use it for Run/RunRange results.
+func NewAnswers(n, lanes int) [][]uint32 {
+	flat := make([]uint32, n*lanes)
+	ans := make([][]uint32, n)
+	for i := range ans {
+		ans[i] = flat[i*lanes : (i+1)*lanes : (i+1)*lanes]
+	}
+	return ans
+}
+
+// validateDst checks a RunRangeInto destination batch.
+func validateDst(keys []*dpf.Key, tab *Table, dst [][]uint32) error {
+	if len(dst) != len(keys) {
+		return fmt.Errorf("strategy: %d answer buffers for %d keys", len(dst), len(keys))
+	}
+	for q := range dst {
+		if len(dst[q]) != tab.Lanes {
+			return fmt.Errorf("strategy: answer buffer %d has %d lanes, table has %d", q, len(dst[q]), tab.Lanes)
+		}
+	}
+	return nil
 }
 
 // tableReadBytes models the global-memory traffic of the fused/tiled dot
