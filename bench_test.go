@@ -54,6 +54,22 @@ func benchKeys(b *testing.B, prg dpf.PRG, tab *strategy.Table, batch int) []*dpf
 	return keys
 }
 
+// benchKeysEarly is benchKeys at an explicit early-termination depth (0 =
+// full-depth wire-v1 keys, what the frozen seed baseline expects).
+func benchKeysEarly(b *testing.B, prg dpf.PRG, tab *strategy.Table, batch, early int) []*dpf.Key {
+	b.Helper()
+	rng := rand.New(rand.NewSource(2))
+	keys := make([]*dpf.Key, batch)
+	for q := range keys {
+		k0, _, err := dpf.GenEarly(prg, uint64(rng.Intn(tab.NumRows)), tab.Bits(), []uint32{1}, early, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys[q] = &k0
+	}
+	return keys
+}
+
 // BenchmarkTiledAnswer compares the seed per-query hot path (the frozen
 // internal/seedbaseline walk — one aes.NewCipher per tree node, one full
 // table pass per query) against the tiled/batched execution across batch
@@ -61,22 +77,28 @@ func benchKeys(b *testing.B, prg dpf.PRG, tab *strategy.Table, batch int) []*dpf
 //
 // The "tiled" case is the restructured MemBoundTree hot path: batched PRF
 // calls (ExpandBatch through reusable key-schedule scratch instead of
-// aes.NewCipher per node), pooled frontier/leaf buffers, and one
-// streaming table pass per tile of 32 queries (accumulateTile). At batch
+// aes.NewCipher per node), pooled frontier/leaf buffers, one streaming
+// table pass per tile of 32 queries (accumulateTile), and the default
+// early-terminated keys (§3.1): the walk stops 2 levels up and each
+// terminal seed converts into four leaf lanes, ~4× less PRF work than the
+// baseline's full-depth walk. The seed baseline predates the v2 wire
+// format, so it evaluates full-depth keys for the same indices. At batch
 // ≥ 32 the tiled path must be ≥ 2× the per-query throughput;
-// cmd/benchjson runs the same comparison programmatically and emits
-// BENCH_hotpath.json.
+// cmd/benchjson runs the same comparison programmatically, emits
+// BENCH_hotpath.json, and (in CI) gates regressions against the committed
+// copy.
 func BenchmarkTiledAnswer(b *testing.B) {
 	const rows, lanes = 1 << 16, 16
 	prg := dpf.NewAESPRG()
 	tab := benchTable(b, rows, lanes)
 	for _, batch := range []int{1, 8, 32, 128} {
+		v1Keys := benchKeysEarly(b, prg, tab, batch, 0)
 		keys := benchKeys(b, prg, tab, batch)
 		b.Run(fmt.Sprintf("perquery/B=%d", batch), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(int64(batch) * rows * lanes * 4)
 			for i := 0; i < b.N; i++ {
-				_ = seedbaseline.Run(prg, keys, tab, 128)
+				_ = seedbaseline.Run(prg, v1Keys, tab, 128)
 			}
 		})
 		b.Run(fmt.Sprintf("tiled/B=%d", batch), func(b *testing.B) {

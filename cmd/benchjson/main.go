@@ -7,13 +7,26 @@
 //
 //   - seed: the seed revision's per-query MemBoundTree hot path — scalar
 //     PRF expansion (aes.NewCipher per tree node), freshly appended child
-//     groups, one full table pass per query.
+//     groups, one full table pass per query. The baseline predates the
+//     early-termination wire format, so it always evaluates full-depth
+//     (wire v1) keys.
 //   - tiled: the batched/tiled hot path — dpf.ExpandBatch frontiers,
-//     pooled scratch, one streaming table pass per tile of 32 queries.
+//     pooled scratch, one streaming table pass per tile of 32 queries, and
+//     (at the default -early 2) early-terminated keys that cut PRF work
+//     ~4× by converting each terminal seed into four leaf lanes (§3.1).
+//
+// With -compare FILE the run additionally gates against a committed
+// baseline file: it fails (exit 1) if the tiled path's speedup over the
+// seed path regresses more than 15% on any batch both files measured, or
+// if tiled allocs/op leave single digits. Speedup ratios — not absolute
+// ns/op — are compared because CI hardware differs from the machine that
+// wrote the committed baseline; the ratio is the machine-normalized
+// measure of the tiled path's health.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_hotpath.json] [-rows 65536] [-lanes 16] [-batches 1,8,32,128]
+//	benchjson [-o BENCH_hotpath.json] [-rows 65536] [-lanes 16]
+//	          [-batches 1,8,32,128] [-early 2] [-compare BENCH_hotpath.json]
 package main
 
 import (
@@ -35,6 +48,13 @@ import (
 	"gpudpf/internal/strategy"
 )
 
+// maxSpeedupRegression is the -compare gate: the tiled/seed speedup may
+// drop at most this fraction below the committed baseline's.
+const maxSpeedupRegression = 0.15
+
+// maxTiledAllocs is the -compare gate on tiled allocs/op ("single digits").
+const maxTiledAllocs = 9
+
 // Case is one measured benchmark configuration.
 type Case struct {
 	Name        string  `json:"name"`
@@ -54,6 +74,7 @@ type Output struct {
 	Rows          int                `json:"rows"`
 	Lanes         int                `json:"lanes"`
 	PRG           string             `json:"prg"`
+	Early         int                `json:"early"`
 	Cases         []Case             `json:"cases"`
 	Speedup       map[string]float64 `json:"speedup_tiled_over_seed"`
 }
@@ -63,6 +84,8 @@ func main() {
 	rows := flag.Int("rows", 1<<16, "table rows")
 	lanes := flag.Int("lanes", 16, "uint32 lanes per row")
 	batches := flag.String("batches", "1,8,32,128", "comma-separated batch sizes")
+	early := flag.Int("early", dpf.DefaultEarlyBits, "early-termination depth for the tiled path's keys (0 = full-depth wire-v1)")
+	compare := flag.String("compare", "", "committed baseline JSON to gate against (fail on >15% speedup regression or double-digit tiled allocs)")
 	flag.Parse()
 
 	tab, err := strategy.NewTable(*rows, *lanes)
@@ -83,6 +106,7 @@ func main() {
 		Rows:          *rows,
 		Lanes:         *lanes,
 		PRG:           prg.Name(),
+		Early:         *early,
 		Speedup:       map[string]float64{},
 	}
 
@@ -91,21 +115,22 @@ func main() {
 		if err != nil || batch <= 0 {
 			log.Fatalf("benchjson: bad batch %q", bs)
 		}
-		keys := make([]*dpf.Key, batch)
-		for q := range keys {
-			k0, _, err := dpf.Gen(prg, uint64(rng.Intn(tab.NumRows)), tab.Bits(), []uint32{1}, rng)
-			if err != nil {
-				log.Fatalf("benchjson: %v", err)
-			}
-			keys[q] = &k0
+		// Same indices for both paths; the seed baseline predates the v2
+		// wire format, so it gets full-depth keys while the tiled path
+		// evaluates the configured format.
+		indices := make([]uint64, batch)
+		for q := range indices {
+			indices[q] = uint64(rng.Intn(tab.NumRows))
 		}
+		seedKeys := genKeys(prg, tab, indices, 0, rng)
+		tiledKeys := genKeys(prg, tab, indices, *early, rng)
 		seed := measure("seed", batch, func() {
-			seedbaseline.Run(prg, keys, tab, 128)
+			seedbaseline.Run(prg, seedKeys, tab, 128)
 		})
 		tiled := measure("tiled", batch, func() {
 			var ctr gpu.Counters
 			s := strategy.MemBoundTree{K: 128, Fused: true}
-			if _, err := s.Run(prg, keys, tab, &ctr); err != nil {
+			if _, err := s.Run(prg, tiledKeys, tab, &ctr); err != nil {
 				log.Fatalf("benchjson: %v", err)
 			}
 		})
@@ -127,6 +152,73 @@ func main() {
 		log.Fatalf("benchjson: %v", err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if *compare != "" {
+		if err := compareBaseline(*compare, o); err != nil {
+			log.Fatalf("benchjson: regression gate: %v", err)
+		}
+		fmt.Printf("regression gate vs %s: ok\n", *compare)
+	}
+}
+
+// genKeys generates one party-0 key per index at the given termination
+// depth (clamped to the table's tree like the protocol clients clamp).
+func genKeys(prg dpf.PRG, tab *strategy.Table, indices []uint64, early int, rng *rand.Rand) []*dpf.Key {
+	early = dpf.ClampEarly(early, tab.Bits())
+	keys := make([]*dpf.Key, len(indices))
+	for q, idx := range indices {
+		k0, _, err := dpf.GenEarly(prg, idx, tab.Bits(), []uint32{1}, early, rng)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		keys[q] = &k0
+	}
+	return keys
+}
+
+// compareBaseline diffs this run against a committed baseline: per batch
+// present in both files, the tiled/seed speedup must not regress more than
+// maxSpeedupRegression, and this run's tiled allocs/op must stay single
+// digits.
+func compareBaseline(path string, got Output) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	// Ratios are only comparable on the same workload shape: a rows/lanes/
+	// early/prg drift between the committed file and the CI flags would
+	// make the 15% threshold meaningless, so it is an error, not a silent
+	// pass.
+	if base.Rows != got.Rows || base.Lanes != got.Lanes || base.Early != got.Early || base.PRG != got.PRG {
+		return fmt.Errorf("baseline shape (rows=%d lanes=%d early=%d prg=%s) != this run (rows=%d lanes=%d early=%d prg=%s); regenerate %s or fix the flags",
+			base.Rows, base.Lanes, base.Early, base.PRG, got.Rows, got.Lanes, got.Early, got.PRG, path)
+	}
+	compared := 0
+	for batch, baseline := range base.Speedup {
+		current, ok := got.Speedup[batch]
+		if !ok || baseline <= 0 {
+			continue
+		}
+		compared++
+		if current < baseline*(1-maxSpeedupRegression) {
+			return fmt.Errorf("batch %s: tiled speedup %.2fx regressed >%.0f%% below committed %.2fx",
+				batch, current, maxSpeedupRegression*100, baseline)
+		}
+		fmt.Printf("batch %s: speedup %.2fx vs committed %.2fx\n", batch, current, baseline)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no overlapping batches between this run and %s", path)
+	}
+	for _, c := range got.Cases {
+		if c.Name == "tiled" && c.AllocsPerOp > maxTiledAllocs {
+			return fmt.Errorf("batch %d: tiled path allocates %d/op, single digits required", c.Batch, c.AllocsPerOp)
+		}
+	}
+	return nil
 }
 
 // measure runs fn via testing.Benchmark (which auto-scales iterations to

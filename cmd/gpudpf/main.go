@@ -46,6 +46,7 @@ func cmdGen(args []string) {
 	bits := fs.Int("bits", 20, "tree depth (domain 2^bits)")
 	index := fs.Uint64("index", 0, "secret index alpha")
 	prgName := fs.String("prg", "aes128", "PRF")
+	early := fs.Int("early", dpf.DefaultEarlyBits, "early-termination depth (0 = legacy full-depth wire-v1 keys)")
 	out0 := fs.String("out0", "key0.bin", "party-0 key file")
 	out1 := fs.String("out1", "key1.bin", "party-1 key file")
 	fs.Parse(args)
@@ -54,7 +55,13 @@ func cmdGen(args []string) {
 	if err != nil {
 		log.Fatalf("gpudpf gen: %v", err)
 	}
-	k0, k1, err := dpf.Gen(prg, *index, *bits, []uint32{1}, rand.Reader)
+	// Clamp the default depth for tiny trees like the protocol clients do,
+	// so `gen -bits 2` keeps working; an explicitly requested depth that
+	// does not fit still errors.
+	if *early == dpf.DefaultEarlyBits {
+		*early = dpf.ClampEarly(*early, *bits)
+	}
+	k0, k1, err := dpf.GenEarly(prg, *index, *bits, []uint32{1}, *early, rand.Reader)
 	if err != nil {
 		log.Fatalf("gpudpf gen: %v", err)
 	}
@@ -70,8 +77,15 @@ func cmdGen(args []string) {
 			log.Fatalf("gpudpf gen: %v", err)
 		}
 	}
-	fmt.Printf("wrote %s and %s (%d bytes each, domain 2^%d, prg %s)\n",
-		*out0, *out1, dpf.MarshaledSize(*bits, 1), *bits, *prgName)
+	fmt.Printf("wrote %s and %s (%d bytes each, wire v%d, domain 2^%d, prg %s)\n",
+		*out0, *out1, dpf.MarshaledSizeEarly(*bits, 1, *early), wireVer(*early), *bits, *prgName)
+}
+
+func wireVer(early int) int {
+	if early > 0 {
+		return 2
+	}
+	return 1
 }
 
 func cmdEval(args []string) {

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"gpudpf/internal/dpf"
 	"gpudpf/internal/pir"
 )
 
@@ -24,6 +25,7 @@ func main() {
 	s1 := flag.String("server1", "127.0.0.1:7701", "party-1 server address")
 	rows := flag.Int("rows", 65536, "table rows (must match servers)")
 	prg := flag.String("prg", "aes128", "PRF (must match servers)")
+	early := flag.Int("early", dpf.DefaultEarlyBits, "early-termination depth for generated keys (must match servers; 0 = legacy full-depth wire-v1 keys)")
 	indices := flag.String("index", "0", "comma-separated row indices to fetch privately")
 	repeat := flag.Int("repeat", 1, "fetch the index set this many times and report aggregate QPS")
 	flag.Parse()
@@ -48,7 +50,7 @@ func main() {
 	}
 	defer e1.Close()
 
-	client, err := pir.NewClient(*prg, *rows, nil)
+	client, err := pir.NewClientEarly(*prg, *rows, *early, nil)
 	if err != nil {
 		log.Fatalf("pirclient: %v", err)
 	}

@@ -20,6 +20,7 @@ import (
 	"net"
 	"time"
 
+	"gpudpf/internal/dpf"
 	"gpudpf/internal/engine"
 	"gpudpf/internal/pir"
 	"gpudpf/internal/serving"
@@ -32,6 +33,7 @@ func main() {
 	lanes := flag.Int("lanes", 32, "uint32 lanes per row (entry bytes / 4)")
 	seed := flag.Int64("seed", 42, "deterministic table content seed (must match the peer)")
 	prg := flag.String("prg", "aes128", "PRF (must match clients): aes128, chacha20, siphash, highway, sha256")
+	early := flag.Int("early", dpf.DefaultEarlyBits, "early-termination depth clients' keys carry (must match clients; 0 = legacy full-depth wire-v1 keys)")
 	shards := flag.Int("shards", 0, "row-range shards evaluated concurrently (0 = unsharded)")
 	workers := flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 64, "max keys per formed batch (0 disables the batching front door)")
@@ -42,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	srv, err := pir.NewServer(*party, tab, pir.WithPRG(*prg), pir.WithSharding(*shards, *workers))
+	srv, err := pir.NewServer(*party, tab, pir.WithPRG(*prg), pir.WithEarly(*early), pir.WithSharding(*shards, *workers))
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
@@ -59,8 +61,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s shards=%d batch=%d)",
-		*party, *rows, *lanes*4, l.Addr(), *prg, srv.Engine().Shards(), *batch)
+	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s early=%d shards=%d batch=%d)",
+		*party, *rows, *lanes*4, l.Addr(), *prg, srv.Engine().EarlyBits(), srv.Engine().Shards(), *batch)
 	if err := pir.Serve(l, front); err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}

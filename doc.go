@@ -11,7 +11,15 @@
 //
 //   - internal/dpf holds the distributed point function itself: key
 //     generation, per-level expansion, and the pruned range evaluation
-//     (EvalRange) that makes row-range sharding cheap. The PRG layer is
+//     (EvalRange) that makes row-range sharding cheap. Keys terminate
+//     early by default (§3.1): the tree walk stops ⌈log₂(λ/w)⌉ = 2 levels
+//     above the leaves and each 128-bit terminal seed converts into four
+//     32-bit output lanes (LeafValuesInto / LeafRangeInto), cutting PRF
+//     work ~4× per query. The wire format is versioned by the magic's low
+//     byte — v1 (0xDF01) is the legacy full-depth layout, v2 (0xDF02)
+//     adds an early-depth byte, carries bits-early correction words and a
+//     group-wide final correction — and both unmarshal and evaluate
+//     (golden fixtures per PRF pin both layouts in CI). The PRG layer is
 //     batched: every PRF implements ExpandBatch (AES through an AES-NI
 //     schedule+encrypt pipeline on amd64, with a pure-Go fallback; the
 //     others with hoisted per-call state), and StepBothBatch /
@@ -33,8 +41,12 @@
 //     worker pool, merging per-shard partial sums in place. Unmarshaled
 //     keys and shard partials are pooled, so the steady-state Answer
 //     allocates nothing beyond the returned answer slices (enforced by
-//     AllocsPerRun tests). Future backends (GPU simulation, multi-device,
-//     remote shards) plug in here.
+//     AllocsPerRun tests). The replica pins one early-termination depth
+//     (Config.EarlyBits; default = what pir.NewClient emits) and rejects
+//     mismatched keys at validation with the configured PRF and the key's
+//     parsed wire version in the error — the tiled walkers need
+//     depth-uniform batches. Future backends (GPU simulation,
+//     multi-device, remote shards) plug in here.
 //   - internal/pir and internal/batchpir are thin protocol adapters over
 //     engine replicas: the two-server PIR protocol of §3.1 and the partial
 //     batch retrieval scheme of §4.1 (bins answered concurrently).
@@ -55,10 +67,23 @@
 // cmd/benchjson measures the seed per-query hot path against the
 // tiled/batched one and writes BENCH_hotpath.json. Each entry in "cases"
 // is one (path, batch) measurement: "seed" is the pre-tiling per-query
-// implementation, "tiled" the current hot path; ns_per_op is one whole
-// batch, qps = batch / seconds_per_op, and allocs_per_op should stay in
-// single digits for "tiled" (the seed path allocates per tree node).
-// "speedup_tiled_over_seed" maps batch size → throughput ratio; CI's
-// bench job regenerates the file as an artifact on every run, so the
-// trajectory of these numbers is the repo's performance history.
+// implementation evaluating full-depth (wire v1) keys, "tiled" the
+// current hot path evaluating keys at the "early" termination depth;
+// ns_per_op is one whole batch, qps = batch / seconds_per_op, and
+// allocs_per_op should stay in single digits for "tiled" (the seed path
+// allocates per tree node). "speedup_tiled_over_seed" maps batch size →
+// throughput ratio; CI's bench job regenerates the file as an artifact on
+// every run, so the trajectory of these numbers is the repo's performance
+// history — and its regression gate (benchjson -compare) fails the job if
+// the speedup drops >15% below the committed file on any shared batch or
+// tiled allocs/op leave single digits (ratios, not absolute ns/op: CI
+// hardware differs from the machine that wrote the committed file).
+//
+// # CI matrix
+//
+// Beyond the amd64 vet/build/race-test job, CI runs the full test suite
+// under -tags purego (the pure-Go AES fallback — the golden key fixtures
+// prove it agrees byte-for-byte with the AES-NI path) and cross-builds
+// linux/arm64 (with and without purego) and darwin/arm64, so the asm
+// stubs and build-tag plumbing stay honest on every push.
 package gpudpf

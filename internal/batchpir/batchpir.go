@@ -67,9 +67,11 @@ func (c Config) BinBits() int {
 }
 
 // KeyBytesPerQuery is the total client→servers key traffic of one PBR
-// round: one key per bin per server.
+// round: one key per bin per server, in the default early-terminated wire
+// format batchpir clients emit.
 func (c Config) KeyBytesPerQuery() int64 {
-	return int64(c.NumBins()) * int64(dpf.MarshaledSize(c.BinBits(), 1)) * 2
+	bits := c.BinBits()
+	return int64(c.NumBins()) * int64(dpf.MarshaledSizeEarly(bits, 1, dpf.DefaultEarly(bits, 1))) * 2
 }
 
 // DownBytesPerQuery is the servers→client share traffic of one PBR round.

@@ -31,9 +31,15 @@ func (l *Layout) Cost() Cost {
 		BinBits() int
 	}) {
 		bins := int64(cfg.NumBins())
-		domain := int64(1) << uint(cfg.BinBits())
-		c.PRFBlocks += bins * (2*domain - 2)
-		c.UpBytes += bins * int64(dpf.MarshaledSize(cfg.BinBits(), 1)) * 2
+		bits := cfg.BinBits()
+		// Per-bin PIR cost in the default early-terminated key format the
+		// batchpir clients emit: the walk stops early levels up (§3.1), so
+		// the per-bin expansion is 2·(domain>>early)-2 blocks and the key
+		// is the wire-v2 size.
+		early := dpf.DefaultEarly(bits, 1)
+		domain := int64(1) << uint(bits)
+		c.PRFBlocks += bins * (2*(domain>>uint(early)) - 2)
+		c.UpBytes += bins * int64(dpf.MarshaledSizeEarly(bits, 1, early)) * 2
 		c.DownBytes += bins * int64(lanes) * 4 * 2
 		c.Queries += int(bins)
 	}

@@ -181,11 +181,12 @@ func TestEvalFullIntoMatchesEvalFull(t *testing.T) {
 }
 
 // TestLeafValuesIntoMatchesLeafValueScalar: the frontier-wide conversion is
-// the scalar one.
+// the scalar one on full-depth keys, and the per-lane group conversion on
+// early-terminated keys; LeafRangeInto agrees on every sub-range.
 func TestLeafValuesIntoMatchesLeafValueScalar(t *testing.T) {
 	rng := mrand.New(mrand.NewSource(6))
 	prg := NewAESPRG()
-	k0, k1, err := Gen(prg, 11, 5, []uint32{9}, rng)
+	k0, k1, err := GenEarly(prg, 11, 5, []uint32{9}, 0, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,6 +203,40 @@ func TestLeafValuesIntoMatchesLeafValueScalar(t *testing.T) {
 		for i := range seeds {
 			if want := LeafValueScalar(k, seeds[i], ts[i]); got[i] != want {
 				t.Fatalf("party=%d leaf %d: %d want %d", k.Party, i, got[i], want)
+			}
+		}
+	}
+	e0, e1, err := GenEarly(prg, 11, 5, []uint32{9}, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []*Key{&e0, &e1} {
+		const n = 8
+		gs := k.GroupSize()
+		seeds := make([]Seed, n)
+		ts := make([]uint8, n)
+		for i := range seeds {
+			rng.Read(seeds[i][:])
+			ts[i] = uint8(i & 1)
+		}
+		got := make([]uint32, n*gs)
+		LeafValuesInto(k, seeds, ts, got)
+		for i := range seeds {
+			for sub := 0; sub < gs; sub++ {
+				if want := LeafLane(k, seeds[i], ts[i], sub); got[i*gs+sub] != want {
+					t.Fatalf("party=%d node %d sub %d: %d want %d", k.Party, i, sub, got[i*gs+sub], want)
+				}
+			}
+		}
+		// Every clipped sub-range of the frontier converts identically.
+		total := uint64(n * gs)
+		for _, r := range [][2]uint64{{0, total}, {0, 1}, {3, 5}, {1, total - 3}, {total - 1, total}} {
+			sub := make([]uint32, r[1]-r[0])
+			LeafRangeInto(k, seeds, ts, r[0], r[1], sub)
+			for j := r[0]; j < r[1]; j++ {
+				if sub[j-r[0]] != got[j] {
+					t.Fatalf("party=%d LeafRangeInto[%d,%d): mismatch at leaf %d", k.Party, r[0], r[1], j)
+				}
 			}
 		}
 	}

@@ -39,31 +39,102 @@ type CW struct {
 	TR uint8
 }
 
+// MaxEarlyBits is the deepest supported early termination: ⌈log₂(λ/w)⌉
+// levels for λ = 128 and w = 32, i.e. one 128-bit terminal seed holds at
+// most four 32-bit output lanes without extra PRF calls.
+const MaxEarlyBits = 2
+
+// DefaultEarlyBits is the early-termination depth Gen uses by default for
+// scalar keys: stop ⌈log₂(λ/w)⌉ = 2 levels above the leaves and convert
+// each terminal seed into four output lanes (paper §3.1), cutting the PRF
+// work of a full expansion ~4×.
+const DefaultEarlyBits = 2
+
+// DefaultEarly clamps DefaultEarlyBits to what a key of the given tree
+// depth and lane count supports: the terminal group (lanes << early 32-bit
+// words) must fit the 128-bit seed, and at least one tree level must
+// remain. Wide-beta keys (lanes > 2) therefore get no early termination;
+// scalar PIR keys get the full 2 levels whenever bits ≥ 3.
+func DefaultEarly(bits, lanes int) int {
+	early := DefaultEarlyBits
+	for early > 0 && lanes<<uint(early) > 4 {
+		early--
+	}
+	return ClampEarly(early, bits)
+}
+
+// ClampEarly bounds an early-termination depth to what a tree of the given
+// depth supports — at least one walked level must remain. Every layer that
+// resolves a configured depth against a concrete table (pir.Client,
+// engine.Replica, the cmd flags) clamps through this one function, so a
+// client and server given the same flags stay matched even on tiny tables.
+func ClampEarly(early, bits int) int {
+	if early > bits-1 {
+		early = bits - 1
+	}
+	if early < 0 {
+		early = 0
+	}
+	return early
+}
+
 // Key is one party's share of a point function. A Key alone is
 // computationally indistinguishable from a key for any other index.
 type Key struct {
 	// Bits is the tree depth n; the domain is [0, 2^Bits).
 	Bits int
-	// Lanes is the number of 32-bit output lanes (entry bytes / 4).
+	// Lanes is the number of 32-bit output lanes per leaf (entry bytes/4).
 	Lanes int
+	// Early is the early-termination depth (§3.1): the tree walk stops
+	// Early levels above the leaves, and each terminal seed converts into
+	// the outputs of 2^Early consecutive leaves. 0 is the legacy full-depth
+	// walk (wire format v1); Early > 0 keys marshal as wire format v2.
+	Early int
 	// Party is 0 or 1; party 1 negates its outputs so shares are additive.
 	Party uint8
 	// Root is this party's root seed.
 	Root Seed
-	// CWs holds one correction word per level, root to leaves.
+	// CWs holds one correction word per walked level (Bits - Early of
+	// them), root to terminal nodes.
 	CWs []CW
-	// Final is the output-group correction applied at leaves with control
-	// bit 1.
+	// Final is the output-group correction applied at terminal nodes with
+	// control bit 1; it spans the whole terminal group (Lanes << Early
+	// lanes, the 2^Early leaves' outputs concatenated in leaf order).
 	Final []uint32
 }
 
 // Domain returns the number of leaves 2^Bits.
 func (k *Key) Domain() uint64 { return 1 << uint(k.Bits) }
 
+// TreeDepth is the number of levels the evaluation tree actually walks:
+// Bits - Early correction words from the root to the terminal frontier.
+func (k *Key) TreeDepth() int { return k.Bits - k.Early }
+
+// GroupSize is the number of consecutive leaves one terminal seed covers.
+func (k *Key) GroupSize() int { return 1 << uint(k.Early) }
+
+// GroupLanes is the number of 32-bit output lanes one terminal seed
+// converts into: the group's leaves' lanes concatenated in leaf order.
+func (k *Key) GroupLanes() int { return k.Lanes << uint(k.Early) }
+
 // Gen generates a DPF key pair for the point function that evaluates to beta
 // at index alpha and to zero elsewhere over a domain of 2^bits indices.
 // Randomness is drawn from rng (use crypto/rand.Reader in production).
+// Keys use the default early-termination depth (DefaultEarly): scalar keys
+// stop the tree walk 2 levels early and convert each terminal seed into
+// four output lanes, the §3.1 optimisation. Use GenEarly for an explicit
+// depth (0 reproduces the legacy full-depth v1 keys).
 func Gen(prg PRG, alpha uint64, bits int, beta []uint32, rng io.Reader) (k0, k1 Key, err error) {
+	return GenEarly(prg, alpha, bits, beta, DefaultEarly(bits, len(beta)), rng)
+}
+
+// GenEarly is Gen with an explicit early-termination depth: the generated
+// keys walk bits-early tree levels and convert each 128-bit terminal seed
+// into the outputs of 2^early consecutive leaves. early must leave at
+// least one tree level and the terminal group (len(beta) << early lanes)
+// must fit the seed's four 32-bit words; early = 0 generates legacy
+// full-depth (wire format v1) keys.
+func GenEarly(prg PRG, alpha uint64, bits int, beta []uint32, early int, rng io.Reader) (k0, k1 Key, err error) {
 	if bits <= 0 || bits > MaxBits {
 		return k0, k1, fmt.Errorf("dpf: bits %d out of range [1,%d]", bits, MaxBits)
 	}
@@ -73,18 +144,31 @@ func Gen(prg PRG, alpha uint64, bits int, beta []uint32, rng io.Reader) (k0, k1 
 	if len(beta) == 0 {
 		return k0, k1, errors.New("dpf: beta must have at least one lane")
 	}
+	if early < 0 || early > MaxEarlyBits {
+		return k0, k1, fmt.Errorf("dpf: early-termination depth %d out of range [0,%d]", early, MaxEarlyBits)
+	}
+	if early >= bits {
+		return k0, k1, fmt.Errorf("dpf: early-termination depth %d leaves no tree levels for %d bits", early, bits)
+	}
+	// An early-terminated group must convert straight from the seed's four
+	// 32-bit words; full-depth keys may be arbitrarily wide (Convert draws
+	// extra PRG blocks beyond 4 lanes).
+	if g := len(beta) << uint(early); early > 0 && g > 4 {
+		return k0, k1, fmt.Errorf("dpf: terminal group of %d lanes (%d beta lanes << %d) exceeds the 4 a 128-bit seed holds", g, len(beta), early)
+	}
 	var roots [2]Seed
 	for b := 0; b < 2; b++ {
 		if _, err := io.ReadFull(rng, roots[b][:]); err != nil {
 			return k0, k1, fmt.Errorf("dpf: reading randomness: %w", err)
 		}
 	}
-	cws := make([]CW, bits)
+	depth := bits - early
+	cws := make([]CW, depth)
 
 	s := roots          // current seeds per party
 	t := [2]uint8{0, 1} // current control bits per party
 
-	for level := 0; level < bits; level++ {
+	for level := 0; level < depth; level++ {
 		// Bit of alpha at this level, MSB first.
 		aBit := uint8(alpha>>uint(bits-1-level)) & 1
 
@@ -117,14 +201,21 @@ func Gen(prg PRG, alpha uint64, bits int, beta []uint32, rng io.Reader) (k0, k1 
 		}
 	}
 
-	// Final correction word over the output group:
-	// final = (-1)^{t1} * (beta - Convert(s0) + Convert(s1)) mod 2^32.
+	// Final correction word over the terminal group's output lanes:
+	// final = (-1)^{t1} * (betaGroup - Convert(s0) + Convert(s1)) mod 2^32,
+	// where betaGroup places beta at the group slot the low `early` bits of
+	// alpha select and zeros elsewhere — the other leaves of alpha's
+	// terminal group must still share to zero.
 	lanes := len(beta)
-	c0 := Convert(prg, s[0], lanes)
-	c1 := Convert(prg, s[1], lanes)
-	final := make([]uint32, lanes)
+	groupLanes := lanes << uint(early)
+	betaGroup := make([]uint32, groupLanes)
+	sub := int(alpha) & (1<<uint(early) - 1)
+	copy(betaGroup[sub*lanes:(sub+1)*lanes], beta)
+	c0 := Convert(prg, s[0], groupLanes)
+	c1 := Convert(prg, s[1], groupLanes)
+	final := make([]uint32, groupLanes)
 	for i := range final {
-		v := beta[i] - c0[i] + c1[i]
+		v := betaGroup[i] - c0[i] + c1[i]
 		if t[1] == 1 {
 			v = -v
 		}
@@ -134,11 +225,12 @@ func Gen(prg PRG, alpha uint64, bits int, beta []uint32, rng io.Reader) (k0, k1 
 	mk := func(party uint8) Key {
 		cwCopy := make([]CW, len(cws))
 		copy(cwCopy, cws)
-		fCopy := make([]uint32, lanes)
+		fCopy := make([]uint32, groupLanes)
 		copy(fCopy, final)
 		return Key{
 			Bits:  bits,
 			Lanes: lanes,
+			Early: early,
 			Party: party,
 			Root:  roots[party],
 			CWs:   cwCopy,
@@ -262,15 +354,18 @@ func StepBatch(prg PRG, seeds []Seed, ts []uint8, cws []CW, bit uint8, sc *Batch
 	}
 }
 
-// LeafValue converts a leaf node state into this party's output-group share,
-// applying the final correction word and the party sign. dst must have
-// k.Lanes entries; it is returned for convenience. The conversion happens
-// in place via ConvertInto, so keys up to four lanes wide (the PIR hot
-// path) cost zero allocations.
+// LeafValue converts one terminal node state into this party's output
+// shares for the node's whole leaf group, applying the final correction
+// word and the party sign. dst must have k.GroupLanes() entries (= k.Lanes
+// for full-depth keys) and receives the group's leaves' lanes concatenated
+// in leaf order; it is returned for convenience. The conversion happens in
+// place via ConvertInto, so terminal groups up to four lanes wide (the PIR
+// hot path, early-terminated or not) cost zero allocations.
 func LeafValue(prg PRG, k *Key, s Seed, t uint8, dst []uint32) []uint32 {
-	dst = dst[:k.Lanes]
+	n := k.GroupLanes()
+	dst = dst[:n]
 	ConvertInto(prg, s, dst)
-	for i := 0; i < k.Lanes; i++ {
+	for i := 0; i < n; i++ {
 		v := dst[i]
 		if t == 1 {
 			v += k.Final[i]
@@ -283,27 +378,84 @@ func LeafValue(prg PRG, k *Key, s Seed, t uint8, dst []uint32) []uint32 {
 	return dst
 }
 
-// LeafValuesInto converts a whole frontier of leaf states into this
-// party's scalar output shares: dst[i] = LeafValueScalar(k, seeds[i],
-// ts[i]). The key must be scalar (one lane — the PIR hot path, where the
-// conversion reads straight from the seed with no PRF call).
+// LeafValuesInto converts a whole terminal frontier of a scalar key into
+// this party's output shares: each terminal node yields its GroupSize()
+// consecutive leaf values, so dst must have len(seeds) << Early entries.
+// The conversion reads straight from the seed words with no PRF call —
+// for early-terminated keys this is the §3.1 payoff: one 128-bit seed
+// becomes four output lanes instead of four walked leaves.
 func LeafValuesInto(k *Key, seeds []Seed, ts []uint8, dst []uint32) {
-	final := k.Final[0]
 	neg := k.Party == 1
+	if k.Early == 0 {
+		final := k.Final[0]
+		for i := range seeds {
+			v := leU32(seeds[i][0:4])
+			if ts[i] == 1 {
+				v += final
+			}
+			if neg {
+				v = -v
+			}
+			dst[i] = v
+		}
+		return
+	}
+	gs := k.GroupSize()
 	for i := range seeds {
-		v := leU32(seeds[i][0:4])
-		if ts[i] == 1 {
-			v += final
+		out := dst[i*gs : (i+1)*gs]
+		for j := 0; j < gs; j++ {
+			v := leU32(seeds[i][j*4 : j*4+4])
+			if ts[i] == 1 {
+				v += k.Final[j]
+			}
+			if neg {
+				v = -v
+			}
+			out[j] = v
 		}
-		if neg {
-			v = -v
-		}
-		dst[i] = v
 	}
 }
 
-// LeafValueScalar is LeafValue specialized to one-lane keys (the PIR hot
-// path); it avoids the slice plumbing.
+// LeafRangeInto converts leaves [lo, hi) of a scalar key's terminal
+// frontier into dst (hi-lo values): seeds[g] covers leaves
+// [g<<Early, (g+1)<<Early) in the frontier's own coordinates, so lo and hi
+// may cut through a terminal group — range walkers and shard boundaries
+// land wherever they like, the group conversion clips.
+func LeafRangeInto(k *Key, seeds []Seed, ts []uint8, lo, hi uint64, dst []uint32) {
+	if k.Early == 0 {
+		LeafValuesInto(k, seeds[lo:hi], ts[lo:hi], dst[:hi-lo])
+		return
+	}
+	gs := uint64(k.GroupSize())
+	neg := k.Party == 1
+	for g := lo >> uint(k.Early); g<<uint(k.Early) < hi; g++ {
+		base := g << uint(k.Early)
+		jLo, jHi := uint64(0), gs
+		if base < lo {
+			jLo = lo - base
+		}
+		if base+gs > hi {
+			jHi = hi - base
+		}
+		s, t := seeds[g], ts[g]
+		out := dst[base+jLo-lo:]
+		for j := jLo; j < jHi; j++ {
+			v := leU32(s[j*4 : j*4+4])
+			if t == 1 {
+				v += k.Final[j]
+			}
+			if neg {
+				v = -v
+			}
+			out[j-jLo] = v
+		}
+	}
+}
+
+// LeafValueScalar is LeafValue specialized to one-lane full-depth keys
+// (the wire-v1 PIR hot path and the frozen seed baseline); it avoids the
+// slice plumbing. Early-terminated keys convert whole groups — use
+// LeafLane for one leaf of a terminal group.
 func LeafValueScalar(k *Key, s Seed, t uint8) uint32 {
 	// One lane converts straight from the seed; no extra PRF call.
 	v := leU32(s[0:4])
@@ -316,19 +468,37 @@ func LeafValueScalar(k *Key, s Seed, t uint8) uint32 {
 	return v
 }
 
-// EvalAt evaluates the key at a single index x, walking one root-to-leaf
-// path (log L PRF calls).
+// LeafLane converts a single lane of a scalar key's terminal group: the
+// share of leaf (group<<Early)+sub is the seed's sub-th 32-bit word plus
+// its slot of the final correction word. sub must be < GroupSize().
+func LeafLane(k *Key, s Seed, t uint8, sub int) uint32 {
+	v := leU32(s[sub*4 : sub*4+4])
+	if t == 1 {
+		v += k.Final[sub]
+	}
+	if k.Party == 1 {
+		v = -v
+	}
+	return v
+}
+
+// EvalAt evaluates the key at a single index x, walking one root-to-
+// terminal path (TreeDepth PRF calls) and converting the terminal seed's
+// group, of which x's slot is returned.
 func EvalAt(prg PRG, k *Key, x uint64) ([]uint32, error) {
 	if x >= k.Domain() {
 		return nil, fmt.Errorf("dpf: index %d outside domain 2^%d", x, k.Bits)
 	}
 	s, t := k.Root, k.Party
-	for level := 0; level < k.Bits; level++ {
+	depth := k.TreeDepth()
+	for level := 0; level < depth; level++ {
 		bit := uint8(x>>uint(k.Bits-1-level)) & 1
 		s, t = Step(prg, s, t, k.CWs[level], bit)
 	}
-	out := make([]uint32, k.Lanes)
-	return LeafValue(prg, k, s, t, out), nil
+	group := make([]uint32, k.GroupLanes())
+	LeafValue(prg, k, s, t, group)
+	sub := int(x) & (k.GroupSize() - 1)
+	return group[sub*k.Lanes : (sub+1)*k.Lanes], nil
 }
 
 // FrontierScratch holds the ping-pong level buffers a full breadth-first
@@ -352,8 +522,8 @@ func (f *FrontierScratch) grow(n uint64) {
 
 // EvalFull expands the entire domain level by level and returns the flat
 // share vector of length 2^Bits * Lanes. This is the reference expansion
-// (and the core of the CPU level-by-level baseline): 2L-2 PRF calls, O(L)
-// intermediate memory.
+// (and the core of the CPU level-by-level baseline): 2·(L>>Early)-2 PRF
+// calls, O(L) intermediate memory.
 func EvalFull(prg PRG, k *Key) []uint32 {
 	out := make([]uint32, k.Domain()*uint64(k.Lanes))
 	var sc FrontierScratch
@@ -363,15 +533,17 @@ func EvalFull(prg PRG, k *Key) []uint32 {
 
 // ExpandFrontier expands the key's whole tree breadth-first through the
 // scratch — one StepBothBatch (a single batched PRF call) per level — and
-// returns the leaf-level frontier: Domain() seeds and control bits, valid
-// until the scratch's next use. Steady state allocates nothing once the
-// scratch has seen the domain size.
+// returns the terminal frontier: Domain()>>Early seeds and control bits
+// (node g covering leaves [g<<Early, (g+1)<<Early)), valid until the
+// scratch's next use. Steady state allocates nothing once the scratch has
+// seen the frontier size.
 func (f *FrontierScratch) ExpandFrontier(prg PRG, k *Key) ([]Seed, []uint8) {
-	f.grow(k.Domain())
+	f.grow(k.Domain() >> uint(k.Early))
 	seeds, ts := f.seeds[:1], f.ts[:1]
 	next, nextT := f.next, f.nextT
 	seeds[0], ts[0] = k.Root, k.Party
-	for level := 0; level < k.Bits; level++ {
+	depth := k.TreeDepth()
+	for level := 0; level < depth; level++ {
 		w := len(seeds)
 		StepBothBatch(prg, seeds, ts, k.CWs[level], next[:2*w], nextT[:2*w], &f.batch)
 		seeds, next = next[:2*w], seeds[:cap(seeds)]
@@ -391,9 +563,11 @@ func EvalFullInto(prg PRG, k *Key, out []uint32, sc *FrontierScratch) {
 		LeafValuesInto(k, seeds, ts, out)
 		return
 	}
-	lanes := uint64(k.Lanes)
-	for j := uint64(0); j < k.Domain(); j++ {
-		LeafValue(prg, k, seeds[j], ts[j], out[j*lanes:(j+1)*lanes])
+	// A terminal group's lanes are its leaves' lanes concatenated in leaf
+	// order, which is exactly the flat output layout.
+	groupLanes := uint64(k.GroupLanes())
+	for g := range seeds {
+		LeafValue(prg, k, seeds[g], ts[g], out[uint64(g)*groupLanes:(uint64(g)+1)*groupLanes])
 	}
 }
 
@@ -419,18 +593,38 @@ func EvalRange(prg PRG, k *Key, lo, hi uint64, out []uint32) error {
 
 // evalRangeWalk is EvalRange's pruned descent. It is a plain recursive
 // function (not a closure) so the walk itself never touches the heap.
+// The recursion bottoms out at the terminal frontier (TreeDepth levels
+// down), where one seed converts into its whole leaf group, clipped to
+// [lo, hi).
 func evalRangeWalk(prg PRG, k *Key, s Seed, t uint8, level int, base, lo, hi uint64, out []uint32) {
 	span := uint64(1) << uint(k.Bits-level)
 	if base >= hi || base+span <= lo {
 		return
 	}
-	if level == k.Bits {
-		if k.Lanes == 1 {
-			out[base-lo] = LeafValueScalar(k, s, t)
-		} else {
-			lanes := uint64(k.Lanes)
-			LeafValue(prg, k, s, t, out[(base-lo)*lanes:(base-lo+1)*lanes])
+	if level == k.TreeDepth() {
+		if k.Early == 0 {
+			if k.Lanes == 1 {
+				out[base-lo] = LeafValueScalar(k, s, t)
+			} else {
+				lanes := uint64(k.Lanes)
+				LeafValue(prg, k, s, t, out[(base-lo)*lanes:(base-lo+1)*lanes])
+			}
+			return
 		}
+		// The terminal group (≤ 4 lanes) converts into a stack buffer and
+		// the in-range slice is copied out — group boundaries need not
+		// align with [lo, hi).
+		var buf [4]uint32
+		group := LeafValue(prg, k, s, t, buf[:k.GroupLanes()])
+		jLo, jHi := uint64(0), span
+		if base < lo {
+			jLo = lo - base
+		}
+		if base+span > hi {
+			jHi = hi - base
+		}
+		lanes := uint64(k.Lanes)
+		copy(out[(base+jLo-lo)*lanes:(base+jHi-lo)*lanes], group[jLo*lanes:jHi*lanes])
 		return
 	}
 	ls, lt, rs, rt := StepBoth(prg, s, t, k.CWs[level])

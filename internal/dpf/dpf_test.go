@@ -359,14 +359,15 @@ func TestConvertBlocks(t *testing.T) {
 	}
 }
 
-// TestLeafValueScalarMatchesLeafValue pins the scalar fast path to the
-// generic implementation.
+// TestLeafValueScalarMatchesLeafValue pins the scalar fast paths to the
+// generic implementation: LeafValueScalar on a full-depth key, and each
+// LeafLane slot of an early-terminated key's terminal group.
 func TestLeafValueScalarMatchesLeafValue(t *testing.T) {
 	prg := NewAESPRG()
 	rng := testRand(8)
 	const bits = 6
 	for _, party := range []int{0, 1} {
-		k0, k1, err := Gen(prg, 17, bits, []uint32{42}, rng)
+		k0, k1, err := GenEarly(prg, 17, bits, []uint32{42}, 0, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -383,5 +384,120 @@ func TestLeafValueScalarMatchesLeafValue(t *testing.T) {
 		if got := LeafValueScalar(k, s, tb); got != want {
 			t.Errorf("party %d: scalar %d != generic %d", party, got, want)
 		}
+	}
+	for _, party := range []int{0, 1} {
+		e0, e1, err := GenEarly(prg, 17, bits, []uint32{42}, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := &e0
+		if party == 1 {
+			k = &e1
+		}
+		s, tb := k.Root, k.Party
+		for level := 0; level < k.TreeDepth(); level++ {
+			s, tb = Step(prg, s, tb, k.CWs[level], 1)
+		}
+		var buf [4]uint32
+		group := LeafValue(prg, k, s, tb, buf[:])
+		for sub := 0; sub < k.GroupSize(); sub++ {
+			if got := LeafLane(k, s, tb, sub); got != group[sub] {
+				t.Errorf("party %d sub %d: lane %d != group %d", party, sub, got, group[sub])
+			}
+		}
+	}
+}
+
+// TestEarlyMatchesFullDepth is the §3.1 equivalence property: for every
+// PRF and every supported termination depth, the early-terminated key
+// pair computes exactly the same point function as a full-depth pair —
+// shares reconstruct to beta at alpha and to zero elsewhere, via EvalAt,
+// EvalFull, and EvalRange alike.
+func TestEarlyMatchesFullDepth(t *testing.T) {
+	for _, prg := range allPRGs(t) {
+		prg := prg
+		t.Run(prg.Name(), func(t *testing.T) {
+			t.Parallel()
+			rng := testRand(314)
+			const bits = 7
+			const n = uint64(1) << bits
+			for _, early := range []int{0, 1, 2} {
+				alpha := uint64(rng.Int63n(int64(n)))
+				beta := []uint32{rng.Uint32()}
+				k0, k1, err := GenEarly(prg, alpha, bits, beta, early, rng)
+				if err != nil {
+					t.Fatalf("GenEarly(early=%d): %v", early, err)
+				}
+				if k0.Early != early || len(k0.CWs) != bits-early || len(k0.Final) != 1<<uint(early) {
+					t.Fatalf("early=%d: key shape Early=%d CWs=%d Final=%d", early, k0.Early, len(k0.CWs), len(k0.Final))
+				}
+				f0 := EvalFull(prg, &k0)
+				f1 := EvalFull(prg, &k1)
+				for j := uint64(0); j < n; j++ {
+					want := uint32(0)
+					if j == alpha {
+						want = beta[0]
+					}
+					if got := f0[j] + f1[j]; got != want {
+						t.Fatalf("early=%d: EvalFull sum at %d = %d, want %d", early, j, got, want)
+					}
+					v0, err := EvalAt(prg, &k0, j)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v0[0] != f0[j] {
+						t.Fatalf("early=%d: EvalAt(%d) = %d, EvalFull = %d", early, j, v0[0], f0[j])
+					}
+				}
+				// Unaligned ranges must clip terminal groups correctly.
+				for _, r := range [][2]uint64{{0, n}, {1, 2}, {3, 97}, {n - 5, n}, {alpha, alpha + 1}} {
+					out := make([]uint32, r[1]-r[0])
+					if err := EvalRange(prg, &k0, r[0], r[1], out); err != nil {
+						t.Fatal(err)
+					}
+					for j := r[0]; j < r[1]; j++ {
+						if out[j-r[0]] != f0[j] {
+							t.Fatalf("early=%d range [%d,%d): mismatch at %d", early, r[0], r[1], j)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGenEarlyValidation exercises GenEarly's added error paths and Gen's
+// default clamping.
+func TestGenEarlyValidation(t *testing.T) {
+	prg := NewAESPRG()
+	rng := testRand(315)
+	if _, _, err := GenEarly(prg, 0, 5, []uint32{1}, -1, rng); err == nil {
+		t.Error("negative early should fail")
+	}
+	if _, _, err := GenEarly(prg, 0, 5, []uint32{1}, MaxEarlyBits+1, rng); err == nil {
+		t.Error("early beyond MaxEarlyBits should fail")
+	}
+	if _, _, err := GenEarly(prg, 0, 2, []uint32{1}, 2, rng); err == nil {
+		t.Error("early leaving no tree levels should fail")
+	}
+	if _, _, err := GenEarly(prg, 0, 5, []uint32{1, 2, 3}, 1, rng); err == nil {
+		t.Error("terminal group wider than 4 lanes should fail")
+	}
+	// Gen clamps: scalar keys get the full default, wide betas none, tiny
+	// domains whatever depth still leaves one level.
+	cases := []struct{ bits, lanes, want int }{
+		{20, 1, 2}, {20, 2, 1}, {20, 4, 0}, {20, 64, 0}, {1, 1, 0}, {2, 1, 1}, {3, 1, 2},
+	}
+	for _, c := range cases {
+		if got := DefaultEarly(c.bits, c.lanes); got != c.want {
+			t.Errorf("DefaultEarly(%d,%d) = %d, want %d", c.bits, c.lanes, got, c.want)
+		}
+	}
+	k0, _, err := Gen(prg, 3, 10, []uint32{1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0.Early != DefaultEarlyBits {
+		t.Errorf("Gen default Early = %d, want %d", k0.Early, DefaultEarlyBits)
 	}
 }

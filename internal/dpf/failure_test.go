@@ -20,10 +20,11 @@ func TestCorruptedCorrectionWordBreaksSharing(t *testing.T) {
 	// A party only applies a level's correction word on nodes whose control
 	// bit is 1 (party 0's root bit is 0, so corrupting its level-0 CW is a
 	// no-op for it) — so corrupt each party in turn and require the damage
-	// to show on at least one side per level.
+	// to show on at least one side per level. The default keys terminate
+	// early, so there are TreeDepth correction words, not bits.
 	corrupt := func(k Key, level int) Key {
 		mut := k
-		mut.CWs = make([]CW, bits)
+		mut.CWs = make([]CW, len(k.CWs))
 		copy(mut.CWs, k.CWs)
 		mut.CWs[level].S[3] ^= 0x40
 		return mut
@@ -42,7 +43,7 @@ func TestCorruptedCorrectionWordBreaksSharing(t *testing.T) {
 		}
 		return false
 	}
-	for level := 0; level < bits; level++ {
+	for level := 0; level < k0.TreeDepth(); level++ {
 		m0 := corrupt(k0, level)
 		m1 := corrupt(k1, level)
 		if !check(&m0, &k1) && !check(&k0, &m1) {
@@ -57,13 +58,21 @@ func TestCorruptedCorrectionWordBreaksSharing(t *testing.T) {
 // internal/integrity exists.
 func TestCorruptedFinalCWShiftsOnlyControlledLeaves(t *testing.T) {
 	prg := NewAESPRG()
-	const bits = 5
+	// Early-terminated keys shift whole terminal groups together, so use a
+	// domain with enough groups (2^6) that an all-ones/all-zeros control
+	// frontier is vanishingly unlikely.
+	const bits = 8
 	k0, _, err := Gen(prg, 9, bits, []uint32{1}, testRand(42))
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Shift every slot of the terminal-group final CW (the default key
+	// carries one slot per leaf of the group).
 	mut := k0
-	mut.Final = []uint32{k0.Final[0] + 100}
+	mut.Final = make([]uint32, len(k0.Final))
+	for i := range mut.Final {
+		mut.Final[i] = k0.Final[i] + 100
+	}
 	changed := 0
 	for j := uint64(0); j < 1<<bits; j++ {
 		a, _ := EvalAt(prg, &k0, j)

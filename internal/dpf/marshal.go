@@ -6,7 +6,10 @@ import (
 	"fmt"
 )
 
-// Wire format (little endian):
+// Wire formats (little endian). The low byte of the magic is the format
+// version; unmarshal dispatches on it, so old clients' keys keep working.
+//
+// v1 (magic 0xDF01) — full-depth keys (Early = 0):
 //
 //	magic   uint16 = 0xDF01
 //	bits    uint8
@@ -16,32 +19,89 @@ import (
 //	cw      bits × { seed [16]byte; tbits uint8 (bit0=TL, bit1=TR) }
 //	final   lanes × uint32
 //
-// Key size is therefore 24 + 17·log2(L) + 4·lanes bytes — the O(λ·log L)
+// v2 (magic 0xDF02) — early-terminated keys (§3.1): the header gains the
+// termination depth, the walk carries bits-early correction words, and the
+// final correction spans the whole terminal group:
+//
+//	magic   uint16 = 0xDF02
+//	bits    uint8
+//	party   uint8
+//	early   uint8  (1..MaxEarlyBits)
+//	lanes   uint32
+//	root    [16]byte
+//	cw      (bits-early) × { seed [16]byte; tbits uint8 }
+//	final   (lanes<<early) × uint32
+//
+// A v1 scalar key is 24 + 17·log2(L) + 4 bytes — the O(λ·log L)
 // communication the paper's DPF achieves (§3.1): ~364 bytes for a 1M-entry
-// table with a scalar output.
+// table. The default v2 scalar key is smaller still (25 + 17·(log2(L)-2) +
+// 16): two correction words shorter, twelve final bytes wider.
 
-const keyMagic = 0xDF01
+const (
+	keyMagicV1 = 0xDF01
+	keyMagicV2 = 0xDF02
+)
 
-// MarshaledSize returns the exact wire size in bytes of a key for the given
-// tree depth and lane count; the communication cost model uses this.
+// WireVersion reports the key wire format version of marshaled data: 1 or
+// 2, or 0 if the buffer is too short to carry a magic or carries an
+// unknown one. Engine validation errors use it to tell a client exactly
+// which format it sent.
+func WireVersion(data []byte) int {
+	if len(data) < 2 {
+		return 0
+	}
+	switch binary.LittleEndian.Uint16(data) {
+	case keyMagicV1:
+		return 1
+	case keyMagicV2:
+		return 2
+	}
+	return 0
+}
+
+// MarshaledSize returns the exact wire size in bytes of a full-depth (v1)
+// key for the given tree depth and lane count.
 func MarshaledSize(bits, lanes int) int {
 	return 24 + 17*bits + 4*lanes
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshaledSizeEarly returns the exact wire size in bytes of a key with
+// the given early-termination depth; early = 0 is the v1 size. The
+// communication cost model uses this.
+func MarshaledSizeEarly(bits, lanes, early int) int {
+	if early == 0 {
+		return MarshaledSize(bits, lanes)
+	}
+	return 25 + 17*(bits-early) + 4*(lanes<<uint(early))
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler. Full-depth keys emit
+// wire format v1 (so pre-early-termination consumers keep working);
+// early-terminated keys emit v2.
 func (k *Key) MarshalBinary() ([]byte, error) {
 	if k.Bits <= 0 || k.Bits > MaxBits {
 		return nil, fmt.Errorf("dpf: marshal: bad bits %d", k.Bits)
 	}
-	if len(k.CWs) != k.Bits {
-		return nil, fmt.Errorf("dpf: marshal: %d correction words for %d bits", len(k.CWs), k.Bits)
+	if k.Early < 0 || k.Early > MaxEarlyBits || k.Early >= k.Bits {
+		return nil, fmt.Errorf("dpf: marshal: bad early-termination depth %d for %d bits", k.Early, k.Bits)
 	}
-	if len(k.Final) != k.Lanes {
-		return nil, fmt.Errorf("dpf: marshal: %d final lanes, want %d", len(k.Final), k.Lanes)
+	if k.Early > 0 && k.GroupLanes() > 4 {
+		return nil, fmt.Errorf("dpf: marshal: terminal group of %d lanes exceeds the 4 a seed holds", k.GroupLanes())
 	}
-	out := make([]byte, 0, MarshaledSize(k.Bits, k.Lanes))
-	out = binary.LittleEndian.AppendUint16(out, keyMagic)
-	out = append(out, byte(k.Bits), k.Party)
+	if len(k.CWs) != k.TreeDepth() {
+		return nil, fmt.Errorf("dpf: marshal: %d correction words for depth %d", len(k.CWs), k.TreeDepth())
+	}
+	if len(k.Final) != k.GroupLanes() {
+		return nil, fmt.Errorf("dpf: marshal: %d final lanes, want %d", len(k.Final), k.GroupLanes())
+	}
+	out := make([]byte, 0, MarshaledSizeEarly(k.Bits, k.Lanes, k.Early))
+	if k.Early == 0 {
+		out = binary.LittleEndian.AppendUint16(out, keyMagicV1)
+		out = append(out, byte(k.Bits), k.Party)
+	} else {
+		out = binary.LittleEndian.AppendUint16(out, keyMagicV2)
+		out = append(out, byte(k.Bits), k.Party, byte(k.Early))
+	}
 	out = binary.LittleEndian.AppendUint32(out, uint32(k.Lanes))
 	out = append(out, k.Root[:]...)
 	for _, cw := range k.CWs {
@@ -54,19 +114,39 @@ func (k *Key) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Both wire
+// versions unmarshal; v1 keys evaluate full-depth (Early = 0).
 func (k *Key) UnmarshalBinary(data []byte) error {
-	if len(data) < 24 {
+	if len(data) < 4 {
 		return errors.New("dpf: unmarshal: short buffer")
 	}
-	if binary.LittleEndian.Uint16(data) != keyMagic {
+	var early, off int
+	switch binary.LittleEndian.Uint16(data) {
+	case keyMagicV1:
+		if len(data) < 24 {
+			return errors.New("dpf: unmarshal: short buffer")
+		}
+		early, off = 0, 4
+	case keyMagicV2:
+		if len(data) < 25 {
+			return errors.New("dpf: unmarshal: short buffer")
+		}
+		early, off = int(data[4]), 5
+		if early < 1 || early > MaxEarlyBits {
+			return fmt.Errorf("dpf: unmarshal: bad early-termination depth %d", early)
+		}
+	default:
 		return errors.New("dpf: unmarshal: bad magic")
 	}
 	bits := int(data[2])
 	party := data[3]
-	lanes := int(binary.LittleEndian.Uint32(data[4:]))
+	lanes := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
 	if bits <= 0 || bits > MaxBits {
 		return fmt.Errorf("dpf: unmarshal: bad bits %d", bits)
+	}
+	if early >= bits {
+		return fmt.Errorf("dpf: unmarshal: early-termination depth %d leaves no tree levels for %d bits", early, bits)
 	}
 	if party > 1 {
 		return fmt.Errorf("dpf: unmarshal: bad party %d", party)
@@ -74,21 +154,25 @@ func (k *Key) UnmarshalBinary(data []byte) error {
 	if lanes <= 0 || lanes > 1<<20 {
 		return fmt.Errorf("dpf: unmarshal: bad lanes %d", lanes)
 	}
-	want := MarshaledSize(bits, lanes)
+	groupLanes := lanes << uint(early)
+	if early > 0 && groupLanes > 4 {
+		return fmt.Errorf("dpf: unmarshal: terminal group of %d lanes exceeds the 4 a seed holds", groupLanes)
+	}
+	want := MarshaledSizeEarly(bits, lanes, early)
 	if len(data) != want {
 		return fmt.Errorf("dpf: unmarshal: size %d, want %d", len(data), want)
 	}
-	k.Bits, k.Party, k.Lanes = bits, party, lanes
-	off := 8
+	k.Bits, k.Party, k.Lanes, k.Early = bits, party, lanes, early
 	copy(k.Root[:], data[off:off+16])
 	off += 16
+	depth := bits - early
 	// Reuse the receiver's slices when they are big enough, so pooled keys
 	// (engine.Replica's steady-state Answer path) unmarshal without
 	// allocating.
-	if cap(k.CWs) >= bits {
-		k.CWs = k.CWs[:bits]
+	if cap(k.CWs) >= depth {
+		k.CWs = k.CWs[:depth]
 	} else {
-		k.CWs = make([]CW, bits)
+		k.CWs = make([]CW, depth)
 	}
 	for i := range k.CWs {
 		copy(k.CWs[i].S[:], data[off:off+16])
@@ -100,10 +184,10 @@ func (k *Key) UnmarshalBinary(data []byte) error {
 		k.CWs[i].TR = tb >> 1
 		off += 17
 	}
-	if cap(k.Final) >= lanes {
-		k.Final = k.Final[:lanes]
+	if cap(k.Final) >= groupLanes {
+		k.Final = k.Final[:groupLanes]
 	} else {
-		k.Final = make([]uint32, lanes)
+		k.Final = make([]uint32, groupLanes)
 	}
 	for i := range k.Final {
 		k.Final[i] = binary.LittleEndian.Uint32(data[off:])

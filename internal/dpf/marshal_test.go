@@ -6,41 +6,57 @@ import (
 )
 
 // TestKeyRoundTrip: marshal → unmarshal must reproduce the key and the
-// declared MarshaledSize exactly.
+// declared MarshaledSizeEarly exactly, across wire versions: the default
+// Gen keys (v2 for scalar, v1 for wide betas) and explicit full-depth v1.
 func TestKeyRoundTrip(t *testing.T) {
 	prg := NewAESPRG()
 	rng := testRand(31)
 	for _, bits := range []int{1, 5, 12, 20} {
 		for _, lanes := range []int{1, 4, 32} {
-			beta := make([]uint32, lanes)
-			beta[0] = 1
-			k0, k1, err := Gen(prg, uint64(bits), bits, beta, rng)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, k := range []*Key{&k0, &k1} {
-				raw, err := k.MarshalBinary()
+			for _, early := range []int{-1, 0} { // -1 = Gen's default depth
+				beta := make([]uint32, lanes)
+				beta[0] = 1
+				var k0, k1 Key
+				var err error
+				if early < 0 {
+					k0, k1, err = Gen(prg, uint64(bits), bits, beta, rng)
+				} else {
+					k0, k1, err = GenEarly(prg, uint64(bits), bits, beta, early, rng)
+				}
 				if err != nil {
-					t.Fatalf("marshal(bits=%d,lanes=%d): %v", bits, lanes, err)
+					t.Fatal(err)
 				}
-				if len(raw) != MarshaledSize(bits, lanes) {
-					t.Fatalf("size %d != MarshaledSize %d", len(raw), MarshaledSize(bits, lanes))
-				}
-				var got Key
-				if err := got.UnmarshalBinary(raw); err != nil {
-					t.Fatalf("unmarshal: %v", err)
-				}
-				if got.Bits != k.Bits || got.Lanes != k.Lanes || got.Party != k.Party || got.Root != k.Root {
-					t.Fatal("header fields mismatch after round trip")
-				}
-				for i := range k.CWs {
-					if got.CWs[i] != k.CWs[i] {
-						t.Fatalf("CW %d mismatch", i)
+				for _, k := range []*Key{&k0, &k1} {
+					raw, err := k.MarshalBinary()
+					if err != nil {
+						t.Fatalf("marshal(bits=%d,lanes=%d,early=%d): %v", bits, lanes, k.Early, err)
 					}
-				}
-				for i := range k.Final {
-					if got.Final[i] != k.Final[i] {
-						t.Fatalf("final lane %d mismatch", i)
+					if len(raw) != MarshaledSizeEarly(bits, lanes, k.Early) {
+						t.Fatalf("size %d != MarshaledSizeEarly %d", len(raw), MarshaledSizeEarly(bits, lanes, k.Early))
+					}
+					wantVer := 1
+					if k.Early > 0 {
+						wantVer = 2
+					}
+					if v := WireVersion(raw); v != wantVer {
+						t.Fatalf("WireVersion = %d, want %d", v, wantVer)
+					}
+					var got Key
+					if err := got.UnmarshalBinary(raw); err != nil {
+						t.Fatalf("unmarshal: %v", err)
+					}
+					if got.Bits != k.Bits || got.Lanes != k.Lanes || got.Early != k.Early || got.Party != k.Party || got.Root != k.Root {
+						t.Fatal("header fields mismatch after round trip")
+					}
+					for i := range k.CWs {
+						if got.CWs[i] != k.CWs[i] {
+							t.Fatalf("CW %d mismatch", i)
+						}
+					}
+					for i := range k.Final {
+						if got.Final[i] != k.Final[i] {
+							t.Fatalf("final lane %d mismatch", i)
+						}
 					}
 				}
 			}

@@ -61,15 +61,28 @@ type Config struct {
 	// so a client on the wrong PRF otherwise fails silently with garbage
 	// shares.
 	PRG dpf.PRG
+	// EarlyBits is the early-termination depth (§3.1) served keys must
+	// carry, shared with clients like the PRF. 0 means the dpf default for
+	// the table's tree depth (DefaultEarlyBits, clamped — what
+	// pir.NewClient emits); FullDepthKeys serves legacy full-depth wire-v1
+	// keys. The strategies' tiled walkers need depth-uniform batches, so
+	// the replica pins one depth and rejects mismatched keys loudly at
+	// validation instead of failing co-batched requests downstream.
+	EarlyBits int
 	// Strategy overrides the execution strategy (nil = the paper's
 	// scheduler for the table's size).
 	Strategy strategy.Strategy
 }
 
+// FullDepthKeys configures a replica (Config.EarlyBits) to serve legacy
+// full-depth wire-v1 keys.
+const FullDepthKeys = -1
+
 // Replica is the sharded Backend over one party's table replica.
 type Replica struct {
 	party   uint8
 	prg     dpf.PRG
+	early   int // early-termination depth served keys must carry
 	strat   strategy.Strategy
 	tab     *strategy.Table
 	bounds  []int // shard i covers rows [bounds[i], bounds[i+1])
@@ -114,6 +127,20 @@ func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
 	if prg == nil {
 		prg = dpf.NewAESPRG()
 	}
+	bits := tab.Bits()
+	early := cfg.EarlyBits
+	switch {
+	case early == 0:
+		early = dpf.DefaultEarly(bits, 1)
+	case early == FullDepthKeys:
+		early = 0
+	case early < 0 || early > dpf.MaxEarlyBits:
+		return nil, fmt.Errorf("engine: EarlyBits %d out of range [%d,%d]", cfg.EarlyBits, FullDepthKeys, dpf.MaxEarlyBits)
+	default:
+		// Clamp like the client side so matching flags stay matched on
+		// tiny tables.
+		early = dpf.ClampEarly(early, bits)
+	}
 	strat := cfg.Strategy
 	if strat == nil {
 		// Schedule for the shard width, not the whole table: a shard only
@@ -136,6 +163,7 @@ func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
 	return &Replica{
 		party:   uint8(cfg.Party),
 		prg:     prg,
+		early:   early,
 		strat:   strat,
 		tab:     tab,
 		bounds:  bounds,
@@ -155,35 +183,58 @@ func (r *Replica) Shards() int { return len(r.bounds) - 1 }
 // Strategy returns the execution strategy shards run.
 func (r *Replica) Strategy() strategy.Strategy { return r.strat }
 
+// EarlyBits returns the early-termination depth served keys must carry
+// (0 = legacy full-depth wire-v1 keys).
+func (r *Replica) EarlyBits() int { return r.early }
+
 // Shape implements Backend.
 func (r *Replica) Shape() (rows, lanes int) { return r.tab.NumRows, r.tab.Lanes }
 
 // Counters implements Backend.
 func (r *Replica) Counters() gpu.Stats { return r.ctr.Snapshot() }
 
+// keyErrPrefix tags a key-validation error with the replica's configured
+// PRF and the parsed wire version of the offending key — the two facts a
+// failing client needs first: the wire format carries no PRF identifier,
+// and a v1/v2 mismatch (a legacy client against an early-termination
+// replica, or vice versa) is otherwise indistinguishable from corruption.
+func (r *Replica) keyErrPrefix(raw []byte) string {
+	return fmt.Sprintf("engine (prg=%s, key wire v%d)", r.prg.Name(), dpf.WireVersion(raw))
+}
+
+// validateKey checks an unmarshaled key against the replica's party, lane
+// shape, tree depth, and configured early-termination depth.
+func (r *Replica) validateKey(raw []byte, k *dpf.Key) error {
+	if k.Party != r.party {
+		return fmt.Errorf("%s: key is for party %d, this replica is party %d", r.keyErrPrefix(raw), k.Party, r.party)
+	}
+	if k.Lanes != 1 {
+		return fmt.Errorf("%s: key has %d lanes; PIR keys are scalar", r.keyErrPrefix(raw), k.Lanes)
+	}
+	if bits := r.tab.Bits(); k.Bits != bits {
+		return fmt.Errorf("%s: key has %d bits, table needs %d", r.keyErrPrefix(raw), k.Bits, bits)
+	}
+	if k.Early != r.early {
+		return fmt.Errorf("%s: key has early-termination depth %d, this replica serves depth %d — generate keys with the matching -early (0 needs wire v1, 1+ wire v2)",
+			r.keyErrPrefix(raw), k.Early, r.early)
+	}
+	return nil
+}
+
 // ValidateKey checks a marshaled key against the replica without
 // evaluating it: it must unmarshal, carry this replica's party, be scalar,
-// and match the table's tree depth. Front doors that coalesce many
-// clients' keys into one batch (serving.Batcher) use it to reject a bad
-// key at its own request instead of failing every co-batched request.
-// Errors name the replica's PRF: the wire format carries no PRF
-// identifier, so "which PRF does this server expect" is the first question
-// a failing client needs answered.
+// and match the table's tree depth and the replica's early-termination
+// depth. Front doors that coalesce many clients' keys into one batch
+// (serving.Batcher) use it to reject a bad key at its own request instead
+// of failing every co-batched request — the depth check also keeps batches
+// depth-uniform, which the strategies' tiled walkers require. Errors name
+// the replica's PRF and the key's parsed wire version.
 func (r *Replica) ValidateKey(raw []byte) error {
 	var k dpf.Key
 	if err := k.UnmarshalBinary(raw); err != nil {
-		return fmt.Errorf("engine (prg=%s): %w", r.prg.Name(), err)
+		return fmt.Errorf("%s: %w", r.keyErrPrefix(raw), err)
 	}
-	if k.Party != r.party {
-		return fmt.Errorf("engine (prg=%s): key is for party %d, this replica is party %d", r.prg.Name(), k.Party, r.party)
-	}
-	if k.Lanes != 1 {
-		return fmt.Errorf("engine (prg=%s): key has %d lanes; PIR keys are scalar", r.prg.Name(), k.Lanes)
-	}
-	if bits := r.tab.Bits(); k.Bits != bits {
-		return fmt.Errorf("engine (prg=%s): key has %d bits, table needs %d", r.prg.Name(), k.Bits, bits)
-	}
-	return nil
+	return r.validateKey(raw, &k)
 }
 
 // getAnswerScratch pops a pooled scratch or makes the first one.
@@ -284,11 +335,11 @@ func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, err
 	for i, raw := range rawKeys {
 		if err := keys[i].UnmarshalBinary(raw); err != nil {
 			r.scratch.Put(sc)
-			return nil, fmt.Errorf("engine (prg=%s): key %d: %w", r.prg.Name(), i, err)
+			return nil, fmt.Errorf("%s: key %d: %w", r.keyErrPrefix(raw), i, err)
 		}
-		if keys[i].Party != r.party {
+		if err := r.validateKey(raw, keys[i]); err != nil {
 			r.scratch.Put(sc)
-			return nil, fmt.Errorf("engine (prg=%s): key %d is for party %d, this replica is party %d", r.prg.Name(), i, keys[i].Party, r.party)
+			return nil, fmt.Errorf("key %d: %w", i, err)
 		}
 	}
 	answers := strategy.NewAnswers(len(rawKeys), r.tab.Lanes)

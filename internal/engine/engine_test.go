@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"gpudpf/internal/dpf"
@@ -240,6 +241,122 @@ func TestValidateKey(t *testing.T) {
 	bigKeys, _ := genKeys(t, bigTab, []uint64{5}, 23)
 	if err := r.ValidateKey(bigKeys[0]); err == nil {
 		t.Error("wrong-depth key accepted")
+	}
+}
+
+// genKeysEarly is genKeys at an explicit early-termination depth.
+func genKeysEarly(t testing.TB, tab *strategy.Table, indices []uint64, early int, seed int64) (k0s, k1s [][]byte) {
+	t.Helper()
+	prg := dpf.NewAESPRG()
+	rng := rand.New(rand.NewSource(seed))
+	for _, idx := range indices {
+		key0, key1, err := dpf.GenEarly(prg, idx, tab.Bits(), []uint32{1}, early, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw0, err := key0.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw1, err := key1.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k0s = append(k0s, raw0)
+		k1s = append(k1s, raw1)
+	}
+	return k0s, k1s
+}
+
+// TestEarlyDepthValidation: a replica serves exactly one key depth — the
+// default replica rejects legacy full-depth keys and vice versa — and the
+// rejection names the configured PRF, the parsed wire version, and both
+// depths, so a mismatched client knows exactly what to fix.
+func TestEarlyDepthValidation(t *testing.T) {
+	tab := buildTable(t, 64, 1, 30)
+	def, err := NewReplica(tab, Config{Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := def.EarlyBits(), dpf.DefaultEarlyBits; got != want {
+		t.Fatalf("default EarlyBits = %d, want %d", got, want)
+	}
+	v2Keys, _ := genKeys(t, tab, []uint64{5}, 31)
+	v1Keys, _ := genKeysEarly(t, tab, []uint64{5}, 0, 32)
+
+	if err := def.ValidateKey(v2Keys[0]); err != nil {
+		t.Errorf("default replica rejected default key: %v", err)
+	}
+	err = def.ValidateKey(v1Keys[0])
+	if err == nil {
+		t.Fatal("default replica accepted full-depth key")
+	}
+	for _, want := range []string{"prg=aes128", "wire v1", "depth 0", "depth 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("v1-against-v2 error %q missing %q", err, want)
+		}
+	}
+	if _, err := def.Answer(context.Background(), v1Keys); err == nil {
+		t.Error("default replica answered full-depth key")
+	}
+
+	legacy, err := NewReplica(tab, Config{Party: 0, EarlyBits: FullDepthKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.EarlyBits() != 0 {
+		t.Fatalf("FullDepthKeys EarlyBits = %d, want 0", legacy.EarlyBits())
+	}
+	if err := legacy.ValidateKey(v1Keys[0]); err != nil {
+		t.Errorf("legacy replica rejected full-depth key: %v", err)
+	}
+	err = legacy.ValidateKey(v2Keys[0])
+	if err == nil {
+		t.Fatal("legacy replica accepted early-terminated key")
+	}
+	if !strings.Contains(err.Error(), "wire v2") {
+		t.Errorf("v2-against-v1 error %q missing wire version", err)
+	}
+
+	// Both depths answer when matched, and the shares they produce
+	// reconstruct the same table row.
+	legacy1, err := NewReplica(tab, Config{Party: 1, EarlyBits: FullDepthKeys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def1, err := NewReplica(tab, Config{Party: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v1Party1 := genKeysEarly(t, tab, []uint64{5}, 0, 32)
+	_, v2Party1 := genKeys(t, tab, []uint64{5}, 31)
+	ctx := context.Background()
+	a0v2, err := def.Answer(ctx, v2Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1v2, err := def1.Answer(ctx, v2Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0v1, err := legacy.Answer(ctx, v1Keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1v1, err := legacy1.Answer(ctx, v1Party1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tab.Row(5)[0]
+	if got := a0v2[0][0] + a1v2[0][0]; got != want {
+		t.Errorf("v2 reconstruction = %d, want %d", got, want)
+	}
+	if got := a0v1[0][0] + a1v1[0][0]; got != want {
+		t.Errorf("v1 reconstruction = %d, want %d", got, want)
+	}
+
+	if _, err := NewReplica(tab, Config{Party: 0, EarlyBits: dpf.MaxEarlyBits + 1}); err == nil {
+		t.Error("out-of-range EarlyBits accepted")
 	}
 }
 

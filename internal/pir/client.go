@@ -12,22 +12,37 @@ import (
 // on-device side of Figure 2: Gen is cheap enough for a phone-class CPU
 // (Figure 3).
 type Client struct {
-	prg  dpf.PRG
-	rng  io.Reader
-	bits int
-	rows int
+	prg   dpf.PRG
+	rng   io.Reader
+	bits  int
+	rows  int
+	early int
 }
 
 // NewClient builds a client for a table with the given row count, using the
 // named PRF (which must match the servers'). rng may be nil to use
-// crypto/rand.
+// crypto/rand. Keys use the default early-termination depth (wire format
+// v2, 2 levels for 4 lanes/leaf); use NewClientEarly to interoperate with
+// servers configured for a different depth.
 func NewClient(prgName string, rows int, rng io.Reader) (*Client, error) {
+	return NewClientEarly(prgName, rows, dpf.DefaultEarlyBits, rng)
+}
+
+// NewClientEarly is NewClient with an explicit early-termination depth:
+// early = 0 generates legacy full-depth (wire v1) keys; positive depths
+// are clamped to what the table's tree supports, exactly as the server
+// side clamps its configured depth, so matching flags stay matched on
+// tiny tables.
+func NewClientEarly(prgName string, rows, early int, rng io.Reader) (*Client, error) {
 	prg, err := dpf.NewPRG(prgName)
 	if err != nil {
 		return nil, err
 	}
 	if rows <= 0 {
 		return nil, fmt.Errorf("pir: table needs at least one row, got %d", rows)
+	}
+	if early < 0 || early > dpf.MaxEarlyBits {
+		return nil, fmt.Errorf("pir: early-termination depth %d out of range [0,%d]", early, dpf.MaxEarlyBits)
 	}
 	if rng == nil {
 		rng = rand.Reader
@@ -36,11 +51,15 @@ func NewClient(prgName string, rows int, rng io.Reader) (*Client, error) {
 	for 1<<uint(bits) < rows {
 		bits++
 	}
-	return &Client{prg: prg, rng: rng, bits: bits, rows: rows}, nil
+	return &Client{prg: prg, rng: rng, bits: bits, rows: rows, early: dpf.ClampEarly(early, bits)}, nil
 }
 
 // Bits returns the DPF tree depth the client generates keys for.
 func (c *Client) Bits() int { return c.bits }
+
+// Early returns the early-termination depth the client's keys carry
+// (0 = full-depth wire v1).
+func (c *Client) Early() int { return c.early }
 
 // Query encodes the secret index into one marshaled key per server.
 // Each key alone is indistinguishable from a key for any other index.
@@ -48,7 +67,7 @@ func (c *Client) Query(index uint64) (key0, key1 []byte, err error) {
 	if index >= uint64(c.rows) {
 		return nil, nil, fmt.Errorf("pir: index %d outside table of %d rows", index, c.rows)
 	}
-	k0, k1, err := dpf.Gen(c.prg, index, c.bits, []uint32{1}, c.rng)
+	k0, k1, err := dpf.GenEarly(c.prg, index, c.bits, []uint32{1}, c.early, c.rng)
 	if err != nil {
 		return nil, nil, fmt.Errorf("pir: generating keys: %w", err)
 	}
@@ -75,8 +94,9 @@ func (c *Client) QueryBatch(indices []uint64) (keys0, keys1 [][]byte, err error)
 	return keys0, keys1, nil
 }
 
-// KeyBytes is the wire size of one key for this client's table shape.
-func (c *Client) KeyBytes() int { return dpf.MarshaledSize(c.bits, 1) }
+// KeyBytes is the wire size of one key for this client's table shape and
+// termination depth.
+func (c *Client) KeyBytes() int { return dpf.MarshaledSizeEarly(c.bits, 1, c.early) }
 
 // Reconstruct adds the two servers' answer shares lane-wise (mod 2^32),
 // yielding the queried row.

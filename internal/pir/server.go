@@ -24,6 +24,7 @@ type serverConfig struct {
 	strat   strategy.Strategy
 	shards  int
 	workers int
+	early   int // engine.Config.EarlyBits encoding (0 = default)
 }
 
 // ServerOption customizes a Server.
@@ -49,6 +50,25 @@ func WithPRG(name string) ServerOption {
 			return err
 		}
 		cfg.prg = prg
+		return nil
+	}
+}
+
+// WithEarly pins the early-termination depth (§3.1) served keys must
+// carry, which must match the clients' (like the PRF): early = 0 serves
+// legacy full-depth wire-v1 keys, 1..dpf.MaxEarlyBits serve wire-v2 keys
+// of that depth. Without this option the server expects the dpf default —
+// what pir.NewClient emits.
+func WithEarly(early int) ServerOption {
+	return func(cfg *serverConfig) error {
+		if early < 0 || early > dpf.MaxEarlyBits {
+			return fmt.Errorf("pir: early-termination depth %d out of range [0,%d]", early, dpf.MaxEarlyBits)
+		}
+		if early == 0 {
+			cfg.early = engine.FullDepthKeys
+		} else {
+			cfg.early = early
+		}
 		return nil
 	}
 }
@@ -80,11 +100,12 @@ func NewReplica(party int, tab *Table, opts ...ServerOption) (*engine.Replica, e
 		}
 	}
 	return engine.NewReplica(tab, engine.Config{
-		Party:    party,
-		Shards:   cfg.shards,
-		Workers:  cfg.workers,
-		PRG:      cfg.prg,
-		Strategy: cfg.strat,
+		Party:     party,
+		Shards:    cfg.shards,
+		Workers:   cfg.workers,
+		PRG:       cfg.prg,
+		EarlyBits: cfg.early,
+		Strategy:  cfg.strat,
 	})
 }
 

@@ -34,10 +34,11 @@ func Schedule(bits int) Strategy {
 }
 
 // coopMemBytes models one query's working set: the two widest ping-pong
-// level buffers, exactly one query resident at a time.
-func coopMemBytes(bits, lanes int) int64 {
-	domain := int64(1) << uint(bits)
-	return domain*nodeBytes + domain/2*nodeBytes + int64(lanes)*4
+// level buffers (the terminal frontier is domain >> early nodes), exactly
+// one query resident at a time.
+func coopMemBytes(bits, lanes, early int) int64 {
+	frontier := int64(1) << uint(bits-early)
+	return frontier*nodeBytes + frontier/2*nodeBytes + int64(lanes)*4
 }
 
 // Run implements Strategy. Queries run sequentially; each level of each
@@ -86,17 +87,19 @@ func (c CoopGroups) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, h
 // pooled ping-pong buffers.
 func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
-	mem := coopMemBytes(bits, tab.Lanes)
+	early := keys[0].Early
+	mem := coopMemBytes(bits, tab.Lanes, early)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
-	domain := 1 << uint(bits)
+	depth := bits - early
+	frontier := 1 << uint(depth)
 	sc := getCoopScratch()
-	cur, curT, next, nextT := sc.growPing(domain)
+	cur, curT, next, nextT := sc.growPing(frontier)
 	for q, k := range keys {
 		cur[0], curT[0] = k.Root, k.Party
 		n := 1
-		for level := 0; level < bits; level++ {
+		for level := 0; level < depth; level++ {
 			cw := k.CWs[level]
 			seeds, ts, out, outT := cur[:n], curT[:n], next[:2*n], nextT[:2*n]
 			gpu.ParallelForChunked(n, 0, func(lo, hi int) {
@@ -116,7 +119,9 @@ func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int
 			csc := getWalkScratch()
 			local := csc.growLocal(1, tab.Lanes)[0]
 			leaves := csc.growBuf(hi - lo)
-			dpf.LeafValuesInto(k, cur[rlo+lo:rlo+hi], curT[rlo+lo:rlo+hi], leaves)
+			// Chunk boundaries cut through terminal groups wherever they
+			// like; the group conversion clips.
+			dpf.LeafRangeInto(k, cur[:n], curT[:n], uint64(rlo+lo), uint64(rlo+hi), leaves)
 			for j := rlo + lo; j < rlo+hi; j++ {
 				accumulateRow(local, leaves[j-rlo-lo], tab.Row(j))
 			}
@@ -129,8 +134,8 @@ func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int
 		})
 	}
 	sc.release()
-	ctr.AddRead(int64(len(keys)) * (int64(rhi-rlo)*int64(tab.Lanes)*4 + int64(domain)*nodeBytes))
-	ctr.AddWrite(int64(len(keys)) * (int64(domain)*2*nodeBytes + int64(tab.Lanes)*4))
+	ctr.AddRead(int64(len(keys)) * (int64(rhi-rlo)*int64(tab.Lanes)*4 + int64(frontier)*nodeBytes))
+	ctr.AddWrite(int64(len(keys)) * (int64(frontier)*2*nodeBytes + int64(tab.Lanes)*4))
 	return nil
 }
 
@@ -140,14 +145,16 @@ func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int
 // overhead.
 func (CoopGroups) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
 	domain := int64(1) << uint(bits)
-	if coopMemBytes(bits, lanes) > dev.GlobalMemBytes {
+	early := modelEarly(bits)
+	if coopMemBytes(bits, lanes, early) > dev.GlobalMemBytes {
 		return Report{}, gpu.ErrOutOfMemory
 	}
+	cpb := prgCyclesPerBlock(prg.GPUCyclesPerBlock(), early)
 	var perQuery float64 // seconds
 	var cycles float64
-	for level := 0; level < bits; level++ {
+	for level := 0; level < bits-early; level++ {
 		width := int64(1) << uint(level) // nodes expanded at this level
-		levelCycles := float64(width*dpf.BlocksPerExpand) * prg.GPUCyclesPerBlock()
+		levelCycles := float64(width*dpf.BlocksPerExpand) * cpb
 		cycles += levelCycles
 		occ := dev.Occupancy(width)
 		lanesActive := occ * float64(dev.TotalLanes())
@@ -173,8 +180,8 @@ func (CoopGroups) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (R
 		Bits:         bits,
 		Batch:        batch,
 		Lanes:        lanes,
-		PRFBlocks:    int64(batch) * (2*domain - 2),
-		PeakMemBytes: coopMemBytes(bits, lanes),
+		PRFBlocks:    int64(batch) * treeBlocks(bits, early),
+		PeakMemBytes: coopMemBytes(bits, lanes, early),
 		Latency:      lat,
 		Utilization:  util,
 	}

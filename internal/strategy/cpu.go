@@ -54,10 +54,18 @@ func (c CPUBaseline) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Coun
 	return dst, nil
 }
 
+// cpuMemBytes models the per-batch working set: the level-order expansion's
+// ping-pong frontier (G + G/2 nodes) plus the answer accumulators.
+func cpuMemBytes(batch, bits, lanes, early int) int64 {
+	frontier := int64(1) << uint(bits-early)
+	return int64(batch) * (frontier*nodeBytes*3/2 + int64(lanes)*4)
+}
+
 func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
+	early := keys[0].Early
 	domain := int64(1) << uint(bits)
-	mem := int64(len(keys)) * (domain*nodeBytes*3/2 + int64(tab.Lanes)*4)
+	mem := cpuMemBytes(len(keys), bits, tab.Lanes, early)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
@@ -68,7 +76,7 @@ func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *
 		gpu.ParallelFor(len(tile), func(i int) {
 			sc := getWalkScratch()
 			dpf.EvalFullInto(prg, tile[i], lt.rows[i], &sc.frontier)
-			ctr.AddPRFBlocks(2*domain - 2)
+			ctr.AddPRFBlocks(treeBlocks(bits, tile[i].Early))
 			sc.release()
 		})
 		accumulateTile(tab, 0, tab.NumRows, lt.rows, dst[t:te])
@@ -141,9 +149,11 @@ func (c CPUBaseline) runRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, 
 				errMu.Unlock()
 				return
 			}
-			// Pruned DFS: ~2·range blocks for the subtrees plus the
-			// root-to-range path.
-			ctr.AddPRFBlocks(2*int64(rows) - 2 + 2*int64(bits))
+			// Pruned DFS: ~2·(range groups) blocks for the subtrees plus
+			// the root-to-range path down the shortened tree.
+			early := tile[i].Early
+			groups := (int64(rows) + int64(1)<<uint(early) - 1) >> uint(early)
+			ctr.AddPRFBlocks(2*groups - 2 + 2*int64(bits-early))
 		})
 		if firstErr == nil {
 			accumulateTile(tab, lo, hi, lt.rows, dst[t:te])
@@ -158,11 +168,13 @@ func (c CPUBaseline) runRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, 
 	return nil
 }
 
-// Model implements Strategy. dev is unused; the CPU model prices the work.
+// Model implements Strategy. dev is unused; the CPU model prices the work
+// (the reference CPU library performs the same §3.1 early termination, so
+// its calibrated per-block constant re-anchors the same way).
 func (c CPUBaseline) Model(_ *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
-	domain := int64(1) << uint(bits)
-	blocks := int64(batch) * (2*domain - 2)
-	cycles := float64(blocks)*prg.CPUCyclesPerBlock() + dotArithCycles(batch, bits, lanes)*0.5
+	early := modelEarly(bits)
+	blocks := int64(batch) * treeBlocks(bits, early)
+	cycles := float64(blocks)*prgCyclesPerBlock(prg.CPUCyclesPerBlock(), early) + dotArithCycles(batch, bits, lanes)*0.5
 	lat := c.cpu().CPUTime(cycles, c.threads())
 	r := Report{
 		Strategy:     c.Name(),
@@ -171,7 +183,7 @@ func (c CPUBaseline) Model(_ *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (
 		Batch:        batch,
 		Lanes:        lanes,
 		PRFBlocks:    blocks,
-		PeakMemBytes: int64(batch) * (domain*nodeBytes*3/2 + int64(lanes)*4),
+		PeakMemBytes: cpuMemBytes(batch, bits, lanes, early),
 		Latency:      lat,
 		Utilization:  float64(min(c.threads(), c.cpu().Cores)) / float64(c.cpu().Cores),
 	}

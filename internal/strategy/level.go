@@ -21,21 +21,25 @@ type LevelByLevel struct{}
 func (LevelByLevel) Name() string { return "level-by-level" }
 
 // levelMemBytes models the per-batch device working set: for each in-flight
-// query, the two ping-pong level buffers (L + L/2 nodes at the widest
-// moment) plus the L·4-byte expanded leaf vector handed to the matmul.
-func levelMemBytes(batch, bits, lanes int) int64 {
+// query, the two ping-pong level buffers (G + G/2 nodes at the widest
+// moment, where G = L >> early is the terminal frontier) plus the
+// L·4-byte expanded leaf vector handed to the matmul.
+func levelMemBytes(batch, bits, lanes, early int) int64 {
 	domain := int64(1) << uint(bits)
-	perQuery := domain*nodeBytes + domain/2*nodeBytes + domain*4
+	frontier := domain >> uint(early)
+	perQuery := frontier*nodeBytes + frontier/2*nodeBytes + domain*4
 	return int64(batch)*perQuery + int64(batch)*int64(lanes)*4
 }
 
 // levelTrafficBytes models global-memory traffic: every level is written
-// once and read once as the parent of the next, and the leaf vector makes a
-// write+read round trip into the matmul kernel.
-func levelTrafficBytes(batch, bits int) (reads, writes int64) {
+// once and read once as the parent of the next (the tree now stops early
+// levels up), and the leaf vector makes a write+read round trip into the
+// matmul kernel.
+func levelTrafficBytes(batch, bits, early int) (reads, writes int64) {
 	domain := int64(1) << uint(bits)
-	nodeW := (2*domain - 2) * nodeBytes
-	nodeR := (domain - 2) * nodeBytes
+	frontier := domain >> uint(early)
+	nodeW := (2*frontier - 2) * nodeBytes
+	nodeR := (frontier - 2) * nodeBytes
 	leaf := domain * 4
 	return int64(batch) * (nodeR + leaf), int64(batch) * (nodeW + leaf)
 }
@@ -80,7 +84,8 @@ func (l LevelByLevel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo,
 
 func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := tab.Bits()
-	mem := levelMemBytes(len(keys), bits, tab.Lanes)
+	early := keys[0].Early
+	mem := levelMemBytes(len(keys), bits, tab.Lanes, early)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 	ctr.AddLaunch() // expansion kernel
@@ -92,14 +97,14 @@ func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi i
 		tile := keys[t:te]
 		lt := getLeafTile(len(tile), rows)
 		gpu.ParallelFor(len(tile), func(i int) {
-			expandLevelByLevel(prg, tile[i], bits, rlo, rhi, lt.rows[i], ctr)
+			expandLevelByLevel(prg, tile[i], rlo, rhi, lt.rows[i], ctr)
 		})
 		// Query-tiled matmul pass over the range's slice of the leaf
 		// vectors.
 		accumulateTile(tab, rlo, rhi, lt.rows, dst[t:te])
 		lt.release()
 	}
-	r, w := levelTrafficBytes(len(keys), bits)
+	r, w := levelTrafficBytes(len(keys), bits, early)
 	if full {
 		ctr.AddRead(r + tableReadBytes(len(keys), bits, tab.Lanes))
 	} else {
@@ -111,32 +116,34 @@ func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi i
 
 // expandLevelByLevel materializes every level of one key's tree through
 // pooled ping-pong buffers (one batched PRF call per level) and converts
-// leaves [rlo, rhi) into leaf shares.
-func expandLevelByLevel(prg dpf.PRG, k *dpf.Key, bits, rlo, rhi int, leaf []uint32, ctr *gpu.Counters) {
+// leaves [rlo, rhi) into leaf shares — the terminal frontier is Domain()
+// >> Early nodes, each group-converted into 2^Early shares.
+func expandLevelByLevel(prg dpf.PRG, k *dpf.Key, rlo, rhi int, leaf []uint32, ctr *gpu.Counters) {
 	sc := getWalkScratch()
 	seeds, ts := sc.frontier.ExpandFrontier(prg, k)
-	ctr.AddPRFBlocks(2*(int64(1)<<uint(bits)) - 2)
-	dpf.LeafValuesInto(k, seeds[rlo:rhi], ts[rlo:rhi], leaf)
+	ctr.AddPRFBlocks(treeBlocks(k.Bits, k.Early))
+	dpf.LeafRangeInto(k, seeds, ts, uint64(rlo), uint64(rhi), leaf)
 	sc.release()
 }
 
 // Model implements Strategy.
 func (LevelByLevel) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
 	domain := int64(1) << uint(bits)
-	r, w := levelTrafficBytes(batch, bits)
+	early := modelEarly(bits)
+	r, w := levelTrafficBytes(batch, bits, early)
 	st := gpu.Stats{
-		PRFBlocks:    int64(batch) * (2*domain - 2),
+		PRFBlocks:    int64(batch) * treeBlocks(bits, early),
 		ReadBytes:    r + tableReadBytes(batch, bits, lanes),
 		WriteBytes:   w,
 		Launches:     2,
-		PeakMemBytes: levelMemBytes(batch, bits, lanes),
+		PeakMemBytes: levelMemBytes(batch, bits, lanes, early),
 	}
 	p := gpu.KernelProfile{
 		Stats:             st,
-		PRGCyclesPerBlock: prg.GPUCyclesPerBlock(),
+		PRGCyclesPerBlock: prgCyclesPerBlock(prg.GPUCyclesPerBlock(), early),
 		// The bottom half of the tree carries most of the work, so the
-		// exposed parallelism is effectively batch × L/2.
-		Parallelism: int64(batch) * domain / 2,
+		// exposed parallelism is effectively batch × frontier/2.
+		Parallelism: int64(batch) * (domain >> uint(early)) / 2,
 		ArithCycles: dotArithCycles(batch, bits, lanes),
 	}
 	return finishReport(dev, LevelByLevel{}.Name(), prg, bits, batch, lanes, p)

@@ -48,23 +48,27 @@ func (m MemBoundTree) k() int {
 	return m.K
 }
 
-// memBoundLevels is the number of recursion frames holding a K-wide buffer.
-func memBoundLevels(bits, k int) int {
+// memBoundLevels is the number of recursion frames holding a K-wide
+// buffer; the walk is depth levels deep (tree depth minus the
+// early-termination cut).
+func memBoundLevels(depth, k int) int {
 	lg := 0
 	for 1<<uint(lg+1) <= k {
 		lg++
 	}
-	levels := bits - lg + 1
+	levels := depth - lg + 1
 	if levels < 1 {
 		levels = 1
 	}
 	return levels
 }
 
-// memBytes models the modeled device working set of the batch.
-func (m MemBoundTree) memBytes(batch, bits, lanes int) int64 {
+// memBytes models the modeled device working set of the batch; early is
+// the keys' termination depth (terminal nodes cover 2^early leaves, so the
+// walk is that many levels shorter).
+func (m MemBoundTree) memBytes(batch, bits, lanes, early int) int64 {
 	k := int64(m.k())
-	levels := int64(memBoundLevels(bits, m.k()))
+	levels := int64(memBoundLevels(bits-early, m.k()))
 	perQuery := levels*2*k*nodeBytes + int64(lanes)*4
 	if !m.Fused {
 		perQuery += (int64(1) << uint(bits)) * 4 // expanded leaf vector
@@ -120,14 +124,15 @@ func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi u
 		return fmt.Errorf("strategy: K=%d must be a power of two", k)
 	}
 	bits := tab.Bits()
+	early := keys[0].Early
 	if full {
 		hi = uint64(1) << uint(bits)
 	}
 	var mem int64
 	if full {
-		mem = m.memBytes(len(keys), bits, tab.Lanes)
+		mem = m.memBytes(len(keys), bits, tab.Lanes, early)
 	} else {
-		perQuery := int64(memBoundLevels(bits, k))*2*int64(k)*nodeBytes + int64(tab.Lanes)*4
+		perQuery := int64(memBoundLevels(bits-early, k))*2*int64(k)*nodeBytes + int64(tab.Lanes)*4
 		if !m.Fused {
 			perQuery += int64(hi-lo) * 4
 		}
@@ -192,10 +197,13 @@ func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi u
 
 // expandQuery walks one key's memory-bounded descent over [lo, hi) with
 // pooled scratch, writing leaf shares into leaf and counting PRF blocks.
+// The walk is TreeDepth levels deep: early-terminated keys stop above the
+// leaves and convert each terminal seed into its whole leaf group.
 func (m MemBoundTree) expandQuery(prg dpf.PRG, key *dpf.Key, bits, k int, lo, hi uint64, leaf []uint32, ctr *gpu.Counters) {
 	sc := getWalkScratch()
-	sc.growLevels(bits, k)
-	w := mbWalker{prg: prg, key: key, k: k, bits: bits, lo: lo, hi: hi, leaf: leaf, sc: sc}
+	depth := key.TreeDepth()
+	sc.growLevels(depth, k)
+	w := mbWalker{prg: prg, key: key, k: k, bits: bits, depth: depth, lo: lo, hi: hi, leaf: leaf, sc: sc}
 	sc.levels[0][0] = key.Root
 	sc.levelT[0][0] = key.Party
 	w.walk(0, sc.levels[0][:1], sc.levelT[0][:1], 0)
@@ -211,48 +219,56 @@ type mbWalker struct {
 	key    *dpf.Key
 	k      int
 	bits   int
+	depth  int // tree depth actually walked (bits - key.Early)
 	lo, hi uint64
 	leaf   []uint32 // leaf shares for [lo, hi), indexed j-lo
 	sc     *walkScratch
 	blocks int64
 }
 
-// walk expands the group (seeds, ts) rooted at depth covering leaves
-// [base, base+span·len(seeds)), pruning groups outside [lo, hi).
-func (w *mbWalker) walk(depth int, seeds []dpf.Seed, ts []uint8, base uint64) {
-	span := uint64(1) << uint(w.bits-depth)
+// walk expands the group (seeds, ts) rooted at level covering leaves
+// [base, base+span·len(seeds)), pruning groups outside [lo, hi). At the
+// terminal level each node converts into 2^Early leaf shares, clipped to
+// the range.
+func (w *mbWalker) walk(level int, seeds []dpf.Seed, ts []uint8, base uint64) {
+	span := uint64(1) << uint(w.bits-level)
 	if base >= w.hi || base+span*uint64(len(seeds)) <= w.lo {
 		return // whole group outside the range
 	}
-	if depth == w.bits {
-		iLo, iHi := 0, len(seeds)
+	if level == w.depth {
+		// seeds cover leaves [base, base+len·span); clip to [lo, hi) in
+		// frontier-local leaf coordinates and group-convert.
+		covered := span * uint64(len(seeds))
+		lLo, lHi := uint64(0), covered
 		if base < w.lo {
-			iLo = int(w.lo - base)
+			lLo = w.lo - base
 		}
-		if base+uint64(len(seeds)) > w.hi {
-			iHi = int(w.hi - base)
+		if base+covered > w.hi {
+			lHi = w.hi - base
 		}
-		dpf.LeafValuesInto(w.key, seeds[iLo:iHi], ts[iLo:iHi],
-			w.leaf[base+uint64(iLo)-w.lo:base+uint64(iHi)-w.lo])
+		dpf.LeafRangeInto(w.key, seeds, ts, lLo, lHi, w.leaf[base+lLo-w.lo:base+lHi-w.lo])
 		return
 	}
 	n := len(seeds)
-	next := w.sc.levels[depth+1][:2*n]
-	nextT := w.sc.levelT[depth+1][:2*n]
-	dpf.StepBothBatch(w.prg, seeds, ts, w.key.CWs[depth], next, nextT, &w.sc.batch)
+	next := w.sc.levels[level+1][:2*n]
+	nextT := w.sc.levelT[level+1][:2*n]
+	dpf.StepBothBatch(w.prg, seeds, ts, w.key.CWs[level], next, nextT, &w.sc.batch)
 	w.blocks += int64(n) * dpf.BlocksPerExpand
 	if 2*n <= w.k {
-		w.walk(depth+1, next, nextT, base)
+		w.walk(level+1, next, nextT, base)
 		return
 	}
 	childSpan := span / 2
-	w.walk(depth+1, next[:n], nextT[:n], base)
-	w.walk(depth+1, next[n:], nextT[n:], base+uint64(n)*childSpan)
+	w.walk(level+1, next[:n], nextT[:n], base)
+	w.walk(level+1, next[n:], nextT[n:], base+uint64(n)*childSpan)
 }
 
-// Model implements Strategy.
+// Model implements Strategy. PRFBlocks prices the early-terminated tree
+// (the default key format for this depth); the per-block cycle constant is
+// re-anchored accordingly (see prgCyclesPerBlock).
 func (m MemBoundTree) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error) {
 	domain := int64(1) << uint(bits)
+	early := modelEarly(bits)
 	reads := tableReadBytes(batch, bits, lanes)
 	writes := int64(batch) * int64(lanes) * 4
 	launches := int64(1)
@@ -263,15 +279,15 @@ func (m MemBoundTree) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int
 		launches++
 	}
 	st := gpu.Stats{
-		PRFBlocks:    int64(batch) * (2*domain - 2),
+		PRFBlocks:    int64(batch) * treeBlocks(bits, early),
 		ReadBytes:    reads,
 		WriteBytes:   writes,
 		Launches:     launches,
-		PeakMemBytes: m.memBytes(batch, bits, lanes),
+		PeakMemBytes: m.memBytes(batch, bits, lanes, early),
 	}
 	p := gpu.KernelProfile{
 		Stats:             st,
-		PRGCyclesPerBlock: prg.GPUCyclesPerBlock(),
+		PRGCyclesPerBlock: prgCyclesPerBlock(prg.GPUCyclesPerBlock(), early),
 		Parallelism:       int64(batch) * int64(m.k()),
 		ArithCycles:       dotArithCycles(batch, bits, lanes),
 	}

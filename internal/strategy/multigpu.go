@@ -99,10 +99,12 @@ func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uin
 		return fmt.Errorf("strategy: %d shards exceed range [%d,%d) of domain %d", n, rlo, rhi, domain)
 	}
 	// Modeled per-device working set mirrors the fused membound traversal
-	// on a table of L/N rows.
+	// on a table of L/N rows (clamping the keys' termination depth to what
+	// a tiny shard tree can hold).
+	early := keys[0].Early
 	inner := MemBoundTree{K: m.k(), Fused: true}
 	shardBits := shardDepth(bits, n)
-	mem := int64(n) * inner.memBytes(len(keys), shardBits, tab.Lanes)
+	mem := int64(n) * inner.memBytes(len(keys), shardBits, tab.Lanes, dpf.ClampEarly(early, shardBits))
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 	ctr.AddLaunch()
@@ -136,8 +138,10 @@ func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uin
 				errMu.Unlock()
 				return
 			}
-			// Pruned DFS costs ~2·span + 2·depth blocks for the shard path.
-			ctr.AddPRFBlocks(2*int64(hi-lo) - 2 + 2*int64(bits))
+			// Pruned DFS costs ~2·(span groups) + 2·(walked depth) blocks
+			// for the shard path down the shortened tree.
+			groups := (int64(hi-lo) + int64(1)<<uint(early) - 1) >> uint(early)
+			ctr.AddPRFBlocks(2*groups - 2 + 2*int64(bits-early))
 		}
 		rowHi := hi
 		if rowHi > uint64(tab.NumRows) {
@@ -184,10 +188,15 @@ func (m MultiGPU) Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (R
 	reduceSec := float64(int64(n)*int64(batch)*int64(lanes)*4) / dev.MemBandwidthBps
 	rep.Strategy = m.Name()
 	rep.Bits = bits
-	// Total fleet work: each shard re-derives its root-to-shard path, so
-	// sharding costs 2·bits extra blocks per (query, shard) over the
-	// single-device optimum.
-	rep.PRFBlocks = int64(n)*rep.PRFBlocks + int64(batch)*int64(n)*2*int64(bits)
+	// Total fleet work: each shard walks its own early-terminated subtree
+	// and re-derives its root-to-shard path, so sharding costs
+	// 2·(bits-early) extra blocks per (query, shard) over the
+	// single-device optimum. Priced with the full tree's default
+	// termination depth — the keys' wire format doesn't change when the
+	// evaluation is sharded.
+	early := modelEarly(bits)
+	shardGroups := (int64(1)<<uint(shardBits) + int64(1)<<uint(early) - 1) >> uint(early)
+	rep.PRFBlocks = int64(n)*int64(batch)*(2*shardGroups-2) + int64(batch)*int64(n)*2*int64(bits-early)
 	rep.PeakMemBytes = int64(n) * rep.PeakMemBytes // fleet total
 	rep.Latency += timeFromSeconds(reduceSec)
 	if rep.Latency > 0 {

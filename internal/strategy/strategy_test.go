@@ -120,29 +120,74 @@ func TestRunCountsMatchModel(t *testing.T) {
 	}
 }
 
-// TestWorkOptimality pins the Figure 6 claims: tree strategies do 2L-2
-// blocks per query, branch-parallel does L·log L.
+// TestWorkOptimality pins the Figure 6 claims on the early-terminated tree
+// (§3.1): with G = L >> early terminal nodes, tree strategies do 2G-2
+// blocks per query — a ~4× cut over the classic 2L-2 for default scalar
+// keys — and branch-parallel does G·(log L - early).
 func TestWorkOptimality(t *testing.T) {
 	prg := dpf.NewAESPRG()
 	tab := buildTable(t, 512, 1, 9)
 	k0s, _, _ := genBatch(t, prg, tab, 1, 3)
-	domain := int64(1) << uint(tab.Bits())
+	bits := tab.Bits()
+	early := k0s[0].Early
+	if early != dpf.DefaultEarlyBits {
+		t.Fatalf("default keys carry early=%d, want %d", early, dpf.DefaultEarlyBits)
+	}
+	groups := int64(1) << uint(bits-early)
 
 	for _, s := range []Strategy{LevelByLevel{}, MemBoundTree{K: 16, Fused: true}, CoopGroups{}, CPUBaseline{Threads: 1}} {
 		var ctr gpu.Counters
 		if _, err := s.Run(prg, k0s, tab, &ctr); err != nil {
 			t.Fatal(err)
 		}
-		if got := ctr.Snapshot().PRFBlocks; got != 2*domain-2 {
-			t.Errorf("%s: %d blocks, want %d (optimal)", s.Name(), got, 2*domain-2)
+		if got := ctr.Snapshot().PRFBlocks; got != 2*groups-2 {
+			t.Errorf("%s: %d blocks, want %d (optimal)", s.Name(), got, 2*groups-2)
 		}
 	}
 	var ctr gpu.Counters
 	if _, err := (BranchParallel{}).Run(prg, k0s, tab, &ctr); err != nil {
 		t.Fatal(err)
 	}
-	if got := ctr.Snapshot().PRFBlocks; got != domain*int64(tab.Bits()) {
-		t.Errorf("branch-parallel: %d blocks, want %d (L·logL)", got, domain*int64(tab.Bits()))
+	if got := ctr.Snapshot().PRFBlocks; got != groups*int64(bits-early) {
+		t.Errorf("branch-parallel: %d blocks, want %d (G·depth)", got, groups*int64(bits-early))
+	}
+
+	// Explicit full-depth (wire v1) keys still do the classic counts.
+	rng := rand.New(rand.NewSource(91))
+	v1, _, err := dpf.GenEarly(prg, 7, bits, []uint32{1}, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domain := int64(1) << uint(bits)
+	var v1ctr gpu.Counters
+	if _, err := (MemBoundTree{K: 16, Fused: true}).Run(prg, []*dpf.Key{&v1}, tab, &v1ctr); err != nil {
+		t.Fatal(err)
+	}
+	if got := v1ctr.Snapshot().PRFBlocks; got != 2*domain-2 {
+		t.Errorf("full-depth key: %d blocks, want %d", got, 2*domain-2)
+	}
+}
+
+// TestMixedDepthBatchRejected: the tiled walkers need depth-uniform
+// batches; a batch mixing wire-v1 and wire-v2 keys must fail validation,
+// not silently corrupt answers.
+func TestMixedDepthBatchRejected(t *testing.T) {
+	prg := dpf.NewAESPRG()
+	tab := buildTable(t, 64, 2, 71)
+	rng := rand.New(rand.NewSource(72))
+	full, _, err := dpf.GenEarly(prg, 3, tab.Bits(), []uint32{1}, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, _, err := dpf.GenEarly(prg, 9, tab.Bits(), []uint32{1}, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr gpu.Counters
+	for _, s := range allStrategies() {
+		if _, err := s.Run(prg, []*dpf.Key{&full, &early}, tab, &ctr); err == nil {
+			t.Errorf("%s: mixed-depth batch accepted", s.Name())
+		}
 	}
 }
 
@@ -165,7 +210,10 @@ func TestMemoryOrdering(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rm.PeakMemBytes*10 > rl.PeakMemBytes {
+		// Early termination shrinks level-by-level's node frontier 4×
+		// (its leaf vector stays O(L)), so the gap at the smallest shape
+		// is ~6×; it widens with bits as the linear terms dominate.
+		if rm.PeakMemBytes*5 > rl.PeakMemBytes {
 			t.Errorf("bits=%d: membound peak %d not ≪ level peak %d", bits, rm.PeakMemBytes, rl.PeakMemBytes)
 		}
 		if prevLvl > 0 {
@@ -188,10 +236,12 @@ func TestLevelByLevelOOM(t *testing.T) {
 	dev := gpu.TeslaV100()
 	prg := dpf.NewAESPRG()
 	const bits = 22 // 4M rows
-	if _, err := (LevelByLevel{}).Model(dev, prg, bits, 256, 64); err == nil {
-		t.Error("level-by-level at 4M×batch256 should exceed 16GB")
+	// Early termination cut level-by-level's node frontier 4×, so the OOM
+	// cliff moved out by roughly that factor — batch 512 is past it.
+	if _, err := (LevelByLevel{}).Model(dev, prg, bits, 512, 64); err == nil {
+		t.Error("level-by-level at 4M×batch512 should exceed 16GB")
 	}
-	if _, err := (MemBoundTree{K: 128, Fused: true}).Model(dev, prg, bits, 256, 64); err != nil {
+	if _, err := (MemBoundTree{K: 128, Fused: true}).Model(dev, prg, bits, 512, 64); err != nil {
 		t.Errorf("membound at same shape should fit: %v", err)
 	}
 }
