@@ -10,20 +10,36 @@
 //
 //	pirserver -party 0 -addr :7700 -rows 65536 -lanes 32 -seed 42 -shards 4
 //	pirserver -party 1 -addr :7701 -rows 65536 -lanes 32 -seed 42 -shards 4
+//
+// One party can also span machines. Each machine runs a shard node that
+// holds and serves one contiguous slice of the row domain over the
+// shardnet protocol, and a front instance assembles them (with optional
+// local shards) into one engine.Cluster behind the ordinary client-facing
+// protocol — answers are bit-identical to the single-process server:
+//
+//	pirserver -party 0 -shardnode 0/2 -addr :7800 -rows 1048576 -seed 42
+//	pirserver -party 0 -shardnode 1/2 -addr :7801 -rows 1048576 -seed 42
+//	pirserver -party 0 -cluster host0:7800,host1:7801 -addr :7700 -rows 1048576
+//
+// The shardnet handshake pins the wire version, PRF, early-termination
+// depth and party, so a misconfigured node is refused at dial time with
+// both values named instead of corrupting shares at merge time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
+	"strconv"
+	"strings"
 	"time"
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/engine"
 	"gpudpf/internal/pir"
 	"gpudpf/internal/serving"
+	"gpudpf/internal/shardnet"
 )
 
 func main() {
@@ -31,41 +47,157 @@ func main() {
 	addr := flag.String("addr", ":7700", "listen address")
 	rows := flag.Int("rows", 65536, "table rows")
 	lanes := flag.Int("lanes", 32, "uint32 lanes per row (entry bytes / 4)")
-	seed := flag.Int64("seed", 42, "deterministic table content seed (must match the peer)")
+	seed := flag.Int64("seed", 42, "deterministic table content seed (must match the peer, which must also run the same pirserver build — the seed→content scheme is not stable across versions)")
 	prg := flag.String("prg", "aes128", "PRF (must match clients): aes128, chacha20, siphash, highway, sha256")
 	early := flag.Int("early", dpf.DefaultEarlyBits, "early-termination depth clients' keys carry (must match clients; 0 = legacy full-depth wire-v1 keys)")
 	shards := flag.Int("shards", 0, "row-range shards evaluated concurrently (0 = unsharded)")
 	workers := flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 64, "max keys per formed batch (0 disables the batching front door)")
 	maxDelay := flag.Duration("maxdelay", 2*time.Millisecond, "max time a request waits for its batch to fill")
+	shardNode := flag.String("shardnode", "", "serve one shard of the row domain over the shardnet protocol instead of the client protocol; format i/n = rows [i·rows/n,(i+1)·rows/n)")
+	cluster := flag.String("cluster", "", "comma-separated shardnet node addresses; front a distributed replica over them instead of a local table")
 	flag.Parse()
 
-	tab, err := buildTable(*rows, *lanes, *seed)
+	if *shardNode != "" && *cluster != "" {
+		log.Fatal("pirserver: -shardnode and -cluster are mutually exclusive")
+	}
+	switch {
+	case *shardNode != "":
+		runShardNode(*shardNode, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers)
+	case *cluster != "":
+		runClusterFront(*cluster, *party, *addr, *rows, *prg, *early, *batch, *maxDelay)
+	default:
+		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *batch, *maxDelay)
+	}
+}
+
+// runSingle is the classic single-process server: full local table behind
+// the batching front door.
+func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers, batch int, maxDelay time.Duration) {
+	tab, err := buildTable(rows, lanes, seed, 0, rows)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	srv, err := pir.NewServer(*party, tab, pir.WithPRG(*prg), pir.WithEarly(*early), pir.WithSharding(*shards, *workers))
+	srv, err := pir.NewServer(party, tab, pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers))
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	front := pir.Answerer(srv)
-	if *batch > 0 {
-		b, err := serving.NewEngineBatcher(serving.Policy{MaxBatch: *batch, MaxDelay: *maxDelay}, srv.Engine())
-		if err != nil {
-			log.Fatalf("pirserver: %v", err)
-		}
-		defer b.Close()
-		front = batchFront{b, srv.Engine()}
-	}
-	l, err := net.Listen("tcp", *addr)
+	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
 	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s early=%d shards=%d batch=%d)",
-		*party, *rows, *lanes*4, l.Addr(), *prg, srv.Engine().EarlyBits(), srv.Engine().Shards(), *batch)
-	if err := pir.Serve(l, front); err != nil {
+		party, rows, lanes*4, l.Addr(), prg, srv.Engine().EarlyBits(), srv.Engine().Shards(), batch)
+	if err := pir.Serve(l, front(srv, srv.Engine(), batch, maxDelay)); err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
+}
+
+// runShardNode serves one contiguous slice of the row domain over the
+// shardnet protocol: the node builds (and pages in) only its own rows of
+// the deterministic table and answers AnswerRange RPCs from a cluster
+// front.
+func runShardNode(spec string, party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers int) {
+	idx, count, err := parseShardSpec(spec)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	lo, hi := engine.ShardRange(rows, idx, count)
+	if lo >= hi {
+		log.Fatalf("pirserver: shard %d/%d of a %d-row table holds no rows", idx, count, rows)
+	}
+	tab, err := buildTable(rows, lanes, seed, lo, hi)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	rep, err := pir.NewReplica(party, tab, pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers))
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	node, err := shardnet.NewServer(rep, shardnet.ServerConfig{RowLo: lo, RowHi: hi})
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	log.Printf("pirserver: party %d shard node %d/%d serving rows [%d,%d) of %d×%dB table on %s (prg=%s early=%d)",
+		party, idx, count, lo, hi, rows, lanes*4, l.Addr(), prg, rep.EarlyBits())
+	if err := node.Serve(l); err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+}
+
+// runClusterFront assembles a distributed replica over remote shard nodes
+// and serves the ordinary client protocol through it: the front holds no
+// table rows itself, it validates keys, batches requests, fans each batch
+// out as pruned-range evaluations, and merges the partial shares.
+func runClusterFront(addrs string, party int, addr string, rows int, prg string, early, batch int, maxDelay time.Duration) {
+	// Same flag validation as the other two modes (pir.WithEarly): a bad
+	// -early must fail fast here too, not be silently clamped into an
+	// "accept any depth" pin.
+	if early < 0 || early > dpf.MaxEarlyBits {
+		log.Fatalf("pirserver: early-termination depth %d out of range [0,%d]", early, dpf.MaxEarlyBits)
+	}
+	nodes := strings.Split(addrs, ",")
+	pin := dpf.ClampEarly(early, dpf.DomainBits(rows))
+	if early == 0 {
+		pin = engine.FullDepthKeys
+	}
+	members := make([]engine.ClusterShard, len(nodes))
+	for i, node := range nodes {
+		node = strings.TrimSpace(node)
+		cl, err := shardnet.Dial(node, shardnet.Options{PRG: prg, Early: pin, Party: party})
+		if err != nil {
+			log.Fatalf("pirserver: shard %d: %v", i, err)
+		}
+		defer cl.Close()
+		if nr, nl := cl.Shape(); nr != rows {
+			log.Fatalf("pirserver: shard %d (%s) serves a %d×%d table, front expects %d rows", i, node, nr, nl, rows)
+		}
+		members[i] = engine.ClusterShard{Backend: cl, Name: node}
+	}
+	cluster, err := engine.NewCluster(members...)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	// A formed batch is forwarded to every shard node whole; a front batch
+	// the nodes would refuse — over their request key cap, or wide enough
+	// that the ANSWER frame (batch × lanes × 4 bytes) exceeds the frame
+	// cap — would fail only once load actually fills it. Clamp now instead.
+	_, lanes := cluster.Shape()
+	maxBatch := shardnet.DefaultMaxBatch
+	if byResp := (shardnet.DefaultMaxFrame - 64) / (4 * lanes); byResp < maxBatch {
+		maxBatch = byResp
+	}
+	if batch > maxBatch {
+		log.Printf("pirserver: clamping -batch %d to %d (shard nodes' request/response frame caps at %d lanes)", batch, maxBatch, lanes)
+		batch = maxBatch
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	log.Printf("pirserver: party %d cluster front over %d shard nodes (%s) serving %d×%dB table on %s (prg=%s early=%d batch=%d)",
+		party, len(nodes), addrs, rows, lanes*4, l.Addr(), prg, cluster.EarlyBits(), batch)
+	if err := pir.Serve(l, front(pir.BackendEndpoint{Backend: cluster}, cluster, batch, maxDelay)); err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+}
+
+// front wraps the direct answer path with the batching front door when
+// batching is enabled.
+func front(direct pir.Answerer, be engine.Backend, batch int, maxDelay time.Duration) pir.Answerer {
+	if batch <= 0 {
+		return direct
+	}
+	b, err := serving.NewEngineBatcher(serving.Policy{MaxBatch: batch, MaxDelay: maxDelay}, be)
+	if err != nil {
+		log.Fatalf("pirserver: %v", err)
+	}
+	validator, _ := be.(engine.KeyValidator)
+	return batchFront{b, validator}
 }
 
 // batchFront feeds pre-batched TCP requests into the shared batching front
@@ -74,29 +206,66 @@ func main() {
 // before submission — a malformed key fails only its own request, never
 // the co-batched requests of other clients.
 type batchFront struct {
-	b   *serving.Batcher
-	eng *engine.Replica
+	b         *serving.Batcher
+	validator engine.KeyValidator
 }
 
 func (f batchFront) Answer(keys [][]byte) ([][]uint32, error) {
-	for i, key := range keys {
-		if err := f.eng.ValidateKey(key); err != nil {
-			return nil, fmt.Errorf("key %d: %w", i, err)
+	if f.validator != nil {
+		for i, key := range keys {
+			if err := f.validator.ValidateKey(key); err != nil {
+				return nil, fmt.Errorf("key %d: %w", i, err)
+			}
 		}
 	}
 	return f.b.SubmitAll(keys)
 }
 
-// buildTable fills the table deterministically so two independently started
-// parties hold identical replicas.
-func buildTable(rows, lanes int, seed int64) (*pir.Table, error) {
+// parseShardSpec parses "i/n".
+func parseShardSpec(spec string) (idx, count int, err error) {
+	i, n, ok := strings.Cut(spec, "/")
+	if ok {
+		if idx, err = strconv.Atoi(i); err == nil {
+			count, err = strconv.Atoi(n)
+		}
+	}
+	if !ok || err != nil || count < 1 || idx < 0 || idx >= count {
+		return 0, 0, fmt.Errorf("bad -shardnode %q: want i/n with 0 ≤ i < n", spec)
+	}
+	return idx, count, nil
+}
+
+// buildTable fills rows [lo, hi) of the table deterministically, so
+// independently started parties — and independently started shard nodes of
+// one party — hold identical content where their rows overlap. Each row's
+// values derive from (seed, row) alone, so both memory AND fill time are
+// proportional to the node's own slice: the last shard of a 2^27-row
+// table starts as fast as the first. The seed→content mapping is a
+// per-version convention, not a wire contract: every instance of a
+// deployment (both parties, all shard nodes) must run the same pirserver
+// build, as the -seed flag documents — replicas disagreeing on content
+// reconstruct garbage with no error anywhere.
+func buildTable(rows, lanes int, seed int64, lo, hi int) (*pir.Table, error) {
 	tab, err := pir.NewTable(rows, lanes)
 	if err != nil {
 		return nil, fmt.Errorf("building table: %w", err)
 	}
-	rng := rand.New(rand.NewSource(seed))
-	for i := range tab.Data {
-		tab.Data[i] = rng.Uint32()
+	for i := lo; i < hi; i++ {
+		// A splitmix64 stream keyed by (seed, row): a few multiplies per
+		// lane, no per-row generator state — fill cost is a small constant
+		// times the words actually written.
+		state := uint64(seed) ^ (uint64(i)+1)*0x9E3779B97F4A7C15
+		row := tab.Data[i*lanes : (i+1)*lanes]
+		for l := range row {
+			state += 0x9E3779B97F4A7C15
+			z := state
+			z ^= z >> 30
+			z *= 0xBF58476D1CE4E5B9
+			z ^= z >> 27
+			z *= 0x94D049BB133111EB
+			z ^= z >> 31
+			row[l] = uint32(z)
+		}
 	}
 	return tab, nil
 }

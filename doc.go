@@ -7,7 +7,8 @@
 // on synthetic MovieLens / Taobao / WikiText-2 stand-ins.
 //
 // The server request path is unified behind a single layered stack,
-// dpf → strategy → engine → pir/batchpir → core/serving → cmd:
+// dpf → strategy → engine (→ shardnet) → pir/batchpir → core/serving →
+// cmd:
 //
 //   - internal/dpf holds the distributed point function itself: key
 //     generation, per-level expansion, and the pruned range evaluation
@@ -45,8 +46,25 @@
 //     (Config.EarlyBits; default = what pir.NewClient emits) and rejects
 //     mismatched keys at validation with the configured PRF and the key's
 //     parsed wire version in the error — the tiled walkers need
-//     depth-uniform batches. Future backends (GPU simulation,
-//     multi-device, remote shards) plug in here.
+//     depth-uniform batches. The seam is range-aware (RangeBackend:
+//     AnswerRange returns partial shares for a row sub-range), which is
+//     what lets engine.Cluster split one logical replica's row domain
+//     across N shard backends — in-process replicas or remote nodes —
+//     fan each batch out concurrently, and merge the per-shard partial
+//     sums lane-wise mod 2^32, bit-identical to a single process. A dead
+//     shard fails the batch with a *ShardError naming the shard; a
+//     mixed-configuration shard set (PRF, early depth, party, shape, or
+//     a node assigned rows it does not hold) is refused at construction.
+//   - internal/shardnet is the network form of that seam: a Server
+//     exposes any RangeBackend over TCP and a pooled Client implements
+//     it against a remote node. Frames are length-prefixed binary
+//     (capped both ways, marshaled dpf keys carried as-is); gob appears
+//     only inside the handshake frame, which pins the protocol version,
+//     PRF, early-termination depth and party — rejections name both
+//     sides' values — and advertises the table shape plus the row range
+//     the node holds. Context deadlines and cancellation propagate to
+//     connection deadlines, so a slow shard costs the caller its
+//     deadline, not a hang.
 //   - internal/pir and internal/batchpir are thin protocol adapters over
 //     engine replicas: the two-server PIR protocol of §3.1 and the partial
 //     batch retrieval scheme of §4.1 (bins answered concurrently).
@@ -55,7 +73,16 @@
 //     front door and the load/latency simulator.
 //   - cmd/pirserver serves real TCP traffic through the same
 //     batcher+engine path the benchmarks measure; cmd/pirclient queries
-//     it (and load-tests it with -repeat).
+//     it (and load-tests it with -repeat). With -shardnode i/n an
+//     instance serves rows [i·rows/n, (i+1)·rows/n) over the shardnet
+//     protocol (building, and paging in, only its own slice of the
+//     deterministic table); with -cluster addr,... an instance holds no
+//     rows and fronts a distributed replica over those nodes behind the
+//     unchanged client protocol. Choose in-process shards (-shards)
+//     while one machine's cores and memory suffice — no serialization,
+//     no network hop; choose a cluster when the table or the PRF load
+//     outgrows one machine, at the cost of one LAN round-trip and the
+//     key batch being sent to every shard node.
 //
 // The implementation lives under internal/; see README.md for the layout,
 // examples/ for runnable scenarios, and bench_test.go plus
@@ -85,5 +112,11 @@
 // under -tags purego (the pure-Go AES fallback — the golden key fixtures
 // prove it agrees byte-for-byte with the AES-NI path) and cross-builds
 // linux/arm64 (with and without purego) and darwin/arm64, so the asm
-// stubs and build-tag plumbing stay honest on every push.
+// stubs and build-tag plumbing stay honest on every push. The distributed
+// job runs the cluster integration and fault-injection suites (shard
+// killed mid-batch, slow shard against a context deadline, handshake
+// mismatches) under -race and once under -tags purego, and smoke-runs the
+// fuzz targets (the dpf key parser seeded from the golden fixtures, the
+// shardnet frame codecs, and the capped gob reader guarding pir.Serve)
+// for a short -fuzztime on every push.
 package gpudpf

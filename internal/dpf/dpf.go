@@ -63,6 +63,20 @@ func DefaultEarly(bits, lanes int) int {
 	return ClampEarly(early, bits)
 }
 
+// DomainBits returns the DPF tree depth covering a domain of rows
+// entries: ⌈log₂(rows)⌉, minimum 1. Every layer that derives a tree depth
+// from a row count (strategy.Table.Bits, pir.Client, the cluster front's
+// key validation) must round through this one function — two layers
+// disagreeing on the convention would turn a loud key rejection into
+// accepted-then-garbage shares.
+func DomainBits(rows int) int {
+	bits := 1
+	for 1<<uint(bits) < rows {
+		bits++
+	}
+	return bits
+}
+
 // ClampEarly bounds an early-termination depth to what a tree of the given
 // depth supports — at least one walked level must remain. Every layer that
 // resolves a configured depth against a concrete table (pir.Client,

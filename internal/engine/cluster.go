@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/strategy"
+)
+
+// ShardRange returns the row range [lo, hi) that shard i of n serves in
+// an evenly split domain of rows entries. Every layer that derives the
+// split — Replica's in-process shard bounds, Cluster's assignment, and a
+// shard node started with `pirserver -shardnode i/n` — must compute it
+// through this one function: a node whose held slice diverges from the
+// front's assignment is only caught at startup by the RangeHolder check,
+// and two layers quietly disagreeing on the rounding is exactly the kind
+// of drift that turns into garbage shares.
+func ShardRange(rows, i, n int) (lo, hi int) {
+	return i * rows / n, (i + 1) * rows / n
+}
+
+// ClusterShard is one member of a Cluster: a backend that can answer row
+// sub-ranges (an in-process Replica, or a shardnet.Client speaking to a
+// node in another process or on another machine) plus a name for errors —
+// when a shard dies mid-batch the operator needs to know WHICH machine.
+type ClusterShard struct {
+	Backend RangeBackend
+	// Name identifies the shard in errors (typically its address for
+	// remote shards); empty defaults to "shard i".
+	Name string
+}
+
+// ShardError is the named error a Cluster returns when one shard's
+// sub-range evaluation fails: it identifies the shard by index, name and
+// assigned row range, and wraps the underlying cause (so errors.Is sees
+// context.DeadlineExceeded through it when a slow shard blows the
+// caller's deadline, and connection errors when a shard node dies).
+type ShardError struct {
+	// Shard is the failing shard's index in the cluster.
+	Shard int
+	// Name is the shard's configured name (address for remote shards).
+	Name string
+	// Lo, Hi is the row range the shard was asked to evaluate.
+	Lo, Hi int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("engine: cluster shard %d (%s) rows [%d,%d): %v", e.Shard, e.Name, e.Lo, e.Hi, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Cluster is a Backend that splits the row domain across N shard backends
+// so one logical replica can span processes and machines: a key batch
+// fans out concurrently as AnswerRange calls over contiguous row ranges,
+// and the per-shard partial sums merge lane-wise mod 2^32 — by the
+// linearity of the shares, bit-identical to a single-process Replica over
+// the same table. Construction fails loudly on any configuration the
+// merge would silently corrupt: disagreeing table shapes, PRFs,
+// early-termination depths or parties across shards (BackendInfo), or a
+// shard assigned rows it does not hold (RangeHolder).
+type Cluster struct {
+	shards []ClusterShard
+	// bounds[i] .. bounds[i+1] is shard i's row range, the same even
+	// split Replica uses for its in-process shards.
+	bounds []int
+	rows   int
+	lanes  int
+
+	// pinned configuration, known when at least one shard reports
+	// BackendInfo (all reporting shards must agree); ValidateKey uses it
+	// to reject bad keys at the front door. Shards without BackendInfo
+	// (wrappers, test stubs) neither pin nor un-pin: they are trusted to
+	// match the configuration their siblings advertise.
+	prgName string
+	early   int
+	party   int
+	pinned  bool
+}
+
+// NewCluster assembles a cluster over the given shards; shard i serves
+// rows [i·rows/N, (i+1)·rows/N) of the common table domain.
+func NewCluster(shards ...ClusterShard) (*Cluster, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("engine: cluster needs at least one shard")
+	}
+	c := &Cluster{shards: make([]ClusterShard, len(shards))}
+	copy(c.shards, shards)
+	for i := range c.shards {
+		if c.shards[i].Backend == nil {
+			return nil, fmt.Errorf("engine: cluster shard %d has no backend", i)
+		}
+		if c.shards[i].Name == "" {
+			c.shards[i].Name = fmt.Sprintf("shard %d", i)
+		}
+	}
+	c.rows, c.lanes = c.shards[0].Backend.Shape()
+	if c.rows <= 0 || c.lanes <= 0 {
+		return nil, fmt.Errorf("engine: cluster shard 0 (%s) reports an invalid %d×%d table", c.shards[0].Name, c.rows, c.lanes)
+	}
+	for i, sh := range c.shards {
+		rows, lanes := sh.Backend.Shape()
+		if rows != c.rows || lanes != c.lanes {
+			return nil, fmt.Errorf("engine: cluster shard %d (%s) serves a %d×%d table, shard 0 (%s) a %d×%d one — all shards must replicate the same domain",
+				i, sh.Name, rows, lanes, c.shards[0].Name, c.rows, c.lanes)
+		}
+	}
+	if len(c.shards) > c.rows {
+		return nil, fmt.Errorf("engine: cluster of %d shards over a table of only %d rows", len(c.shards), c.rows)
+	}
+	c.bounds = make([]int, len(c.shards)+1)
+	for i := range c.shards {
+		c.bounds[i], c.bounds[i+1] = ShardRange(c.rows, i, len(c.shards))
+	}
+	// Every pinned fact must agree pairwise before partial shares may be
+	// merged; name both values and both shards in the rejection.
+	first := -1
+	for i, sh := range c.shards {
+		info, ok := sh.Backend.(BackendInfo)
+		if !ok {
+			continue
+		}
+		if first < 0 {
+			first = i
+			c.prgName, c.early, c.party = info.PRGName(), info.EarlyBits(), info.Party()
+			continue
+		}
+		ref := c.shards[first]
+		if got := info.PRGName(); got != c.prgName {
+			return nil, fmt.Errorf("engine: cluster shard %d (%s) serves prg=%s, shard %d (%s) prg=%s — shards must share one PRF",
+				i, sh.Name, got, first, ref.Name, c.prgName)
+		}
+		if got := info.EarlyBits(); got != c.early {
+			return nil, fmt.Errorf("engine: cluster shard %d (%s) serves early-termination depth %d, shard %d (%s) depth %d — shards must share one depth",
+				i, sh.Name, got, first, ref.Name, c.early)
+		}
+		if got := info.Party(); got != c.party {
+			return nil, fmt.Errorf("engine: cluster shard %d (%s) computes party %d shares, shard %d (%s) party %d — a cluster is one party",
+				i, sh.Name, got, first, ref.Name, c.party)
+		}
+	}
+	c.pinned = first >= 0
+	for i, sh := range c.shards {
+		holder, ok := sh.Backend.(RangeHolder)
+		if !ok {
+			continue
+		}
+		lo, hi := holder.HeldRange()
+		if lo < 0 || hi > c.rows || lo >= hi {
+			return nil, fmt.Errorf("engine: cluster shard %d (%s) claims to hold an invalid row range [%d,%d) of %d rows", i, sh.Name, lo, hi, c.rows)
+		}
+		if c.bounds[i] < lo || c.bounds[i+1] > hi {
+			return nil, fmt.Errorf("engine: cluster shard %d (%s) is assigned rows [%d,%d) but holds only [%d,%d) — start the node with the matching shard index/count",
+				i, sh.Name, c.bounds[i], c.bounds[i+1], lo, hi)
+		}
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Bounds returns the row split: shard i serves [Bounds()[i], Bounds()[i+1]).
+func (c *Cluster) Bounds() []int { return append([]int(nil), c.bounds...) }
+
+// Shape implements Backend.
+func (c *Cluster) Shape() (rows, lanes int) { return c.rows, c.lanes }
+
+// Counters implements Backend: the lane-wise aggregate over all shards
+// (PRF blocks, traffic and launches are additive across the split;
+// PeakMemBytes is the sum of per-shard peaks, an upper bound on any
+// single machine's footprint).
+func (c *Cluster) Counters() gpu.Stats {
+	var total gpu.Stats
+	for _, sh := range c.shards {
+		s := sh.Backend.Counters()
+		total.PRFBlocks += s.PRFBlocks
+		total.ReadBytes += s.ReadBytes
+		total.WriteBytes += s.WriteBytes
+		total.Launches += s.Launches
+		total.PeakMemBytes += s.PeakMemBytes
+	}
+	return total
+}
+
+// Answer implements Backend: the batch fans out to every shard's row range
+// concurrently, and the partial shares merge lane-wise mod 2^32. The first
+// shard failure cancels the rest of the fan-out and comes back as a
+// *ShardError naming the shard; a failure induced by the caller's own ctx
+// keeps the ctx error in the chain (errors.Is sees DeadlineExceeded).
+func (c *Cluster) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("engine: empty key batch")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	partials := make([][][]uint32, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	wg.Add(len(c.shards))
+	for i := range c.shards {
+		go func(i int) {
+			defer wg.Done()
+			a, err := c.shards[i].Backend.AnswerRange(ctx, keys, c.bounds[i], c.bounds[i+1])
+			if err != nil {
+				errs[i] = err
+				cancel() // stop paying for partials the batch can no longer use
+				return
+			}
+			partials[i] = a
+		}(i)
+	}
+	wg.Wait()
+	// Prefer the shard that actually failed over siblings that merely saw
+	// the cancellation it triggered.
+	fail := -1
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fail < 0 || (errors.Is(errs[fail], context.Canceled) && !errors.Is(err, context.Canceled)) {
+			fail = i
+		}
+	}
+	if fail >= 0 {
+		return nil, &ShardError{Shard: fail, Name: c.shards[fail].Name, Lo: c.bounds[fail], Hi: c.bounds[fail+1], Err: errs[fail]}
+	}
+	answers := strategy.NewAnswers(len(keys), c.lanes)
+	for i, part := range partials {
+		if len(part) != len(keys) {
+			return nil, &ShardError{Shard: i, Name: c.shards[i].Name, Lo: c.bounds[i], Hi: c.bounds[i+1],
+				Err: fmt.Errorf("engine: %d partial shares for %d keys", len(part), len(keys))}
+		}
+		for q := range answers {
+			if len(part[q]) != c.lanes {
+				return nil, &ShardError{Shard: i, Name: c.shards[i].Name, Lo: c.bounds[i], Hi: c.bounds[i+1],
+					Err: fmt.Errorf("engine: partial share %d has %d lanes, table has %d", q, len(part[q]), c.lanes)}
+			}
+			for l := range answers[q] {
+				answers[q][l] += part[q][l]
+			}
+		}
+	}
+	return answers, nil
+}
+
+// Update implements Backend: the write routes to the shard that serves the
+// row (the only shard whose answers ever read it).
+func (c *Cluster) Update(row uint64, vals []uint32) error {
+	if row >= uint64(c.rows) {
+		return fmt.Errorf("engine: update row %d outside table of %d rows", row, c.rows)
+	}
+	if len(vals) != c.lanes {
+		return fmt.Errorf("engine: update has %d lanes, table rows have %d", len(vals), c.lanes)
+	}
+	i := 0
+	for int(row) >= c.bounds[i+1] {
+		i++
+	}
+	if err := c.shards[i].Backend.Update(row, vals); err != nil {
+		return &ShardError{Shard: i, Name: c.shards[i].Name, Lo: c.bounds[i], Hi: c.bounds[i+1], Err: err}
+	}
+	return nil
+}
+
+// ValidateKey implements KeyValidator when the shard set pins a
+// configuration (at least one shard reported BackendInfo): the key must
+// unmarshal, carry the cluster's party, be scalar, and match the domain's
+// tree depth and the pinned early-termination depth — the same checks
+// Replica.ValidateKey runs, performed at the cluster front so a bad key
+// fails its own request before any network fan-out. Without a pinned
+// configuration it accepts everything and leaves rejection to the shards.
+func (c *Cluster) ValidateKey(raw []byte) error {
+	if !c.pinned {
+		return nil
+	}
+	prefix := func() string {
+		return fmt.Sprintf("engine cluster (prg=%s, key wire v%d)", c.prgName, dpf.WireVersion(raw))
+	}
+	var k dpf.Key
+	if err := k.UnmarshalBinary(raw); err != nil {
+		return fmt.Errorf("%s: %w", prefix(), err)
+	}
+	if err := validatePinnedKey(&k, c.party, dpf.DomainBits(c.rows), c.early); err != nil {
+		return fmt.Errorf("%s: %w", prefix(), err)
+	}
+	return nil
+}
+
+// PRGName implements BackendInfo when pinned ("" otherwise).
+func (c *Cluster) PRGName() string { return c.prgName }
+
+// EarlyBits implements BackendInfo when pinned (0 otherwise).
+func (c *Cluster) EarlyBits() int { return c.early }
+
+// Party implements BackendInfo when pinned (0 otherwise).
+func (c *Cluster) Party() int { return c.party }
+
+// Pinned reports whether any shard exposed its configuration, i.e.
+// whether ValidateKey and the BackendInfo accessors are authoritative.
+func (c *Cluster) Pinned() bool { return c.pinned }
+
+// Close closes every shard backend that is closeable (remote shard
+// clients); in-process replicas have nothing to close.
+func (c *Cluster) Close() error {
+	var first error
+	for _, sh := range c.shards {
+		if closer, ok := sh.Backend.(io.Closer); ok {
+			if err := closer.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+var _ Backend = (*Cluster)(nil)
+var _ KeyValidator = (*Cluster)(nil)

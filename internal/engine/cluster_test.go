@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"gpudpf/internal/gpu"
+)
+
+// stubRange is a scriptable RangeBackend for fault and validation tests.
+type stubRange struct {
+	rows, lanes int
+	fail        error
+	onAnswer    func(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error)
+}
+
+func (s *stubRange) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error) {
+	return s.AnswerRange(ctx, keys, 0, s.rows)
+}
+
+func (s *stubRange) AnswerRange(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error) {
+	if s.onAnswer != nil {
+		return s.onAnswer(ctx, keys, lo, hi)
+	}
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	out := make([][]uint32, len(keys))
+	for i := range out {
+		out[i] = make([]uint32, s.lanes)
+	}
+	return out, nil
+}
+
+func (s *stubRange) Update(row uint64, vals []uint32) error { return s.fail }
+func (s *stubRange) Counters() gpu.Stats                    { return gpu.Stats{PRFBlocks: 10, ReadBytes: 20} }
+func (s *stubRange) Shape() (int, int)                      { return s.rows, s.lanes }
+
+// TestClusterMatchesReplicaInProcess: clusters of 1..5 in-process replica
+// shards answer bit-identically to the unsharded replica, for both
+// parties, and the reconstruction matches the table.
+func TestClusterMatchesReplicaInProcess(t *testing.T) {
+	const rows, lanes = 300, 4
+	tab := buildTable(t, rows, lanes, 21)
+	indices := []uint64{0, 7, 128, 299}
+	k0s, k1s := genKeys(t, tab, indices, 22)
+
+	refs := make([]*Replica, 2)
+	for p := range refs {
+		var err error
+		refs[p], err = NewReplica(tab, Config{Party: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for shards := 1; shards <= 5; shards++ {
+		clusters := make([]*Cluster, 2)
+		for p := range clusters {
+			members := make([]ClusterShard, shards)
+			for i := range members {
+				rep, err := NewReplica(tab, Config{Party: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				members[i] = ClusterShard{Backend: rep}
+			}
+			var err error
+			clusters[p], err = NewCluster(members...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !clusters[p].Pinned() {
+				t.Fatal("all-replica cluster not pinned")
+			}
+		}
+		for p, keys := range [][][]byte{k0s, k1s} {
+			want, err := refs[p].Answer(context.Background(), keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := clusters[p].Answer(context.Background(), keys)
+			if err != nil {
+				t.Fatalf("shards=%d party=%d: %v", shards, p, err)
+			}
+			for q := range want {
+				for l := range want[q] {
+					if got[q][l] != want[q][l] {
+						t.Fatalf("shards=%d party=%d query=%d lane=%d: cluster %#x, replica %#x",
+							shards, p, q, l, got[q][l], want[q][l])
+					}
+				}
+			}
+		}
+		// Reconstruction across the two clusters yields the table rows.
+		a0, err := clusters[0].Answer(context.Background(), k0s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, err := clusters[1].Answer(context.Background(), k1s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q, idx := range indices {
+			row := tab.Row(int(idx))
+			for l := range row {
+				if a0[q][l]+a1[q][l] != row[l] {
+					t.Fatalf("shards=%d: row %d lane %d does not reconstruct", shards, idx, l)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterUpdate: writes route to the owning shard and are visible to
+// the next answer; out-of-shape writes are rejected.
+func TestClusterUpdate(t *testing.T) {
+	const rows, lanes = 200, 4
+	tab := buildTable(t, rows, lanes, 23)
+	members := make([]ClusterShard, 4)
+	for i := range members {
+		rep, err := NewReplica(tab, Config{Party: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = ClusterShard{Backend: rep}
+	}
+	cluster, err := NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewReplica(buildTable(t, rows, lanes, 23), Config{Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows in different shards' ranges — since all in-process shards share
+	// one table here, routing correctness shows as the write landing at all.
+	for _, row := range []uint64{0, 60, 120, 199} {
+		vals := []uint32{uint32(row), 2, 3, 4}
+		if err := cluster.Update(row, vals); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Update(row, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k0s, _ := genKeys(t, tab, []uint64{0, 60, 120, 199}, 24)
+	got, err := cluster.Answer(context.Background(), k0s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Answer(context.Background(), k0s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range want {
+		for l := range want[q] {
+			if got[q][l] != want[q][l] {
+				t.Fatalf("post-update query %d lane %d: cluster %#x, replica %#x", q, l, got[q][l], want[q][l])
+			}
+		}
+	}
+	if err := cluster.Update(uint64(rows), []uint32{1, 2, 3, 4}); err == nil {
+		t.Fatal("out-of-range update accepted")
+	}
+	if err := cluster.Update(0, []uint32{1}); err == nil {
+		t.Fatal("wrong-width update accepted")
+	}
+}
+
+// TestClusterConstructionValidation: shape disagreement, oversubscription
+// and nil backends are refused with the shard named.
+func TestClusterConstructionValidation(t *testing.T) {
+	if _, err := NewCluster(); err == nil {
+		t.Fatal("empty cluster assembled")
+	}
+	if _, err := NewCluster(ClusterShard{}); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+	a := &stubRange{rows: 100, lanes: 4}
+	b := &stubRange{rows: 100, lanes: 8}
+	_, err := NewCluster(ClusterShard{Backend: a, Name: "a"}, ClusterShard{Backend: b, Name: "b"})
+	if err == nil || !strings.Contains(err.Error(), "100×8") || !strings.Contains(err.Error(), "100×4") {
+		t.Fatalf("shape mismatch not named: %v", err)
+	}
+	tiny := &stubRange{rows: 2, lanes: 1}
+	members := []ClusterShard{{Backend: tiny}, {Backend: tiny}, {Backend: tiny}}
+	if _, err := NewCluster(members...); err == nil {
+		t.Fatal("3 shards over 2 rows assembled")
+	}
+}
+
+// TestClusterShardErrorIdentifiesShard: a failing shard is named with its
+// index, name and row range, and the error chain keeps the cause.
+func TestClusterShardErrorIdentifiesShard(t *testing.T) {
+	cause := errors.New("disk on fire")
+	members := []ClusterShard{
+		{Backend: &stubRange{rows: 100, lanes: 2}, Name: "alpha"},
+		{Backend: &stubRange{rows: 100, lanes: 2, fail: cause}, Name: "beta"},
+		{Backend: &stubRange{rows: 100, lanes: 2}, Name: "gamma"},
+	}
+	cluster, err := NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cluster.Answer(context.Background(), [][]byte{{1}})
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a ShardError", err)
+	}
+	if se.Shard != 1 || se.Name != "beta" {
+		t.Fatalf("ShardError names shard %d (%s), want 1 (beta)", se.Shard, se.Name)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("error chain %v lost the cause", err)
+	}
+	for _, want := range []string{"beta", "shard 1", "[33,66)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestClusterCancellationPreference: when one shard genuinely fails, the
+// cancellations it induces in its siblings are not what gets reported.
+func TestClusterCancellationPreference(t *testing.T) {
+	cause := errors.New("node vanished")
+	blocked := func(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error) {
+		<-ctx.Done() // sibling: parks until the failing shard cancels the fan-out
+		return nil, ctx.Err()
+	}
+	members := []ClusterShard{
+		{Backend: &stubRange{rows: 100, lanes: 2, onAnswer: blocked}, Name: "patient"},
+		{Backend: &stubRange{rows: 100, lanes: 2, fail: cause}, Name: "dead"},
+	}
+	cluster, err := NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cluster.Answer(context.Background(), [][]byte{{1}})
+	var se *ShardError
+	if !errors.As(err, &se) || se.Name != "dead" || !errors.Is(err, cause) {
+		t.Fatalf("reported %v, want the genuinely failing shard", err)
+	}
+
+	// A pre-cancelled parent context short-circuits before any fan-out.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cluster.Answer(ctx, [][]byte{{1}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: %v", err)
+	}
+}
+
+// TestClusterCountersAggregate: counters sum across shards.
+func TestClusterCountersAggregate(t *testing.T) {
+	members := []ClusterShard{
+		{Backend: &stubRange{rows: 100, lanes: 2}},
+		{Backend: &stubRange{rows: 100, lanes: 2}},
+		{Backend: &stubRange{rows: 100, lanes: 2}},
+	}
+	cluster, err := NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cluster.Counters()
+	if stats.PRFBlocks != 30 || stats.ReadBytes != 60 {
+		t.Fatalf("aggregate counters %+v, want PRFBlocks=30 ReadBytes=60", stats)
+	}
+}
+
+// TestClusterMalformedPartials: a shard returning the wrong number or
+// shape of partials is reported as that shard's failure, never merged.
+func TestClusterMalformedPartials(t *testing.T) {
+	short := func(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error) {
+		return [][]uint32{{1, 2}}, nil // one answer regardless of batch size
+	}
+	members := []ClusterShard{
+		{Backend: &stubRange{rows: 100, lanes: 2}, Name: "honest"},
+		{Backend: &stubRange{rows: 100, lanes: 2, onAnswer: short}, Name: "liar"},
+	}
+	cluster, err := NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cluster.Answer(context.Background(), [][]byte{{1}, {2}})
+	var se *ShardError
+	if !errors.As(err, &se) || se.Name != "liar" {
+		t.Fatalf("malformed partials reported as %v, want ShardError naming liar", err)
+	}
+}
+
+// TestClusterValidateKey: a pinned cluster rejects keys for the wrong
+// party, depth or domain with the same naming the replica uses; an
+// unpinned cluster defers to its shards.
+func TestClusterValidateKey(t *testing.T) {
+	const rows, lanes = 256, 4
+	tab := buildTable(t, rows, lanes, 31)
+	members := make([]ClusterShard, 2)
+	for i := range members {
+		rep, err := NewReplica(tab, Config{Party: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = ClusterShard{Backend: rep}
+	}
+	cluster, err := NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0s, k1s := genKeys(t, tab, []uint64{5}, 32)
+	if err := cluster.ValidateKey(k0s[0]); err != nil {
+		t.Fatalf("valid key rejected: %v", err)
+	}
+	if err := cluster.ValidateKey(k1s[0]); err == nil || !strings.Contains(err.Error(), "party") {
+		t.Fatalf("wrong-party key: %v", err)
+	}
+	if err := cluster.ValidateKey([]byte{0, 1, 2}); err == nil {
+		t.Fatal("garbage key accepted")
+	}
+	smallTab := buildTable(t, 16, lanes, 33)
+	smallKeys, _ := genKeys(t, smallTab, []uint64{3}, 34)
+	if err := cluster.ValidateKey(smallKeys[0]); err == nil || !strings.Contains(err.Error(), "bits") {
+		t.Fatalf("wrong-domain key: %v", err)
+	}
+
+	unpinned, err := NewCluster(
+		ClusterShard{Backend: &stubRange{rows: rows, lanes: lanes}},
+		ClusterShard{Backend: &stubRange{rows: rows, lanes: lanes}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unpinned.Pinned() {
+		t.Fatal("stub cluster claims to be pinned")
+	}
+	if err := unpinned.ValidateKey([]byte{9, 9}); err != nil {
+		t.Fatalf("unpinned cluster should defer validation: %v", err)
+	}
+
+	// One info-bearing shard is enough to pin: a front over a mixed set
+	// (replica + opaque wrapper) must still reject bad keys at the door.
+	rep, err := NewReplica(tab, Config{Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := NewCluster(
+		ClusterShard{Backend: rep},
+		ClusterShard{Backend: &stubRange{rows: rows, lanes: lanes}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Pinned() {
+		t.Fatal("cluster with an info-bearing shard not pinned")
+	}
+	if err := partial.ValidateKey(k1s[0]); err == nil {
+		t.Fatal("partially-pinned cluster accepted a wrong-party key")
+	}
+}
+
+// TestReplicaAnswerRangePartition: AnswerRange partials over any partition
+// of the rows sum to the full answer (the property Cluster merging rests
+// on), including partitions not aligned to the replica's own shards.
+func TestReplicaAnswerRangePartition(t *testing.T) {
+	const rows, lanes = 300, 4
+	tab := buildTable(t, rows, lanes, 41)
+	rep, err := NewReplica(tab, Config{Party: 0, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := genKeys(t, tab, []uint64{0, 150, 299}, 42)
+	want, err := rep.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cuts := range [][]int{
+		{0, rows},
+		{0, 1, rows},
+		{0, 37, 153, 154, rows},
+		{0, 75, 150, 225, rows},
+	} {
+		sum := make([][]uint32, len(keys))
+		for q := range sum {
+			sum[q] = make([]uint32, lanes)
+		}
+		for c := 0; c+1 < len(cuts); c++ {
+			part, err := rep.AnswerRange(context.Background(), keys, cuts[c], cuts[c+1])
+			if err != nil {
+				t.Fatalf("range [%d,%d): %v", cuts[c], cuts[c+1], err)
+			}
+			for q := range sum {
+				for l := range sum[q] {
+					sum[q][l] += part[q][l]
+				}
+			}
+		}
+		for q := range want {
+			for l := range want[q] {
+				if sum[q][l] != want[q][l] {
+					t.Fatalf("partition %v query %d lane %d: %#x != %#x", cuts, q, l, sum[q][l], want[q][l])
+				}
+			}
+		}
+	}
+	if _, err := rep.AnswerRange(context.Background(), keys, 10, 5); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := rep.AnswerRange(context.Background(), keys, 0, rows+1); err == nil {
+		t.Fatal("out-of-table range accepted")
+	}
+}

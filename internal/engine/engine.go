@@ -43,6 +43,48 @@ type Backend interface {
 	Shape() (rows, lanes int)
 }
 
+// RangeBackend is a Backend that can also evaluate a batch against a row
+// sub-range of its domain, returning per-key PARTIAL answer shares:
+// summing the partials of ranges that partition [0, rows) lane-wise
+// (mod 2^32) yields exactly Answer's shares — the same linearity
+// Replica's in-process shards exploit, exposed so a Cluster can split one
+// logical replica's row domain across backends that live in other
+// processes or on other machines (shardnet.Client is the remote
+// implementation).
+type RangeBackend interface {
+	Backend
+	// AnswerRange evaluates the keys against rows [lo, hi) only.
+	AnswerRange(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error)
+}
+
+// BackendInfo exposes the serving configuration a backend pins — the
+// facts two backends must agree on before their partial shares can be
+// merged. Cluster uses it to reject a mixed-configuration shard set at
+// construction instead of serving garbage shares.
+type BackendInfo interface {
+	// PRGName names the PRF served keys must use.
+	PRGName() string
+	// EarlyBits is the early-termination depth served keys must carry
+	// (0 = legacy full-depth wire-v1 keys).
+	EarlyBits() int
+	// Party is which share (0 or 1) the backend computes.
+	Party() int
+}
+
+// RangeHolder reports which global rows a backend authoritatively holds.
+// A shard node serving rows [lo, hi) of a larger domain answers garbage
+// outside that range; Cluster checks each shard's assignment against it.
+type RangeHolder interface {
+	HeldRange() (lo, hi int)
+}
+
+// KeyValidator checks a marshaled key against a backend's configuration
+// without evaluating it. Batching front doors use it to reject a bad key
+// at its own request instead of failing every co-batched request.
+type KeyValidator interface {
+	ValidateKey(raw []byte) error
+}
+
 // Config assembles a Replica.
 type Config struct {
 	// Party is which share (0 or 1) the replica computes.
@@ -150,15 +192,11 @@ func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
 		// RunRange cannot prune and would multiply total work by the
 		// shard count.
 		shardRows := (tab.NumRows + shards - 1) / shards
-		widthBits := 1
-		for 1<<uint(widthBits) < shardRows {
-			widthBits++
-		}
-		strat = strategy.Schedule(widthBits)
+		strat = strategy.Schedule(dpf.DomainBits(shardRows))
 	}
 	bounds := make([]int, shards+1)
-	for i := range bounds {
-		bounds[i] = i * tab.NumRows / shards
+	for i := 0; i < shards; i++ {
+		bounds[i], bounds[i+1] = ShardRange(tab.NumRows, i, shards)
 	}
 	return &Replica{
 		party:   uint8(cfg.Party),
@@ -187,6 +225,12 @@ func (r *Replica) Strategy() strategy.Strategy { return r.strat }
 // (0 = legacy full-depth wire-v1 keys).
 func (r *Replica) EarlyBits() int { return r.early }
 
+// PRGName implements BackendInfo: the PRF served keys must use.
+func (r *Replica) PRGName() string { return r.prg.Name() }
+
+// HeldRange implements RangeHolder: a replica holds its whole table.
+func (r *Replica) HeldRange() (lo, hi int) { return 0, r.tab.NumRows }
+
 // Shape implements Backend.
 func (r *Replica) Shape() (rows, lanes int) { return r.tab.NumRows, r.tab.Lanes }
 
@@ -202,21 +246,34 @@ func (r *Replica) keyErrPrefix(raw []byte) string {
 	return fmt.Sprintf("engine (prg=%s, key wire v%d)", r.prg.Name(), dpf.WireVersion(raw))
 }
 
+// validatePinnedKey checks an unmarshaled key against a pinned serving
+// configuration — the one shared core behind Replica.validateKey and
+// Cluster.ValidateKey, so the in-process and distributed front doors can
+// never drift apart in what they accept or how they explain a rejection.
+// Errors carry no context prefix; callers wrap with theirs on the (cold)
+// failure path, keeping the hot path allocation-free.
+func validatePinnedKey(k *dpf.Key, party, bits, early int) error {
+	if int(k.Party) != party {
+		return fmt.Errorf("key is for party %d, this backend serves party %d", k.Party, party)
+	}
+	if k.Lanes != 1 {
+		return fmt.Errorf("key has %d lanes; PIR keys are scalar", k.Lanes)
+	}
+	if k.Bits != bits {
+		return fmt.Errorf("key has %d bits, table needs %d", k.Bits, bits)
+	}
+	if k.Early != early {
+		return fmt.Errorf("key has early-termination depth %d, this backend serves depth %d — generate keys with the matching -early (0 needs wire v1, 1+ wire v2)",
+			k.Early, early)
+	}
+	return nil
+}
+
 // validateKey checks an unmarshaled key against the replica's party, lane
 // shape, tree depth, and configured early-termination depth.
 func (r *Replica) validateKey(raw []byte, k *dpf.Key) error {
-	if k.Party != r.party {
-		return fmt.Errorf("%s: key is for party %d, this replica is party %d", r.keyErrPrefix(raw), k.Party, r.party)
-	}
-	if k.Lanes != 1 {
-		return fmt.Errorf("%s: key has %d lanes; PIR keys are scalar", r.keyErrPrefix(raw), k.Lanes)
-	}
-	if bits := r.tab.Bits(); k.Bits != bits {
-		return fmt.Errorf("%s: key has %d bits, table needs %d", r.keyErrPrefix(raw), k.Bits, bits)
-	}
-	if k.Early != r.early {
-		return fmt.Errorf("%s: key has early-termination depth %d, this replica serves depth %d — generate keys with the matching -early (0 needs wire v1, 1+ wire v2)",
-			r.keyErrPrefix(raw), k.Early, r.early)
+	if err := validatePinnedKey(k, int(r.party), r.tab.Bits(), r.early); err != nil {
+		return fmt.Errorf("%s: %w", r.keyErrPrefix(raw), err)
 	}
 	return nil
 }
@@ -315,6 +372,33 @@ func (s *answerScratch) grow(batch, shards, lanes int) {
 // the returned answers. Steady state, the only allocations are the
 // returned answer slices themselves.
 func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, error) {
+	return r.answerBounds(ctx, rawKeys, r.bounds)
+}
+
+// AnswerRange implements RangeBackend: the batch is evaluated against rows
+// [lo, hi) only, the range split across the replica's shard/worker budget
+// exactly like Answer splits the full table, yielding the partial shares a
+// Cluster merges. Unlike Answer's steady state, the per-call shard bounds
+// are freshly allocated — this is the network-facing path, not the
+// in-process hot path.
+func (r *Replica) AnswerRange(ctx context.Context, rawKeys [][]byte, lo, hi int) ([][]uint32, error) {
+	if lo < 0 || hi > r.tab.NumRows || lo >= hi {
+		return nil, fmt.Errorf("engine: row range [%d,%d) invalid for table of %d rows", lo, hi, r.tab.NumRows)
+	}
+	shards := r.Shards()
+	if shards > hi-lo {
+		shards = hi - lo
+	}
+	bounds := make([]int, shards+1)
+	for i := range bounds {
+		bounds[i] = lo + i*(hi-lo)/shards
+	}
+	return r.answerBounds(ctx, rawKeys, bounds)
+}
+
+// answerBounds is the shared Answer/AnswerRange core: shard i of the call
+// covers rows [bounds[i], bounds[i+1]).
+func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []int) ([][]uint32, error) {
 	if len(rawKeys) == 0 {
 		return nil, fmt.Errorf("engine: empty key batch")
 	}
@@ -325,7 +409,7 @@ func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, err
 	// workers' closure captures it, and capturing a reassigned variable
 	// would heap-move it on every call.
 	sc := getAnswerScratch(&r.scratch)
-	shards := r.Shards()
+	shards := len(bounds) - 1
 	partialShards := shards
 	if shards == 1 {
 		partialShards = 0 // sequential path accumulates straight into answers
@@ -347,7 +431,7 @@ func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, err
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if shards == 1 {
-		err := r.strat.RunRangeInto(r.prg, keys, r.tab, 0, r.tab.NumRows, &r.ctr, answers)
+		err := r.strat.RunRangeInto(r.prg, keys, r.tab, bounds[0], bounds[1], &r.ctr, answers)
 		r.scratch.Put(sc)
 		if err != nil {
 			return nil, fmt.Errorf("engine: evaluating batch: %w", err)
@@ -374,7 +458,7 @@ func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, err
 					sc.errs[i] = err
 					continue
 				}
-				sc.errs[i] = r.strat.RunRangeInto(r.prg, keys, r.tab, r.bounds[i], r.bounds[i+1], &r.ctr, sc.partials[i])
+				sc.errs[i] = r.strat.RunRangeInto(r.prg, keys, r.tab, bounds[i], bounds[i+1], &r.ctr, sc.partials[i])
 			}
 		}()
 	}
@@ -382,7 +466,7 @@ func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, err
 	for i, err := range sc.errs {
 		if err != nil {
 			r.scratch.Put(sc)
-			return nil, fmt.Errorf("engine: shard %d [%d,%d): %w", i, r.bounds[i], r.bounds[i+1], err)
+			return nil, fmt.Errorf("engine: shard %d [%d,%d): %w", i, bounds[i], bounds[i+1], err)
 		}
 	}
 
@@ -413,4 +497,7 @@ func (r *Replica) Update(row uint64, vals []uint32) error {
 	return nil
 }
 
-var _ Backend = (*Replica)(nil)
+var _ RangeBackend = (*Replica)(nil)
+var _ BackendInfo = (*Replica)(nil)
+var _ RangeHolder = (*Replica)(nil)
+var _ KeyValidator = (*Replica)(nil)

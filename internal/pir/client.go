@@ -47,10 +47,7 @@ func NewClientEarly(prgName string, rows, early int, rng io.Reader) (*Client, er
 	if rng == nil {
 		rng = rand.Reader
 	}
-	bits := 1
-	for 1<<uint(bits) < rows {
-		bits++
-	}
+	bits := dpf.DomainBits(rows)
 	return &Client{prg: prg, rng: rng, bits: bits, rows: rows, early: dpf.ClampEarly(early, bits)}, nil
 }
 

@@ -1,11 +1,17 @@
 package pir
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
+
+	"gpudpf/internal/engine"
+	"gpudpf/internal/wireio"
 )
 
 // Answerer is anything that can answer a marshaled key batch: a Server, an
@@ -42,6 +48,29 @@ type response struct {
 	Err     string
 }
 
+// MaxRequestBytes caps one gob-encoded request message accepted by Serve.
+// It is far above any legitimate batch (a key is a few hundred bytes; 8 MiB
+// holds ~20k of them) but keeps a hostile peer from making the decoder
+// allocate arbitrarily — gob grows its buffer to the DECLARED message size
+// before reading the payload.
+const MaxRequestBytes = 8 << 20
+
+// ErrRequestTooLarge is the named protocol error a connection gets (and
+// serveConn answers with) when a request message declares more than
+// MaxRequestBytes; the connection is closed afterwards.
+var ErrRequestTooLarge = fmt.Errorf("pir: request exceeds the %d-byte frame cap", MaxRequestBytes)
+
+// MaxResponseBytes caps one gob-encoded response message a Remote client
+// accepts — the mirror of MaxRequestBytes: answers scale with
+// batch × lanes (a 512-key batch over 2 KiB rows — 512 lanes — is
+// ~1 MiB), and a hostile or misdialed peer must not be able to make the
+// CLIENT allocate arbitrarily either.
+const MaxResponseBytes = 64 << 20
+
+// ErrResponseTooLarge is the named error a Remote returns when the server
+// declares a response over MaxResponseBytes.
+var ErrResponseTooLarge = fmt.Errorf("pir: response exceeds the %d-byte frame cap", MaxResponseBytes)
+
 // Serve runs a blocking accept loop answering PIR requests on l. Each
 // connection carries a stream of gob-encoded request/response pairs. Serve
 // returns when the listener closes. s may be a *Server or any other
@@ -59,13 +88,61 @@ func Serve(l net.Listener, s Answerer) error {
 	}
 }
 
+// maxGobMessagesPerDecode bounds the gob messages one Decode may consume,
+// on either side of the connection: a handful of type definitions plus
+// the value. Without it a peer could stream endless small definition
+// messages — each under the byte cap — growing the decoder's type tables
+// without bound inside one Decode call.
+const maxGobMessagesPerDecode = 64
+
+// ErrTooManyMessages is the named protocol error for a peer whose single
+// request or response consumed more than maxGobMessagesPerDecode gob
+// messages — a different violation than the byte caps, named separately
+// so nobody debugs a size limit that was never exceeded.
+var ErrTooManyMessages = fmt.Errorf("pir: message exceeds the %d-gob-message cap", maxGobMessagesPerDecode)
+
+// capViolation maps a limiter error to the named protocol error to report
+// (nil when err is not a cap violation).
+func capViolation(err error, tooBig error) error {
+	switch {
+	case errors.Is(err, wireio.ErrMessageTooBig):
+		return tooBig
+	case errors.Is(err, wireio.ErrMessageBudget):
+		return ErrTooManyMessages
+	}
+	return nil
+}
+
 func serveConn(conn net.Conn, s Answerer) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	// The limiter parses the gob message framing itself and rejects an
+	// oversized declaration before the decoder allocates for it.
+	lim := wireio.LimitGobMessages(conn, MaxRequestBytes)
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 	for {
+		lim.ResetMessageBudget(maxGobMessagesPerDecode)
 		var req request
 		if err := dec.Decode(&req); err != nil {
+			if violation := capViolation(err, ErrRequestTooLarge); violation != nil {
+				// Name the protocol violation to the peer, then hang up:
+				// the stream position is unrecoverable past a refused frame.
+				_ = enc.Encode(&response{Err: violation.Error()})
+				// The refused message's payload is likely still queued in
+				// the kernel receive buffer; closing over unread bytes
+				// RSTs the connection and discards the reply we just sent
+				// before the peer can read it. Drain a bounded amount
+				// under a deadline, then close.
+				conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+				// Past maxDrainBytes the peer is not a confused client
+				// worth a graceful goodbye; let the reset happen.
+				const maxDrainBytes = 2 * MaxRequestBytes
+				drain := lim.PendingBytes()
+				if drain > maxDrainBytes {
+					drain = maxDrainBytes
+				}
+				_, _ = io.CopyN(io.Discard, conn, drain)
+			}
 			return // EOF or broken peer; nothing to report on this side
 		}
 		var resp response
@@ -86,6 +163,7 @@ func serveConn(conn net.Conn, s Answerer) {
 type Remote struct {
 	mu   sync.Mutex
 	conn net.Conn
+	lim  *wireio.GobLimiter
 	dec  *gob.Decoder
 	enc  *gob.Encoder
 }
@@ -96,7 +174,13 @@ func Dial(addr string) (*Remote, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pir: dial %s: %w", addr, err)
 	}
-	return &Remote{conn: conn, dec: gob.NewDecoder(conn), enc: gob.NewEncoder(conn)}, nil
+	lim := wireio.LimitGobMessages(conn, MaxResponseBytes)
+	return &Remote{
+		conn: conn,
+		lim:  lim,
+		dec:  gob.NewDecoder(lim),
+		enc:  gob.NewEncoder(conn),
+	}, nil
 }
 
 // Answer implements Endpoint.
@@ -106,8 +190,12 @@ func (r *Remote) Answer(keys [][]byte) ([][]uint32, error) {
 	if err := r.enc.Encode(&request{Keys: keys}); err != nil {
 		return nil, fmt.Errorf("pir: send: %w", err)
 	}
+	r.lim.ResetMessageBudget(maxGobMessagesPerDecode)
 	var resp response
 	if err := r.dec.Decode(&resp); err != nil {
+		if violation := capViolation(err, ErrResponseTooLarge); violation != nil {
+			return nil, fmt.Errorf("%w: %v", violation, err)
+		}
 		return nil, fmt.Errorf("pir: receive: %w", err)
 	}
 	if resp.Err != "" {
@@ -186,5 +274,28 @@ func (ts *TwoServer) Fetch(indices []uint64) ([][]uint32, CommStats, error) {
 	return rows, stats, nil
 }
 
+// BackendEndpoint adapts any engine.Backend — typically an engine.Cluster
+// whose shards live on other machines — as a local Endpoint, so TwoServer
+// can drive the two-server protocol with each "server" being a whole
+// distributed replica.
+type BackendEndpoint struct {
+	Backend engine.Backend
+}
+
+// Answer implements Endpoint.
+func (e BackendEndpoint) Answer(keys [][]byte) ([][]uint32, error) {
+	return e.Backend.Answer(context.Background(), keys)
+}
+
+// Close implements Endpoint, closing the backend when it is closeable
+// (engine.Cluster closes its remote shard clients).
+func (e BackendEndpoint) Close() error {
+	if closer, ok := e.Backend.(io.Closer); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
 var _ Endpoint = InProcess{}
 var _ Endpoint = (*Remote)(nil)
+var _ Endpoint = BackendEndpoint{}

@@ -1,0 +1,144 @@
+package pir
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServer serves tab on a loopback listener and returns its address.
+func startServer(t *testing.T, tab *Table) string {
+	t.Helper()
+	s0, err := NewServer(0, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go Serve(l, s0)
+	return l.Addr().String()
+}
+
+func testTable(t *testing.T, rows, lanes int) *Table {
+	t.Helper()
+	tab, err := NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	return tab
+}
+
+// TestServeRejectsOversizedRequest: a peer declaring a request message over
+// MaxRequestBytes gets the named protocol error back and its connection
+// closed — and the server keeps serving well-behaved clients afterwards.
+func TestServeRejectsOversizedRequest(t *testing.T) {
+	tab := testTable(t, 64, 2)
+	addr := startServer(t, tab)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A gob message header declaring a 512 MiB message, no payload: the
+	// count 0x20000000 as a negated-length byte (-4 = 0xfc) plus four
+	// big-endian bytes. The server must refuse on the header alone.
+	if _, err := conn.Write([]byte{0xfc, 0x20, 0x00, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var resp response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("reading protocol error response: %v", err)
+	}
+	if !strings.Contains(resp.Err, "frame cap") {
+		t.Fatalf("response error %q does not name the frame cap", resp.Err)
+	}
+	// The connection is dead past the refused frame.
+	var again response
+	if err := gob.NewDecoder(conn).Decode(&again); err == nil && again.Err == "" {
+		t.Fatal("connection survived an oversized frame")
+	}
+
+	// A peer that has already written the entire oversized payload (as a
+	// real gob client does before reading) must still RECEIVE the named
+	// error: the server drains the queued bytes before closing so the
+	// reply is not destroyed by a reset over unread data.
+	full, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	hugeReq := request{Keys: [][]byte{make([]byte, MaxRequestBytes+(1<<20))}}
+	if err := gob.NewEncoder(full).Encode(&hugeReq); err != nil {
+		t.Fatal(err)
+	}
+	full.SetReadDeadline(time.Now().Add(10 * time.Second))
+	var fullResp response
+	if err := gob.NewDecoder(full).Decode(&fullResp); err != nil {
+		t.Fatalf("reading protocol error after full oversized payload: %v", err)
+	}
+	if !strings.Contains(fullResp.Err, "frame cap") {
+		t.Fatalf("response error %q does not name the frame cap", fullResp.Err)
+	}
+
+	// A fresh, honest client still gets served.
+	e0, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e0.Close()
+	cl, err := NewClient("aes128", tab.NumRows, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k0, _, err := cl.Query(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e0.Answer([][]byte{k0}); err != nil {
+		t.Fatalf("server unusable after oversized frame: %v", err)
+	}
+}
+
+// TestServeAcceptsLargeLegitimateBatch: a batch well under the cap but far
+// beyond one TCP segment still round-trips — the cap must not bite real
+// traffic.
+func TestServeAcceptsLargeLegitimateBatch(t *testing.T) {
+	tab := testTable(t, 256, 2)
+	addr := startServer(t, tab)
+	e0, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e0.Close()
+	cl, err := NewClient("aes128", tab.NumRows, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := make([]uint64, 512)
+	for i := range indices {
+		indices[i] = uint64(i % tab.NumRows)
+	}
+	keys0, _, err := cl.QueryBatch(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := e0.Answer(keys0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != len(indices) {
+		t.Fatalf("%d answers for %d keys", len(answers), len(indices))
+	}
+}

@@ -1,0 +1,347 @@
+package shardnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gpudpf/internal/engine"
+	"gpudpf/internal/gpu"
+)
+
+// Options configures a Client's handshake pins and transport limits.
+type Options struct {
+	// PRG pins the PRF the node must serve ("" = adopt the node's).
+	PRG string
+	// Early pins the early-termination depth the node must serve:
+	// 0 adopts the node's depth, engine.FullDepthKeys pins legacy
+	// full-depth wire-v1 keys, positive values pin that resolved depth.
+	Early int
+	// Party pins which share the node must compute (AdoptParty = either).
+	// The zero value pins party 0 — a cluster front always knows its
+	// party, and a silent party mismatch yields garbage shares.
+	Party int
+	// MaxFrame caps frames both ways (0 = DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds each TCP connect + handshake (0 = 10s).
+	DialTimeout time.Duration
+	// RPCTimeout bounds an RPC whose context carries no deadline of its
+	// own (0 = DefaultRPCTimeout, negative = unbounded). It is the
+	// backstop that keeps a front serving context.Background() batches —
+	// cmd/pirserver's cluster mode, Update, Counters — from wedging
+	// forever on a node that black-holes mid-RPC; callers with real
+	// deadlines are unaffected.
+	RPCTimeout time.Duration
+}
+
+// DefaultRPCTimeout caps deadline-less RPCs: generous against the largest
+// legitimate batch on a congested link, small against "the operator is
+// watching a hung front".
+const DefaultRPCTimeout = 30 * time.Second
+
+// Client speaks the shardnet protocol to one node and implements
+// engine.RangeBackend (plus engine.BackendInfo and engine.RangeHolder from
+// the handshake), so a remote shard plugs into an engine.Cluster — or any
+// other Backend consumer — exactly like an in-process Replica. Connections
+// are pooled: each RPC runs lockstep on its own connection, so concurrent
+// calls overlap instead of queueing.
+type Client struct {
+	addr string
+	opts Options
+	w    welcome
+
+	mu     sync.Mutex
+	idle   []*poolConn
+	closed bool
+}
+
+// poolConn is one handshaken connection plus its reusable frame buffer.
+type poolConn struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// Dial connects to a shardnet node, runs the handshake (failing fast,
+// with both sides' values named, on any configuration mismatch), and
+// returns a pooled client.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = DefaultMaxFrame
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	if opts.RPCTimeout == 0 {
+		opts.RPCTimeout = DefaultRPCTimeout
+	}
+	c := &Client{addr: addr, opts: opts}
+	pc, w, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	c.w = w
+	c.mu.Lock()
+	c.idle = append(c.idle, pc)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// dialConn opens and handshakes one connection.
+func (c *Client) dialConn() (*poolConn, welcome, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, welcome{}, fmt.Errorf("shardnet: dial %s: %w", c.addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	h := hello{
+		Proto:   protoName,
+		Version: ProtocolVersion,
+		PRG:     c.opts.PRG,
+		Early:   c.opts.Early,
+		Party:   c.opts.Party,
+	}
+	if err := writeHandshake(conn, &h); err != nil {
+		conn.Close()
+		return nil, welcome{}, fmt.Errorf("shardnet: %s: handshake: %w", c.addr, err)
+	}
+	var w welcome
+	if err := readHandshake(conn, &w); err != nil {
+		conn.Close()
+		return nil, welcome{}, fmt.Errorf("shardnet: %s: handshake: %w", c.addr, err)
+	}
+	if w.Err != "" {
+		conn.Close()
+		return nil, welcome{}, fmt.Errorf("shardnet: %s: %s", c.addr, w.Err)
+	}
+	// A welcome is peer-controlled input like any other: a nonsense shape
+	// or held range must fail here, loudly, not later as a division by
+	// zero in a front's batch arithmetic or a silently wrong assignment.
+	if w.Rows <= 0 || w.Lanes <= 0 || w.RowLo < 0 || w.RowHi > w.Rows || w.RowLo >= w.RowHi {
+		conn.Close()
+		return nil, welcome{}, fmt.Errorf("shardnet: %s: handshake advertises an invalid table: %d×%d rows, held range [%d,%d)",
+			c.addr, w.Rows, w.Lanes, w.RowLo, w.RowHi)
+	}
+	conn.SetDeadline(time.Time{})
+	return &poolConn{conn: conn}, w, nil
+}
+
+// get pops an idle connection or dials a fresh one. A node restarted with
+// a different configuration is caught here: every new connection's
+// welcome must match the first.
+func (c *Client) get() (*poolConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("shardnet: %s: client is closed", c.addr)
+	}
+	if n := len(c.idle); n > 0 {
+		pc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return pc, nil
+	}
+	c.mu.Unlock()
+	pc, w, err := c.dialConn()
+	if err != nil {
+		return nil, err
+	}
+	if w != c.w {
+		pc.conn.Close()
+		return nil, fmt.Errorf("shardnet: %s: node configuration changed since first handshake (was %+v, now %+v)", c.addr, c.w, w)
+	}
+	return pc, nil
+}
+
+// put returns a healthy connection to the pool.
+func (c *Client) put(pc *poolConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		pc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, pc)
+	c.mu.Unlock()
+}
+
+// Close closes the pooled connections; in-flight RPCs on checked-out
+// connections finish (their connections are then discarded).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	c.closed = true
+	c.mu.Unlock()
+	for _, pc := range idle {
+		pc.conn.Close()
+	}
+	return nil
+}
+
+// do runs one lockstep RPC: frame out, frame back, parse under the
+// connection's reusable buffer. ctx cancellation and deadlines propagate
+// by slamming the connection deadline, so a dead or slow node costs the
+// caller its deadline, not a hung goroutine. parse must consume the
+// response before do returns (the buffer is pooled with the connection);
+// a remote error (the node answered, but with a failure) keeps the
+// connection pooled, any transport error retires it.
+func (c *Client) do(ctx context.Context, body []byte, parse func(resp []byte) error) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("shardnet: %s: %w", c.addr, err)
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.opts.RPCTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.RPCTimeout)
+		defer cancel()
+	}
+	pc, err := c.get()
+	if err != nil {
+		return err
+	}
+	healthy := false
+	defer func() {
+		if healthy {
+			c.put(pc)
+		} else {
+			pc.conn.Close()
+		}
+	}()
+	if d, ok := ctx.Deadline(); ok {
+		// Slightly past the ctx deadline: the AfterFunc below slams the
+		// connection the instant ctx actually expires, so the net-layer
+		// timeout never races ahead of ctx.Err() becoming non-nil; the
+		// grace only bounds the wait if that callback is starved.
+		pc.conn.SetDeadline(d.Add(100 * time.Millisecond))
+	} else {
+		pc.conn.SetDeadline(time.Time{})
+	}
+	stop := context.AfterFunc(ctx, func() { pc.conn.SetDeadline(time.Unix(1, 0)) })
+	ioErr := func(stage string, err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("shardnet: %s: %s: %w", c.addr, stage, cerr)
+		}
+		return fmt.Errorf("shardnet: %s: %s: %w", c.addr, stage, err)
+	}
+	if err := writeFrame(pc.conn, body, c.opts.MaxFrame); err != nil {
+		stop()
+		return ioErr("send", err)
+	}
+	resp, err := readFrame(pc.conn, c.opts.MaxFrame, &pc.buf)
+	if err != nil {
+		stop()
+		return ioErr("receive", err)
+	}
+	// stop() reports whether it prevented the cancel callback: if not, the
+	// connection's deadline is (or is about to be) slammed — retire it
+	// rather than poison the next request.
+	healthy = stop()
+	if err := parse(resp); err != nil {
+		if errors.Is(err, ErrProtocol) {
+			healthy = false
+			return ioErr("response", err)
+		}
+		// The node executed the request and reported a failure; surface it
+		// with the node named.
+		return fmt.Errorf("shardnet: %s: node: %w", c.addr, err)
+	}
+	return nil
+}
+
+// Answer implements engine.Backend: the node evaluates the batch over its
+// whole table.
+func (c *Client) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error) {
+	body := appendRequest(nil, &rpcRequest{op: opAnswer, keys: keys})
+	var answers [][]uint32
+	err := c.do(ctx, body, func(resp []byte) error {
+		var perr error
+		answers, perr = parseAnswers(resp, opAnswer, len(keys))
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+// AnswerRange implements engine.RangeBackend: the node evaluates the batch
+// over global rows [lo, hi) only, returning partial shares.
+func (c *Client) AnswerRange(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error) {
+	if lo < 0 || lo >= hi {
+		return nil, fmt.Errorf("shardnet: %s: row range [%d,%d) invalid", c.addr, lo, hi)
+	}
+	body := appendRequest(nil, &rpcRequest{op: opAnswerRange, keys: keys, lo: uint64(lo), hi: uint64(hi)})
+	var answers [][]uint32
+	err := c.do(ctx, body, func(resp []byte) error {
+		var perr error
+		answers, perr = parseAnswers(resp, opAnswerRange, len(keys))
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return answers, nil
+}
+
+// Update implements engine.Backend, routing the row write to the node.
+func (c *Client) Update(row uint64, vals []uint32) error {
+	body := appendRequest(nil, &rpcRequest{op: opUpdate, row: row, vals: vals})
+	return c.do(context.Background(), body, func(resp []byte) error {
+		return parseOK(resp, opUpdate)
+	})
+}
+
+// Counters implements engine.Backend with the node's counters; a node that
+// cannot be reached reports zeros (the Backend seam has no error path
+// here, and counters are advisory).
+func (c *Client) Counters() gpu.Stats {
+	var stats gpu.Stats
+	body := appendRequest(nil, &rpcRequest{op: opCounters})
+	err := c.do(context.Background(), body, func(resp []byte) error {
+		var perr error
+		stats, perr = parseCounters(resp)
+		return perr
+	})
+	if err != nil {
+		return gpu.Stats{}
+	}
+	return stats
+}
+
+// Shape implements engine.Backend from the handshake (the node's shape is
+// immutable for the life of the process).
+func (c *Client) Shape() (rows, lanes int) { return c.w.Rows, c.w.Lanes }
+
+// RemoteShape queries the node's shape over the wire — Shape answers from
+// the handshake; this exists to exercise the RPC and for monitoring.
+func (c *Client) RemoteShape(ctx context.Context) (rows, lanes int, err error) {
+	body := appendRequest(nil, &rpcRequest{op: opShape})
+	err = c.do(ctx, body, func(resp []byte) error {
+		var perr error
+		rows, lanes, perr = parseShape(resp)
+		return perr
+	})
+	return rows, lanes, err
+}
+
+// PRGName implements engine.BackendInfo from the handshake.
+func (c *Client) PRGName() string { return c.w.PRG }
+
+// EarlyBits implements engine.BackendInfo from the handshake.
+func (c *Client) EarlyBits() int { return c.w.Early }
+
+// Party implements engine.BackendInfo from the handshake.
+func (c *Client) Party() int { return c.w.Party }
+
+// HeldRange implements engine.RangeHolder: the global rows the node
+// advertised holding.
+func (c *Client) HeldRange() (lo, hi int) { return c.w.RowLo, c.w.RowHi }
+
+// Addr returns the node address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+var _ engine.RangeBackend = (*Client)(nil)
+var _ engine.BackendInfo = (*Client)(nil)
+var _ engine.RangeHolder = (*Client)(nil)

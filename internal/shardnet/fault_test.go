@@ -1,0 +1,289 @@
+// Fault injection for the distributed replica: a cluster must fail loudly
+// and promptly — naming the guilty shard — when a node dies mid-batch,
+// stalls past the caller's deadline, or was started with a mismatched
+// configuration. These are the failure modes a two-cloud deployment
+// actually sees.
+package shardnet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/engine"
+)
+
+// blockingBackend parks every AnswerRange on its context — a node that
+// accepted a request and then hung (or was killed) mid-evaluation.
+type blockingBackend struct {
+	engine.RangeBackend
+	started chan struct{}
+	once    sync.Once
+}
+
+func (b *blockingBackend) AnswerRange(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error) {
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// slowBackend delays every AnswerRange, honoring cancellation.
+type slowBackend struct {
+	engine.RangeBackend
+	delay time.Duration
+}
+
+func (b *slowBackend) AnswerRange(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error) {
+	select {
+	case <-time.After(b.delay):
+		return b.RangeBackend.AnswerRange(ctx, keys, lo, hi)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func mustPRG(t testing.TB, name string) dpf.PRG {
+	t.Helper()
+	prg, err := dpf.NewPRG(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prg
+}
+
+// genKeysForCluster generates a small party-0 aes128 batch for the
+// cluster's row domain at the default early-termination depth.
+func genKeysForCluster(t testing.TB, c *engine.Cluster) (k0s, k1s [][]byte) {
+	t.Helper()
+	rows, _ := c.Shape()
+	return genKeys(t, dpf.NewAESPRG(), dpf.DomainBits(rows), []uint64{1, uint64(rows) - 1}, 11)
+}
+
+// mixedCluster builds a 4-shard party-0 cluster over tab where shard
+// `remoteIdx` is served over TCP by remoteBE and the rest are in-process
+// replicas. It returns the cluster and the remote node (for killing).
+func mixedCluster(t *testing.T, remoteIdx int, wrap func(engine.RangeBackend) engine.RangeBackend) (*engine.Cluster, *Server, string) {
+	t.Helper()
+	const rows, lanes, shards = 256, 4, 4
+	tab := buildTable(t, rows, lanes, 7)
+	members := make([]engine.ClusterShard, shards)
+	var srv *Server
+	var addr string
+	for i := 0; i < shards; i++ {
+		rep := newReplica(t, tab, engine.Config{Party: 0})
+		if i != remoteIdx {
+			members[i] = engine.ClusterShard{Backend: rep}
+			continue
+		}
+		// The wrapper hides the replica's BackendInfo, so pin the full
+		// configuration client-side; the node adopts and echoes it.
+		srv, addr = startNode(t, wrap(rep), ServerConfig{})
+		cl, err := Dial(addr, Options{PRG: rep.PRGName(), Early: rep.EarlyBits(), Party: rep.Party()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		members[i] = engine.ClusterShard{Backend: cl, Name: addr}
+	}
+	cluster, err := engine.NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, srv, addr
+}
+
+// TestClusterShardKillMidBatch: killing a shard node while it evaluates a
+// batch fails the whole answer with a *engine.ShardError naming exactly
+// that shard — never a silent short sum.
+func TestClusterShardKillMidBatch(t *testing.T) {
+	const remoteIdx = 2
+	started := make(chan struct{})
+	cluster, srv, addr := mixedCluster(t, remoteIdx, func(be engine.RangeBackend) engine.RangeBackend {
+		return &blockingBackend{RangeBackend: be, started: started}
+	})
+	kb, _ := genKeysForCluster(t, cluster)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cluster.Answer(context.Background(), kb)
+		errCh <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shard node never started evaluating")
+	}
+	srv.Close() // kill the node mid-batch
+
+	var err error
+	select {
+	case err = <-errCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster answer did not fail after shard death")
+	}
+	if err == nil {
+		t.Fatal("cluster answered despite a dead shard")
+	}
+	var se *engine.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a ShardError", err)
+	}
+	if se.Shard != remoteIdx {
+		t.Fatalf("ShardError names shard %d, the dead node was shard %d", se.Shard, remoteIdx)
+	}
+	if se.Name != addr || !strings.Contains(err.Error(), addr) {
+		t.Fatalf("ShardError %q does not name the dead node %s", err, addr)
+	}
+}
+
+// TestClusterSlowShardDeadline: a shard that stalls must cost the caller
+// its context deadline, not a hang — the error carries DeadlineExceeded
+// and names the slow shard.
+func TestClusterSlowShardDeadline(t *testing.T) {
+	const remoteIdx = 1
+	cluster, _, addr := mixedCluster(t, remoteIdx, func(be engine.RangeBackend) engine.RangeBackend {
+		return &slowBackend{RangeBackend: be, delay: 30 * time.Second}
+	})
+	kb, _ := genKeysForCluster(t, cluster)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cluster.Answer(ctx, kb)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cluster answered despite a stalled shard")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("deadline took %v to propagate", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not carry context.DeadlineExceeded", err)
+	}
+	var se *engine.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a ShardError", err)
+	}
+	if se.Shard != remoteIdx || se.Name != addr {
+		t.Fatalf("ShardError names shard %d (%s), the slow node was shard %d (%s)", se.Shard, se.Name, remoteIdx, addr)
+	}
+}
+
+// TestRPCTimeoutBackstop: a caller with no deadline of its own — the
+// shipped cluster front batches with context.Background() — must still be
+// released by Options.RPCTimeout when a node black-holes, instead of
+// wedging forever.
+func TestRPCTimeoutBackstop(t *testing.T) {
+	tab := buildTable(t, 64, 2, 8)
+	rep := newReplica(t, tab, engine.Config{Party: 0})
+	_, addr := startNode(t, &slowBackend{RangeBackend: rep, delay: 30 * time.Second}, ServerConfig{})
+	c, err := Dial(addr, Options{
+		PRG: rep.PRGName(), Early: rep.EarlyBits(), Party: rep.Party(),
+		RPCTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{3}, 12)
+	start := time.Now()
+	_, err = c.AnswerRange(context.Background(), keys, 0, 64)
+	if err == nil {
+		t.Fatal("deadline-less RPC against a stalled node returned")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not carry context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("RPC timeout took %v to fire", elapsed)
+	}
+}
+
+// TestClusterConfigMismatch: a cluster must refuse to assemble when a node
+// was started with a different PRF or early-termination depth than its
+// siblings — at Dial time when the client pins, at NewCluster time when it
+// adopted.
+func TestClusterConfigMismatch(t *testing.T) {
+	tab := buildTable(t, 128, 2, 9)
+	chachaPRG := mustPRG(t, "chacha20")
+	chachaNodeRep := newReplica(t, tab, engine.Config{Party: 0, PRG: chachaPRG})
+	_, chachaAddr := startNode(t, chachaNodeRep, ServerConfig{})
+
+	// Pinning client: rejected during the handshake, both PRFs named.
+	if _, err := Dial(chachaAddr, Options{PRG: "aes128", Party: 0}); err == nil {
+		t.Fatal("PRF-mismatched handshake accepted")
+	} else if !strings.Contains(err.Error(), "aes128") || !strings.Contains(err.Error(), "chacha20") {
+		t.Fatalf("handshake rejection %q does not name both PRFs", err)
+	}
+
+	// Adopting client: the mismatch surfaces when the cluster assembles,
+	// with both shards and both PRFs named.
+	adopting, err := Dial(chachaAddr, Options{Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adopting.Close()
+	aesRep := newReplica(t, tab, engine.Config{Party: 0})
+	_, err = engine.NewCluster(
+		engine.ClusterShard{Backend: aesRep, Name: "local-aes"},
+		engine.ClusterShard{Backend: adopting, Name: chachaAddr},
+	)
+	if err == nil {
+		t.Fatal("mixed-PRF cluster assembled")
+	}
+	for _, want := range []string{"aes128", "chacha20", chachaAddr} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("cluster rejection %q does not name %q", err, want)
+		}
+	}
+
+	// Early-termination depth mismatch: full-depth node vs default-depth
+	// sibling, both depths named.
+	v1Rep := newReplica(t, tab, engine.Config{Party: 0, EarlyBits: engine.FullDepthKeys})
+	_, v1Addr := startNode(t, v1Rep, ServerConfig{})
+	v1Client, err := Dial(v1Addr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1Client.Close()
+	_, err = engine.NewCluster(
+		engine.ClusterShard{Backend: aesRep, Name: "local-default"},
+		engine.ClusterShard{Backend: v1Client, Name: v1Addr},
+	)
+	if err == nil {
+		t.Fatal("mixed-depth cluster assembled")
+	}
+	if !strings.Contains(err.Error(), "depth 0") || !strings.Contains(err.Error(), "depth 2") {
+		t.Fatalf("cluster rejection %q does not name both depths", err)
+	}
+
+	// A node assigned rows it does not hold is refused at assembly.
+	partial := newReplica(t, shardTable(t, tab, 0, 64), engine.Config{Party: 0})
+	_, partialAddr := startNode(t, partial, ServerConfig{RowLo: 0, RowHi: 64})
+	partialClient, err := Dial(partialAddr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer partialClient.Close()
+	_, err = engine.NewCluster(
+		engine.ClusterShard{Backend: partialClient, Name: partialAddr}, // would be assigned [0,64)
+		engine.ClusterShard{Backend: aesRep, Name: "local"},            // [64,128)
+	)
+	if err != nil {
+		t.Fatalf("cluster with exactly-held ranges refused: %v", err)
+	}
+	// Swap the order: the partial node would now be assigned [64,128),
+	// which it does not hold.
+	_, err = engine.NewCluster(
+		engine.ClusterShard{Backend: aesRep, Name: "local"},
+		engine.ClusterShard{Backend: partialClient, Name: partialAddr},
+	)
+	if err == nil {
+		t.Fatal("cluster assigned a shard rows it does not hold")
+	}
+	if !strings.Contains(err.Error(), "[64,128)") || !strings.Contains(err.Error(), "[0,64)") {
+		t.Fatalf("held-range rejection %q does not name both ranges", err)
+	}
+}

@@ -1,0 +1,409 @@
+package shardnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/strategy"
+)
+
+// RPC opcodes: the first body byte of every request, echoed in the
+// response. opErr is response-only, for failures where no request op was
+// ever parsed (an unreadable or oversized frame).
+const (
+	opAnswer      byte = 0x01
+	opAnswerRange byte = 0x02
+	opUpdate      byte = 0x03
+	opShape       byte = 0x04
+	opCounters    byte = 0x05
+	opErr         byte = 0xff
+)
+
+// response status byte.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+)
+
+// ErrFrameTooLarge is the named protocol error for a frame whose declared
+// length exceeds the connection's cap; it is raised before any payload
+// allocation, and a node answers it with an error frame before hanging up.
+var ErrFrameTooLarge = errors.New("shardnet: frame exceeds size cap")
+
+// ErrProtocol is wrapped by every malformed-frame error, so transports can
+// distinguish a broken peer from a failing backend.
+var ErrProtocol = errors.New("shardnet: protocol error")
+
+// writeFrame sends body as one length-prefixed frame: uint32 little-endian
+// byte count, then the body. net.Buffers gathers header and body into one
+// writev on a TCP conn (falling back to two writes elsewhere), so the
+// steady-state serving loop's reused response buffer is never copied —
+// connections are lockstep, so nothing interleaves between the two parts.
+func writeFrame(w io.Writer, body []byte, max int) error {
+	if len(body) > max {
+		return fmt.Errorf("%w: %d-byte frame, cap %d", ErrFrameTooLarge, len(body), max)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	bufs := net.Buffers{hdr[:], body}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// readFrame reads one frame into *buf (grown as needed, reused across
+// calls) and returns the body. A declared length over max fails with
+// ErrFrameTooLarge before any allocation.
+func readFrame(r io.Reader, max int, buf *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	// Compare in uint64 BEFORE converting: on 32-bit platforms a hostile
+	// length near 2^32 would wrap int negative and dodge the cap check
+	// straight into a slice-bounds panic.
+	declared := binary.LittleEndian.Uint32(hdr[:])
+	if uint64(declared) > uint64(max) {
+		return nil, fmt.Errorf("%w: peer declared a %d-byte frame, cap is %d", ErrFrameTooLarge, declared, max)
+	}
+	n := int(declared)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrProtocol)
+	}
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	}
+	body := (*buf)[:n]
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// wireReader is a bounds-checked cursor over one frame body.
+type wireReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *wireReader) remaining() int { return len(r.b) - r.off }
+
+func (r *wireReader) u8() byte {
+	if r.off+1 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wireReader) u32() uint32 {
+	if r.off+4 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.off+8 > len(r.b) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) take(n int) []byte {
+	if n < 0 || r.off+n > len(r.b) {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// rpcRequest is one parsed request frame.
+type rpcRequest struct {
+	op     byte
+	keys   [][]byte // Answer, AnswerRange; sub-slices of the frame buffer
+	lo, hi uint64   // AnswerRange
+	row    uint64   // Update
+	vals   []uint32 // Update
+}
+
+// appendKeys encodes a key batch: count, then length-prefixed key bytes.
+func appendKeys(dst []byte, keys [][]byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(keys)))
+	for _, k := range keys {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(k)))
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// appendRequest encodes req as a frame body.
+func appendRequest(dst []byte, req *rpcRequest) []byte {
+	dst = append(dst, req.op)
+	switch req.op {
+	case opAnswer:
+		dst = appendKeys(dst, req.keys)
+	case opAnswerRange:
+		dst = binary.LittleEndian.AppendUint64(dst, req.lo)
+		dst = binary.LittleEndian.AppendUint64(dst, req.hi)
+		dst = appendKeys(dst, req.keys)
+	case opUpdate:
+		dst = binary.LittleEndian.AppendUint64(dst, req.row)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(req.vals)))
+		for _, v := range req.vals {
+			dst = binary.LittleEndian.AppendUint32(dst, v)
+		}
+	}
+	return dst
+}
+
+// parseKeys decodes a key batch, with every declared count checked against
+// the bytes actually present — and the caller's batch cap — BEFORE
+// anything is allocated for it: a hostile frame of millions of zero-length
+// keys must not buy a slice-header allocation bomb.
+func parseKeys(r *wireReader, maxKeys int) ([][]byte, error) {
+	count := r.u32()
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated key count", ErrProtocol)
+	}
+	// Each key costs at least its 4-byte length prefix, so a count beyond
+	// remaining/4 is a lie regardless of content. Compare in uint64 so the
+	// check cannot be dodged by a count that overflows int on 32-bit
+	// platforms.
+	if uint64(count) > uint64(r.remaining()/4)+1 {
+		return nil, fmt.Errorf("%w: %d keys declared in a %d-byte frame", ErrProtocol, count, len(r.b))
+	}
+	if uint64(count) > uint64(maxKeys) {
+		return nil, fmt.Errorf("%w: batch of %d keys exceeds the %d-key cap", ErrProtocol, count, maxKeys)
+	}
+	n := int(count)
+	keys := make([][]byte, n)
+	for i := range keys {
+		kl := int(r.u32())
+		keys[i] = r.take(kl)
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated key %d", ErrProtocol, i)
+		}
+	}
+	return keys, nil
+}
+
+// parseRequest decodes one request frame body, refusing key batches over
+// maxKeys before allocating for them. Key slices alias the frame buffer;
+// the caller must finish with them before reusing it.
+func parseRequest(body []byte, maxKeys int) (*rpcRequest, error) {
+	r := &wireReader{b: body}
+	req := &rpcRequest{op: r.u8()}
+	var err error
+	switch req.op {
+	case opAnswer:
+		if req.keys, err = parseKeys(r, maxKeys); err != nil {
+			return nil, err
+		}
+	case opAnswerRange:
+		req.lo, req.hi = r.u64(), r.u64()
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated row range", ErrProtocol)
+		}
+		if req.keys, err = parseKeys(r, maxKeys); err != nil {
+			return nil, err
+		}
+	case opUpdate:
+		req.row = r.u64()
+		count := r.u32()
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated update header", ErrProtocol)
+		}
+		// uint64 math for the same 32-bit overflow reason as parseKeys.
+		if uint64(count)*4 != uint64(r.remaining()) {
+			return nil, fmt.Errorf("%w: update declares %d lanes, frame carries %d bytes", ErrProtocol, count, r.remaining())
+		}
+		n := int(count)
+		req.vals = make([]uint32, n)
+		for i := range req.vals {
+			req.vals[i] = r.u32()
+		}
+	case opShape, opCounters:
+		// no payload
+	default:
+		return nil, fmt.Errorf("%w: unknown opcode %#x", ErrProtocol, req.op)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after %#x request", ErrProtocol, r.remaining(), req.op)
+	}
+	return req, nil
+}
+
+// appendErrResponse encodes a failure response for op.
+func appendErrResponse(dst []byte, op byte, msg string) []byte {
+	dst = append(dst, op, statusErr)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(msg)))
+	return append(dst, msg...)
+}
+
+// appendAnswers encodes a successful Answer/AnswerRange response.
+func appendAnswers(dst []byte, op byte, answers [][]uint32, lanes int) []byte {
+	dst = append(dst, op, statusOK)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(answers)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(lanes))
+	for _, a := range answers {
+		for _, v := range a {
+			dst = binary.LittleEndian.AppendUint32(dst, v)
+		}
+	}
+	return dst
+}
+
+// responseHeader strips op+status and surfaces a remote failure: for
+// statusErr responses it returns remoteErr non-nil with the node's
+// message. wantOp is the request's op (opErr responses match any).
+func responseHeader(r *wireReader, wantOp byte) (remoteErr error, err error) {
+	op, status := r.u8(), r.u8()
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated response header", ErrProtocol)
+	}
+	if op != wantOp && op != opErr {
+		return nil, fmt.Errorf("%w: response op %#x for request %#x", ErrProtocol, op, wantOp)
+	}
+	if status == statusOK {
+		if op == opErr {
+			return nil, fmt.Errorf("%w: ok status on error op", ErrProtocol)
+		}
+		return nil, nil
+	}
+	ml := int(r.u32())
+	msg := r.take(ml)
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated error message", ErrProtocol)
+	}
+	if op == opErr {
+		// The node refused the frame itself (oversized/unparseable) and is
+		// hanging up; classify as a protocol error so the connection is
+		// retired, not pooled.
+		return nil, fmt.Errorf("%w: node refused request: %s", ErrProtocol, msg)
+	}
+	return errors.New(string(msg)), nil
+}
+
+// parseAnswers decodes an Answer/AnswerRange response body.
+func parseAnswers(body []byte, wantOp byte, wantKeys int) ([][]uint32, error) {
+	r := &wireReader{b: body}
+	remoteErr, err := responseHeader(r, wantOp)
+	if err != nil {
+		return nil, err
+	}
+	if remoteErr != nil {
+		return nil, remoteErr
+	}
+	nWire, lanesWire := r.u32(), r.u32()
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated answer header", ErrProtocol)
+	}
+	if uint64(nWire) != uint64(wantKeys) {
+		return nil, fmt.Errorf("%w: %d answers for %d keys", ErrProtocol, nWire, wantKeys)
+	}
+	// uint64 math like readFrame/parseKeys: a lanes value chosen so
+	// n·lanes·4 wraps int on 32-bit platforms must not dodge the size
+	// check into a giant NewAnswers allocation.
+	if lanesWire == 0 || uint64(nWire)*uint64(lanesWire)*4 != uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: %d×%d answers in %d payload bytes", ErrProtocol, nWire, lanesWire, r.remaining())
+	}
+	n, lanes := int(nWire), int(lanesWire)
+	answers := strategy.NewAnswers(n, lanes)
+	for _, a := range answers {
+		for l := range a {
+			a[l] = r.u32()
+		}
+	}
+	return answers, nil
+}
+
+// appendShape / parseShape encode the Shape response.
+func appendShape(dst []byte, rows, lanes int) []byte {
+	dst = append(dst, opShape, statusOK)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(rows))
+	return binary.LittleEndian.AppendUint32(dst, uint32(lanes))
+}
+
+func parseShape(body []byte) (rows, lanes int, err error) {
+	r := &wireReader{b: body}
+	remoteErr, err := responseHeader(r, opShape)
+	if err != nil {
+		return 0, 0, err
+	}
+	if remoteErr != nil {
+		return 0, 0, remoteErr
+	}
+	rows, lanes = int(r.u64()), int(r.u32())
+	if r.bad || r.remaining() != 0 {
+		return 0, 0, fmt.Errorf("%w: malformed shape response", ErrProtocol)
+	}
+	return rows, lanes, nil
+}
+
+// appendCounters / parseCounters encode the Counters response.
+func appendCounters(dst []byte, s gpu.Stats) []byte {
+	dst = append(dst, opCounters, statusOK)
+	for _, v := range []int64{s.PRFBlocks, s.ReadBytes, s.WriteBytes, s.Launches, s.PeakMemBytes} {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+func parseCounters(body []byte) (gpu.Stats, error) {
+	r := &wireReader{b: body}
+	remoteErr, err := responseHeader(r, opCounters)
+	if err != nil {
+		return gpu.Stats{}, err
+	}
+	if remoteErr != nil {
+		return gpu.Stats{}, remoteErr
+	}
+	s := gpu.Stats{
+		PRFBlocks:    int64(r.u64()),
+		ReadBytes:    int64(r.u64()),
+		WriteBytes:   int64(r.u64()),
+		Launches:     int64(r.u64()),
+		PeakMemBytes: int64(r.u64()),
+	}
+	if r.bad || r.remaining() != 0 {
+		return gpu.Stats{}, fmt.Errorf("%w: malformed counters response", ErrProtocol)
+	}
+	return s, nil
+}
+
+// appendOK encodes a payload-free success (Update).
+func appendOK(dst []byte, op byte) []byte { return append(dst, op, statusOK) }
+
+// parseOK decodes a payload-free response (Update).
+func parseOK(body []byte, wantOp byte) error {
+	r := &wireReader{b: body}
+	remoteErr, err := responseHeader(r, wantOp)
+	if err != nil {
+		return err
+	}
+	if remoteErr != nil {
+		return remoteErr
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in %#x response", ErrProtocol, r.remaining(), wantOp)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package shardnet
+
+import (
+	"bytes"
+	"testing"
+
+	"gpudpf/internal/gpu"
+)
+
+// FuzzParseRequest throws arbitrary frame bodies at the server's request
+// parser: it must never panic and never accept a frame that does not
+// re-encode to itself (the codec is canonical).
+func FuzzParseRequest(f *testing.F) {
+	// Seed with one well-formed frame per opcode.
+	key := bytes.Repeat([]byte{0xab}, 37)
+	f.Add(appendRequest(nil, &rpcRequest{op: opAnswer, keys: [][]byte{key, key[:5]}}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opAnswerRange, keys: [][]byte{key}, lo: 3, hi: 999}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opUpdate, row: 12, vals: []uint32{1, 2, 3}}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opShape}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opCounters}))
+	f.Add([]byte{opAnswer, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := parseRequest(body, DefaultMaxBatch)
+		if err != nil {
+			return
+		}
+		if got := appendRequest(nil, req); !bytes.Equal(got, body) {
+			t.Fatalf("accepted request does not re-encode canonically:\n in  %x\n out %x", body, got)
+		}
+	})
+}
+
+// FuzzParseResponses covers the client-side decoders the node's bytes feed
+// into; a hostile or corrupt node must not be able to panic a front.
+func FuzzParseResponses(f *testing.F) {
+	f.Add(appendAnswers(nil, opAnswer, [][]uint32{{1, 2}, {3, 4}}, 2), uint8(opAnswer), 2)
+	f.Add(appendErrResponse(nil, opAnswerRange, "engine: shard failed"), uint8(opAnswerRange), 1)
+	f.Add(appendShape(nil, 1024, 32), uint8(opShape), 0)
+	f.Add(appendCounters(nil, gpu.Stats{PRFBlocks: 9, ReadBytes: 10}), uint8(opCounters), 0)
+	f.Add(appendOK(nil, opUpdate), uint8(opUpdate), 0)
+	f.Fuzz(func(t *testing.T, body []byte, op uint8, keys int) {
+		if keys < 0 || keys > 1<<16 {
+			return
+		}
+		_, _ = parseAnswers(body, op, keys)
+		_, _, _ = parseShape(body)
+		_, _ = parseCounters(body)
+		_ = parseOK(body, op)
+	})
+}

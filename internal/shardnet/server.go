@@ -1,0 +1,391 @@
+package shardnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gpudpf/internal/engine"
+)
+
+// ServerConfig assembles a shard node.
+type ServerConfig struct {
+	// RowLo, RowHi is the global row range this node authoritatively
+	// holds, advertised in the handshake so a cluster front can refuse an
+	// assignment the node cannot serve. Both zero means the node holds
+	// its backend's whole table.
+	RowLo, RowHi int
+	// MaxFrame caps accepted and emitted frames (0 = DefaultMaxFrame).
+	MaxFrame int
+	// MaxBatch caps the keys accepted in one Answer/AnswerRange request
+	// (0 = DefaultMaxBatch), enforced in the request parser before any
+	// per-key allocation. The frame cap bounds request BYTES, but a
+	// hostile frame full of zero-length keys would otherwise still buy a
+	// large allocation fan-out — millions of slice headers at parse, then
+	// key structs and per-shard partials in the backend — before the
+	// first key fails to unmarshal.
+	MaxBatch int
+	// WriteTimeout bounds each response write (0 = 30s): a peer that
+	// requests a batch and then never reads would otherwise fill the TCP
+	// window and pin the connection's goroutine and response buffer until
+	// the server closes.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// complete the handshake (0 = 10s). Without it, a peer that connects
+	// and sends nothing — a port scanner, a wedged front — would hold a
+	// goroutine and file descriptor forever; the frame caps bound hostile
+	// input in bytes, this bounds it in time. Established connections are
+	// exempt: an idle pooled connection from a front is normal.
+	HandshakeTimeout time.Duration
+}
+
+// Server exposes an engine.RangeBackend over the shardnet protocol. The
+// node's pinned configuration (PRF, early-termination depth, party) is
+// read from the backend when it implements engine.BackendInfo — every
+// engine.Replica does — and enforced against each client's handshake.
+type Server struct {
+	be           engine.RangeBackend
+	hsTimeout    time.Duration
+	writeTimeout time.Duration
+	maxFrame     int
+	maxBatch     int
+	rows         int
+	lanes        int
+	lo, hi       int
+	prg          string
+	early        int
+	party        int
+	hasInfo      bool
+
+	// ctx cancels in-flight backend work when the server closes: a shard
+	// node shutting down abandons its partial sums instead of finishing
+	// batches nobody will merge.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+}
+
+// NewServer builds a node over the backend.
+func NewServer(be engine.RangeBackend, cfg ServerConfig) (*Server, error) {
+	if be == nil {
+		return nil, errors.New("shardnet: nil backend")
+	}
+	rows, lanes := be.Shape()
+	lo, hi := cfg.RowLo, cfg.RowHi
+	if lo == 0 && hi == 0 {
+		hi = rows
+	}
+	if lo < 0 || hi > rows || lo >= hi {
+		return nil, fmt.Errorf("shardnet: held row range [%d,%d) invalid for table of %d rows", lo, hi, rows)
+	}
+	maxFrame := cfg.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	}
+	s := &Server{
+		be:           be,
+		hsTimeout:    cfg.HandshakeTimeout,
+		writeTimeout: cfg.WriteTimeout,
+		maxFrame:     maxFrame,
+		maxBatch:     cfg.MaxBatch,
+		rows:         rows,
+		lanes:        lanes,
+		lo:           lo,
+		hi:           hi,
+		party:        AdoptParty,
+		listeners:    map[net.Listener]struct{}{},
+		conns:        map[net.Conn]struct{}{},
+	}
+	if info, ok := be.(engine.BackendInfo); ok {
+		s.prg, s.early, s.party = info.PRGName(), info.EarlyBits(), info.Party()
+		s.hasInfo = true
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s, nil
+}
+
+// Serve runs a blocking accept loop on l, answering shardnet connections
+// until l closes (or the server does). Multiple Serve calls on different
+// listeners are allowed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("shardnet: server is closed")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("shardnet: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the node: listeners and live connections are closed and
+// in-flight backend work is cancelled. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	cs := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range cs {
+		c.Close()
+	}
+	return nil
+}
+
+// handshake answers one client hello; reports whether the connection may
+// proceed to the RPC loop.
+func (s *Server) handshake(conn net.Conn) bool {
+	conn.SetDeadline(time.Now().Add(s.hsTimeout))
+	defer conn.SetDeadline(time.Time{})
+	var h hello
+	if err := readHandshake(conn, &h); err != nil {
+		return false
+	}
+	w := welcome{
+		Version: ProtocolVersion,
+		PRG:     s.prg,
+		Early:   s.early,
+		Party:   s.party,
+		Rows:    s.rows,
+		Lanes:   s.lanes,
+		RowLo:   s.lo,
+		RowHi:   s.hi,
+	}
+	switch {
+	case h.Proto != protoName:
+		w.Err = fmt.Sprintf("shardnet: handshake: unknown protocol %q, this node speaks %q", h.Proto, protoName)
+	case h.Version != ProtocolVersion:
+		w.Err = fmt.Sprintf("shardnet: handshake: client speaks shardnet wire version %d, this node speaks version %d", h.Version, ProtocolVersion)
+	case h.PRG != "" && s.hasInfo && h.PRG != s.prg:
+		w.Err = fmt.Sprintf("shardnet: handshake: client keys use prg=%s, this node serves prg=%s", h.PRG, s.prg)
+	case h.Early != 0 && s.hasInfo && normEarly(h.Early) != s.early:
+		w.Err = fmt.Sprintf("shardnet: handshake: client keys carry early-termination depth %d, this node serves depth %d", normEarly(h.Early), s.early)
+	case h.Party != AdoptParty && s.hasInfo && h.Party != s.party:
+		w.Err = fmt.Sprintf("shardnet: handshake: client expects party-%d shares, this node computes party %d", h.Party, s.party)
+	}
+	if !s.hasInfo {
+		// A backend without pinned configuration adopts the client's
+		// expectations verbatim so the client's own records stay coherent.
+		if h.PRG != "" {
+			w.PRG = h.PRG
+		}
+		if h.Early != 0 {
+			w.Early = normEarly(h.Early)
+		}
+		if h.Party != AdoptParty {
+			w.Party = h.Party
+		}
+	}
+	if err := writeHandshake(conn, &w); err != nil {
+		return false
+	}
+	return w.Err == ""
+}
+
+// frameResult is one read frame (or the read error that ended the stream)
+// handed from a connection's reader goroutine to its RPC loop.
+type frameResult struct {
+	body []byte
+	err  error
+}
+
+// serveConn runs the handshake and then the lockstep RPC loop for one
+// connection. All reads happen on a dedicated reader goroutine so the
+// loop learns about a dead or departed peer WHILE the backend is still
+// evaluating — the connection context is cancelled the moment the read
+// side fails, and dispatch runs under that context, so abandoned batches
+// stop burning shard CPU instead of completing for nobody.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	if !s.handshake(conn) {
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	// Capacity 2 keeps the common case allocation-light; a pipelining peer
+	// can fill both slots with body frames, so EVERY reader send carries a
+	// ctx.Done escape (the loop's deferred cancel fires if it returns
+	// early) — without one, the final error send could block forever and
+	// leak the goroutine. The error is sent BEFORE cancel(), so whenever
+	// the loop sees Done from the reader's own cancel, the error is
+	// already drainable.
+	frames := make(chan frameResult, 2)
+	go func() {
+		var buf []byte
+		for {
+			body, err := readFrame(conn, s.maxFrame, &buf)
+			if err != nil {
+				select {
+				case frames <- frameResult{err: err}:
+				case <-ctx.Done():
+				}
+				cancel() // peer gone or unrecoverable stream: abandon in-flight work
+				return
+			}
+			// The read buffer is reused; hand the loop its own copy in case
+			// a pipelining client has the next frame arrive mid-dispatch.
+			// The ctx arm keeps the reader from leaking if the RPC loop
+			// already returned (its deferred cancel fires).
+			select {
+			case frames <- frameResult{body: append([]byte(nil), body...)}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var respBuf []byte
+	for {
+		var fr frameResult
+		select {
+		case fr = <-frames:
+		case <-ctx.Done():
+			// The reader queues its error before cancelling, so drain it if
+			// present; an empty channel means the server itself is closing.
+			select {
+			case fr = <-frames:
+			default:
+				return
+			}
+		}
+		if fr.err != nil {
+			if errors.Is(fr.err, ErrFrameTooLarge) || errors.Is(fr.err, ErrProtocol) {
+				// Name the violation to the peer before hanging up; the
+				// stream position is unrecoverable past a refused frame.
+				_ = s.writeResponse(conn, appendErrResponse(respBuf[:0], opErr, fr.err.Error()))
+			}
+			return
+		}
+		req, err := parseRequest(fr.body, s.maxBatch)
+		if err != nil {
+			_ = s.writeResponse(conn, appendErrResponse(respBuf[:0], opErr, err.Error()))
+			return
+		}
+		resp := s.dispatch(ctx, req, respBuf[:0])
+		if err := s.writeResponse(conn, resp); err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// The request was legitimate but its answer does not fit the
+				// cap (answers scale with lanes, requests with key bytes).
+				// Tell the client why instead of leaving it an opaque EOF;
+				// the error frame itself always fits.
+				_ = s.writeResponse(conn, appendErrResponse(resp[:0], opErr,
+					fmt.Sprintf("shardnet: %d-byte response exceeds the %d-byte frame cap; narrow the batch", len(resp), s.maxFrame)))
+			}
+			return
+		}
+		respBuf = resp[:0]
+	}
+}
+
+// writeResponse sends one response frame under the per-write deadline, so
+// a peer that stops reading cannot pin the connection's goroutine and
+// response buffer past WriteTimeout.
+func (s *Server) writeResponse(conn net.Conn, body []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+	return writeFrame(conn, body, s.maxFrame)
+}
+
+// dispatch executes one parsed request against the backend and encodes the
+// response into dst. Requests are held to the node's authoritative row
+// range: rows outside [lo, hi) are zero in a shard node's table, so
+// answering for them would return silently wrong partial shares — exactly
+// the failure mode this package exists to make loud.
+func (s *Server) dispatch(ctx context.Context, req *rpcRequest, dst []byte) []byte {
+	switch req.op {
+	case opAnswer:
+		if s.lo != 0 || s.hi != s.rows {
+			return appendErrResponse(dst, req.op,
+				fmt.Sprintf("shardnet: this node holds only rows [%d,%d) of %d; whole-table Answer needs AnswerRange through a cluster", s.lo, s.hi, s.rows))
+		}
+		answers, err := s.be.Answer(ctx, req.keys)
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendAnswers(dst, req.op, answers, s.lanes)
+	case opAnswerRange:
+		if req.hi > uint64(s.rows) || req.lo >= req.hi {
+			return appendErrResponse(dst, req.op, fmt.Sprintf("shardnet: row range [%d,%d) invalid for table of %d rows", req.lo, req.hi, s.rows))
+		}
+		if req.lo < uint64(s.lo) || req.hi > uint64(s.hi) {
+			return appendErrResponse(dst, req.op,
+				fmt.Sprintf("shardnet: row range [%d,%d) outside the rows [%d,%d) this node holds", req.lo, req.hi, s.lo, s.hi))
+		}
+		answers, err := s.be.AnswerRange(ctx, req.keys, int(req.lo), int(req.hi))
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendAnswers(dst, req.op, answers, s.lanes)
+	case opUpdate:
+		if req.row < uint64(s.lo) || req.row >= uint64(s.hi) {
+			return appendErrResponse(dst, req.op,
+				fmt.Sprintf("shardnet: update row %d outside the rows [%d,%d) this node holds", req.row, s.lo, s.hi))
+		}
+		if err := s.be.Update(req.row, req.vals); err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendOK(dst, req.op)
+	case opShape:
+		rows, lanes := s.be.Shape()
+		return appendShape(dst, rows, lanes)
+	case opCounters:
+		return appendCounters(dst, s.be.Counters())
+	}
+	return appendErrResponse(dst, opErr, fmt.Sprintf("shardnet: unknown opcode %#x", req.op))
+}

@@ -1,0 +1,522 @@
+package shardnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/engine"
+	"gpudpf/internal/strategy"
+)
+
+// buildTable fills a table deterministically from seed.
+func buildTable(t testing.TB, rows, lanes int, seed int64) *strategy.Table {
+	t.Helper()
+	tab, err := strategy.NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	return tab
+}
+
+// shardTable copies only rows [lo, hi) of tab into a fresh zeroed table of
+// the same shape — what a real shard node holds: its own rows, garbage
+// (here zeros) elsewhere.
+func shardTable(t testing.TB, tab *strategy.Table, lo, hi int) *strategy.Table {
+	t.Helper()
+	sub, err := strategy.NewTable(tab.NumRows, tab.Lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(sub.Data[lo*tab.Lanes:hi*tab.Lanes], tab.Data[lo*tab.Lanes:hi*tab.Lanes])
+	return sub
+}
+
+func newReplica(t testing.TB, tab *strategy.Table, cfg engine.Config) *engine.Replica {
+	t.Helper()
+	rep, err := engine.NewReplica(tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// startNode serves be on a loopback listener; the server and listener are
+// torn down with the test.
+func startNode(t testing.TB, be engine.RangeBackend, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	srv, err := NewServer(be, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	return srv, l.Addr().String()
+}
+
+// genKeys returns marshaled keys for both parties at the replica-default
+// early-termination depth.
+func genKeys(t testing.TB, prg dpf.PRG, bits int, indices []uint64, seed int64) (k0s, k1s [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	early := dpf.DefaultEarly(bits, 1)
+	for _, idx := range indices {
+		key0, key1, err := dpf.GenEarly(prg, idx, bits, []uint32{1}, early, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw0, err := key0.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw1, err := key1.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k0s = append(k0s, raw0)
+		k1s = append(k1s, raw1)
+	}
+	return k0s, k1s
+}
+
+func sameShares(a, b [][]uint32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d answers", len(a), len(b))
+	}
+	for q := range a {
+		if len(a[q]) != len(b[q]) {
+			return fmt.Errorf("answer %d: %d vs %d lanes", q, len(a[q]), len(b[q]))
+		}
+		for l := range a[q] {
+			if a[q][l] != b[q][l] {
+				return fmt.Errorf("answer %d lane %d: %#x vs %#x", q, l, a[q][l], b[q][l])
+			}
+		}
+	}
+	return nil
+}
+
+// TestClientServerRoundTrip drives every RPC against a replica node over
+// real TCP: Answer and AnswerRange must be bit-identical to the local
+// replica, Update must be visible to subsequent answers, and Shape /
+// Counters must report the node's state.
+func TestClientServerRoundTrip(t *testing.T) {
+	const rows, lanes = 300, 4
+	tab := buildTable(t, rows, lanes, 1)
+	rep := newReplica(t, tab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{})
+
+	c, err := Dial(addr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if r, l := c.Shape(); r != rows || l != lanes {
+		t.Fatalf("handshake shape %d×%d, want %d×%d", r, l, rows, lanes)
+	}
+	if r, l, err := c.RemoteShape(context.Background()); err != nil || r != rows || l != lanes {
+		t.Fatalf("remote shape %d×%d (%v), want %d×%d", r, l, err, rows, lanes)
+	}
+	if got, want := c.EarlyBits(), rep.EarlyBits(); got != want {
+		t.Fatalf("handshake early %d, want %d", got, want)
+	}
+	if lo, hi := c.HeldRange(); lo != 0 || hi != rows {
+		t.Fatalf("held range [%d,%d), want [0,%d)", lo, hi, rows)
+	}
+
+	// A local replica over the same content is the bit-exactness reference.
+	ref := newReplica(t, buildTable(t, rows, lanes, 1), engine.Config{Party: 0})
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{0, 13, 255, 299}, 2)
+
+	remote, err := c.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := ref.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameShares(remote, local); err != nil {
+		t.Fatalf("remote Answer diverges: %v", err)
+	}
+
+	// Partial ranges must sum to the full answer.
+	partA, err := c.AnswerRange(context.Background(), keys, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partB, err := c.AnswerRange(context.Background(), keys, 100, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := range partA {
+		for l := range partA[q] {
+			partA[q][l] += partB[q][l]
+		}
+	}
+	if err := sameShares(partA, local); err != nil {
+		t.Fatalf("remote partials do not sum to the answer: %v", err)
+	}
+
+	// Update over the wire is visible to the next answer.
+	newRow := []uint32{7, 8, 9, 10}
+	if err := c.Update(13, newRow); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Update(13, newRow); err != nil {
+		t.Fatal(err)
+	}
+	remote, err = c.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err = ref.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameShares(remote, local); err != nil {
+		t.Fatalf("post-update remote Answer diverges: %v", err)
+	}
+
+	if stats := c.Counters(); stats.PRFBlocks == 0 {
+		t.Fatal("node counters report no PRF work after answering")
+	}
+
+	// Concurrent RPCs must be safe (the pool grows as needed).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := c.Answer(context.Background(), keys); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMixedClusterMatchesReplica is the acceptance sweep: a 4-shard
+// cluster — shards 0 and 2 in-process replicas, shards 1 and 3 real TCP
+// shard nodes holding ONLY their own rows — must answer every
+// strategy × PRF batch bit-identically to a single-process replica.
+func TestMixedClusterMatchesReplica(t *testing.T) {
+	const rows, lanes, shards = 256, 4, 4
+	strategies := []strategy.Strategy{
+		strategy.BranchParallel{},
+		strategy.LevelByLevel{},
+		strategy.MemBoundTree{K: 8, Fused: true},
+		strategy.CoopGroups{},
+		strategy.MultiGPU{Devices: 2},
+		strategy.CPUBaseline{Threads: 2},
+	}
+	prgNames := dpf.AllPRGNames()
+	if testing.Short() {
+		prgNames = prgNames[:2]
+	}
+	tab := buildTable(t, rows, lanes, 3)
+	bounds := make([]int, shards+1)
+	for i := 0; i < shards; i++ {
+		bounds[i], bounds[i+1] = engine.ShardRange(rows, i, shards)
+	}
+	for _, prgName := range prgNames {
+		for _, strat := range strategies {
+			t.Run(prgName+"/"+strat.Name(), func(t *testing.T) {
+				prg, err := dpf.NewPRG(prgName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := engine.Config{Party: 0, PRG: prg, Strategy: strat}
+				ref := newReplica(t, tab, cfg)
+
+				members := make([]engine.ClusterShard, shards)
+				for i := 0; i < shards; i++ {
+					if i%2 == 0 {
+						members[i] = engine.ClusterShard{Backend: newReplica(t, tab, cfg)}
+						continue
+					}
+					// A real remote node holding only its shard's rows.
+					nodeTab := shardTable(t, tab, bounds[i], bounds[i+1])
+					_, addr := startNode(t, newReplica(t, nodeTab, cfg), ServerConfig{RowLo: bounds[i], RowHi: bounds[i+1]})
+					cl, err := Dial(addr, Options{PRG: prgName, Party: 0})
+					if err != nil {
+						t.Fatal(err)
+					}
+					t.Cleanup(func() { cl.Close() })
+					members[i] = engine.ClusterShard{Backend: cl, Name: addr}
+				}
+				cluster, err := engine.NewCluster(members...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys, _ := genKeys(t, prg, tab.Bits(), []uint64{0, 63, 64, 128, 200, 255}, 4)
+				want, err := ref.Answer(context.Background(), keys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cluster.Answer(context.Background(), keys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sameShares(got, want); err != nil {
+					t.Fatalf("cluster diverges from single-process replica: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestHandshakePinning: every pinned fact mismatch is rejected with both
+// sides' values named.
+func TestHandshakePinning(t *testing.T) {
+	tab := buildTable(t, 128, 2, 5)
+	rep := newReplica(t, tab, engine.Config{Party: 1})
+	_, addr := startNode(t, rep, ServerConfig{})
+
+	cases := []struct {
+		name string
+		opts Options
+		want []string
+	}{
+		{"prg", Options{PRG: "chacha20", Party: 1}, []string{"chacha20", "aes128"}},
+		{"early", Options{PRG: "aes128", Early: engine.FullDepthKeys, Party: 1},
+			[]string{"depth 0", fmt.Sprintf("depth %d", rep.EarlyBits())}},
+		{"party", Options{PRG: "aes128", Party: 0}, []string{"party-0", "party 1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Dial(addr, tc.opts)
+			if err == nil {
+				t.Fatal("mismatched handshake accepted")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("handshake rejection %q does not name %q", err, want)
+				}
+			}
+		})
+	}
+
+	// Adopting clients learn the node's configuration instead.
+	c, err := Dial(addr, Options{Party: AdoptParty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.PRGName() != "aes128" || c.Party() != 1 || c.EarlyBits() != rep.EarlyBits() {
+		t.Fatalf("adopted config prg=%s party=%d early=%d", c.PRGName(), c.Party(), c.EarlyBits())
+	}
+
+	// A client from a different protocol era is refused with both versions
+	// named.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn, &hello{Proto: protoName, Version: 99, Party: AdoptParty}); err != nil {
+		t.Fatal(err)
+	}
+	var w welcome
+	if err := readHandshake(conn, &w); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(w.Err, "version 99") || !strings.Contains(w.Err, "version 1") {
+		t.Fatalf("version rejection %q does not name both versions", w.Err)
+	}
+}
+
+// TestBatchCap: a request declaring more keys than the node's batch cap is
+// refused before any backend allocation fan-out — the frame cap bounds
+// bytes, this bounds the per-key amplification.
+func TestBatchCap(t *testing.T) {
+	tab := buildTable(t, 64, 2, 15)
+	rep := newReplica(t, tab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{MaxBatch: 3})
+	c, err := Dial(addr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{0, 1, 2, 3}, 16)
+	if _, err := c.Answer(context.Background(), keys); err == nil {
+		t.Fatal("over-cap batch served")
+	} else if !strings.Contains(err.Error(), "3-key cap") {
+		t.Fatalf("batch-cap rejection %q does not name the cap", err)
+	}
+	if _, err := c.Answer(context.Background(), keys[:3]); err != nil {
+		t.Fatalf("at-cap batch refused: %v", err)
+	}
+}
+
+// TestHeldRangeEnforced: a shard node refuses to answer for rows it does
+// not hold — whole-table Answer, out-of-slice AnswerRange, and misrouted
+// Update all fail loudly instead of contributing zero-filled garbage
+// shares.
+func TestHeldRangeEnforced(t *testing.T) {
+	const rows, lanes = 256, 4
+	tab := buildTable(t, rows, lanes, 13)
+	nodeTab := shardTable(t, tab, 64, 128)
+	rep := newReplica(t, nodeTab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{RowLo: 64, RowHi: 128})
+	c, err := Dial(addr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{70}, 14)
+
+	if _, err := c.Answer(context.Background(), keys); err == nil {
+		t.Fatal("whole-table Answer served by a partial node")
+	} else if !strings.Contains(err.Error(), "holds only rows [64,128)") {
+		t.Fatalf("Answer rejection %q does not name the held range", err)
+	}
+	if _, err := c.AnswerRange(context.Background(), keys, 0, 128); err == nil {
+		t.Fatal("out-of-slice AnswerRange served")
+	} else if !strings.Contains(err.Error(), "outside the rows [64,128)") {
+		t.Fatalf("AnswerRange rejection %q does not name the held range", err)
+	}
+	if err := c.Update(5, []uint32{1, 2, 3, 4}); err == nil {
+		t.Fatal("misrouted Update accepted")
+	} else if !strings.Contains(err.Error(), "outside the rows [64,128)") {
+		t.Fatalf("Update rejection %q does not name the held range", err)
+	}
+
+	// Requests inside the slice still work, bit-identically to a full
+	// replica's partials for the same range.
+	got, err := c.AnswerRange(context.Background(), keys, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newReplica(t, tab, engine.Config{Party: 0})
+	want, err := ref.AnswerRange(context.Background(), keys, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameShares(got, want); err != nil {
+		t.Fatalf("in-slice partials diverge: %v", err)
+	}
+	if err := c.Update(70, []uint32{1, 2, 3, 4}); err != nil {
+		t.Fatalf("in-slice update refused: %v", err)
+	}
+}
+
+// TestHandshakeTimeout: a peer that connects and never speaks is cut off
+// once the handshake deadline passes — it cannot hold a goroutine and
+// file descriptor forever.
+func TestHandshakeTimeout(t *testing.T) {
+	tab := buildTable(t, 64, 2, 10)
+	rep := newReplica(t, tab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{HandshakeTimeout: 150 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing; the node must hang up on its own.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("silent connection got data instead of a hang-up")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("silent connection held open for %v", elapsed)
+	}
+
+	// A normal client on the same node still handshakes fine.
+	c, err := Dial(addr, Options{Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+// TestOversizedResponseNamed: a legitimate request whose ANSWER exceeds
+// the frame cap (answers scale with lanes, requests with key bytes) must
+// come back as a named cap error, not an opaque EOF.
+func TestOversizedResponseNamed(t *testing.T) {
+	// 64 rows × 200 lanes: a single-key request is ~360 bytes (fits a
+	// 512-byte cap), its answer is 200·4+10 bytes (does not).
+	tab := buildTable(t, 64, 200, 11)
+	rep := newReplica(t, tab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{MaxFrame: 512})
+	c, err := Dial(addr, Options{Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{5}, 12)
+	_, err = c.Answer(context.Background(), keys)
+	if err == nil {
+		t.Fatal("oversized answer delivered through a 512-byte cap")
+	}
+	for _, want := range []string{"frame cap", "narrow the batch"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not carry %q", err, want)
+		}
+	}
+}
+
+// TestFrameCap: a frame over the node's cap is refused with the named
+// error before the node reads (or allocates) the payload, and the
+// connection is closed.
+func TestFrameCap(t *testing.T) {
+	tab := buildTable(t, 64, 2, 6)
+	rep := newReplica(t, tab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{MaxFrame: 256})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn, &hello{Proto: protoName, Version: ProtocolVersion, Party: AdoptParty}); err != nil {
+		t.Fatal(err)
+	}
+	var w welcome
+	if err := readHandshake(conn, &w); err != nil || w.Err != "" {
+		t.Fatalf("handshake failed: %v / %s", err, w.Err)
+	}
+	// Declare a 1 MiB frame on a 256-byte-cap connection; send only the
+	// header — the node must refuse without waiting for a payload.
+	var hdr [4]byte
+	hdr[0], hdr[1], hdr[2] = 0x00, 0x00, 0x10
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf []byte
+	body, err := readFrame(conn, DefaultMaxFrame, &buf)
+	if err != nil {
+		t.Fatalf("reading refusal frame: %v", err)
+	}
+	if body[0] != opErr || body[1] != statusErr {
+		t.Fatalf("refusal frame op=%#x status=%d", body[0], body[1])
+	}
+	if !strings.Contains(string(body), "size cap") {
+		t.Fatalf("refusal %q does not name the cap", string(body[2:]))
+	}
+	if _, err := readFrame(conn, DefaultMaxFrame, &buf); err == nil {
+		t.Fatal("connection survived an oversized frame")
+	}
+}

@@ -18,7 +18,11 @@
 // are validated by real execution at smaller scale.
 package strategy
 
-import "fmt"
+import (
+	"fmt"
+
+	"gpudpf/internal/dpf"
+)
 
 // Table is an embedding table held by one PIR server: NumRows rows of
 // Lanes 32-bit lanes each (entry bytes = 4·Lanes). The DPF domain is the
@@ -45,13 +49,7 @@ func (t *Table) Row(i int) []uint32 { return t.Data[i*t.Lanes : (i+1)*t.Lanes] }
 
 // Bits returns the DPF tree depth for this table: ceil(log2(NumRows)),
 // minimum 1.
-func (t *Table) Bits() int {
-	bits := 1
-	for 1<<uint(bits) < t.NumRows {
-		bits++
-	}
-	return bits
-}
+func (t *Table) Bits() int { return dpf.DomainBits(t.NumRows) }
 
 // SizeBytes is the table's memory footprint.
 func (t *Table) SizeBytes() int64 { return int64(t.NumRows) * int64(t.Lanes) * 4 }

@@ -1,0 +1,162 @@
+// Package wireio hardens the repo's network decoders against hostile
+// peers. A gob stream is a sequence of messages, each preceded by its byte
+// count; encoding/gob grows its message buffer to that declared count
+// BEFORE reading the payload, so a peer that writes a few header bytes
+// claiming a gigabyte message makes the decoder allocate a gigabyte.
+// pir.Serve's request decoder reads its gob stream through
+// LimitGobMessages, which parses the message framing itself and refuses
+// oversized declarations before any allocation happens. (shardnet's gob
+// use — the handshake — is capped separately by its own length framing,
+// which reads the whole message into a bounded frame before decoding.)
+package wireio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrMessageTooBig is returned (wrapped, with both sizes) when a gob
+// message's declared byte count exceeds the reader's cap. Consumers
+// translate it into their protocol's named error.
+var ErrMessageTooBig = errors.New("wireio: gob message exceeds size cap")
+
+// ErrMessageBudget is returned when more gob messages arrive within one
+// budget window (ResetMessageBudget) than the consumer allowed. One
+// Decode call legitimately consumes a handful of messages (type
+// definitions, then the value); a peer streaming endless small
+// type-definition messages would otherwise grow the decoder's type map
+// without bound while every individual message stays under the size cap.
+var ErrMessageBudget = errors.New("wireio: too many gob messages in one decode")
+
+// LimitGobMessages wraps r for use by a gob.Decoder: the returned reader
+// passes the stream through unmodified, but parses each gob message's
+// byte-count header and fails with ErrMessageTooBig (wrapped) before the
+// decoder sees — and allocates for — a message declared larger than max
+// bytes. Call ResetMessageBudget before each Decode to additionally bound
+// how many messages that Decode may consume. The reader assumes r carries
+// a well-formed gob stream from the current position; feed it to exactly
+// one decoder.
+func LimitGobMessages(r io.Reader, max int) *GobLimiter {
+	return &GobLimiter{gobLimitReader{r: r, max: uint64(max)}}
+}
+
+// GobLimiter is the reader LimitGobMessages returns; see there.
+type GobLimiter struct {
+	gobLimitReader
+}
+
+// ResetMessageBudget allows the next n gob messages (n <= 0 disables the
+// check). Call it before each Decode so a long-lived connection's budget
+// applies per request, not per connection lifetime.
+func (g *GobLimiter) ResetMessageBudget(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	g.msgBudget = n
+}
+
+// PendingBytes reports how many bytes of the current (possibly refused)
+// message have not been read from the underlying reader — what a server
+// should drain before replying and closing, so the peer's kernel does not
+// discard the reply with a RST over unread request bytes.
+func (g *GobLimiter) PendingBytes() int64 {
+	return int64(g.remain)
+}
+
+// gobLimitReader tracks gob message boundaries: at a boundary it reads and
+// validates the next count header from the underlying reader, then replays
+// the header bytes and passes the payload through.
+type gobLimitReader struct {
+	r   io.Reader
+	max uint64
+	// hdr buffers the current message's count header for replay to the
+	// decoder (which parses the count itself); gob counts are at most
+	// 1 + 8 bytes.
+	hdr    [9]byte
+	hdrLen int
+	hdrPos int
+	// remain is how many payload bytes of the current message are still
+	// owed to the decoder.
+	remain uint64
+	// msgBudget, when positive, is decremented per message header; hitting
+	// zero fails with ErrMessageBudget.
+	msgBudget int
+	err       error
+}
+
+func (g *gobLimitReader) Read(p []byte) (int, error) {
+	if g.err != nil {
+		return 0, g.err
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if g.hdrPos == g.hdrLen && g.remain == 0 {
+		if err := g.nextHeader(); err != nil {
+			g.err = err
+			return 0, err
+		}
+	}
+	if g.hdrPos < g.hdrLen {
+		n := copy(p, g.hdr[g.hdrPos:g.hdrLen])
+		g.hdrPos += n
+		return n, nil
+	}
+	if uint64(len(p)) > g.remain {
+		p = p[:g.remain]
+	}
+	n, err := g.r.Read(p)
+	g.remain -= uint64(n)
+	if err != nil {
+		g.err = err
+	}
+	return n, err
+}
+
+// nextHeader reads one gob message count from the underlying reader,
+// staging the raw header bytes for replay. The encoding (encoding/gob
+// "Encoding Details"): a count below 128 is one byte holding the value;
+// otherwise one byte holding the negated byte length n (as int8) followed
+// by the count in n big-endian bytes.
+func (g *gobLimitReader) nextHeader() error {
+	if _, err := io.ReadFull(g.r, g.hdr[:1]); err != nil {
+		return err // clean io.EOF at a boundary = end of stream
+	}
+	// msgBudget: 0 = unlimited, n > 0 = n more messages allowed, -1 =
+	// exhausted (the previous message was the last allowed one).
+	if g.msgBudget < 0 {
+		return fmt.Errorf("%w", ErrMessageBudget)
+	}
+	if g.msgBudget > 0 {
+		g.msgBudget--
+		if g.msgBudget == 0 {
+			g.msgBudget = -1
+		}
+	}
+	b := g.hdr[0]
+	if b <= 0x7f {
+		g.hdrLen, g.remain = 1, uint64(b)
+	} else {
+		n := -int(int8(b))
+		if n < 1 || n > 8 {
+			return fmt.Errorf("wireio: corrupt gob count byte %#x", b)
+		}
+		if _, err := io.ReadFull(g.r, g.hdr[1:1+n]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+		var v uint64
+		for _, c := range g.hdr[1 : 1+n] {
+			v = v<<8 | uint64(c)
+		}
+		g.hdrLen, g.remain = 1+n, v
+	}
+	g.hdrPos = 0
+	if g.remain > g.max {
+		return fmt.Errorf("%w: peer declared a %d-byte message, cap is %d", ErrMessageTooBig, g.remain, g.max)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package wireio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"testing"
+)
+
+type msg struct {
+	A int
+	B string
+	C []byte
+}
+
+// TestPassThrough: a well-formed gob stream under the cap decodes through
+// the limiter exactly as it would straight off the wire.
+func TestPassThrough(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	want := []msg{{1, "one", []byte{0xde}}, {2, "two", bytes.Repeat([]byte{7}, 300)}, {3, "three", nil}}
+	for _, m := range want {
+		if err := enc.Encode(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := gob.NewDecoder(LimitGobMessages(bytes.NewReader(buf.Bytes()), 1<<16))
+	for i, w := range want {
+		var got msg
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if got.A != w.A || got.B != w.B || !bytes.Equal(got.C, w.C) {
+			t.Fatalf("message %d: got %+v want %+v", i, got, w)
+		}
+	}
+	var extra msg
+	if err := dec.Decode(&extra); err != io.EOF {
+		t.Fatalf("after stream end: %v, want io.EOF", err)
+	}
+}
+
+// TestOversizedDeclaration: a header declaring a message over the cap is
+// rejected before any payload is consumed — the underlying reader never
+// advances past the header.
+func TestOversizedDeclaration(t *testing.T) {
+	// Gob count encoding for 1<<30: byte -4 (=0xfc), then 4 big-endian
+	// bytes. No payload follows; the limiter must fail on the header alone.
+	hostile := []byte{0xfc, 0x40, 0x00, 0x00, 0x00}
+	r := bytes.NewReader(hostile)
+	var dst [16]byte
+	_, err := LimitGobMessages(r, 1<<20).Read(dst[:])
+	if !errors.Is(err, ErrMessageTooBig) {
+		t.Fatalf("got %v, want ErrMessageTooBig", err)
+	}
+	if r.Len() != 0 {
+		// All five header bytes were consumed, nothing more was asked for.
+		t.Fatalf("%d header bytes left unread", r.Len())
+	}
+}
+
+// TestCorruptCount: an impossible count byte (negated length > 8) errors
+// instead of being treated as a giant length.
+func TestCorruptCount(t *testing.T) {
+	var dst [16]byte
+	_, err := LimitGobMessages(bytes.NewReader([]byte{0x80}), 1<<20).Read(dst[:])
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("got %v, want corrupt-count error", err)
+	}
+}
+
+// TestUnderCapBoundary: a message of exactly the cap passes; one byte over
+// is rejected.
+func TestUnderCapBoundary(t *testing.T) {
+	payload := bytes.Repeat([]byte{1}, 200)
+	stream := append([]byte{0xff, 200}, payload...) // count 200 as 1 big-endian byte
+	got, err := io.ReadAll(LimitGobMessages(bytes.NewReader(stream), 200))
+	if err != nil {
+		t.Fatalf("at-cap message: %v", err)
+	}
+	if !bytes.Equal(got, stream) {
+		t.Fatal("at-cap message not passed through byte-identically")
+	}
+	_, err = io.ReadAll(LimitGobMessages(bytes.NewReader(stream), 199))
+	if !errors.Is(err, ErrMessageTooBig) {
+		t.Fatalf("over-cap message: %v, want ErrMessageTooBig", err)
+	}
+}
+
+// TestMessageBudget: a stream of endless small messages is cut off at the
+// per-decode budget — the defense against unbounded gob type-definition
+// streams — while a budget-sized burst passes and a reset renews it.
+func TestMessageBudget(t *testing.T) {
+	msg := func(n int) []byte {
+		var out []byte
+		for i := 0; i < n; i++ {
+			out = append(out, 0x02, byte(i), byte(i)) // 2-byte message each
+		}
+		return out
+	}
+	lim := LimitGobMessages(bytes.NewReader(msg(10)), 1<<10)
+	lim.ResetMessageBudget(4)
+	got, err := io.ReadAll(lim)
+	if !errors.Is(err, ErrMessageBudget) {
+		t.Fatalf("11th message onward: err %v, want ErrMessageBudget", err)
+	}
+	if len(got) != 4*3 {
+		t.Fatalf("passed %d bytes through, want the 4 budgeted messages (12 bytes)", len(got))
+	}
+
+	lim = LimitGobMessages(bytes.NewReader(msg(4)), 1<<10)
+	lim.ResetMessageBudget(4)
+	if _, err := io.ReadAll(lim); err != nil {
+		t.Fatalf("at-budget stream: %v", err)
+	}
+
+	// Reset renews the allowance mid-stream.
+	lim = LimitGobMessages(bytes.NewReader(msg(6)), 1<<10)
+	lim.ResetMessageBudget(3)
+	var buf [9]byte
+	if _, err := io.ReadFull(lim, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	lim.ResetMessageBudget(3)
+	if _, err := io.ReadAll(lim); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+// FuzzGobLimitReader: arbitrary bytes must never panic the framing parser,
+// and any stream it passes through must come out byte-identical.
+func FuzzGobLimitReader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x7f})
+	f.Add([]byte{0xff, 200})
+	f.Add([]byte{0xfc, 0x40, 0x00, 0x00, 0x00})
+	var seed bytes.Buffer
+	_ = gob.NewEncoder(&seed).Encode(&msg{A: 9, B: "seed", C: []byte{1, 2, 3}})
+	f.Add(seed.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := io.ReadAll(LimitGobMessages(bytes.NewReader(data), 1<<12))
+		if err == nil || err == io.EOF {
+			if !bytes.Equal(got, data) {
+				t.Fatalf("clean stream not passed through identically: %d of %d bytes", len(got), len(data))
+			}
+			return
+		}
+		// On error the reader must have passed through only a prefix.
+		if !bytes.Equal(got, data[:len(got)]) {
+			t.Fatal("error path emitted bytes that are not a stream prefix")
+		}
+	})
+}

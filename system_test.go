@@ -13,9 +13,12 @@ import (
 	"gpudpf/internal/codesign"
 	"gpudpf/internal/core"
 	"gpudpf/internal/data"
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/engine"
 	"gpudpf/internal/ml"
 	"gpudpf/internal/netsim"
 	"gpudpf/internal/pir"
+	"gpudpf/internal/shardnet"
 )
 
 // TestFullStackRecommendation trains a tiny recommender, deploys it behind
@@ -156,6 +159,189 @@ func TestTemporalLocalityCacheClaim(t *testing.T) {
 		t.Errorf("cache miss rate %.2f; session locality should make most lookups local", missRate)
 	}
 	t.Logf("new-feature rate with cache: %.1f%% (paper's production trace: 2.44%%)", missRate*100)
+}
+
+// TestDistributedRecommendationTCP runs the recommendation flow's private
+// embedding retrieval over real TCP endpoints, twice: against the classic
+// two-server pair, and against two 4-shard distributed replicas (each a
+// mix of in-process shards and TCP shard nodes holding only their own
+// rows). Both paths use the default early-terminated wire-v2 keys and
+// must reconstruct the trained embeddings bit-exactly — the property the
+// whole two-cloud deployment story rests on.
+func TestDistributedRecommendationTCP(t *testing.T) {
+	cfg := data.RecConfig{
+		Name: "net", Items: 256, Genres: 4, Candidates: 20,
+		HistoryLen: 6, ZipfS: 1.2, Train: 200, Test: 8,
+		SessionLen: 3, Seed: 51,
+	}
+	ds, err := data.GenRec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim = 8
+	rng := rand.New(rand.NewSource(52))
+	emb := ml.NewEmbedding(cfg.Items, dim, rng)
+	mlp := ml.NewMLP(dim+cfg.Genres, 8, rng)
+	feats := func(s data.RecSample, pooled ml.Vec) ml.Vec {
+		x := make(ml.Vec, dim+cfg.Genres)
+		copy(x, pooled)
+		x[dim+s.CandGenre] = 1
+		return x
+	}
+	for _, s := range ds.Train {
+		pooled := make(ml.Vec, dim)
+		emb.Bag(pooled, s.History, nil)
+		_, dx := mlp.TrainStep(feats(s, pooled), s.Label, 0.05)
+		emb.BagGrad(dx[:dim], s.History, nil, 0.3)
+	}
+	exported := emb.Export()
+
+	// Pack the trained embedding table into a PIR table.
+	tab, err := pir.NewTable(cfg.Items, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Items; i++ {
+		pir.PackFloats(tab.Row(i), exported[uint64(i)])
+	}
+
+	cl, err := pir.NewClient("aes128", tab.NumRows, rand.New(rand.NewSource(53)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deployment default must be early-terminated wire-v2 keys.
+	if cl.Early() == 0 {
+		t.Fatal("client defaulted to full-depth keys")
+	}
+	k0, _, err := cl.Query(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dpf.WireVersion(k0); v != 2 {
+		t.Fatalf("client emits wire v%d keys, want v2", v)
+	}
+
+	// Path 1: the classic two-server pair over TCP.
+	var tcpEndpoints [2]pir.Endpoint
+	for p := 0; p < 2; p++ {
+		srv, err := pir.NewServer(p, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go pir.Serve(l, srv)
+		e, err := pir.Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		tcpEndpoints[p] = e
+	}
+
+	// Path 2: per party, a 4-shard distributed replica — shards 0 and 2
+	// in-process, shards 1 and 3 real shardnet nodes over TCP holding only
+	// their own rows.
+	const shards = 4
+	bounds := make([]int, shards+1)
+	for i := 0; i < shards; i++ {
+		bounds[i], bounds[i+1] = engine.ShardRange(tab.NumRows, i, shards)
+	}
+	var clusterEndpoints [2]pir.Endpoint
+	for p := 0; p < 2; p++ {
+		members := make([]engine.ClusterShard, shards)
+		for i := 0; i < shards; i++ {
+			if i%2 == 0 {
+				rep, err := pir.NewReplica(p, tab)
+				if err != nil {
+					t.Fatal(err)
+				}
+				members[i] = engine.ClusterShard{Backend: rep}
+				continue
+			}
+			nodeTab, err := pir.NewTable(tab.NumRows, tab.Lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(nodeTab.Data[bounds[i]*tab.Lanes:bounds[i+1]*tab.Lanes],
+				tab.Data[bounds[i]*tab.Lanes:bounds[i+1]*tab.Lanes])
+			rep, err := pir.NewReplica(p, nodeTab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node, err := shardnet.NewServer(rep, shardnet.ServerConfig{RowLo: bounds[i], RowHi: bounds[i+1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go node.Serve(l)
+			defer node.Close()
+			sc, err := shardnet.Dial(l.Addr().String(), shardnet.Options{PRG: "aes128", Party: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			members[i] = engine.ClusterShard{Backend: sc, Name: l.Addr().String()}
+		}
+		cluster, err := engine.NewCluster(members...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cluster.Close()
+		clusterEndpoints[p] = pir.BackendEndpoint{Backend: cluster}
+	}
+
+	paths := []struct {
+		name string
+		ts   *pir.TwoServer
+	}{
+		{"two-server-tcp", &pir.TwoServer{Client: cl, E0: tcpEndpoints[0], E1: tcpEndpoints[1]}},
+		{"cluster", &pir.TwoServer{Client: cl, E0: clusterEndpoints[0], E1: clusterEndpoints[1]}},
+	}
+	for _, s := range ds.Test {
+		indices := make([]uint64, 0, len(s.History))
+		seen := map[uint64]bool{}
+		for _, idx := range s.History {
+			if !seen[idx] {
+				seen[idx] = true
+				indices = append(indices, idx)
+			}
+		}
+		var pooled [2]ml.Vec
+		for pi, path := range paths {
+			rows, _, err := path.ts.Fetch(indices)
+			if err != nil {
+				t.Fatalf("%s: %v", path.name, err)
+			}
+			fetched := map[uint64][]float32{}
+			for q, idx := range indices {
+				floats := make([]float32, dim)
+				pir.UnpackFloats(floats, rows[q])
+				for j, got := range floats {
+					if got != exported[idx][j] {
+						t.Fatalf("%s: item %d lane %d: private %g != table %g", path.name, idx, j, got, exported[idx][j])
+					}
+				}
+				fetched[idx] = floats
+			}
+			pooled[pi] = make(ml.Vec, dim)
+			ml.BagFrom(pooled[pi], fetched, s.History)
+			if p := mlp.Predict(feats(s, pooled[pi])); p < 0 || p > 1 {
+				t.Fatalf("%s: prediction %g out of range", path.name, p)
+			}
+		}
+		// The two serving paths must agree bit-for-bit with each other.
+		for j := range pooled[0] {
+			if pooled[0][j] != pooled[1][j] {
+				t.Fatalf("pooled lane %d: two-server %g != cluster %g", j, pooled[0][j], pooled[1][j])
+			}
+		}
+	}
 }
 
 // TestConcurrentTCPClients runs several clients against one TCP server
