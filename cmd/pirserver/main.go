@@ -21,18 +21,44 @@
 //	pirserver -party 0 -shardnode 1/2 -addr :7801 -rows 1048576 -seed 42
 //	pirserver -party 0 -cluster host0:7800,host1:7801 -addr :7700 -rows 1048576
 //
+// With -standby the front also dials one standby node per shard (a comma
+// list parallel to -cluster; empty slots mean no standby for that shard).
+// A primary that dies mid-batch fails over transparently — answers stay
+// bit-identical because the epoch handshake keeps standbys on the same
+// table version as their primaries:
+//
+//	pirserver -party 0 -cluster host0:7800,host1:7801 \
+//	          -standby host2:7800,host3:7801 -addr :7700 -rows 1048576
+//
 // The shardnet handshake pins the wire version, PRF, early-termination
-// depth and party, so a misconfigured node is refused at dial time with
-// both values named instead of corrupting shares at merge time.
+// depth and party (and advertises the node's table epoch), so a
+// misconfigured node is refused at dial time with both values named
+// instead of corrupting shares at merge time.
+//
+// Updates: -refresh/-refreshrows drive the paper's transparent update
+// path (§4.2) as a deterministic background load — every tick a batch of
+// rows is rewritten with content derived from (seed, row, generation), so
+// independently started parties keep identical tables. On a single server
+// the batch lands as one store epoch; on a cluster front it runs the
+// prepare/commit epoch handshake across every shard node and standby —
+// all-or-nothing, with concurrent answers pinned to the prior epoch.
+//
+// On SIGTERM/SIGINT the server shuts down gracefully: it stops accepting,
+// drains the in-flight batcher batches, and closes shardnet
+// serving/clients cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"gpudpf/internal/dpf"
@@ -56,24 +82,54 @@ func main() {
 	maxDelay := flag.Duration("maxdelay", 2*time.Millisecond, "max time a request waits for its batch to fill")
 	shardNode := flag.String("shardnode", "", "serve one shard of the row domain over the shardnet protocol instead of the client protocol; format i/n = rows [i·rows/n,(i+1)·rows/n)")
 	cluster := flag.String("cluster", "", "comma-separated shardnet node addresses; front a distributed replica over them instead of a local table")
+	standby := flag.String("standby", "", "comma-separated standby node addresses, parallel to -cluster (empty slots allowed); a dead primary fails over to its standby mid-batch")
+	refresh := flag.Duration("refresh", 0, "rewrite a deterministic batch of rows this often (0 = off) — the transparent update path; both parties must use the same -refresh, -refreshrows and -seed")
+	refreshRows := flag.Int("refreshrows", 64, "rows per refresh batch (one table epoch per batch; on a cluster front, one epoch handshake)")
 	flag.Parse()
 
 	if *shardNode != "" && *cluster != "" {
 		log.Fatal("pirserver: -shardnode and -cluster are mutually exclusive")
 	}
+	if *standby != "" && *cluster == "" {
+		log.Fatal("pirserver: -standby requires -cluster")
+	}
+	if *refreshRows < 1 {
+		log.Fatal("pirserver: -refreshrows must be >= 1")
+	}
+	if *refresh != 0 && *shardNode != "" {
+		log.Fatal("pirserver: -refresh belongs on the cluster front (or a single server), not on a shard node — nodes receive updates over shardnet")
+	}
 	switch {
 	case *shardNode != "":
 		runShardNode(*shardNode, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers)
 	case *cluster != "":
-		runClusterFront(*cluster, *party, *addr, *rows, *prg, *early, *batch, *maxDelay)
+		runClusterFront(*cluster, *standby, *party, *addr, *rows, *seed, *prg, *early, *batch, *maxDelay, *refresh, *refreshRows)
 	default:
-		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *batch, *maxDelay)
+		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *batch, *maxDelay, *refresh, *refreshRows)
 	}
+}
+
+// notifyShutdown closes the listener on SIGTERM/SIGINT, which unblocks the
+// serving accept loop; the caller then drains and closes its stack in
+// order. The returned channel reports whether a signal (vs. a listener
+// failure) ended serving.
+func notifyShutdown(l net.Listener) chan os.Signal {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		log.Printf("pirserver: %v: stopping accept loop, draining in-flight batches", s)
+		l.Close()
+	}()
+	return sig
 }
 
 // runSingle is the classic single-process server: full local table behind
 // the batching front door.
-func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers, batch int, maxDelay time.Duration) {
+func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int) {
 	tab, err := buildTable(rows, lanes, seed, 0, rows)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
@@ -88,9 +144,17 @@ func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, 
 	}
 	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s early=%d shards=%d batch=%d)",
 		party, rows, lanes*4, l.Addr(), prg, srv.Engine().EarlyBits(), srv.Engine().Shards(), batch)
-	if err := pir.Serve(l, front(srv, srv.Engine(), batch, maxDelay)); err != nil {
+	door, closeDoor := front(srv, srv.Engine(), batch, maxDelay)
+	stopRefresh := startRefresher(refresh, refreshRows, rows, lanes, seed, srv.Engine())
+	sig := notifyShutdown(l)
+	if err := pir.Serve(l, door); err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
+	signal.Stop(sig)
+	close(sig)
+	stopRefresh()
+	closeDoor()
+	log.Printf("pirserver: shutdown complete")
 }
 
 // runShardNode serves one contiguous slice of the row domain over the
@@ -124,16 +188,21 @@ func runShardNode(spec string, party int, addr string, rows, lanes int, seed int
 	}
 	log.Printf("pirserver: party %d shard node %d/%d serving rows [%d,%d) of %d×%dB table on %s (prg=%s early=%d)",
 		party, idx, count, lo, hi, rows, lanes*4, l.Addr(), prg, rep.EarlyBits())
+	sig := notifyShutdown(l)
 	if err := node.Serve(l); err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
+	signal.Stop(sig)
+	close(sig)
+	node.Close() // close live connections, cancel in-flight backend work
+	log.Printf("pirserver: shutdown complete")
 }
 
 // runClusterFront assembles a distributed replica over remote shard nodes
 // and serves the ordinary client protocol through it: the front holds no
 // table rows itself, it validates keys, batches requests, fans each batch
 // out as pruned-range evaluations, and merges the partial shares.
-func runClusterFront(addrs string, party int, addr string, rows int, prg string, early, batch int, maxDelay time.Duration) {
+func runClusterFront(addrs, standbys string, party int, addr string, rows int, seed int64, prg string, early, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int) {
 	// Same flag validation as the other two modes (pir.WithEarly): a bad
 	// -early must fail fast here too, not be silently clamped into an
 	// "accept any depth" pin.
@@ -141,22 +210,38 @@ func runClusterFront(addrs string, party int, addr string, rows int, prg string,
 		log.Fatalf("pirserver: early-termination depth %d out of range [0,%d]", early, dpf.MaxEarlyBits)
 	}
 	nodes := strings.Split(addrs, ",")
+	var sbNodes []string
+	if standbys != "" {
+		sbNodes = strings.Split(standbys, ",")
+		if len(sbNodes) != len(nodes) {
+			log.Fatalf("pirserver: -standby lists %d addresses for %d -cluster nodes (use empty slots for shards without a standby)", len(sbNodes), len(nodes))
+		}
+	}
 	pin := dpf.ClampEarly(early, dpf.DomainBits(rows))
 	if early == 0 {
 		pin = engine.FullDepthKeys
 	}
+	dialNode := func(node string) *shardnet.Client {
+		cl, err := shardnet.Dial(node, shardnet.Options{PRG: prg, Early: pin, Party: party})
+		if err != nil {
+			log.Fatalf("pirserver: node %s: %v", node, err)
+		}
+		if nr, nl := cl.Shape(); nr != rows {
+			log.Fatalf("pirserver: node %s serves a %d×%d table, front expects %d rows", node, nr, nl, rows)
+		}
+		return cl
+	}
 	members := make([]engine.ClusterShard, len(nodes))
 	for i, node := range nodes {
 		node = strings.TrimSpace(node)
-		cl, err := shardnet.Dial(node, shardnet.Options{PRG: prg, Early: pin, Party: party})
-		if err != nil {
-			log.Fatalf("pirserver: shard %d: %v", i, err)
-		}
-		defer cl.Close()
-		if nr, nl := cl.Shape(); nr != rows {
-			log.Fatalf("pirserver: shard %d (%s) serves a %d×%d table, front expects %d rows", i, node, nr, nl, rows)
-		}
+		cl := dialNode(node)
 		members[i] = engine.ClusterShard{Backend: cl, Name: node}
+		if sbNodes != nil {
+			if sb := strings.TrimSpace(sbNodes[i]); sb != "" {
+				members[i].Standby = dialNode(sb)
+				members[i].StandbyName = sb
+			}
+		}
 	}
 	cluster, err := engine.NewCluster(members...)
 	if err != nil {
@@ -179,25 +264,109 @@ func runClusterFront(addrs string, party int, addr string, rows int, prg string,
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	log.Printf("pirserver: party %d cluster front over %d shard nodes (%s) serving %d×%dB table on %s (prg=%s early=%d batch=%d)",
-		party, len(nodes), addrs, rows, lanes*4, l.Addr(), prg, cluster.EarlyBits(), batch)
-	if err := pir.Serve(l, front(pir.BackendEndpoint{Backend: cluster}, cluster, batch, maxDelay)); err != nil {
+	standbyNote := ""
+	if sbNodes != nil {
+		standbyNote = fmt.Sprintf(" with standbys (%s)", standbys)
+	}
+	log.Printf("pirserver: party %d cluster front over %d shard nodes (%s)%s serving %d×%dB table on %s (prg=%s early=%d batch=%d)",
+		party, len(nodes), addrs, standbyNote, rows, lanes*4, l.Addr(), prg, cluster.EarlyBits(), batch)
+	door, closeDoor := front(pir.BackendEndpoint{Backend: cluster}, cluster, batch, maxDelay)
+	stopRefresh := startRefresher(refresh, refreshRows, rows, lanes, seed, cluster)
+	sig := notifyShutdown(l)
+	if err := pir.Serve(l, door); err != nil {
 		log.Fatalf("pirserver: %v", err)
+	}
+	signal.Stop(sig)
+	close(sig)
+	stopRefresh()
+	closeDoor()
+	cluster.Close()
+	log.Printf("pirserver: shutdown complete")
+}
+
+// updater is the slice of engine.EpochBackend both refreshable serving
+// modes share: a Replica (one store epoch per batch) or a Cluster (one
+// epoch handshake per batch).
+type updater interface {
+	UpdateBatch(ctx context.Context, writes []engine.RowWrite) (uint64, error)
+}
+
+// startRefresher drives the transparent update path: every `every`, the
+// next generation's row batch — rows and content both derived from
+// (seed, generation), so both parties running the same flags rewrite
+// identical rows with identical values — lands as ONE atomic epoch.
+// Returns a stop function that waits for the driver to exit.
+func startRefresher(every time.Duration, rowsPerBatch, rows, lanes int, seed int64, be updater) (stop func()) {
+	if every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for gen := uint64(1); ; gen++ {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			writes := refreshBatch(seed, gen, rows, lanes, rowsPerBatch)
+			epoch, err := be.UpdateBatch(context.Background(), writes)
+			if err != nil {
+				log.Printf("pirserver: refresh generation %d failed (will retry next tick): %v", gen, err)
+				gen-- // both parties must apply every generation in order
+				continue
+			}
+			if gen == 1 || gen%64 == 0 {
+				log.Printf("pirserver: refresh generation %d: %d rows installed as epoch %d", gen, len(writes), epoch)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }
 
+// refreshBatch derives generation gen's row writes: a deterministic row
+// set and deterministic content, both functions of (seed, gen) alone.
+func refreshBatch(seed int64, gen uint64, rows, lanes, batch int) []engine.RowWrite {
+	if batch > rows {
+		batch = rows
+	}
+	writes := make([]engine.RowWrite, 0, batch)
+	seen := make(map[uint64]bool, batch)
+	// A splitmix64 stream keyed by (seed, gen) picks the rows.
+	state := uint64(seed) ^ gen*0xA24BAED4963EE407
+	for len(writes) < batch {
+		state += 0x9E3779B97F4A7C15
+		row := mix64(state) % uint64(rows)
+		if seen[row] {
+			continue
+		}
+		seen[row] = true
+		vals := make([]uint32, lanes)
+		fillRow(vals, seed, int(row), gen)
+		writes = append(writes, engine.RowWrite{Row: row, Vals: vals})
+	}
+	return writes
+}
+
 // front wraps the direct answer path with the batching front door when
-// batching is enabled.
-func front(direct pir.Answerer, be engine.Backend, batch int, maxDelay time.Duration) pir.Answerer {
+// batching is enabled. The returned close drains pending batches and
+// stops the batcher worker (a no-op closer when batching is off).
+func front(direct pir.Answerer, be engine.Backend, batch int, maxDelay time.Duration) (pir.Answerer, func()) {
 	if batch <= 0 {
-		return direct
+		return direct, func() {}
 	}
 	b, err := serving.NewEngineBatcher(serving.Policy{MaxBatch: batch, MaxDelay: maxDelay}, be)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
 	validator, _ := be.(engine.KeyValidator)
-	return batchFront{b, validator}
+	return batchFront{b, validator}, b.Close
 }
 
 // batchFront feeds pre-batched TCP requests into the shared batching front
@@ -235,6 +404,28 @@ func parseShardSpec(spec string) (idx, count int, err error) {
 	return idx, count, nil
 }
 
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// fillRow writes row `i`'s deterministic content for the given refresh
+// generation (0 = the initial table): a splitmix64 stream keyed by
+// (seed, row, gen), a few multiplies per lane with no generator state, so
+// fill cost is a small constant times the words written.
+func fillRow(dst []uint32, seed int64, i int, gen uint64) {
+	state := uint64(seed) ^ (uint64(i)+1)*0x9E3779B97F4A7C15 ^ gen*0xA24BAED4963EE407
+	for l := range dst {
+		state += 0x9E3779B97F4A7C15
+		dst[l] = uint32(mix64(state))
+	}
+}
+
 // buildTable fills rows [lo, hi) of the table deterministically, so
 // independently started parties — and independently started shard nodes of
 // one party — hold identical content where their rows overlap. Each row's
@@ -251,21 +442,7 @@ func buildTable(rows, lanes int, seed int64, lo, hi int) (*pir.Table, error) {
 		return nil, fmt.Errorf("building table: %w", err)
 	}
 	for i := lo; i < hi; i++ {
-		// A splitmix64 stream keyed by (seed, row): a few multiplies per
-		// lane, no per-row generator state — fill cost is a small constant
-		// times the words actually written.
-		state := uint64(seed) ^ (uint64(i)+1)*0x9E3779B97F4A7C15
-		row := tab.Data[i*lanes : (i+1)*lanes]
-		for l := range row {
-			state += 0x9E3779B97F4A7C15
-			z := state
-			z ^= z >> 30
-			z *= 0xBF58476D1CE4E5B9
-			z ^= z >> 27
-			z *= 0x94D049BB133111EB
-			z ^= z >> 31
-			row[l] = uint32(z)
-		}
+		fillRow(tab.Data[i*lanes:(i+1)*lanes], seed, i, 0)
 	}
 	return tab, nil
 }

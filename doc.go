@@ -7,8 +7,8 @@
 // on synthetic MovieLens / Taobao / WikiText-2 stand-ins.
 //
 // The server request path is unified behind a single layered stack,
-// dpf → strategy → engine (→ shardnet) → pir/batchpir → core/serving →
-// cmd:
+// dpf → strategy → store/engine (→ shardnet) → pir/batchpir →
+// core/serving → cmd:
 //
 //   - internal/dpf holds the distributed point function itself: key
 //     generation, per-level expansion, and the pruned range evaluation
@@ -36,35 +36,66 @@
 //     the tile's dot products (accumulateTile), so a batch of B queries
 //     streams the table ⌈B/32⌉ times instead of B. RunRangeInto
 //     accumulates into caller-provided buffers through pooled scratch.
+//   - internal/store owns the serving table: an epoch-versioned,
+//     copy-on-write Store. Readers pin an immutable Snapshot (one atomic
+//     refcount — no lock, no waiting on writers) and stream its
+//     contiguous lane buffer; updates never mutate in place but install
+//     whole new epochs (Apply for a local atomic batch, Prepare / Commit
+//     / Abort for the cluster handshake below). Superseded backings are
+//     recycled once their last reader releases, an aborted epoch rolls
+//     back to its retained predecessor, and aborted epoch NUMBERS are
+//     burned — never reissued — so a stale partial can never
+//     epoch-match a later, different table.
 //   - internal/engine is the one seam every answer flows through: the
-//     Backend interface plus the sharded Replica, which partitions a table
-//     into contiguous row ranges and fans each key batch across a bounded
-//     worker pool, merging per-shard partial sums in place. Unmarshaled
-//     keys and shard partials are pooled, so the steady-state Answer
-//     allocates nothing beyond the returned answer slices (enforced by
-//     AllocsPerRun tests). The replica pins one early-termination depth
-//     (Config.EarlyBits; default = what pir.NewClient emits) and rejects
-//     mismatched keys at validation with the configured PRF and the key's
-//     parsed wire version in the error — the tiled walkers need
-//     depth-uniform batches. The seam is range-aware (RangeBackend:
-//     AnswerRange returns partial shares for a row sub-range), which is
-//     what lets engine.Cluster split one logical replica's row domain
-//     across N shard backends — in-process replicas or remote nodes —
-//     fan each batch out concurrently, and merge the per-shard partial
-//     sums lane-wise mod 2^32, bit-identical to a single process. A dead
-//     shard fails the batch with a *ShardError naming the shard; a
-//     mixed-configuration shard set (PRF, early depth, party, shape, or
-//     a node assigned rows it does not hold) is refused at construction.
+//     Backend interface plus the sharded Replica, which owns its table
+//     through a store.Store, pins ONE snapshot per answer batch (the
+//     whole batch sees one epoch; a concurrent update neither blocks nor
+//     tears it — there is no Update/Answer lock at all), partitions the
+//     rows into contiguous ranges and fans each key batch across a
+//     bounded worker pool, merging per-shard partial sums in place.
+//     Unmarshaled keys and shard partials are pooled, so the steady-state
+//     Answer allocates nothing beyond the returned answer slices
+//     (enforced by AllocsPerRun tests). The replica pins one
+//     early-termination depth (Config.EarlyBits; default = what
+//     pir.NewClient emits) and rejects mismatched keys at validation with
+//     the configured PRF and the key's parsed wire version in the error —
+//     the tiled walkers need depth-uniform batches. The seam is
+//     range-aware (RangeBackend: AnswerRange returns partial shares for a
+//     row sub-range) and epoch-aware (EpochRangeBackend tags partials
+//     with the epoch they were computed at; EpochBackend carries
+//     UpdateBatch and the two-phase update ops), which is what lets
+//     engine.Cluster split one logical replica's row domain across N
+//     shard backends — in-process replicas or remote nodes — fan each
+//     batch out concurrently, and merge the per-shard partial sums
+//     lane-wise mod 2^32, bit-identical to a single process. The merge
+//     refuses partials from different epochs (a batch that straddles an
+//     update commit re-fans; a persistent mismatch fails loudly with
+//     ErrMixedEpoch), Cluster.UpdateBatch installs a multi-row update
+//     all-or-nothing across every member via the epoch handshake
+//     (prepare the target epoch everywhere, commit only when all ack, a
+//     straggler aborts/rolls back everywhere), and each ClusterShard may
+//     carry a Standby holding the same rows: a primary that dies
+//     mid-batch fails over transparently, and because standbys join the
+//     epoch handshake a stale standby is refused by the merge check
+//     rather than silently blended. A shard with no working member fails
+//     the batch with a *ShardError naming it; a mixed-configuration
+//     member set (PRF, early depth, party, shape, or a node assigned
+//     rows it does not hold — standbys included) is refused at
+//     construction.
 //   - internal/shardnet is the network form of that seam: a Server
 //     exposes any RangeBackend over TCP and a pooled Client implements
 //     it against a remote node. Frames are length-prefixed binary
 //     (capped both ways, marshaled dpf keys carried as-is); gob appears
 //     only inside the handshake frame, which pins the protocol version,
 //     PRF, early-termination depth and party — rejections name both
-//     sides' values — and advertises the table shape plus the row range
-//     the node holds. Context deadlines and cancellation propagate to
-//     connection deadlines, so a slow shard costs the caller its
-//     deadline, not a hang.
+//     sides' values — and advertises the table shape, the row range the
+//     node holds, and (protocol v2) its current table epoch. Answer
+//     responses carry the epoch their partials were computed at, and the
+//     UpdateBatch / Epoch / PrepareUpdate / CommitUpdate / AbortUpdate
+//     RPCs extend the epoch handshake across machines (batch writes are
+//     held to the node's advertised row range, like answers). Context
+//     deadlines and cancellation propagate to connection deadlines, so a
+//     slow shard costs the caller its deadline, not a hang.
 //   - internal/pir and internal/batchpir are thin protocol adapters over
 //     engine replicas: the two-server PIR protocol of §3.1 and the partial
 //     batch retrieval scheme of §4.1 (bins answered concurrently).
@@ -78,7 +109,16 @@
 //     protocol (building, and paging in, only its own slice of the
 //     deterministic table); with -cluster addr,... an instance holds no
 //     rows and fronts a distributed replica over those nodes behind the
-//     unchanged client protocol. Choose in-process shards (-shards)
+//     unchanged client protocol; -standby lists one standby node per
+//     shard (empty slots allowed) for transparent mid-batch failover.
+//     -refresh/-refreshrows drive the transparent update path as a
+//     deterministic background load — each generation's rows and values
+//     derive from (seed, generation), so both parties rewrite identical
+//     content; a single server installs each batch as one store epoch, a
+//     cluster front runs the epoch handshake across all nodes and
+//     standbys. SIGTERM/SIGINT shut down gracefully: stop accepting,
+//     drain the in-flight batcher batches, close shardnet
+//     serving/clients. Choose in-process shards (-shards)
 //     while one machine's cores and memory suffice — no serialization,
 //     no network hop; choose a cluster when the table or the PRF load
 //     outgrows one machine, at the cost of one LAN round-trip and the
@@ -114,9 +154,12 @@
 // linux/arm64 (with and without purego) and darwin/arm64, so the asm
 // stubs and build-tag plumbing stay honest on every push. The distributed
 // job runs the cluster integration and fault-injection suites (shard
-// killed mid-batch, slow shard against a context deadline, handshake
-// mismatches) under -race and once under -tags purego, and smoke-runs the
-// fuzz targets (the dpf key parser seeded from the golden fixtures, the
-// shardnet frame codecs, and the capped gob reader guarding pir.Serve)
-// for a short -fuzztime on every push.
+// killed mid-batch with and without a standby, slow shard against a
+// context deadline, handshake mismatches, cluster updates dying at
+// prepare or commit, concurrent Update/Answer hammering over the
+// epoch-versioned store) under -race and once under -tags purego, and
+// smoke-runs the fuzz targets (the dpf key parser seeded from the golden
+// fixtures, the shardnet frame codecs — handshake frames with the epoch
+// field included — and the capped gob reader guarding pir.Serve) for a
+// short -fuzztime on every push.
 package gpudpf

@@ -157,9 +157,15 @@ func ExpectedRetrievalRate(q, bins int) float64 {
 	return b * (1 - math.Pow(1-1/b, float64(q))) / float64(q)
 }
 
-// SplitTable views the table as per-bin sub-tables. Full bins alias the
-// parent's storage (bins are contiguous row ranges); a short final bin is
-// zero-padded to BinSize so every bin accepts the same key shape.
+// SplitTable splits the table into per-bin sub-tables (contiguous row
+// ranges; a short final bin is zero-padded to BinSize so every bin
+// accepts the same key shape). Every bin COPIES its rows out of the
+// parent: bins are handed to engine replicas, whose epoch-versioned
+// stores adopt the buffer as snapshot backing (and recycle it as copy
+// scratch once superseded) — bins aliasing one parent array would let
+// two replicas, or both parties' servers over the same table, scribble
+// over each other's epoch-0 snapshots. The parent stays the caller's
+// own mutable reference copy.
 func SplitTable(cfg Config, tab *pir.Table) ([]*pir.Table, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -171,14 +177,9 @@ func SplitTable(cfg Config, tab *pir.Table) ([]*pir.Table, error) {
 	for b := range bins {
 		lo := b * cfg.BinSize
 		rows := cfg.BinRows(b)
-		data := tab.Data[lo*tab.Lanes : (lo+rows)*tab.Lanes]
-		if rows < cfg.BinSize {
-			padded := make([]uint32, cfg.BinSize*tab.Lanes)
-			copy(padded, data)
-			data = padded
-			rows = cfg.BinSize
-		}
-		bins[b] = &pir.Table{NumRows: rows, Lanes: tab.Lanes, Data: data}
+		data := make([]uint32, cfg.BinSize*tab.Lanes)
+		copy(data, tab.Data[lo*tab.Lanes:(lo+rows)*tab.Lanes])
+		bins[b] = &pir.Table{NumRows: cfg.BinSize, Lanes: tab.Lanes, Data: data}
 	}
 	return bins, nil
 }

@@ -54,10 +54,13 @@ type Service struct {
 	layout *codesign.Layout
 	rng    *rand.Rand
 
-	// mu serializes UpdateEmbeddings against FetchEmbeddings: the two
-	// parties' in-process replicas alias one table, so the engines'
-	// per-replica locks alone cannot order a party-0 update against a
-	// party-1 answer (and the client rng/cache are single-threaded).
+	// mu serializes UpdateEmbeddings against FetchEmbeddings. Each
+	// replica's epoch-versioned store already makes its own updates
+	// atomic against its own answers (snapshot pinning), but an update
+	// must land on BOTH parties' replicas before a fetch may straddle it
+	// — a party-0 answer at the new epoch reconstructed against a
+	// party-1 answer at the old one is garbage with no error anywhere
+	// (and the client rng/cache are single-threaded).
 	mu sync.Mutex
 
 	fullClient, hotClient *batchpir.Client

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/gpu"
@@ -28,11 +29,23 @@ func ShardRange(rows, i, n int) (lo, hi int) {
 // sub-ranges (an in-process Replica, or a shardnet.Client speaking to a
 // node in another process or on another machine) plus a name for errors —
 // when a shard dies mid-batch the operator needs to know WHICH machine.
+// An optional Standby is a second backend holding the same row range: a
+// primary that fails mid-batch is retried there transparently, provided
+// the standby's answer merges at the same table epoch as the other
+// shards' (a stale standby is refused, never silently blended in).
 type ClusterShard struct {
 	Backend RangeBackend
 	// Name identifies the shard in errors (typically its address for
 	// remote shards); empty defaults to "shard i".
 	Name string
+	// Standby, when non-nil, serves the same rows as Backend and takes
+	// over a live batch when Backend fails. It participates in cluster
+	// updates (the epoch handshake prepares and commits on standbys
+	// too), so a failover never serves stale rows undetected.
+	Standby RangeBackend
+	// StandbyName names the standby in errors; empty defaults to
+	// "shard i standby".
+	StandbyName string
 }
 
 // ShardError is the named error a Cluster returns when one shard's
@@ -57,6 +70,29 @@ func (e *ShardError) Error() string {
 
 func (e *ShardError) Unwrap() error { return e.Err }
 
+// ErrMixedEpoch is wrapped by the error a Cluster returns when shards
+// answered one batch at different table epochs — an update handshake
+// committed mid-fan-out, or a shard (often a standby taking over) holds a
+// stale table. The Answer path retries a bounded number of times first
+// (the commit wave is milliseconds wide); a persistent mismatch means the
+// cluster's replicas genuinely diverged and must fail loudly.
+var ErrMixedEpoch = errors.New("engine: cluster shards answered at different table epochs")
+
+// ErrNotEpochCapable is wrapped by cluster update errors when a member
+// backend does not implement EpochBackend and therefore cannot join the
+// all-or-nothing epoch handshake.
+var ErrNotEpochCapable = errors.New("engine: backend does not support epoch-versioned updates")
+
+// answerEpochRetries bounds how many times Answer re-fans a batch whose
+// partials straddled an update commit.
+const answerEpochRetries = 3
+
+// abortTimeout bounds the rollback fan-out after a failed cluster update;
+// it runs on a fresh context because the caller's may already be dead —
+// dying with an epoch half-installed is the one thing the handshake must
+// never do silently.
+const abortTimeout = 30 * time.Second
+
 // Cluster is a Backend that splits the row domain across N shard backends
 // so one logical replica can span processes and machines: a key batch
 // fans out concurrently as AnswerRange calls over contiguous row ranges,
@@ -64,8 +100,14 @@ func (e *ShardError) Unwrap() error { return e.Err }
 // linearity of the shares, bit-identical to a single-process Replica over
 // the same table. Construction fails loudly on any configuration the
 // merge would silently corrupt: disagreeing table shapes, PRFs,
-// early-termination depths or parties across shards (BackendInfo), or a
-// shard assigned rows it does not hold (RangeHolder).
+// early-termination depths or parties across shards or standbys
+// (BackendInfo), or a member assigned rows it does not hold (RangeHolder).
+//
+// Epochs make the merge safe under change: when members report the table
+// epoch their partials were computed at (EpochRangeBackend), a batch that
+// straddled an update is detected and retried instead of merged, and
+// UpdateBatch drives the prepare/commit epoch handshake so a multi-row
+// update lands on every shard — primaries and standbys — or on none.
 type Cluster struct {
 	shards []ClusterShard
 	// bounds[i] .. bounds[i+1] is shard i's row range, the same even
@@ -74,15 +116,43 @@ type Cluster struct {
 	rows   int
 	lanes  int
 
-	// pinned configuration, known when at least one shard reports
-	// BackendInfo (all reporting shards must agree); ValidateKey uses it
-	// to reject bad keys at the front door. Shards without BackendInfo
+	// umu serializes cluster-driven updates: one epoch handshake in
+	// flight at a time (concurrent Answers are NOT blocked — they pin
+	// snapshots on the shards and the epoch check guards the merge).
+	umu sync.Mutex
+
+	// pinned configuration, known when at least one member reports
+	// BackendInfo (all reporting members must agree); ValidateKey uses it
+	// to reject bad keys at the front door. Members without BackendInfo
 	// (wrappers, test stubs) neither pin nor un-pin: they are trusted to
 	// match the configuration their siblings advertise.
 	prgName string
 	early   int
 	party   int
 	pinned  bool
+}
+
+// clusterMember is one backend of the cluster — a shard primary or a
+// standby — with the naming and row assignment validation and the update
+// fan-out share.
+type clusterMember struct {
+	be      RangeBackend
+	name    string
+	shard   int // index of the shard whose range this member serves
+	standby bool
+}
+
+// members lists every backend in shard order, primaries before their
+// standbys.
+func (c *Cluster) members() []clusterMember {
+	ms := make([]clusterMember, 0, len(c.shards)*2)
+	for i, sh := range c.shards {
+		ms = append(ms, clusterMember{be: sh.Backend, name: sh.Name, shard: i})
+		if sh.Standby != nil {
+			ms = append(ms, clusterMember{be: sh.Standby, name: sh.StandbyName, shard: i, standby: true})
+		}
+	}
+	return ms
 }
 
 // NewCluster assembles a cluster over the given shards; shard i serves
@@ -100,16 +170,20 @@ func NewCluster(shards ...ClusterShard) (*Cluster, error) {
 		if c.shards[i].Name == "" {
 			c.shards[i].Name = fmt.Sprintf("shard %d", i)
 		}
+		if c.shards[i].Standby != nil && c.shards[i].StandbyName == "" {
+			c.shards[i].StandbyName = fmt.Sprintf("shard %d standby", i)
+		}
 	}
 	c.rows, c.lanes = c.shards[0].Backend.Shape()
 	if c.rows <= 0 || c.lanes <= 0 {
 		return nil, fmt.Errorf("engine: cluster shard 0 (%s) reports an invalid %d×%d table", c.shards[0].Name, c.rows, c.lanes)
 	}
-	for i, sh := range c.shards {
-		rows, lanes := sh.Backend.Shape()
+	members := c.members()
+	for _, m := range members {
+		rows, lanes := m.be.Shape()
 		if rows != c.rows || lanes != c.lanes {
-			return nil, fmt.Errorf("engine: cluster shard %d (%s) serves a %d×%d table, shard 0 (%s) a %d×%d one — all shards must replicate the same domain",
-				i, sh.Name, rows, lanes, c.shards[0].Name, c.rows, c.lanes)
+			return nil, fmt.Errorf("engine: cluster member %s serves a %d×%d table, shard 0 (%s) a %d×%d one — all members must replicate the same domain",
+				m.name, rows, lanes, c.shards[0].Name, c.rows, c.lanes)
 		}
 	}
 	if len(c.shards) > c.rows {
@@ -120,45 +194,44 @@ func NewCluster(shards ...ClusterShard) (*Cluster, error) {
 		c.bounds[i], c.bounds[i+1] = ShardRange(c.rows, i, len(c.shards))
 	}
 	// Every pinned fact must agree pairwise before partial shares may be
-	// merged; name both values and both shards in the rejection.
-	first := -1
-	for i, sh := range c.shards {
-		info, ok := sh.Backend.(BackendInfo)
+	// merged; name both values and both members in the rejection.
+	firstName := ""
+	for _, m := range members {
+		info, ok := m.be.(BackendInfo)
 		if !ok {
 			continue
 		}
-		if first < 0 {
-			first = i
+		if firstName == "" {
+			firstName = m.name
 			c.prgName, c.early, c.party = info.PRGName(), info.EarlyBits(), info.Party()
+			c.pinned = true
 			continue
 		}
-		ref := c.shards[first]
 		if got := info.PRGName(); got != c.prgName {
-			return nil, fmt.Errorf("engine: cluster shard %d (%s) serves prg=%s, shard %d (%s) prg=%s — shards must share one PRF",
-				i, sh.Name, got, first, ref.Name, c.prgName)
+			return nil, fmt.Errorf("engine: cluster member %s serves prg=%s, %s prg=%s — members must share one PRF",
+				m.name, got, firstName, c.prgName)
 		}
 		if got := info.EarlyBits(); got != c.early {
-			return nil, fmt.Errorf("engine: cluster shard %d (%s) serves early-termination depth %d, shard %d (%s) depth %d — shards must share one depth",
-				i, sh.Name, got, first, ref.Name, c.early)
+			return nil, fmt.Errorf("engine: cluster member %s serves early-termination depth %d, %s depth %d — members must share one depth",
+				m.name, got, firstName, c.early)
 		}
 		if got := info.Party(); got != c.party {
-			return nil, fmt.Errorf("engine: cluster shard %d (%s) computes party %d shares, shard %d (%s) party %d — a cluster is one party",
-				i, sh.Name, got, first, ref.Name, c.party)
+			return nil, fmt.Errorf("engine: cluster member %s computes party %d shares, %s party %d — a cluster is one party",
+				m.name, got, firstName, c.party)
 		}
 	}
-	c.pinned = first >= 0
-	for i, sh := range c.shards {
-		holder, ok := sh.Backend.(RangeHolder)
+	for _, m := range members {
+		holder, ok := m.be.(RangeHolder)
 		if !ok {
 			continue
 		}
 		lo, hi := holder.HeldRange()
 		if lo < 0 || hi > c.rows || lo >= hi {
-			return nil, fmt.Errorf("engine: cluster shard %d (%s) claims to hold an invalid row range [%d,%d) of %d rows", i, sh.Name, lo, hi, c.rows)
+			return nil, fmt.Errorf("engine: cluster member %s claims to hold an invalid row range [%d,%d) of %d rows", m.name, lo, hi, c.rows)
 		}
-		if c.bounds[i] < lo || c.bounds[i+1] > hi {
-			return nil, fmt.Errorf("engine: cluster shard %d (%s) is assigned rows [%d,%d) but holds only [%d,%d) — start the node with the matching shard index/count",
-				i, sh.Name, c.bounds[i], c.bounds[i+1], lo, hi)
+		if c.bounds[m.shard] < lo || c.bounds[m.shard+1] > hi {
+			return nil, fmt.Errorf("engine: cluster member %s is assigned rows [%d,%d) but holds only [%d,%d) — start the node with the matching shard index/count",
+				m.name, c.bounds[m.shard], c.bounds[m.shard+1], lo, hi)
 		}
 	}
 	return c, nil
@@ -173,10 +246,10 @@ func (c *Cluster) Bounds() []int { return append([]int(nil), c.bounds...) }
 // Shape implements Backend.
 func (c *Cluster) Shape() (rows, lanes int) { return c.rows, c.lanes }
 
-// Counters implements Backend: the lane-wise aggregate over all shards
-// (PRF blocks, traffic and launches are additive across the split;
+// Counters implements Backend: the lane-wise aggregate over the serving
+// shards (PRF blocks, traffic and launches are additive across the split;
 // PeakMemBytes is the sum of per-shard peaks, an upper bound on any
-// single machine's footprint).
+// single machine's footprint). Idle standbys are not counted.
 func (c *Cluster) Counters() gpu.Stats {
 	var total gpu.Stats
 	for _, sh := range c.shards {
@@ -190,34 +263,90 @@ func (c *Cluster) Counters() gpu.Stats {
 	return total
 }
 
+// answerRangeEpoch evaluates keys against [lo, hi) on be, reporting the
+// table epoch when the backend can pin one (hasEpoch false otherwise).
+func answerRangeEpoch(ctx context.Context, be RangeBackend, keys [][]byte, lo, hi int) (part [][]uint32, epoch uint64, hasEpoch bool, err error) {
+	if eb, ok := be.(EpochRangeBackend); ok {
+		return eb.AnswerRangeEpoch(ctx, keys, lo, hi)
+	}
+	part, err = be.AnswerRange(ctx, keys, lo, hi)
+	return part, 0, false, err
+}
+
+// shardAnswer is one shard's successful contribution to a batch.
+type shardAnswer struct {
+	part     [][]uint32
+	epoch    uint64
+	hasEpoch bool
+	// name is the member that actually produced the partial (the standby
+	// after a failover), for epoch-mismatch errors.
+	name string
+}
+
 // Answer implements Backend: the batch fans out to every shard's row range
-// concurrently, and the partial shares merge lane-wise mod 2^32. The first
-// shard failure cancels the rest of the fan-out and comes back as a
-// *ShardError naming the shard; a failure induced by the caller's own ctx
-// keeps the ctx error in the chain (errors.Is sees DeadlineExceeded).
+// concurrently, and the partial shares merge lane-wise mod 2^32. A shard
+// that fails mid-batch is retried transparently on its standby; only when
+// both fail (or no standby is configured) does the fan-out cancel and the
+// answer come back as a *ShardError naming the shard — a failure induced
+// by the caller's own ctx keeps the ctx error in the chain (errors.Is
+// sees DeadlineExceeded). Partials are merged only when every shard that
+// reports a table epoch reports the SAME one; a batch that straddles an
+// update commit is re-fanned (bounded retries), so a mixed-epoch answer
+// can never be returned.
 func (c *Cluster) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error) {
 	if len(keys) == 0 {
 		return nil, errors.New("engine: empty key batch")
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt <= answerEpochRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		answers, err := c.answerOnce(ctx, keys)
+		if err == nil {
+			return answers, nil
+		}
+		if !errors.Is(err, ErrMixedEpoch) {
+			return nil, err
+		}
+		// An update handshake was committing while the batch fanned out;
+		// the next pass lands after the wave.
+		lastErr = err
 	}
+	return nil, lastErr
+}
+
+// answerOnce runs one fan-out/merge pass.
+func (c *Cluster) answerOnce(ctx context.Context, keys [][]byte) ([][]uint32, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	partials := make([][][]uint32, len(c.shards))
+	results := make([]shardAnswer, len(c.shards))
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	wg.Add(len(c.shards))
 	for i := range c.shards {
 		go func(i int) {
 			defer wg.Done()
-			a, err := c.shards[i].Backend.AnswerRange(ctx, keys, c.bounds[i], c.bounds[i+1])
+			sh := c.shards[i]
+			lo, hi := c.bounds[i], c.bounds[i+1]
+			part, epoch, hasEpoch, err := answerRangeEpoch(ctx, sh.Backend, keys, lo, hi)
+			name := sh.Name
+			if err != nil && sh.Standby != nil && ctx.Err() == nil {
+				// The primary died on a live batch; the standby holds the
+				// same rows — retry there before failing the whole answer.
+				if part2, epoch2, hasEpoch2, err2 := answerRangeEpoch(ctx, sh.Standby, keys, lo, hi); err2 == nil {
+					part, epoch, hasEpoch, err = part2, epoch2, hasEpoch2, nil
+					name = sh.StandbyName
+				} else {
+					err = fmt.Errorf("primary: %w; standby %s also failed: %v", err, sh.StandbyName, err2)
+				}
+			}
 			if err != nil {
 				errs[i] = err
 				cancel() // stop paying for partials the batch can no longer use
 				return
 			}
-			partials[i] = a
+			results[i] = shardAnswer{part: part, epoch: epoch, hasEpoch: hasEpoch, name: name}
 		}(i)
 	}
 	wg.Wait()
@@ -235,33 +364,189 @@ func (c *Cluster) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error)
 	if fail >= 0 {
 		return nil, &ShardError{Shard: fail, Name: c.shards[fail].Name, Lo: c.bounds[fail], Hi: c.bounds[fail+1], Err: errs[fail]}
 	}
+	// Partials may only merge when they were computed against one table
+	// epoch: shards (or standbys) on different epochs would sum shares of
+	// two different tables into one silently wrong answer.
+	ref := -1
+	for i, r := range results {
+		if !r.hasEpoch {
+			continue
+		}
+		if ref < 0 {
+			ref = i
+			continue
+		}
+		if r.epoch != results[ref].epoch {
+			return nil, fmt.Errorf("%w: shard %d (%s) at epoch %d, shard %d (%s) at epoch %d",
+				ErrMixedEpoch, ref, results[ref].name, results[ref].epoch, i, r.name, r.epoch)
+		}
+	}
 	answers := strategy.NewAnswers(len(keys), c.lanes)
-	for i, part := range partials {
-		if len(part) != len(keys) {
-			return nil, &ShardError{Shard: i, Name: c.shards[i].Name, Lo: c.bounds[i], Hi: c.bounds[i+1],
-				Err: fmt.Errorf("engine: %d partial shares for %d keys", len(part), len(keys))}
+	for i, r := range results {
+		if len(r.part) != len(keys) {
+			return nil, &ShardError{Shard: i, Name: r.name, Lo: c.bounds[i], Hi: c.bounds[i+1],
+				Err: fmt.Errorf("engine: %d partial shares for %d keys", len(r.part), len(keys))}
 		}
 		for q := range answers {
-			if len(part[q]) != c.lanes {
-				return nil, &ShardError{Shard: i, Name: c.shards[i].Name, Lo: c.bounds[i], Hi: c.bounds[i+1],
-					Err: fmt.Errorf("engine: partial share %d has %d lanes, table has %d", q, len(part[q]), c.lanes)}
+			if len(r.part[q]) != c.lanes {
+				return nil, &ShardError{Shard: i, Name: r.name, Lo: c.bounds[i], Hi: c.bounds[i+1],
+					Err: fmt.Errorf("engine: partial share %d has %d lanes, table has %d", q, len(r.part[q]), c.lanes)}
 			}
 			for l := range answers[q] {
-				answers[q][l] += part[q][l]
+				answers[q][l] += r.part[q][l]
 			}
 		}
 	}
 	return answers, nil
 }
 
-// Update implements Backend: the write routes to the shard that serves the
-// row (the only shard whose answers ever read it).
+// shardErr wraps err as the named failure of member m.
+func (c *Cluster) shardErr(m clusterMember, err error) *ShardError {
+	return &ShardError{Shard: m.shard, Name: m.name, Lo: c.bounds[m.shard], Hi: c.bounds[m.shard+1], Err: err}
+}
+
+// epochMembers returns every member as an EpochBackend, or a named error
+// for the first member that cannot join the epoch handshake.
+func (c *Cluster) epochMembers() ([]clusterMember, []EpochBackend, error) {
+	ms := c.members()
+	ebs := make([]EpochBackend, len(ms))
+	for i, m := range ms {
+		eb, ok := m.be.(EpochBackend)
+		if !ok {
+			return nil, nil, c.shardErr(m, fmt.Errorf("%w (member %s)", ErrNotEpochCapable, m.name))
+		}
+		ebs[i] = eb
+	}
+	return ms, ebs, nil
+}
+
+// forAllMembers runs fn on every member concurrently and returns the
+// first failure as a named ShardError (nil when all succeed).
+func (c *Cluster) forAllMembers(ms []clusterMember, ebs []EpochBackend, fn func(i int) error) error {
+	errs := make([]error, len(ms))
+	var wg sync.WaitGroup
+	wg.Add(len(ms))
+	for i := range ms {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return c.shardErr(ms[i], err)
+		}
+	}
+	return nil
+}
+
+// Epoch returns the cluster's table epoch, which every member must agree
+// on; disagreement (a shard that missed an update, a freshly restarted
+// node at epoch 0) is a named error, never a quiet majority vote.
+func (c *Cluster) Epoch(ctx context.Context) (uint64, error) {
+	ms, ebs, err := c.epochMembers()
+	if err != nil {
+		return 0, err
+	}
+	epochs := make([]uint64, len(ms))
+	if err := c.forAllMembers(ms, ebs, func(i int) error {
+		var eerr error
+		epochs[i], eerr = ebs[i].Epoch(ctx)
+		return eerr
+	}); err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(ms); i++ {
+		if epochs[i] != epochs[0] {
+			return 0, fmt.Errorf("%w: member %s at epoch %d, member %s at epoch %d",
+				ErrMixedEpoch, ms[0].name, epochs[0], ms[i].name, epochs[i])
+		}
+	}
+	return epochs[0], nil
+}
+
+// UpdateBatch installs the row writes atomically across the whole cluster
+// — every shard primary AND standby — via the epoch handshake: all
+// members prepare epoch N+1, and the commit wave starts only when every
+// member acked the prepare. Any straggler aborts the epoch everywhere
+// (prepared members drop the staged epoch, committed members roll back),
+// so a partial failure leaves every member readable at epoch N and the
+// burned epoch number is never reissued. Concurrent Answers are not
+// blocked: they keep their pinned snapshots, and a batch that straddles
+// the commit wave is caught by the merge epoch check and retried.
+func (c *Cluster) UpdateBatch(ctx context.Context, writes []RowWrite) (uint64, error) {
+	if err := validateRowWrites(writes, c.rows, c.lanes); err != nil {
+		return 0, err
+	}
+	c.umu.Lock()
+	defer c.umu.Unlock()
+	ms, ebs, err := c.epochMembers()
+	if err != nil {
+		return 0, err
+	}
+	epoch, err := c.Epoch(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("engine: cluster update refused: %w", err)
+	}
+	target := epoch + 1
+	// Each member stages only the writes for its own row range (the rows
+	// its answers can ever read); members whose range the batch does not
+	// touch stage an empty write set — an epoch tick, so the whole
+	// cluster moves to N+1 in lockstep and the merge check stays sharp.
+	perShard := make([][]RowWrite, len(c.shards))
+	for _, w := range writes {
+		i := 0
+		for int(w.Row) >= c.bounds[i+1] {
+			i++
+		}
+		perShard[i] = append(perShard[i], w)
+	}
+	abortAll := func() {
+		// The caller's ctx may already be dead (its deadline may be WHY
+		// a phase failed); the rollback must still reach every member.
+		actx, acancel := context.WithTimeout(context.WithoutCancel(ctx), abortTimeout)
+		defer acancel()
+		var wg sync.WaitGroup
+		wg.Add(len(ms))
+		for i := range ms {
+			go func(i int) {
+				defer wg.Done()
+				_ = ebs[i].AbortUpdate(actx, target) // idempotent; best effort
+			}(i)
+		}
+		wg.Wait()
+	}
+	if err := c.forAllMembers(ms, ebs, func(i int) error {
+		return ebs[i].PrepareUpdate(ctx, target, perShard[ms[i].shard])
+	}); err != nil {
+		abortAll()
+		return 0, fmt.Errorf("engine: cluster update aborted at prepare: %w", err)
+	}
+	if err := c.forAllMembers(ms, ebs, func(i int) error {
+		return ebs[i].CommitUpdate(ctx, target)
+	}); err != nil {
+		abortAll()
+		return 0, fmt.Errorf("engine: cluster update rolled back at commit: %w", err)
+	}
+	return target, nil
+}
+
+// Update implements Backend. When every member supports epoch-versioned
+// updates the write goes through UpdateBatch — one atomic epoch across
+// the whole cluster, standbys included. Otherwise it falls back to
+// routing the write to the shard that serves the row (and its standby, so
+// a later failover does not serve the stale value).
 func (c *Cluster) Update(row uint64, vals []uint32) error {
 	if row >= uint64(c.rows) {
 		return fmt.Errorf("engine: update row %d outside table of %d rows", row, c.rows)
 	}
 	if len(vals) != c.lanes {
 		return fmt.Errorf("engine: update has %d lanes, table rows have %d", len(vals), c.lanes)
+	}
+	if _, _, err := c.epochMembers(); err == nil {
+		_, uerr := c.UpdateBatch(context.Background(), []RowWrite{{Row: row, Vals: vals}})
+		return uerr
 	}
 	i := 0
 	for int(row) >= c.bounds[i+1] {
@@ -270,11 +555,16 @@ func (c *Cluster) Update(row uint64, vals []uint32) error {
 	if err := c.shards[i].Backend.Update(row, vals); err != nil {
 		return &ShardError{Shard: i, Name: c.shards[i].Name, Lo: c.bounds[i], Hi: c.bounds[i+1], Err: err}
 	}
+	if sb := c.shards[i].Standby; sb != nil {
+		if err := sb.Update(row, vals); err != nil {
+			return &ShardError{Shard: i, Name: c.shards[i].StandbyName, Lo: c.bounds[i], Hi: c.bounds[i+1], Err: err}
+		}
+	}
 	return nil
 }
 
-// ValidateKey implements KeyValidator when the shard set pins a
-// configuration (at least one shard reported BackendInfo): the key must
+// ValidateKey implements KeyValidator when the member set pins a
+// configuration (at least one member reported BackendInfo): the key must
 // unmarshal, carry the cluster's party, be scalar, and match the domain's
 // tree depth and the pinned early-termination depth — the same checks
 // Replica.ValidateKey runs, performed at the cluster front so a bad key
@@ -306,16 +596,16 @@ func (c *Cluster) EarlyBits() int { return c.early }
 // Party implements BackendInfo when pinned (0 otherwise).
 func (c *Cluster) Party() int { return c.party }
 
-// Pinned reports whether any shard exposed its configuration, i.e.
+// Pinned reports whether any member exposed its configuration, i.e.
 // whether ValidateKey and the BackendInfo accessors are authoritative.
 func (c *Cluster) Pinned() bool { return c.pinned }
 
-// Close closes every shard backend that is closeable (remote shard
-// clients); in-process replicas have nothing to close.
+// Close closes every member backend that is closeable (remote shard
+// clients, standbys included); in-process replicas have nothing to close.
 func (c *Cluster) Close() error {
 	var first error
-	for _, sh := range c.shards {
-		if closer, ok := sh.Backend.(io.Closer); ok {
+	for _, m := range c.members() {
+		if closer, ok := m.be.(io.Closer); ok {
 			if err := closer.Close(); err != nil && first == nil {
 				first = err
 			}

@@ -20,6 +20,7 @@ import (
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/gpu"
+	"gpudpf/internal/store"
 	"gpudpf/internal/strategy"
 )
 
@@ -27,14 +28,15 @@ import (
 type Backend interface {
 	// Answer expands a batch of marshaled DPF keys against the table and
 	// returns one answer share (Lanes wide) per key. Safe for concurrent
-	// use; ctx cancels work between shards.
+	// use; ctx cancels work between shards. Each call evaluates against
+	// one consistent table epoch: an update installed mid-batch is not
+	// seen by that batch.
 	Answer(ctx context.Context, keys [][]byte) ([][]uint32, error)
-	// Update overwrites one row's content in place (the paper's
-	// transparent embedding-update path, §4.2), serialized against this
-	// backend's own in-flight Answers. Backends built over a shared table
-	// (e.g. both parties' replicas in one process) do not see each
-	// other's locks — callers owning such a pair must serialize updates
-	// against answers themselves, as core.Service does.
+	// Update overwrites one row's content (the paper's transparent
+	// embedding-update path, §4.2). Backends over an epoch-versioned
+	// store install the write as a new table epoch without blocking
+	// in-flight Answers, which keep their pinned snapshot; batch writes
+	// go through EpochBackend.UpdateBatch.
 	Update(row uint64, vals []uint32) error
 	// Counters exposes the accumulated execution counters (PRF blocks,
 	// modeled memory, traffic) for reporting.
@@ -120,19 +122,22 @@ type Config struct {
 // full-depth wire-v1 keys.
 const FullDepthKeys = -1
 
-// Replica is the sharded Backend over one party's table replica.
+// Replica is the sharded Backend over one party's table replica. The
+// table lives in an epoch-versioned store.Store: every Answer pins one
+// immutable snapshot for the whole batch, and updates install new epochs
+// without blocking readers — Update/Answer share no lock at all.
 type Replica struct {
 	party   uint8
 	prg     dpf.PRG
 	early   int // early-termination depth served keys must carry
 	strat   strategy.Strategy
-	tab     *strategy.Table
+	st      *store.Store
+	rows    int
+	lanes   int
+	bits    int
 	bounds  []int // shard i covers rows [bounds[i], bounds[i+1])
 	workers int
 
-	// mu serializes Update (write) against in-flight Answers (read) so
-	// a row never changes mid-batch.
-	mu  sync.RWMutex
 	ctr gpu.Counters
 
 	// scratch recycles Answer's per-call state — unmarshaled keys (whose
@@ -142,24 +147,42 @@ type Replica struct {
 	scratch sync.Pool
 }
 
-// NewReplica builds the sharded engine over the table. The table is shared,
-// not copied; all mutations must go through Update.
+// NewReplica builds the sharded engine over the table, adopting it as
+// epoch 0 of a fresh store.Store — the caller must not mutate the table
+// afterwards; all writes go through Update/UpdateBatch (which install new
+// epochs and leave prior snapshots untouched).
 func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
+	if tab == nil || tab.NumRows == 0 {
+		return nil, fmt.Errorf("engine: replica needs a table")
+	}
+	st, err := store.New(tab)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	return NewReplicaOverStore(st, cfg)
+}
+
+// NewReplicaOverStore builds the sharded engine over an existing
+// epoch-versioned store — the constructor for callers that coordinate the
+// store's epochs themselves or share one store between replicas (both
+// parties of an in-process test pair, a replica and its admin updater).
+func NewReplicaOverStore(st *store.Store, cfg Config) (*Replica, error) {
 	if cfg.Party != 0 && cfg.Party != 1 {
 		return nil, fmt.Errorf("engine: party must be 0 or 1, got %d", cfg.Party)
 	}
-	if tab == nil || tab.NumRows == 0 {
-		return nil, fmt.Errorf("engine: replica needs a table")
+	if st == nil {
+		return nil, fmt.Errorf("engine: replica needs a store")
 	}
 	if cfg.Shards < 0 || cfg.Workers < 0 {
 		return nil, fmt.Errorf("engine: negative Shards/Workers (%d/%d)", cfg.Shards, cfg.Workers)
 	}
+	rows, lanes := st.Shape()
 	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
 	}
-	if shards > tab.NumRows {
-		shards = tab.NumRows
+	if shards > rows {
+		shards = rows
 	}
 	workers := cfg.Workers
 	if workers < 1 {
@@ -169,7 +192,7 @@ func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
 	if prg == nil {
 		prg = dpf.NewAESPRG()
 	}
-	bits := tab.Bits()
+	bits := dpf.DomainBits(rows)
 	early := cfg.EarlyBits
 	switch {
 	case early == 0:
@@ -191,19 +214,22 @@ func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
 		// hand large sharded tables CoopGroups, whose breadth-first
 		// RunRange cannot prune and would multiply total work by the
 		// shard count.
-		shardRows := (tab.NumRows + shards - 1) / shards
+		shardRows := (rows + shards - 1) / shards
 		strat = strategy.Schedule(dpf.DomainBits(shardRows))
 	}
 	bounds := make([]int, shards+1)
 	for i := 0; i < shards; i++ {
-		bounds[i], bounds[i+1] = ShardRange(tab.NumRows, i, shards)
+		bounds[i], bounds[i+1] = ShardRange(rows, i, shards)
 	}
 	return &Replica{
 		party:   uint8(cfg.Party),
 		prg:     prg,
 		early:   early,
 		strat:   strat,
-		tab:     tab,
+		st:      st,
+		rows:    rows,
+		lanes:   lanes,
+		bits:    bits,
 		bounds:  bounds,
 		workers: workers,
 	}, nil
@@ -212,8 +238,22 @@ func NewReplica(tab *strategy.Table, cfg Config) (*Replica, error) {
 // Party returns which share (0 or 1) this replica computes.
 func (r *Replica) Party() int { return int(r.party) }
 
-// Table returns the served table (shared, not copied).
-func (r *Replica) Table() *strategy.Table { return r.tab }
+// Table returns a copy of the current epoch's table. A snapshot's own
+// buffer is only guaranteed stable while pinned (superseded backings are
+// recycled into later epochs' copies), and this method cannot hand the
+// pin to the caller — so it clones. It is a debugging/reporting accessor,
+// not a hot path; code that needs zero-copy reads pins a snapshot via
+// Store().Acquire and releases it when done.
+func (r *Replica) Table() *strategy.Table {
+	snap := r.st.Acquire()
+	defer snap.Release()
+	return snap.Table().Clone()
+}
+
+// Store returns the replica's epoch-versioned table store — the seam for
+// coordinated updates (engine.Cluster's epoch handshake) and for sharing
+// one table between replicas.
+func (r *Replica) Store() *store.Store { return r.st }
 
 // Shards returns the shard count.
 func (r *Replica) Shards() int { return len(r.bounds) - 1 }
@@ -229,10 +269,10 @@ func (r *Replica) EarlyBits() int { return r.early }
 func (r *Replica) PRGName() string { return r.prg.Name() }
 
 // HeldRange implements RangeHolder: a replica holds its whole table.
-func (r *Replica) HeldRange() (lo, hi int) { return 0, r.tab.NumRows }
+func (r *Replica) HeldRange() (lo, hi int) { return 0, r.rows }
 
 // Shape implements Backend.
-func (r *Replica) Shape() (rows, lanes int) { return r.tab.NumRows, r.tab.Lanes }
+func (r *Replica) Shape() (rows, lanes int) { return r.rows, r.lanes }
 
 // Counters implements Backend.
 func (r *Replica) Counters() gpu.Stats { return r.ctr.Snapshot() }
@@ -272,7 +312,7 @@ func validatePinnedKey(k *dpf.Key, party, bits, early int) error {
 // validateKey checks an unmarshaled key against the replica's party, lane
 // shape, tree depth, and configured early-termination depth.
 func (r *Replica) validateKey(raw []byte, k *dpf.Key) error {
-	if err := validatePinnedKey(k, int(r.party), r.tab.Bits(), r.early); err != nil {
+	if err := validatePinnedKey(k, int(r.party), r.bits, r.early); err != nil {
 		return fmt.Errorf("%s: %w", r.keyErrPrefix(raw), err)
 	}
 	return nil
@@ -370,9 +410,12 @@ func (s *answerScratch) grow(batch, shards, lanes int) {
 // row range on the bounded worker pool via the strategy's allocation-free
 // RunRangeInto, and the per-shard partial shares are merged in place into
 // the returned answers. Steady state, the only allocations are the
-// returned answer slices themselves.
+// returned answer slices themselves. The whole batch runs against ONE
+// pinned table snapshot: a concurrent update neither blocks it nor tears
+// it.
 func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, error) {
-	return r.answerBounds(ctx, rawKeys, r.bounds)
+	answers, _, err := r.answerBounds(ctx, rawKeys, r.bounds)
+	return answers, err
 }
 
 // AnswerRange implements RangeBackend: the batch is evaluated against rows
@@ -382,8 +425,17 @@ func (r *Replica) Answer(ctx context.Context, rawKeys [][]byte) ([][]uint32, err
 // are freshly allocated — this is the network-facing path, not the
 // in-process hot path.
 func (r *Replica) AnswerRange(ctx context.Context, rawKeys [][]byte, lo, hi int) ([][]uint32, error) {
-	if lo < 0 || hi > r.tab.NumRows || lo >= hi {
-		return nil, fmt.Errorf("engine: row range [%d,%d) invalid for table of %d rows", lo, hi, r.tab.NumRows)
+	answers, _, _, err := r.AnswerRangeEpoch(ctx, rawKeys, lo, hi)
+	return answers, err
+}
+
+// AnswerRangeEpoch implements EpochRangeBackend: AnswerRange plus the
+// epoch of the snapshot the partials were computed against — what lets a
+// Cluster refuse to merge partials from different table versions. ok is
+// always true: a replica's table is always epoch-versioned.
+func (r *Replica) AnswerRangeEpoch(ctx context.Context, rawKeys [][]byte, lo, hi int) ([][]uint32, uint64, bool, error) {
+	if lo < 0 || hi > r.rows || lo >= hi {
+		return nil, 0, false, fmt.Errorf("engine: row range [%d,%d) invalid for table of %d rows", lo, hi, r.rows)
 	}
 	shards := r.Shards()
 	if shards > hi-lo {
@@ -393,17 +445,19 @@ func (r *Replica) AnswerRange(ctx context.Context, rawKeys [][]byte, lo, hi int)
 	for i := range bounds {
 		bounds[i] = lo + i*(hi-lo)/shards
 	}
-	return r.answerBounds(ctx, rawKeys, bounds)
+	answers, epoch, err := r.answerBounds(ctx, rawKeys, bounds)
+	return answers, epoch, err == nil, err
 }
 
 // answerBounds is the shared Answer/AnswerRange core: shard i of the call
-// covers rows [bounds[i], bounds[i+1]).
-func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []int) ([][]uint32, error) {
+// covers rows [bounds[i], bounds[i+1]). The returned epoch is the pinned
+// snapshot's.
+func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []int) ([][]uint32, uint64, error) {
 	if len(rawKeys) == 0 {
-		return nil, fmt.Errorf("engine: empty key batch")
+		return nil, 0, fmt.Errorf("engine: empty key batch")
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// sc is initialized exactly once and never reassigned: the shard
 	// workers' closure captures it, and capturing a reassigned variable
@@ -414,29 +468,34 @@ func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []i
 	if shards == 1 {
 		partialShards = 0 // sequential path accumulates straight into answers
 	}
-	sc.grow(len(rawKeys), partialShards, r.tab.Lanes)
+	sc.grow(len(rawKeys), partialShards, r.lanes)
 	keys := sc.keyPtrs
 	for i, raw := range rawKeys {
 		if err := keys[i].UnmarshalBinary(raw); err != nil {
 			r.scratch.Put(sc)
-			return nil, fmt.Errorf("%s: key %d: %w", r.keyErrPrefix(raw), i, err)
+			return nil, 0, fmt.Errorf("%s: key %d: %w", r.keyErrPrefix(raw), i, err)
 		}
 		if err := r.validateKey(raw, keys[i]); err != nil {
 			r.scratch.Put(sc)
-			return nil, fmt.Errorf("key %d: %w", i, err)
+			return nil, 0, fmt.Errorf("key %d: %w", i, err)
 		}
 	}
-	answers := strategy.NewAnswers(len(rawKeys), r.tab.Lanes)
+	answers := strategy.NewAnswers(len(rawKeys), r.lanes)
 
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	// Pin one table epoch for the whole batch: every shard of this call
+	// streams the same immutable snapshot, and a concurrent update
+	// neither blocks behind the batch nor changes rows under it.
+	snap := r.st.Acquire()
+	defer snap.Release()
+	epoch := snap.Epoch()
+	tab := snap.Table()
 	if shards == 1 {
-		err := r.strat.RunRangeInto(r.prg, keys, r.tab, bounds[0], bounds[1], &r.ctr, answers)
+		err := r.strat.RunRangeInto(r.prg, keys, tab, bounds[0], bounds[1], &r.ctr, answers)
 		r.scratch.Put(sc)
 		if err != nil {
-			return nil, fmt.Errorf("engine: evaluating batch: %w", err)
+			return nil, 0, fmt.Errorf("engine: evaluating batch: %w", err)
 		}
-		return answers, nil
+		return answers, epoch, nil
 	}
 
 	workers := r.workers
@@ -458,7 +517,7 @@ func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []i
 					sc.errs[i] = err
 					continue
 				}
-				sc.errs[i] = r.strat.RunRangeInto(r.prg, keys, r.tab, bounds[i], bounds[i+1], &r.ctr, sc.partials[i])
+				sc.errs[i] = r.strat.RunRangeInto(r.prg, keys, tab, bounds[i], bounds[i+1], &r.ctr, sc.partials[i])
 			}
 		}()
 	}
@@ -466,7 +525,7 @@ func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []i
 	for i, err := range sc.errs {
 		if err != nil {
 			r.scratch.Put(sc)
-			return nil, fmt.Errorf("engine: shard %d [%d,%d): %w", i, bounds[i], bounds[i+1], err)
+			return nil, 0, fmt.Errorf("engine: shard %d [%d,%d): %w", i, bounds[i], bounds[i+1], err)
 		}
 	}
 
@@ -480,24 +539,25 @@ func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []i
 		}
 	}
 	r.scratch.Put(sc)
-	return answers, nil
+	return answers, epoch, nil
 }
 
-// Update implements Backend.
+// Update implements Backend: the single-row form of UpdateBatch, installed
+// as a new table epoch (in-flight Answers keep their pinned snapshot).
 func (r *Replica) Update(row uint64, vals []uint32) error {
-	if row >= uint64(r.tab.NumRows) {
-		return fmt.Errorf("engine: update row %d outside table of %d rows", row, r.tab.NumRows)
+	if row >= uint64(r.rows) {
+		return fmt.Errorf("engine: update row %d outside table of %d rows", row, r.rows)
 	}
-	if len(vals) != r.tab.Lanes {
-		return fmt.Errorf("engine: update has %d lanes, table rows have %d", len(vals), r.tab.Lanes)
+	if len(vals) != r.lanes {
+		return fmt.Errorf("engine: update has %d lanes, table rows have %d", len(vals), r.lanes)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	copy(r.tab.Row(int(row)), vals)
-	return nil
+	_, err := r.UpdateBatch(context.Background(), []RowWrite{{Row: row, Vals: vals}})
+	return err
 }
 
 var _ RangeBackend = (*Replica)(nil)
 var _ BackendInfo = (*Replica)(nil)
 var _ RangeHolder = (*Replica)(nil)
 var _ KeyValidator = (*Replica)(nil)
+var _ EpochBackend = (*Replica)(nil)
+var _ EpochRangeBackend = (*Replica)(nil)

@@ -121,7 +121,9 @@ func NewServer(party int, tab *Table, opts ...ServerOption) (*Server, error) {
 // Party returns which share (0 or 1) this server computes.
 func (s *Server) Party() int { return s.eng.Party() }
 
-// Table returns the served table (shared, not copied).
+// Table returns a copy of the current epoch's table (see
+// engine.Replica.Table: snapshot buffers are only stable while pinned, so
+// this accessor clones).
 func (s *Server) Table() *Table { return s.eng.Table() }
 
 // Engine returns the underlying engine replica — the Backend seam callers
@@ -144,11 +146,30 @@ func (s *Server) Answer(rawKeys [][]byte) ([][]uint32, error) {
 	return answers, nil
 }
 
-// Update overwrites one row's content in place, serialized against
-// in-flight Answers (the paper's transparent update path, §4.2).
+// Update overwrites one row's content (the paper's transparent update
+// path, §4.2). The write is installed as a new table epoch: in-flight
+// Answers keep the snapshot they pinned and are neither blocked nor torn.
 func (s *Server) Update(row uint64, vals []uint32) error {
 	if err := s.eng.Update(row, vals); err != nil {
 		return fmt.Errorf("pir: %w", err)
 	}
 	return nil
+}
+
+// UpdateBatch overwrites a set of rows atomically as ONE new table epoch:
+// an Answer sees all of the batch's writes or none. Returns the installed
+// epoch.
+func (s *Server) UpdateBatch(writes []engine.RowWrite) (uint64, error) {
+	epoch, err := s.eng.UpdateBatch(context.Background(), writes)
+	if err != nil {
+		return 0, fmt.Errorf("pir: %w", err)
+	}
+	return epoch, nil
+}
+
+// Epoch returns the server table's current epoch (0 until the first
+// update).
+func (s *Server) Epoch() uint64 {
+	epoch, _ := s.eng.Epoch(context.Background())
+	return epoch
 }

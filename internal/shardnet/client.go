@@ -130,7 +130,8 @@ func (c *Client) dialConn() (*poolConn, welcome, error) {
 
 // get pops an idle connection or dials a fresh one. A node restarted with
 // a different configuration is caught here: every new connection's
-// welcome must match the first.
+// welcome must match the first — except the advertised table epoch, which
+// legitimately moves with every update.
 func (c *Client) get() (*poolConn, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -148,9 +149,12 @@ func (c *Client) get() (*poolConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if w != c.w {
+	pinned, got := c.w, w
+	pinned.Epoch, pinned.EpochKnown = 0, false
+	got.Epoch, got.EpochKnown = 0, false
+	if got != pinned {
 		pc.conn.Close()
-		return nil, fmt.Errorf("shardnet: %s: node configuration changed since first handshake (was %+v, now %+v)", c.addr, c.w, w)
+		return nil, fmt.Errorf("shardnet: %s: node configuration changed since first handshake (was %+v, now %+v)", c.addr, pinned, got)
 	}
 	return pc, nil
 }
@@ -257,7 +261,7 @@ func (c *Client) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error) 
 	var answers [][]uint32
 	err := c.do(ctx, body, func(resp []byte) error {
 		var perr error
-		answers, perr = parseAnswers(resp, opAnswer, len(keys))
+		answers, _, _, perr = parseAnswers(resp, opAnswer, len(keys))
 		return perr
 	})
 	if err != nil {
@@ -269,20 +273,31 @@ func (c *Client) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error) 
 // AnswerRange implements engine.RangeBackend: the node evaluates the batch
 // over global rows [lo, hi) only, returning partial shares.
 func (c *Client) AnswerRange(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, error) {
+	answers, _, _, err := c.AnswerRangeEpoch(ctx, keys, lo, hi)
+	return answers, err
+}
+
+// AnswerRangeEpoch implements engine.EpochRangeBackend: AnswerRange plus
+// the table epoch the node computed the partials at (ok false when the
+// node's backend is not epoch-versioned) — what a cluster front needs to
+// refuse merging a batch that straddled an update, or a stale standby.
+func (c *Client) AnswerRangeEpoch(ctx context.Context, keys [][]byte, lo, hi int) ([][]uint32, uint64, bool, error) {
 	if lo < 0 || lo >= hi {
-		return nil, fmt.Errorf("shardnet: %s: row range [%d,%d) invalid", c.addr, lo, hi)
+		return nil, 0, false, fmt.Errorf("shardnet: %s: row range [%d,%d) invalid", c.addr, lo, hi)
 	}
 	body := appendRequest(nil, &rpcRequest{op: opAnswerRange, keys: keys, lo: uint64(lo), hi: uint64(hi)})
 	var answers [][]uint32
+	var epoch uint64
+	var hasEpoch bool
 	err := c.do(ctx, body, func(resp []byte) error {
 		var perr error
-		answers, perr = parseAnswers(resp, opAnswerRange, len(keys))
+		answers, epoch, hasEpoch, perr = parseAnswers(resp, opAnswerRange, len(keys))
 		return perr
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
-	return answers, nil
+	return answers, epoch, hasEpoch, nil
 }
 
 // Update implements engine.Backend, routing the row write to the node.
@@ -290,6 +305,57 @@ func (c *Client) Update(row uint64, vals []uint32) error {
 	body := appendRequest(nil, &rpcRequest{op: opUpdate, row: row, vals: vals})
 	return c.do(context.Background(), body, func(resp []byte) error {
 		return parseOK(resp, opUpdate)
+	})
+}
+
+// Epoch implements engine.EpochBackend: the node's current table epoch.
+func (c *Client) Epoch(ctx context.Context) (uint64, error) {
+	body := appendRequest(nil, &rpcRequest{op: opEpoch})
+	var epoch uint64
+	err := c.do(ctx, body, func(resp []byte) error {
+		var perr error
+		epoch, perr = parseEpochResp(resp, opEpoch)
+		return perr
+	})
+	return epoch, err
+}
+
+// UpdateBatch implements engine.EpochBackend: the writes land atomically
+// on the node as one new epoch, which is returned.
+func (c *Client) UpdateBatch(ctx context.Context, writes []engine.RowWrite) (uint64, error) {
+	body := appendRequest(nil, &rpcRequest{op: opUpdateBatch, writes: writes})
+	var epoch uint64
+	err := c.do(ctx, body, func(resp []byte) error {
+		var perr error
+		epoch, perr = parseEpochResp(resp, opUpdateBatch)
+		return perr
+	})
+	return epoch, err
+}
+
+// PrepareUpdate implements engine.EpochBackend: stage the writes as the
+// given epoch on the node (invisible until CommitUpdate).
+func (c *Client) PrepareUpdate(ctx context.Context, epoch uint64, writes []engine.RowWrite) error {
+	body := appendRequest(nil, &rpcRequest{op: opPrepare, epoch: epoch, writes: writes})
+	return c.do(ctx, body, func(resp []byte) error {
+		return parseOK(resp, opPrepare)
+	})
+}
+
+// CommitUpdate implements engine.EpochBackend.
+func (c *Client) CommitUpdate(ctx context.Context, epoch uint64) error {
+	body := appendRequest(nil, &rpcRequest{op: opCommit, epoch: epoch})
+	return c.do(ctx, body, func(resp []byte) error {
+		return parseOK(resp, opCommit)
+	})
+}
+
+// AbortUpdate implements engine.EpochBackend: drop or roll back the epoch
+// on the node (idempotent, like store.Abort).
+func (c *Client) AbortUpdate(ctx context.Context, epoch uint64) error {
+	body := appendRequest(nil, &rpcRequest{op: opAbort, epoch: epoch})
+	return c.do(ctx, body, func(resp []byte) error {
+		return parseOK(resp, opAbort)
 	})
 }
 
@@ -342,6 +408,13 @@ func (c *Client) HeldRange() (lo, hi int) { return c.w.RowLo, c.w.RowHi }
 // Addr returns the node address this client dials.
 func (c *Client) Addr() string { return c.addr }
 
+// AdvertisedEpoch returns the table epoch the node advertised in the
+// handshake (advisory — the authoritative epoch rides on every answer),
+// and whether the node's backend is epoch-versioned at all.
+func (c *Client) AdvertisedEpoch() (epoch uint64, known bool) { return c.w.Epoch, c.w.EpochKnown }
+
 var _ engine.RangeBackend = (*Client)(nil)
 var _ engine.BackendInfo = (*Client)(nil)
 var _ engine.RangeHolder = (*Client)(nil)
+var _ engine.EpochBackend = (*Client)(nil)
+var _ engine.EpochRangeBackend = (*Client)(nil)

@@ -15,6 +15,7 @@ import (
 
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/engine"
+	"gpudpf/internal/strategy"
 )
 
 // blockingBackend parks every AnswerRange on its context — a node that
@@ -286,4 +287,230 @@ func TestClusterConfigMismatch(t *testing.T) {
 	if !strings.Contains(err.Error(), "[64,128)") || !strings.Contains(err.Error(), "[0,64)") {
 		t.Fatalf("held-range rejection %q does not name both ranges", err)
 	}
+}
+
+// standbyPair starts a primary node (wrapped by wrap) and a standby node
+// over the same shard rows and dials both.
+func standbyPair(t *testing.T, tab *strategy.Table, cfg engine.Config, lo, hi int, wrap func(engine.RangeBackend) engine.RangeBackend) (prim *Server, primCl, sbCl *Client, primAddr string) {
+	t.Helper()
+	nodeTab := shardTable(t, tab, lo, hi)
+	prim, primAddr = startNode(t, wrap(newReplica(t, nodeTab, cfg)), ServerConfig{RowLo: lo, RowHi: hi})
+	sbTab := shardTable(t, tab, lo, hi)
+	_, sbAddr := startNode(t, newReplica(t, sbTab, cfg), ServerConfig{RowLo: lo, RowHi: hi})
+	rep := newReplica(t, tab, cfg) // only for its pinned config
+	opts := Options{PRG: rep.PRGName(), Early: rep.EarlyBits(), Party: rep.Party()}
+	var err error
+	if primCl, err = Dial(primAddr, opts); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primCl.Close() })
+	if sbCl, err = Dial(sbAddr, opts); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sbCl.Close() })
+	return prim, primCl, sbCl, primAddr
+}
+
+// TestClusterStandbyFailoverMidBatchTCP is the failover acceptance test:
+// a 4-shard mixed cluster (in-process replicas + real TCP nodes) serves a
+// batch while shard 2's primary node is killed mid-evaluation; the batch
+// must complete off the standby node with answers bit-identical to a
+// single-process replica.
+func TestClusterStandbyFailoverMidBatchTCP(t *testing.T) {
+	const rows, lanes, shards, remoteIdx = 256, 4, 4, 2
+	tab := buildTable(t, rows, lanes, 27)
+	cfg := engine.Config{Party: 0}
+	started := make(chan struct{})
+	var prim *Server
+	members := make([]engine.ClusterShard, shards)
+	for i := 0; i < shards; i++ {
+		if i != remoteIdx {
+			members[i] = engine.ClusterShard{Backend: newReplica(t, tab, cfg)}
+			continue
+		}
+		lo, hi := engine.ShardRange(rows, i, shards)
+		var primCl, sbCl *Client
+		var addr string
+		prim, primCl, sbCl, addr = standbyPair(t, tab, cfg, lo, hi, func(be engine.RangeBackend) engine.RangeBackend {
+			return &blockingBackend{RangeBackend: be, started: started}
+		})
+		members[i] = engine.ClusterShard{Backend: primCl, Name: addr, Standby: sbCl, StandbyName: addr + "-standby"}
+	}
+	cluster, err := engine.NewCluster(members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := genKeysForCluster(t, cluster)
+
+	type res struct {
+		answers [][]uint32
+		err     error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		a, err := cluster.Answer(context.Background(), keys)
+		resCh <- res{a, err}
+	}()
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("primary node never started evaluating")
+	}
+	prim.Close() // kill the primary mid-batch
+
+	var r res
+	select {
+	case r = <-resCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster answer did not complete after primary death")
+	}
+	if r.err != nil {
+		t.Fatalf("failover answer failed: %v", r.err)
+	}
+	ref := newReplica(t, tab, cfg)
+	want, err := ref.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameShares(r.answers, want); err != nil {
+		t.Fatalf("failover answers diverge from single replica: %v", err)
+	}
+}
+
+// TestClusterUpdateBatchTCP: the epoch handshake drives one atomic update
+// across a cluster whose members — including a standby — live behind real
+// TCP nodes; answers afterwards (and after a failover) match a single
+// updated replica.
+func TestClusterUpdateBatchTCP(t *testing.T) {
+	const rows, lanes, shards = 256, 4, 2
+	tab := buildTable(t, rows, lanes, 28)
+	cfg := engine.Config{Party: 0}
+	// Shard 0 in-process; shard 1 remote with a remote standby.
+	lo, hi := engine.ShardRange(rows, 1, shards)
+	_, primCl, sbCl, addr := standbyPair(t, tab, cfg, lo, hi, func(be engine.RangeBackend) engine.RangeBackend { return be })
+	cluster, err := engine.NewCluster(
+		engine.ClusterShard{Backend: newReplica(t, tab, cfg)},
+		engine.ClusterShard{Backend: primCl, Name: addr, Standby: sbCl, StandbyName: addr + "-standby"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := []engine.RowWrite{
+		{Row: 10, Vals: []uint32{1, 2, 3, 4}},    // shard 0's range
+		{Row: 200, Vals: []uint32{5, 6, 7, 8}},   // shard 1's range
+		{Row: 255, Vals: []uint32{9, 10, 11, 12}}, // shard 1's range
+	}
+	epoch, err := cluster.UpdateBatch(context.Background(), writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("cluster update landed at epoch %d, want 1", epoch)
+	}
+	refTab := buildTable(t, rows, lanes, 28)
+	ref := newReplica(t, refTab, cfg)
+	if _, err := ref.UpdateBatch(context.Background(), writes); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{10, 200, 255, 100}, 29)
+	want, err := ref.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameShares(got, want); err != nil {
+		t.Fatalf("post-update cluster diverges: %v", err)
+	}
+	// The standby received the same epoch: kill the primary and the
+	// failover must serve the UPDATED rows, bit-identically.
+	primCl.Close() // client closed = every RPC to the primary fails fast
+	got, err = cluster.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatalf("post-update failover failed: %v", err)
+	}
+	if err := sameShares(got, want); err != nil {
+		t.Fatalf("failover after update serves stale rows: %v", err)
+	}
+}
+
+// TestClusterUpdatePartialFailureTCP: a remote node that refuses the
+// prepare (its backend cannot stage) leaves every member — local and
+// remote — readable at the old epoch with the old content.
+func TestClusterUpdatePartialFailureTCP(t *testing.T) {
+	const rows, lanes, shards = 128, 2, 2
+	tab := buildTable(t, rows, lanes, 30)
+	cfg := engine.Config{Party: 0}
+	lo, hi := engine.ShardRange(rows, 1, shards)
+	nodeTab := shardTable(t, tab, lo, hi)
+	failer := &prepareRefuser{Replica: newReplica(t, nodeTab, cfg)}
+	_, addr := startNode(t, failer, ServerConfig{RowLo: lo, RowHi: hi})
+	cl, err := Dial(addr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cluster, err := engine.NewCluster(
+		engine.ClusterShard{Backend: newReplica(t, tab, cfg)},
+		engine.ClusterShard{Backend: cl, Name: addr},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{5, 100}, 31)
+	before, err := cluster.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cluster.UpdateBatch(context.Background(), []engine.RowWrite{
+		{Row: 5, Vals: []uint32{1, 2}},
+		{Row: 100, Vals: []uint32{3, 4}},
+	})
+	if err == nil {
+		t.Fatal("update succeeded despite a refusing node")
+	}
+	var se *engine.ShardError
+	if !errors.As(err, &se) || se.Name != addr {
+		t.Fatalf("prepare refusal reported as %v, want ShardError naming %s", err, addr)
+	}
+	if !strings.Contains(err.Error(), "staging refused") {
+		t.Fatalf("error %q does not carry the node's reason", err)
+	}
+	after, err := cluster.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatalf("cluster unreadable after aborted update: %v", err)
+	}
+	if err := sameShares(after, before); err != nil {
+		t.Fatalf("aborted update leaked content: %v", err)
+	}
+	// Heal and retry: the cluster recovers at a fresh epoch.
+	failer.heal()
+	if _, err := cluster.UpdateBatch(context.Background(), []engine.RowWrite{{Row: 5, Vals: []uint32{1, 2}}}); err != nil {
+		t.Fatalf("post-abort update failed: %v", err)
+	}
+}
+
+// prepareRefuser fails PrepareUpdate until healed.
+type prepareRefuser struct {
+	*engine.Replica
+	mu     sync.Mutex
+	healed bool
+}
+
+func (p *prepareRefuser) heal() {
+	p.mu.Lock()
+	p.healed = true
+	p.mu.Unlock()
+}
+
+func (p *prepareRefuser) PrepareUpdate(ctx context.Context, epoch uint64, writes []engine.RowWrite) error {
+	p.mu.Lock()
+	ok := p.healed
+	p.mu.Unlock()
+	if !ok {
+		return errors.New("staging refused: no space")
+	}
+	return p.Replica.PrepareUpdate(ctx, epoch, writes)
 }

@@ -7,19 +7,26 @@ import (
 	"io"
 	"net"
 
+	"gpudpf/internal/engine"
 	"gpudpf/internal/gpu"
 	"gpudpf/internal/strategy"
 )
 
 // RPC opcodes: the first body byte of every request, echoed in the
 // response. opErr is response-only, for failures where no request op was
-// ever parsed (an unreadable or oversized frame).
+// ever parsed (an unreadable or oversized frame). 0x06+ are protocol v2:
+// the epoch-versioned update path.
 const (
 	opAnswer      byte = 0x01
 	opAnswerRange byte = 0x02
 	opUpdate      byte = 0x03
 	opShape       byte = 0x04
 	opCounters    byte = 0x05
+	opUpdateBatch byte = 0x06
+	opEpoch       byte = 0x07
+	opPrepare     byte = 0x08
+	opCommit      byte = 0x09
+	opAbort       byte = 0x0a
 	opErr         byte = 0xff
 )
 
@@ -142,6 +149,8 @@ type rpcRequest struct {
 	lo, hi uint64   // AnswerRange
 	row    uint64   // Update
 	vals   []uint32 // Update
+	epoch  uint64   // Prepare, Commit, Abort
+	writes []engine.RowWrite // UpdateBatch, Prepare
 }
 
 // appendKeys encodes a key batch: count, then length-prefixed key bytes.
@@ -150,6 +159,20 @@ func appendKeys(dst []byte, keys [][]byte) []byte {
 	for _, k := range keys {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(k)))
 		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// appendWrites encodes an update-write batch: count, then per write the
+// row, lane count and values.
+func appendWrites(dst []byte, writes []engine.RowWrite) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(writes)))
+	for _, w := range writes {
+		dst = binary.LittleEndian.AppendUint64(dst, w.Row)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(w.Vals)))
+		for _, v := range w.Vals {
+			dst = binary.LittleEndian.AppendUint32(dst, v)
+		}
 	}
 	return dst
 }
@@ -170,6 +193,13 @@ func appendRequest(dst []byte, req *rpcRequest) []byte {
 		for _, v := range req.vals {
 			dst = binary.LittleEndian.AppendUint32(dst, v)
 		}
+	case opUpdateBatch:
+		dst = appendWrites(dst, req.writes)
+	case opPrepare:
+		dst = binary.LittleEndian.AppendUint64(dst, req.epoch)
+		dst = appendWrites(dst, req.writes)
+	case opCommit, opAbort:
+		dst = binary.LittleEndian.AppendUint64(dst, req.epoch)
 	}
 	return dst
 }
@@ -203,6 +233,43 @@ func parseKeys(r *wireReader, maxKeys int) ([][]byte, error) {
 		}
 	}
 	return keys, nil
+}
+
+// parseWrites decodes an update-write batch with the same
+// declared-vs-present discipline as parseKeys: every count is checked
+// against the bytes actually in the frame BEFORE anything is allocated
+// for it.
+func parseWrites(r *wireReader) ([]engine.RowWrite, error) {
+	count := r.u32()
+	if r.bad {
+		return nil, fmt.Errorf("%w: truncated write count", ErrProtocol)
+	}
+	// Each write costs at least its 12-byte row+lanes header, so a count
+	// beyond remaining/12 is a lie regardless of content. uint64 math so
+	// the check cannot be dodged on 32-bit platforms.
+	if uint64(count) > uint64(r.remaining()/12)+1 {
+		return nil, fmt.Errorf("%w: %d writes declared in a %d-byte frame", ErrProtocol, count, len(r.b))
+	}
+	writes := make([]engine.RowWrite, count)
+	for i := range writes {
+		writes[i].Row = r.u64()
+		lanes := r.u32()
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated write %d header", ErrProtocol, i)
+		}
+		if uint64(lanes)*4 > uint64(r.remaining()) {
+			return nil, fmt.Errorf("%w: write %d declares %d lanes, frame carries %d bytes", ErrProtocol, i, lanes, r.remaining())
+		}
+		vals := make([]uint32, lanes)
+		for j := range vals {
+			vals[j] = r.u32()
+		}
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated write %d values", ErrProtocol, i)
+		}
+		writes[i].Vals = vals
+	}
+	return writes, nil
 }
 
 // parseRequest decodes one request frame body, refusing key batches over
@@ -240,7 +307,24 @@ func parseRequest(body []byte, maxKeys int) (*rpcRequest, error) {
 		for i := range req.vals {
 			req.vals[i] = r.u32()
 		}
-	case opShape, opCounters:
+	case opUpdateBatch:
+		if req.writes, err = parseWrites(r); err != nil {
+			return nil, err
+		}
+	case opPrepare:
+		req.epoch = r.u64()
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated prepare epoch", ErrProtocol)
+		}
+		if req.writes, err = parseWrites(r); err != nil {
+			return nil, err
+		}
+	case opCommit, opAbort:
+		req.epoch = r.u64()
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated epoch", ErrProtocol)
+		}
+	case opShape, opCounters, opEpoch:
 		// no payload
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode %#x", ErrProtocol, req.op)
@@ -258,11 +342,24 @@ func appendErrResponse(dst []byte, op byte, msg string) []byte {
 	return append(dst, msg...)
 }
 
-// appendAnswers encodes a successful Answer/AnswerRange response.
-func appendAnswers(dst []byte, op byte, answers [][]uint32, lanes int) []byte {
+// answerHasEpoch flags an answer response whose partials were computed
+// against a pinned table epoch (a node fronting a non-epoch-versioned
+// backend clears it).
+const answerHasEpoch byte = 1
+
+// appendAnswers encodes a successful Answer/AnswerRange response: the
+// batch shape, the epoch the partials were computed at (flagged, since a
+// node may front a backend with no epochs), then the shares.
+func appendAnswers(dst []byte, op byte, answers [][]uint32, lanes int, epoch uint64, hasEpoch bool) []byte {
 	dst = append(dst, op, statusOK)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(answers)))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(lanes))
+	var flags byte
+	if hasEpoch {
+		flags = answerHasEpoch
+	}
+	dst = append(dst, flags)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
 	for _, a := range answers {
 		for _, v := range a {
 			dst = binary.LittleEndian.AppendUint32(dst, v)
@@ -302,37 +399,71 @@ func responseHeader(r *wireReader, wantOp byte) (remoteErr error, err error) {
 	return errors.New(string(msg)), nil
 }
 
-// parseAnswers decodes an Answer/AnswerRange response body.
-func parseAnswers(body []byte, wantOp byte, wantKeys int) ([][]uint32, error) {
+// parseAnswers decodes an Answer/AnswerRange response body, returning the
+// epoch the node computed the shares at (hasEpoch false when the node's
+// backend is not epoch-versioned).
+func parseAnswers(body []byte, wantOp byte, wantKeys int) (answers [][]uint32, epoch uint64, hasEpoch bool, err error) {
 	r := &wireReader{b: body}
 	remoteErr, err := responseHeader(r, wantOp)
 	if err != nil {
-		return nil, err
+		return nil, 0, false, err
 	}
 	if remoteErr != nil {
-		return nil, remoteErr
+		return nil, 0, false, remoteErr
 	}
 	nWire, lanesWire := r.u32(), r.u32()
+	flags := r.u8()
+	epoch = r.u64()
 	if r.bad {
-		return nil, fmt.Errorf("%w: truncated answer header", ErrProtocol)
+		return nil, 0, false, fmt.Errorf("%w: truncated answer header", ErrProtocol)
+	}
+	if flags&^answerHasEpoch != 0 {
+		return nil, 0, false, fmt.Errorf("%w: unknown answer flags %#x", ErrProtocol, flags)
+	}
+	hasEpoch = flags&answerHasEpoch != 0
+	if !hasEpoch && epoch != 0 {
+		return nil, 0, false, fmt.Errorf("%w: epoch %d on an epoch-less answer", ErrProtocol, epoch)
 	}
 	if uint64(nWire) != uint64(wantKeys) {
-		return nil, fmt.Errorf("%w: %d answers for %d keys", ErrProtocol, nWire, wantKeys)
+		return nil, 0, false, fmt.Errorf("%w: %d answers for %d keys", ErrProtocol, nWire, wantKeys)
 	}
 	// uint64 math like readFrame/parseKeys: a lanes value chosen so
 	// n·lanes·4 wraps int on 32-bit platforms must not dodge the size
 	// check into a giant NewAnswers allocation.
 	if lanesWire == 0 || uint64(nWire)*uint64(lanesWire)*4 != uint64(r.remaining()) {
-		return nil, fmt.Errorf("%w: %d×%d answers in %d payload bytes", ErrProtocol, nWire, lanesWire, r.remaining())
+		return nil, 0, false, fmt.Errorf("%w: %d×%d answers in %d payload bytes", ErrProtocol, nWire, lanesWire, r.remaining())
 	}
 	n, lanes := int(nWire), int(lanesWire)
-	answers := strategy.NewAnswers(n, lanes)
+	answers = strategy.NewAnswers(n, lanes)
 	for _, a := range answers {
 		for l := range a {
 			a[l] = r.u32()
 		}
 	}
-	return answers, nil
+	return answers, epoch, hasEpoch, nil
+}
+
+// appendEpochResp / parseEpochResp encode the epoch-bearing success
+// responses (UpdateBatch's new epoch, Epoch's current one).
+func appendEpochResp(dst []byte, op byte, epoch uint64) []byte {
+	dst = append(dst, op, statusOK)
+	return binary.LittleEndian.AppendUint64(dst, epoch)
+}
+
+func parseEpochResp(body []byte, wantOp byte) (uint64, error) {
+	r := &wireReader{b: body}
+	remoteErr, err := responseHeader(r, wantOp)
+	if err != nil {
+		return 0, err
+	}
+	if remoteErr != nil {
+		return 0, remoteErr
+	}
+	epoch := r.u64()
+	if r.bad || r.remaining() != 0 {
+		return 0, fmt.Errorf("%w: malformed epoch response", ErrProtocol)
+	}
+	return epoch, nil
 }
 
 // appendShape / parseShape encode the Shape response.

@@ -4,21 +4,30 @@ import (
 	"bytes"
 	"testing"
 
+	"gpudpf/internal/engine"
 	"gpudpf/internal/gpu"
 )
 
 // FuzzParseRequest throws arbitrary frame bodies at the server's request
 // parser: it must never panic and never accept a frame that does not
-// re-encode to itself (the codec is canonical).
+// re-encode to itself (the codec is canonical). Protocol v2 ops — the
+// epoch-versioned update path — are seeded alongside v1's.
 func FuzzParseRequest(f *testing.F) {
 	// Seed with one well-formed frame per opcode.
 	key := bytes.Repeat([]byte{0xab}, 37)
+	writes := []engine.RowWrite{{Row: 7, Vals: []uint32{1, 2, 3}}, {Row: 9, Vals: []uint32{4}}}
 	f.Add(appendRequest(nil, &rpcRequest{op: opAnswer, keys: [][]byte{key, key[:5]}}))
 	f.Add(appendRequest(nil, &rpcRequest{op: opAnswerRange, keys: [][]byte{key}, lo: 3, hi: 999}))
 	f.Add(appendRequest(nil, &rpcRequest{op: opUpdate, row: 12, vals: []uint32{1, 2, 3}}))
 	f.Add(appendRequest(nil, &rpcRequest{op: opShape}))
 	f.Add(appendRequest(nil, &rpcRequest{op: opCounters}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opUpdateBatch, writes: writes}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opEpoch}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opPrepare, epoch: 41, writes: writes}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opCommit, epoch: 41}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opAbort, epoch: 41}))
 	f.Add([]byte{opAnswer, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{opUpdateBatch, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		req, err := parseRequest(body, DefaultMaxBatch)
 		if err != nil {
@@ -33,18 +42,69 @@ func FuzzParseRequest(f *testing.F) {
 // FuzzParseResponses covers the client-side decoders the node's bytes feed
 // into; a hostile or corrupt node must not be able to panic a front.
 func FuzzParseResponses(f *testing.F) {
-	f.Add(appendAnswers(nil, opAnswer, [][]uint32{{1, 2}, {3, 4}}, 2), uint8(opAnswer), 2)
+	f.Add(appendAnswers(nil, opAnswer, [][]uint32{{1, 2}, {3, 4}}, 2, 0, false), uint8(opAnswer), 2)
+	f.Add(appendAnswers(nil, opAnswerRange, [][]uint32{{1, 2}}, 2, 77, true), uint8(opAnswerRange), 1)
 	f.Add(appendErrResponse(nil, opAnswerRange, "engine: shard failed"), uint8(opAnswerRange), 1)
 	f.Add(appendShape(nil, 1024, 32), uint8(opShape), 0)
 	f.Add(appendCounters(nil, gpu.Stats{PRFBlocks: 9, ReadBytes: 10}), uint8(opCounters), 0)
 	f.Add(appendOK(nil, opUpdate), uint8(opUpdate), 0)
+	f.Add(appendEpochResp(nil, opEpoch, 12345), uint8(opEpoch), 0)
+	f.Add(appendEpochResp(nil, opUpdateBatch, 2), uint8(opUpdateBatch), 0)
 	f.Fuzz(func(t *testing.T, body []byte, op uint8, keys int) {
 		if keys < 0 || keys > 1<<16 {
 			return
 		}
-		_, _ = parseAnswers(body, op, keys)
+		_, _, _, _ = parseAnswers(body, op, keys)
 		_, _, _ = parseShape(body)
 		_, _ = parseCounters(body)
 		_ = parseOK(body, op)
+		_, _ = parseEpochResp(body, op)
+	})
+}
+
+// FuzzHandshake throws arbitrary frames at the handshake decoders — the
+// FIRST bytes either side ever reads from its peer, gob-decoded, so this
+// is the most attacker-reachable parser in the package. Neither direction
+// may panic, and well-formed handshakes (epoch field included) must
+// round-trip.
+func FuzzHandshake(f *testing.F) {
+	seed := func(v any) []byte {
+		var buf bytes.Buffer
+		if err := writeHandshake(&buf, v); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(&hello{Proto: protoName, Version: ProtocolVersion, PRG: "aes128", Early: 2, Party: 0}))
+	f.Add(seed(&hello{Proto: protoName, Version: ProtocolVersion, Party: AdoptParty, Early: engine.FullDepthKeys}))
+	f.Add(seed(&welcome{Version: ProtocolVersion, PRG: "chacha20", Early: 2, Party: 1,
+		Rows: 1 << 20, Lanes: 32, RowLo: 0, RowHi: 1 << 19, Epoch: 42, EpochKnown: true}))
+	f.Add(seed(&welcome{Err: "shardnet: handshake: unknown protocol"}))
+	f.Add([]byte{4, 0, 0, 0, 0xff, 0xfe, 0xfd, 0xfc})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var h hello
+		if err := readHandshake(bytes.NewReader(frame), &h); err == nil {
+			// An accepted hello must survive re-encoding (gob is not
+			// byte-canonical, so round-trip the VALUES, not the bytes).
+			var buf bytes.Buffer
+			if err := writeHandshake(&buf, &h); err != nil {
+				t.Fatalf("accepted hello does not re-encode: %v", err)
+			}
+			var h2 hello
+			if err := readHandshake(&buf, &h2); err != nil || h2 != h {
+				t.Fatalf("hello does not round-trip: %+v vs %+v (%v)", h, h2, err)
+			}
+		}
+		var w welcome
+		if err := readHandshake(bytes.NewReader(frame), &w); err == nil {
+			var buf bytes.Buffer
+			if err := writeHandshake(&buf, &w); err != nil {
+				t.Fatalf("accepted welcome does not re-encode: %v", err)
+			}
+			var w2 welcome
+			if err := readHandshake(&buf, &w2); err != nil || w2 != w {
+				t.Fatalf("welcome does not round-trip: %+v vs %+v (%v)", w, w2, err)
+			}
+		}
 	})
 }

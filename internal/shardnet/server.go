@@ -204,6 +204,11 @@ func (s *Server) handshake(conn net.Conn) bool {
 		RowLo:   s.lo,
 		RowHi:   s.hi,
 	}
+	if eb, ok := s.be.(engine.EpochBackend); ok {
+		if epoch, err := eb.Epoch(s.ctx); err == nil {
+			w.Epoch, w.EpochKnown = epoch, true
+		}
+	}
 	switch {
 	case h.Proto != protoName:
 		w.Err = fmt.Sprintf("shardnet: handshake: unknown protocol %q, this node speaks %q", h.Proto, protoName)
@@ -354,11 +359,7 @@ func (s *Server) dispatch(ctx context.Context, req *rpcRequest, dst []byte) []by
 			return appendErrResponse(dst, req.op,
 				fmt.Sprintf("shardnet: this node holds only rows [%d,%d) of %d; whole-table Answer needs AnswerRange through a cluster", s.lo, s.hi, s.rows))
 		}
-		answers, err := s.be.Answer(ctx, req.keys)
-		if err != nil {
-			return appendErrResponse(dst, req.op, err.Error())
-		}
-		return appendAnswers(dst, req.op, answers, s.lanes)
+		return s.dispatchAnswers(ctx, req, dst, 0, s.rows)
 	case opAnswerRange:
 		if req.hi > uint64(s.rows) || req.lo >= req.hi {
 			return appendErrResponse(dst, req.op, fmt.Sprintf("shardnet: row range [%d,%d) invalid for table of %d rows", req.lo, req.hi, s.rows))
@@ -367,17 +368,66 @@ func (s *Server) dispatch(ctx context.Context, req *rpcRequest, dst []byte) []by
 			return appendErrResponse(dst, req.op,
 				fmt.Sprintf("shardnet: row range [%d,%d) outside the rows [%d,%d) this node holds", req.lo, req.hi, s.lo, s.hi))
 		}
-		answers, err := s.be.AnswerRange(ctx, req.keys, int(req.lo), int(req.hi))
-		if err != nil {
-			return appendErrResponse(dst, req.op, err.Error())
-		}
-		return appendAnswers(dst, req.op, answers, s.lanes)
+		return s.dispatchAnswers(ctx, req, dst, int(req.lo), int(req.hi))
 	case opUpdate:
 		if req.row < uint64(s.lo) || req.row >= uint64(s.hi) {
 			return appendErrResponse(dst, req.op,
 				fmt.Sprintf("shardnet: update row %d outside the rows [%d,%d) this node holds", req.row, s.lo, s.hi))
 		}
 		if err := s.be.Update(req.row, req.vals); err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendOK(dst, req.op)
+	case opUpdateBatch:
+		eb, resp := s.epochBackend(req, dst)
+		if eb == nil {
+			return resp
+		}
+		if resp := s.checkWritesHeld(req, dst); resp != nil {
+			return resp
+		}
+		epoch, err := eb.UpdateBatch(ctx, req.writes)
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendEpochResp(dst, req.op, epoch)
+	case opEpoch:
+		eb, resp := s.epochBackend(req, dst)
+		if eb == nil {
+			return resp
+		}
+		epoch, err := eb.Epoch(ctx)
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendEpochResp(dst, req.op, epoch)
+	case opPrepare:
+		eb, resp := s.epochBackend(req, dst)
+		if eb == nil {
+			return resp
+		}
+		if resp := s.checkWritesHeld(req, dst); resp != nil {
+			return resp
+		}
+		if err := eb.PrepareUpdate(ctx, req.epoch, req.writes); err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendOK(dst, req.op)
+	case opCommit:
+		eb, resp := s.epochBackend(req, dst)
+		if eb == nil {
+			return resp
+		}
+		if err := eb.CommitUpdate(ctx, req.epoch); err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendOK(dst, req.op)
+	case opAbort:
+		eb, resp := s.epochBackend(req, dst)
+		if eb == nil {
+			return resp
+		}
+		if err := eb.AbortUpdate(ctx, req.epoch); err != nil {
 			return appendErrResponse(dst, req.op, err.Error())
 		}
 		return appendOK(dst, req.op)
@@ -388,4 +438,50 @@ func (s *Server) dispatch(ctx context.Context, req *rpcRequest, dst []byte) []by
 		return appendCounters(dst, s.be.Counters())
 	}
 	return appendErrResponse(dst, opErr, fmt.Sprintf("shardnet: unknown opcode %#x", req.op))
+}
+
+// dispatchAnswers runs an answer-type request over [lo, hi) and encodes
+// the response, carrying the evaluation epoch when the backend pins one.
+func (s *Server) dispatchAnswers(ctx context.Context, req *rpcRequest, dst []byte, lo, hi int) []byte {
+	if eb, ok := s.be.(engine.EpochRangeBackend); ok {
+		answers, epoch, hasEpoch, err := eb.AnswerRangeEpoch(ctx, req.keys, lo, hi)
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendAnswers(dst, req.op, answers, s.lanes, epoch, hasEpoch)
+	}
+	var answers [][]uint32
+	var err error
+	if req.op == opAnswer {
+		answers, err = s.be.Answer(ctx, req.keys)
+	} else {
+		answers, err = s.be.AnswerRange(ctx, req.keys, lo, hi)
+	}
+	if err != nil {
+		return appendErrResponse(dst, req.op, err.Error())
+	}
+	return appendAnswers(dst, req.op, answers, s.lanes, 0, false)
+}
+
+// epochBackend resolves the backend's epoch capability for a v2 update
+// RPC, or encodes the named refusal.
+func (s *Server) epochBackend(req *rpcRequest, dst []byte) (engine.EpochBackend, []byte) {
+	eb, ok := s.be.(engine.EpochBackend)
+	if !ok {
+		return nil, appendErrResponse(dst, req.op, "shardnet: this node's backend does not support epoch-versioned updates")
+	}
+	return eb, nil
+}
+
+// checkWritesHeld enforces the node's authoritative row range on an
+// update batch: a write outside it would land in rows this node serves as
+// zero-filled garbage — the loud refusal the held-range check exists for.
+func (s *Server) checkWritesHeld(req *rpcRequest, dst []byte) []byte {
+	for i, w := range req.writes {
+		if w.Row < uint64(s.lo) || w.Row >= uint64(s.hi) {
+			return appendErrResponse(dst, req.op,
+				fmt.Sprintf("shardnet: write %d targets row %d outside the rows [%d,%d) this node holds", i, w.Row, s.lo, s.hi))
+		}
+	}
+	return nil
 }

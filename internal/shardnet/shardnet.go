@@ -44,8 +44,13 @@ import (
 )
 
 // ProtocolVersion is the shardnet wire version spoken by this build; the
-// handshake refuses any other, naming both versions.
-const ProtocolVersion = 1
+// handshake refuses any other, naming both versions. Version 2 added the
+// epoch-versioned table store: the welcome advertises the node's table
+// epoch, answer responses carry the epoch their partials were computed
+// at, and the UpdateBatch / Epoch / PrepareUpdate / CommitUpdate /
+// AbortUpdate RPCs drive snapshot-consistent updates (the cluster epoch
+// handshake) over the wire.
+const ProtocolVersion = 2
 
 // protoName guards against pointing a shardnet client at some other
 // length-framed service (or vice versa).
@@ -87,18 +92,22 @@ type hello struct {
 
 // welcome is the node's reply: a non-empty Err means the handshake was
 // rejected (the message names both sides' values); otherwise the node's
-// pinned configuration, table shape, and the global row range it
-// authoritatively holds.
+// pinned configuration, table shape, the global row range it
+// authoritatively holds, and — when the backend is epoch-versioned — the
+// table epoch it currently serves (advisory: epochs move with updates;
+// the authoritative epoch rides on every answer response).
 type welcome struct {
-	Err     string
-	Version int
-	PRG     string
-	Early   int
-	Party   int
-	Rows    int
-	Lanes   int
-	RowLo   int
-	RowHi   int
+	Err        string
+	Version    int
+	PRG        string
+	Early      int
+	Party      int
+	Rows       int
+	Lanes      int
+	RowLo      int
+	RowHi      int
+	Epoch      uint64
+	EpochKnown bool
 }
 
 // normEarly maps a client's early pin encoding to the resolved depth it

@@ -339,7 +339,7 @@ func TestHandshakePinning(t *testing.T) {
 	if err := readHandshake(conn, &w); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(w.Err, "version 99") || !strings.Contains(w.Err, "version 1") {
+	if !strings.Contains(w.Err, "version 99") || !strings.Contains(w.Err, fmt.Sprintf("version %d", ProtocolVersion)) {
 		t.Fatalf("version rejection %q does not name both versions", w.Err)
 	}
 }
@@ -518,5 +518,115 @@ func TestFrameCap(t *testing.T) {
 	}
 	if _, err := readFrame(conn, DefaultMaxFrame, &buf); err == nil {
 		t.Fatal("connection survived an oversized frame")
+	}
+}
+
+// TestEpochRPCsRoundTrip drives the protocol-v2 update path against a
+// real node: epoch queries, atomic UpdateBatch, the prepare/commit
+// handshake, abort-as-rollback, and held-range enforcement for writes.
+func TestEpochRPCsRoundTrip(t *testing.T) {
+	const rows, lanes = 128, 4
+	tab := buildTable(t, rows, lanes, 17)
+	rep := newReplica(t, tab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{})
+	c, err := Dial(addr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if epoch, known := c.AdvertisedEpoch(); !known || epoch != 0 {
+		t.Fatalf("handshake advertises epoch %d known=%v, want 0/true", epoch, known)
+	}
+	if epoch, err := c.Epoch(context.Background()); err != nil || epoch != 0 {
+		t.Fatalf("Epoch RPC: %d, %v", epoch, err)
+	}
+
+	// Atomic batch over the wire; a local replica mirrors it as reference.
+	ref := newReplica(t, buildTable(t, rows, lanes, 17), engine.Config{Party: 0})
+	writes := []engine.RowWrite{
+		{Row: 3, Vals: []uint32{1, 2, 3, 4}},
+		{Row: 90, Vals: []uint32{5, 6, 7, 8}},
+	}
+	epoch, err := c.UpdateBatch(context.Background(), writes)
+	if err != nil || epoch != 1 {
+		t.Fatalf("UpdateBatch: epoch %d, %v", epoch, err)
+	}
+	if _, err := ref.UpdateBatch(context.Background(), writes); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := genKeys(t, dpf.NewAESPRG(), tab.Bits(), []uint64{3, 90, 60}, 18)
+	remote, err := c.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := ref.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameShares(remote, local); err != nil {
+		t.Fatalf("post-UpdateBatch answers diverge: %v", err)
+	}
+	// AnswerRangeEpoch reports the epoch the shares were computed at.
+	if _, e, ok, err := c.AnswerRangeEpoch(context.Background(), keys, 0, rows); err != nil || !ok || e != 1 {
+		t.Fatalf("AnswerRangeEpoch: epoch %d ok=%v err=%v, want 1/true", e, ok, err)
+	}
+
+	// Two-phase: prepare is invisible, commit lands it.
+	w2 := []engine.RowWrite{{Row: 3, Vals: []uint32{9, 9, 9, 9}}}
+	if err := c.PrepareUpdate(context.Background(), 2, w2); err != nil {
+		t.Fatal(err)
+	}
+	if _, e, _, err := c.AnswerRangeEpoch(context.Background(), keys, 0, rows); err != nil || e != 1 {
+		t.Fatalf("prepared epoch visible before commit: epoch %d err=%v", e, err)
+	}
+	if err := c.CommitUpdate(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Abort after commit rolls back to the pre-commit view.
+	if err := c.AbortUpdate(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	remote, err = c.Answer(context.Background(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameShares(remote, local); err != nil {
+		t.Fatalf("rolled-back answers diverge from pre-commit state: %v", err)
+	}
+	// The burned epoch is skipped: the next update lands above it.
+	if epoch, err := c.UpdateBatch(context.Background(), w2); err != nil || epoch != 3 {
+		t.Fatalf("post-rollback UpdateBatch: epoch %d, %v (want 3: epoch 2 is burned)", epoch, err)
+	}
+}
+
+// TestUpdateBatchHeldRangeEnforced: a shard node refuses batch writes (and
+// prepares) outside the rows it holds.
+func TestUpdateBatchHeldRangeEnforced(t *testing.T) {
+	const rows, lanes = 256, 2
+	tab := buildTable(t, rows, lanes, 19)
+	nodeTab := shardTable(t, tab, 64, 128)
+	rep := newReplica(t, nodeTab, engine.Config{Party: 0})
+	_, addr := startNode(t, rep, ServerConfig{RowLo: 64, RowHi: 128})
+	c, err := Dial(addr, Options{PRG: "aes128", Party: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bad := []engine.RowWrite{{Row: 70, Vals: []uint32{1, 2}}, {Row: 5, Vals: []uint32{3, 4}}}
+	if _, err := c.UpdateBatch(context.Background(), bad); err == nil {
+		t.Fatal("misrouted batch write accepted")
+	} else if !strings.Contains(err.Error(), "outside the rows [64,128)") {
+		t.Fatalf("batch rejection %q does not name the held range", err)
+	}
+	if err := c.PrepareUpdate(context.Background(), 1, bad); err == nil {
+		t.Fatal("misrouted prepare accepted")
+	} else if !strings.Contains(err.Error(), "outside the rows [64,128)") {
+		t.Fatalf("prepare rejection %q does not name the held range", err)
+	}
+	// In-range writes work, and the epoch advances.
+	good := []engine.RowWrite{{Row: 70, Vals: []uint32{1, 2}}}
+	if epoch, err := c.UpdateBatch(context.Background(), good); err != nil || epoch != 1 {
+		t.Fatalf("in-range batch: epoch %d, %v", epoch, err)
 	}
 }

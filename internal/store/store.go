@@ -1,0 +1,383 @@
+// Package store owns the serving table: an epoch-versioned, copy-on-write
+// Store whose readers pin immutable snapshots while writers install whole
+// new epochs. The paper's serving story assumes a stable table per query
+// epoch; this package is where that assumption becomes a mechanism instead
+// of a convention.
+//
+// A Snapshot is one epoch's table view — the contiguous lane buffer the
+// strategies' accumulateTile streams, behind row accessors and an Epoch().
+// Acquire pins the current snapshot (an atomic refcount, no lock on the
+// read path) and Release unpins it; the backing array of a fully released,
+// superseded snapshot is recycled into the next epoch's copy, so a
+// steady-state update churn alternates between two buffers instead of
+// growing the heap.
+//
+// Writers never mutate in place. Apply copies the current epoch's data,
+// applies a batch of row writes, and atomically installs the result as
+// epoch N+1 — readers pinned to N keep reading N, unblocked and unbothered
+// (the -race-provable fix for the historical Update/Answer race). The
+// two-phase form (Prepare / Commit / Abort) is the same installation split
+// across a cluster handshake: every shard stages the target epoch, the
+// coordinator commits only when all acked, and a straggler's Abort both
+// drops a staged epoch and rolls back a committed-but-orphaned one, so a
+// partial cluster failure leaves every shard readable at the old epoch.
+//
+// Epoch numbers never recur. An aborted epoch is burned: Epoch() and the
+// next prepare/apply target skip past it, so a partial share pinned to a
+// rolled-back epoch can never silently epoch-match a later, different
+// table (the merge-consistency check a cluster runs would otherwise be
+// blind to exactly the failure it exists to catch).
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"gpudpf/internal/strategy"
+)
+
+// RowWrite is one row overwrite in an update batch. Vals must be exactly
+// the table's lane count wide. When a batch writes the same row twice, the
+// later write wins (batches apply in order).
+type RowWrite struct {
+	Row  uint64
+	Vals []uint32
+}
+
+// backing is one epoch's data array plus the count of snapshots that still
+// reference it. An empty Prepare (an epoch tick with no row writes) shares
+// its predecessor's backing instead of copying the table, so the refcount
+// is per-backing, not per-snapshot.
+type backing struct {
+	data []uint32
+	refs atomic.Int64
+}
+
+// Snapshot is one epoch's immutable table view. It is safe for concurrent
+// readers; nothing ever mutates its data. Callers that obtained it from
+// Acquire must Release it exactly once — the backing array is recycled
+// when the last reference of a superseded epoch drops.
+type Snapshot struct {
+	epoch uint64
+	tab   strategy.Table
+	b     *backing
+	s     *Store
+	// refs counts pins on this snapshot: the store's own reference while
+	// current (or retained for rollback), plus one per outstanding
+	// Acquire. At zero the snapshot is dead and its backing reference is
+	// returned.
+	refs atomic.Int64
+}
+
+// Epoch returns the snapshot's epoch (0 for a freshly adopted table).
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Table returns the snapshot's table view. The returned table is immutable
+// — it is the snapshot's own view, shared with every other holder of this
+// epoch — and remains valid until Release.
+func (sn *Snapshot) Table() *strategy.Table { return &sn.tab }
+
+// Rows returns the table's row count (immutable across epochs).
+func (sn *Snapshot) Rows() int { return sn.tab.NumRows }
+
+// Lanes returns the table's lane count (immutable across epochs).
+func (sn *Snapshot) Lanes() int { return sn.tab.Lanes }
+
+// Row returns row i of this epoch, valid until Release.
+func (sn *Snapshot) Row(i int) []uint32 { return sn.tab.Row(i) }
+
+// Data returns this epoch's contiguous row-major lane buffer — what
+// strategy.accumulateTile streams — valid until Release.
+func (sn *Snapshot) Data() []uint32 { return sn.tab.Data }
+
+// tryAcquire pins the snapshot unless it is already dead (refs hit zero
+// between the caller loading the pointer and pinning it).
+func (sn *Snapshot) tryAcquire() bool {
+	for {
+		n := sn.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if sn.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Release unpins the snapshot. The last release of a superseded epoch
+// recycles its backing into the store's spare pool.
+func (sn *Snapshot) Release() { sn.release(false) }
+
+// release is Release with the store's writer lock state made explicit:
+// writer-side code that drops references while holding s.mu must not
+// re-enter it through the recycling path.
+func (sn *Snapshot) release(locked bool) {
+	if sn.refs.Add(-1) > 0 {
+		return
+	}
+	if sn.b.refs.Add(-1) > 0 {
+		return
+	}
+	if locked {
+		sn.s.recycleLocked(sn.b.data)
+	} else {
+		sn.s.recycle(sn.b.data)
+	}
+}
+
+// staged is a prepared-but-uncommitted epoch.
+type staged struct {
+	epoch uint64
+	b     *backing
+}
+
+// Store is the epoch-versioned owner of one replica's table.
+type Store struct {
+	rows, lanes int
+
+	// cur is the current epoch's snapshot; the store holds one reference
+	// on it (dropped when a commit supersedes it).
+	cur atomic.Pointer[Snapshot]
+
+	// mu serializes writers: Apply, Prepare, Commit, Abort, and backing
+	// recycling. The read path (Acquire/Release) never takes it.
+	mu     sync.Mutex
+	stage  *staged
+	prev   *Snapshot // last superseded epoch, retained (with a ref) so Abort can roll back
+	burned uint64    // highest aborted epoch; never reissued
+	spares [][]uint32
+}
+
+// maxSpares bounds the recycled-backing pool: current + previous + one
+// in-flight copy is the steady-state working set; anything beyond is heap
+// the store should give back.
+const maxSpares = 2
+
+// New builds a Store over tab, adopted as epoch 0. The store takes
+// ownership of tab's backing array: the caller must not mutate it after
+// New (all writes go through Apply or Prepare/Commit).
+func New(tab *strategy.Table) (*Store, error) {
+	if tab == nil || tab.NumRows <= 0 || tab.Lanes <= 0 {
+		return nil, fmt.Errorf("store: needs a non-empty table")
+	}
+	if len(tab.Data) != tab.NumRows*tab.Lanes {
+		return nil, fmt.Errorf("store: table data is %d words, shape %d×%d needs %d",
+			len(tab.Data), tab.NumRows, tab.Lanes, tab.NumRows*tab.Lanes)
+	}
+	s := &Store{rows: tab.NumRows, lanes: tab.Lanes}
+	b := &backing{data: tab.Data}
+	b.refs.Store(1)
+	sn := &Snapshot{tab: strategy.Table{NumRows: tab.NumRows, Lanes: tab.Lanes, Data: tab.Data}, b: b, s: s}
+	sn.refs.Store(1) // the store's own reference
+	s.cur.Store(sn)
+	return s, nil
+}
+
+// Shape returns the table's row and lane counts (immutable across epochs).
+func (s *Store) Shape() (rows, lanes int) { return s.rows, s.lanes }
+
+// Epoch returns the store's effective epoch: the current snapshot's, or
+// the highest aborted epoch if that is newer (aborted epochs are burned,
+// not reissued). The next successful update lands strictly above it.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.effectiveLocked()
+}
+
+func (s *Store) effectiveLocked() uint64 {
+	e := s.cur.Load().epoch
+	if s.burned > e {
+		e = s.burned
+	}
+	return e
+}
+
+// Acquire pins and returns the current snapshot. The caller must Release
+// it when done; until then the snapshot's data is guaranteed immutable and
+// alive regardless of how many epochs are installed meanwhile. The path is
+// lock-free: a reader never waits on a writer.
+func (s *Store) Acquire() *Snapshot {
+	for {
+		sn := s.cur.Load()
+		if sn.tryAcquire() {
+			// cur may have moved on while we pinned; that is fine — we
+			// pinned a snapshot that was current a moment ago, which is
+			// exactly the linearization Acquire promises.
+			return sn
+		}
+		// The snapshot died between Load and pin (superseded and fully
+		// released); the new current is already installed.
+	}
+}
+
+// recycle returns a dead backing's array to the spare pool.
+func (s *Store) recycle(data []uint32) {
+	s.mu.Lock()
+	s.recycleLocked(data)
+	s.mu.Unlock()
+}
+
+func (s *Store) recycleLocked(data []uint32) {
+	if len(s.spares) < maxSpares {
+		s.spares = append(s.spares, data)
+	}
+}
+
+// getBufferLocked pops a spare backing array or allocates a fresh one.
+func (s *Store) getBufferLocked() []uint32 {
+	if n := len(s.spares); n > 0 {
+		buf := s.spares[n-1]
+		s.spares = s.spares[:n-1]
+		return buf
+	}
+	return make([]uint32, s.rows*s.lanes)
+}
+
+// validateWrites checks a batch against the table shape.
+func (s *Store) validateWrites(writes []RowWrite) error {
+	for i, w := range writes {
+		if w.Row >= uint64(s.rows) {
+			return fmt.Errorf("store: write %d targets row %d outside table of %d rows", i, w.Row, s.rows)
+		}
+		if len(w.Vals) != s.lanes {
+			return fmt.Errorf("store: write %d (row %d) has %d lanes, table rows have %d", i, w.Row, len(w.Vals), s.lanes)
+		}
+	}
+	return nil
+}
+
+// stageLocked builds the staged state for writes at the given epoch. An
+// empty batch shares the current backing (an epoch tick costs no copy); a
+// non-empty one copies the table and applies the writes in order.
+func (s *Store) stageLocked(epoch uint64, writes []RowWrite) *staged {
+	cur := s.cur.Load()
+	if len(writes) == 0 {
+		cur.b.refs.Add(1)
+		return &staged{epoch: epoch, b: cur.b}
+	}
+	data := s.getBufferLocked()
+	copy(data, cur.tab.Data)
+	for _, w := range writes {
+		copy(data[int(w.Row)*s.lanes:(int(w.Row)+1)*s.lanes], w.Vals)
+	}
+	b := &backing{data: data}
+	b.refs.Store(1)
+	return &staged{epoch: epoch, b: b}
+}
+
+// installLocked makes st the current snapshot, retiring the old current
+// into prev (kept pinned so Abort can roll the commit back until the next
+// commit supersedes it).
+func (s *Store) installLocked(st *staged) *Snapshot {
+	sn := &Snapshot{
+		epoch: st.epoch,
+		tab:   strategy.Table{NumRows: s.rows, Lanes: s.lanes, Data: st.b.data},
+		b:     st.b,
+		s:     s,
+	}
+	sn.refs.Store(1) // the store's reference
+	old := s.cur.Load()
+	s.cur.Store(sn)
+	if s.prev != nil {
+		s.prev.release(true) // the rollback window moves forward
+	}
+	s.prev = old // the store's reference on old moves from "current" to "rollback"
+	return sn
+}
+
+// Apply installs the batch atomically as the next epoch and returns it.
+// Readers pinned to the current epoch are not blocked and keep their view;
+// the next Acquire sees the new epoch. Apply fails while a prepared epoch
+// is outstanding — a store is either coordinated (Prepare/Commit) or
+// direct (Apply), never both at once.
+func (s *Store) Apply(writes []RowWrite) (uint64, error) {
+	if err := s.validateWrites(writes); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stage != nil {
+		return 0, fmt.Errorf("store: epoch %d is prepared but not committed; commit or abort it first", s.stage.epoch)
+	}
+	sn := s.installLocked(s.stageLocked(s.effectiveLocked()+1, writes))
+	return sn.epoch, nil
+}
+
+// Prepare stages the batch as the given epoch, which must lie strictly
+// above the store's effective epoch (a stale coordinator cannot replay an
+// old epoch). The staged epoch is invisible to readers until Commit. Only
+// one epoch may be staged at a time.
+func (s *Store) Prepare(epoch uint64, writes []RowWrite) error {
+	if err := s.validateWrites(writes); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stage != nil {
+		return fmt.Errorf("store: epoch %d is already prepared; commit or abort it before preparing %d", s.stage.epoch, epoch)
+	}
+	if eff := s.effectiveLocked(); epoch <= eff {
+		return fmt.Errorf("store: cannot prepare epoch %d at epoch %d (prepare must target a later epoch)", epoch, eff)
+	}
+	s.stage = s.stageLocked(epoch, writes)
+	return nil
+}
+
+// Commit installs the staged epoch, which must match. Readers pinned to
+// the previous epoch keep their view until they Release.
+func (s *Store) Commit(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stage == nil {
+		return fmt.Errorf("store: no epoch is prepared (commit %d)", epoch)
+	}
+	if s.stage.epoch != epoch {
+		return fmt.Errorf("store: epoch %d is prepared, cannot commit %d", s.stage.epoch, epoch)
+	}
+	s.installLocked(s.stage)
+	s.stage = nil
+	return nil
+}
+
+// Abort returns the store to the state before `epoch`, whatever phase the
+// update died in: it drops a staged epoch, rolls back a committed current
+// epoch to its predecessor (retained since the commit), and is a no-op —
+// not an error — when the store never saw the epoch at all. In every case
+// the epoch is burned: it will never be reissued. Coordinators fan Abort
+// to every shard after a partial failure; idempotence is what lets them
+// not track who got how far.
+func (s *Store) Abort(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch > s.burned {
+		s.burned = epoch
+	}
+	if s.stage != nil && s.stage.epoch == epoch {
+		st := s.stage
+		s.stage = nil
+		if st.b.refs.Add(-1) <= 0 {
+			s.recycleLocked(st.b.data)
+		}
+		return nil
+	}
+	cur := s.cur.Load()
+	if cur.epoch == epoch && s.prev != nil {
+		// Roll the commit back: reinstate the predecessor as current.
+		// prev still carries the store reference retained at commit time.
+		prev := s.prev
+		s.prev = nil
+		s.cur.Store(prev)
+		cur.release(true) // drop the store's reference on the rolled-back epoch
+	}
+	return nil
+}
+
+// Rollbackable reports whether Abort of the current epoch could still roll
+// back (the predecessor is retained). Exposed for tests.
+func (s *Store) Rollbackable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prev != nil
+}

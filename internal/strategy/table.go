@@ -27,6 +27,13 @@ import (
 // Table is an embedding table held by one PIR server: NumRows rows of
 // Lanes 32-bit lanes each (entry bytes = 4·Lanes). The DPF domain is the
 // next power of two ≥ NumRows; leaves beyond NumRows contribute nothing.
+//
+// Ownership convention: a Table handed to the serving stack is a SNAPSHOT
+// payload. internal/store adopts it as one immutable epoch — the
+// strategies stream Data with no locks because nothing ever mutates a
+// served table in place; updates build a new Table (a new epoch) instead.
+// Code that builds tables (loaders, tests) may fill Data freely BEFORE
+// handing the table over; afterwards all writes go through the store.
 type Table struct {
 	// NumRows is the number of embedding entries.
 	NumRows int
@@ -46,6 +53,14 @@ func NewTable(rows, lanes int) (*Table, error) {
 
 // Row returns row i as a slice into the table.
 func (t *Table) Row(i int) []uint32 { return t.Data[i*t.Lanes : (i+1)*t.Lanes] }
+
+// Clone returns a deep copy of the table — a fresh mutable buffer for
+// callers that need to derive a new snapshot payload from a served one.
+func (t *Table) Clone() *Table {
+	data := make([]uint32, len(t.Data))
+	copy(data, t.Data)
+	return &Table{NumRows: t.NumRows, Lanes: t.Lanes, Data: data}
+}
 
 // Bits returns the DPF tree depth for this table: ceil(log2(NumRows)),
 // minimum 1.
