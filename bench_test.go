@@ -115,6 +115,35 @@ func BenchmarkTiledAnswer(b *testing.B) {
 	}
 }
 
+// BenchmarkExpandLeaves measures one query's full-domain expansion with
+// the terminal conversion fused into the final tree step (ExpandLeaves,
+// what the scalar hot path runs) against the unfused frontier-then-convert
+// pipeline, at the answer benchmark's 2^16-leaf domain.
+func BenchmarkExpandLeaves(b *testing.B) {
+	const bits = 16
+	prg := dpf.NewAESPRG()
+	rng := rand.New(rand.NewSource(5))
+	k0, _, err := dpf.Gen(prg, 77, bits, []uint32{1}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sc dpf.FrontierScratch
+	out := make([]uint32, 1<<bits)
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sc.ExpandLeaves(prg, &k0, out)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seeds, ts := sc.ExpandFrontier(prg, &k0)
+			dpf.LeafValuesInto(&k0, seeds, ts, out)
+		}
+	})
+}
+
 // BenchmarkFig3Gen measures client-side key generation (Figure 3's cheap
 // half) across domain sizes.
 func BenchmarkFig3Gen(b *testing.B) {

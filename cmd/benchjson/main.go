@@ -15,18 +15,27 @@
 //     (at the default -early 2) early-terminated keys that cut PRF work
 //     ~4× by converting each terminal seed into four leaf lanes (§3.1).
 //
+// Each case also reports mb_per_sec, the table-streaming bandwidth the
+// paper's §3.2.4 tableReadBytes model implies: the bytes the case's table
+// passes must read (one full pass per query for seed, one per 32-query
+// tile for tiled) divided by the measured time. It shows how close the
+// answer kernel gets to memory bandwidth.
+//
 // With -compare FILE the run additionally gates against a committed
 // baseline file: it fails (exit 1) if the tiled path's speedup over the
 // seed path regresses more than 15% on any batch both files measured, or
 // if tiled allocs/op leave single digits. Speedup ratios — not absolute
 // ns/op — are compared because CI hardware differs from the machine that
 // wrote the committed baseline; the ratio is the machine-normalized
-// measure of the tiled path's health.
+// measure of the tiled path's health. -minqps "32=500" adds absolute
+// tiled-throughput floors on top: a ratio gate alone cannot catch a
+// kernel regression that slows seed and tiled alike.
 //
 // Usage:
 //
 //	benchjson [-o BENCH_hotpath.json] [-rows 65536] [-lanes 16]
 //	          [-batches 1,8,32,128] [-early 2] [-compare BENCH_hotpath.json]
+//	          [-minqps "32=500"]
 package main
 
 import (
@@ -55,6 +64,11 @@ const maxSpeedupRegression = 0.15
 // maxTiledAllocs is the -compare gate on tiled allocs/op ("single digits").
 const maxTiledAllocs = 9
 
+// tileQueries mirrors strategy's query-tile width: the tiled path streams
+// the table once per tile of this many queries, which is what its
+// tableReadBytes (and so mb_per_sec) accounting divides by.
+const tileQueries = 32
+
 // Case is one measured benchmark configuration.
 type Case struct {
 	Name        string  `json:"name"`
@@ -63,6 +77,9 @@ type Case struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	QPS         float64 `json:"qps"`
+	// MBPerSec is the table-streaming bandwidth implied by the §3.2.4
+	// traffic model: the case's mandatory table reads divided by wall time.
+	MBPerSec float64 `json:"mb_per_sec"`
 }
 
 // Output is the BENCH_hotpath.json schema.
@@ -86,6 +103,7 @@ func main() {
 	batches := flag.String("batches", "1,8,32,128", "comma-separated batch sizes")
 	early := flag.Int("early", dpf.DefaultEarlyBits, "early-termination depth for the tiled path's keys (0 = full-depth wire-v1)")
 	compare := flag.String("compare", "", "committed baseline JSON to gate against (fail on >15% speedup regression or double-digit tiled allocs)")
+	minQPS := flag.String("minqps", "", `absolute tiled-throughput floors, comma-separated "batch=qps" (e.g. "32=500"); the tiled case at each listed batch must reach its floor`)
 	flag.Parse()
 
 	tab, err := strategy.NewTable(*rows, *lanes)
@@ -124,10 +142,14 @@ func main() {
 		}
 		seedKeys := genKeys(prg, tab, indices, 0, rng)
 		tiledKeys := genKeys(prg, tab, indices, *early, rng)
-		seed := measure("seed", batch, func() {
+		tableBytes := int64(*rows) * int64(*lanes) * 4
+		// The seed baseline streams the table once per query; the tiled
+		// path once per tile (§3.2.4's tableReadBytes model).
+		tiles := int64((batch + tileQueries - 1) / tileQueries)
+		seed := measure("seed", batch, int64(batch)*tableBytes, func() {
 			seedbaseline.Run(prg, seedKeys, tab, 128)
 		})
-		tiled := measure("tiled", batch, func() {
+		tiled := measure("tiled", batch, tiles*tableBytes, func() {
 			var ctr gpu.Counters
 			s := strategy.MemBoundTree{K: 128, Fused: true}
 			if _, err := s.Run(prg, tiledKeys, tab, &ctr); err != nil {
@@ -159,6 +181,48 @@ func main() {
 		}
 		fmt.Printf("regression gate vs %s: ok\n", *compare)
 	}
+	if *minQPS != "" {
+		if err := checkThroughputFloors(*minQPS, o); err != nil {
+			log.Fatalf("benchjson: throughput floor: %v", err)
+		}
+		fmt.Printf("throughput floors (%s): ok\n", *minQPS)
+	}
+}
+
+// checkThroughputFloors enforces -minqps: each "batch=qps" entry is an
+// absolute floor on the tiled case's measured throughput at that batch.
+// Unlike the -compare ratio gate, this catches a kernel regression that
+// slows the seed baseline and the tiled path proportionally.
+func checkThroughputFloors(spec string, got Output) error {
+	for _, entry := range strings.Split(spec, ",") {
+		batchStr, qpsStr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return fmt.Errorf("bad -minqps entry %q (want batch=qps)", entry)
+		}
+		batch, err := strconv.Atoi(batchStr)
+		if err != nil {
+			return fmt.Errorf("bad -minqps batch %q", batchStr)
+		}
+		floor, err := strconv.ParseFloat(qpsStr, 64)
+		if err != nil || floor <= 0 {
+			return fmt.Errorf("bad -minqps floor %q", qpsStr)
+		}
+		found := false
+		for _, c := range got.Cases {
+			if c.Name != "tiled" || c.Batch != batch {
+				continue
+			}
+			found = true
+			if c.QPS < floor {
+				return fmt.Errorf("batch %d: tiled %.1f QPS below floor %.1f", batch, c.QPS, floor)
+			}
+			fmt.Printf("batch %d: tiled %.1f QPS >= floor %.1f\n", batch, c.QPS, floor)
+		}
+		if !found {
+			return fmt.Errorf("-minqps batch %d was not measured (check -batches)", batch)
+		}
+	}
+	return nil
 }
 
 // genKeys generates one party-0 key per index at the given termination
@@ -224,7 +288,7 @@ func compareBaseline(path string, got Output) error {
 // measure runs fn via testing.Benchmark (which auto-scales iterations to
 // its time target; the loop must run exactly b.N times or the per-op
 // numbers skew).
-func measure(name string, batch int, fn func()) Case {
+func measure(name string, batch int, tableBytes int64, fn func()) Case {
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -240,6 +304,7 @@ func measure(name string, batch int, fn func()) Case {
 	}
 	if c.NsPerOp > 0 {
 		c.QPS = float64(batch) / (c.NsPerOp / 1e9)
+		c.MBPerSec = float64(tableBytes) / (c.NsPerOp / 1e9) / 1e6
 	}
 	return c
 }

@@ -43,7 +43,17 @@ func (*AESPRG) Expand(s Seed) (left, right Seed, tL, tR uint8) {
 // allocations.
 func (*AESPRG) ExpandBatch(seeds []Seed, left, right []Seed, tL, tR []uint8) {
 	if aesniOK {
-		for i := range seeds {
+		// Two nodes per asm call: the pair-interleaved schedules hide the
+		// AESKEYGENASSIST ladder's serial latency (the same pairing the
+		// pure-Go expand2 path below does in software).
+		i := 0
+		for ; i+1 < len(seeds); i += 2 {
+			aesniExpandPair2(&seeds[i], &seeds[i+1],
+				&left[i], &right[i], &left[i+1], &right[i+1])
+			tL[i], tR[i] = clearControlBits(&left[i], &right[i])
+			tL[i+1], tR[i+1] = clearControlBits(&left[i+1], &right[i+1])
+		}
+		if i < len(seeds) {
 			aesniExpandPair(&seeds[i], &left[i], &right[i])
 			tL[i], tR[i] = clearControlBits(&left[i], &right[i])
 		}
@@ -85,7 +95,14 @@ func (*AESPRG) stepBothBatch(seeds []Seed, ts []uint8, cw CW, next []Seed, nextT
 		nextT[2*i], nextT[2*i+1] = lt, rt
 	}
 	if aesniOK {
-		for i := range seeds {
+		i := 0
+		for ; i+1 < len(seeds); i += 2 {
+			aesniExpandPair2(&seeds[i], &seeds[i+1],
+				&next[2*i], &next[2*i+1], &next[2*i+2], &next[2*i+3])
+			correct(i)
+			correct(i + 1)
+		}
+		if i < len(seeds) {
 			aesniExpandPair(&seeds[i], &next[2*i], &next[2*i+1])
 			correct(i)
 		}
@@ -104,6 +121,58 @@ func (*AESPRG) stepBothBatch(seeds []Seed, ts []uint8, cw CW, next []Seed, nextT
 		rkA.expand(&seeds[i])
 		rkA.encryptPair(&next[2*i], &next[2*i+1])
 		correct(i)
+	}
+}
+
+// stepLeafBatch is the fused final step StepLeafBatch dispatches to for
+// AES: each pipeline call expands a pair of terminal-frontier parents into
+// a stack buffer whose four children are corrected and converted straight
+// into the output lanes — the child seeds never touch a frontier or batch
+// scratch buffer, so the tree's widest level costs only the AES calls and
+// the conversion arithmetic.
+func (*AESPRG) stepLeafBatch(k *Key, seeds []Seed, ts []uint8, cw CW, dst []uint32) {
+	gl := k.GroupLanes()
+	var buf [4]Seed
+	correctConvert := func(i int, l, r *Seed) {
+		lt := l[0] & 1
+		rt := r[0] & 1
+		l[0] &^= 1
+		r[0] &^= 1
+		if ts[i] == 1 {
+			xorSeedInto(l, &cw.S)
+			xorSeedInto(r, &cw.S)
+			lt ^= cw.TL
+			rt ^= cw.TR
+		}
+		convertLeafGroup(k, l, lt, dst[2*i*gl:(2*i+1)*gl])
+		convertLeafGroup(k, r, rt, dst[(2*i+1)*gl:(2*i+2)*gl])
+	}
+	if aesniOK {
+		i := 0
+		for ; i+1 < len(seeds); i += 2 {
+			aesniExpandPair2(&seeds[i], &seeds[i+1], &buf[0], &buf[1], &buf[2], &buf[3])
+			correctConvert(i, &buf[0], &buf[1])
+			correctConvert(i+1, &buf[2], &buf[3])
+		}
+		if i < len(seeds) {
+			aesniExpandPair(&seeds[i], &buf[0], &buf[1])
+			correctConvert(i, &buf[0], &buf[1])
+		}
+		return
+	}
+	var rkA, rkB aesRoundKeys
+	i := 0
+	for ; i+1 < len(seeds); i += 2 {
+		expand2(&rkA, &rkB, &seeds[i], &seeds[i+1])
+		rkA.encryptPair(&buf[0], &buf[1])
+		rkB.encryptPair(&buf[2], &buf[3])
+		correctConvert(i, &buf[0], &buf[1])
+		correctConvert(i+1, &buf[2], &buf[3])
+	}
+	if i < len(seeds) {
+		rkA.expand(&seeds[i])
+		rkA.encryptPair(&buf[0], &buf[1])
+		correctConvert(i, &buf[0], &buf[1])
 	}
 }
 

@@ -16,8 +16,9 @@ func BenchmarkScalarExpand(b *testing.B) {
 }
 
 // BenchmarkBatchExpand128 measures a 128-wide ExpandBatch (one K-wide
-// frontier advance): AES-NI schedule+encrypt per node on amd64, pure-Go
-// T-tables elsewhere, zero allocations either way.
+// frontier advance): the pair-interleaved AES-NI schedule+encrypt pipeline
+// on amd64 (two nodes per asm call hiding the key-schedule latency),
+// pure-Go T-tables elsewhere, zero allocations either way.
 func BenchmarkBatchExpand128(b *testing.B) {
 	prg := NewAESPRG()
 	seeds := make([]Seed, 128)
@@ -31,4 +32,46 @@ func BenchmarkBatchExpand128(b *testing.B) {
 		prg.ExpandBatch(seeds, left, right, tl, tr)
 		copy(seeds, left)
 	}
+}
+
+// BenchmarkStepLeafBatch128 measures the fused final step on a 128-wide
+// frontier against the two-pass pipeline it replaces (StepBothBatch into a
+// terminal buffer, LeafValuesInto over it): same arithmetic, no frontier
+// round trip.
+func BenchmarkStepLeafBatch128(b *testing.B) {
+	prg := NewAESPRG()
+	k0, _, err := GenEarly(prg, 5, 10, []uint32{1}, DefaultEarlyBits, zeroReader{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]Seed, 128)
+	ts := make([]uint8, 128)
+	var sc BatchScratch
+	dst := make([]uint32, 2*128*k0.GroupLanes())
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			StepLeafBatch(prg, &k0, seeds, ts, dst, &sc)
+		}
+	})
+	term := make([]Seed, 256)
+	termT := make([]uint8, 256)
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			StepBothBatch(prg, seeds, ts, k0.CWs[k0.TreeDepth()-1], term, termT, &sc)
+			LeafValuesInto(&k0, term, termT, dst)
+		}
+	})
+}
+
+// zeroReader is a deterministic randomness source for benchmark key
+// generation.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(i)
+	}
+	return len(p), nil
 }

@@ -17,6 +17,16 @@ package dpf
 //go:noescape
 func aesniExpandPair(seed, left, right *Seed)
 
+// aesniExpandPair2 expands two nodes per call with the key schedules
+// pair-interleaved: the second node's AESKEYGENASSIST ladder and AESENCs
+// fill the latency of the first's serial schedule chain, which a
+// single-node call leaves exposed. Bit-identical to two aesniExpandPair
+// calls (TestAESNIExpandPair2MatchesPair pins it). Implemented in
+// aesni_amd64.s.
+//
+//go:noescape
+func aesniExpandPair2(seedA, seedB, leftA, rightA, leftB, rightB *Seed)
+
 // hasAESNI reports CPUID.1:ECX.AES[bit 25]. Implemented in aesni_amd64.s.
 func hasAESNI() bool
 

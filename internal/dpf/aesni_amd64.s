@@ -49,6 +49,77 @@ TEXT ·aesniExpandPair(SB), NOSPLIT, $0-24
 	MOVOU X9, (CX)
 	RET
 
+// func aesniExpandPair2(seedA, seedB, leftA, rightA, leftB, rightB *Seed)
+//
+// Two node expansions per call with the key schedules pair-interleaved.
+// One AESKEYGENASSIST ladder has no instruction-level parallelism — every
+// round waits on the previous round key — and early termination made the
+// schedule relatively heavier (shorter trees, same one-schedule-per-node
+// cost), so a single-node call leaves the AES units idle between ladder
+// steps. Interleaving two independent schedules lets the second node's
+// ladder and its four AESENCs fill the first's latency. Register use:
+// X0/X3 the two round keys, X1/X4 assists, X2/X5 ladder temps,
+// X8/X9 node A's cipher states, X10/X11 node B's.
+#define EXPAND_ROUND2(rcon, enc) \
+	AESKEYGENASSIST $rcon, X0, X1 \
+	AESKEYGENASSIST $rcon, X3, X4 \
+	PSHUFD  $0xff, X1, X1 \
+	PSHUFD  $0xff, X4, X4 \
+	MOVO    X0, X2        \
+	MOVO    X3, X5        \
+	PSLLDQ  $4, X2        \
+	PSLLDQ  $4, X5        \
+	PXOR    X2, X0        \
+	PXOR    X5, X3        \
+	PSLLDQ  $4, X2        \
+	PSLLDQ  $4, X5        \
+	PXOR    X2, X0        \
+	PXOR    X5, X3        \
+	PSLLDQ  $4, X2        \
+	PSLLDQ  $4, X5        \
+	PXOR    X2, X0        \
+	PXOR    X5, X3        \
+	PXOR    X1, X0        \
+	PXOR    X4, X3        \
+	enc     X0, X8        \
+	enc     X0, X9        \
+	enc     X3, X10       \
+	enc     X3, X11
+
+TEXT ·aesniExpandPair2(SB), NOSPLIT, $0-48
+	MOVQ seedA+0(FP), AX
+	MOVQ seedB+8(FP), BX
+	MOVOU (AX), X0       // round key A0 = node A seed
+	MOVOU (BX), X3       // round key B0 = node B seed
+	PXOR  X8, X8         // A block 0: all zeros
+	PXOR  X10, X10       // B block 0: all zeros
+	MOVQ  $1, DX
+	MOVQ  DX, X9         // A block 1: byte 0 = 0x01
+	MOVQ  DX, X11        // B block 1: byte 0 = 0x01
+	PXOR  X0, X8         // initial AddRoundKey
+	PXOR  X0, X9
+	PXOR  X3, X10
+	PXOR  X3, X11
+	EXPAND_ROUND2(0x01, AESENC)
+	EXPAND_ROUND2(0x02, AESENC)
+	EXPAND_ROUND2(0x04, AESENC)
+	EXPAND_ROUND2(0x08, AESENC)
+	EXPAND_ROUND2(0x10, AESENC)
+	EXPAND_ROUND2(0x20, AESENC)
+	EXPAND_ROUND2(0x40, AESENC)
+	EXPAND_ROUND2(0x80, AESENC)
+	EXPAND_ROUND2(0x1b, AESENC)
+	EXPAND_ROUND2(0x36, AESENCLAST)
+	MOVQ leftA+16(FP), AX
+	MOVOU X8, (AX)
+	MOVQ rightA+24(FP), AX
+	MOVOU X9, (AX)
+	MOVQ leftB+32(FP), AX
+	MOVOU X10, (AX)
+	MOVQ rightB+40(FP), AX
+	MOVOU X11, (AX)
+	RET
+
 // func hasAESNI() bool
 TEXT ·hasAESNI(SB), NOSPLIT, $0-1
 	MOVL $1, AX

@@ -1,0 +1,32 @@
+//go:build amd64 && !purego
+
+package dpf
+
+import (
+	mrand "math/rand"
+	"testing"
+)
+
+// TestAESNIExpandPair2MatchesPair pins the pair-interleaved two-node
+// pipeline bit-identical to two single-node calls: interleaving the key
+// schedules reorders instructions, never values.
+func TestAESNIExpandPair2MatchesPair(t *testing.T) {
+	if !aesniOK {
+		t.Skip("host has no AES-NI")
+	}
+	rng := mrand.New(mrand.NewSource(8))
+	var sA, sB Seed
+	var lA, rA, lB, rB Seed
+	var wlA, wrA, wlB, wrB Seed
+	for trial := 0; trial < 500; trial++ {
+		rng.Read(sA[:])
+		rng.Read(sB[:])
+		aesniExpandPair2(&sA, &sB, &lA, &rA, &lB, &rB)
+		aesniExpandPair(&sA, &wlA, &wrA)
+		aesniExpandPair(&sB, &wlB, &wrB)
+		if lA != wlA || rA != wrA || lB != wlB || rB != wrB {
+			t.Fatalf("trial %d: pair2 (%x,%x,%x,%x) != pair (%x,%x,%x,%x)",
+				trial, lA, rA, lB, rB, wlA, wrA, wlB, wrB)
+		}
+	}
+}

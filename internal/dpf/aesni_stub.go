@@ -9,3 +9,7 @@ const aesniOK = false
 func aesniExpandPair(seed, left, right *Seed) {
 	panic("dpf: aesniExpandPair without AES-NI")
 }
+
+func aesniExpandPair2(seedA, seedB, leftA, rightA, leftB, rightB *Seed) {
+	panic("dpf: aesniExpandPair2 without AES-NI")
+}

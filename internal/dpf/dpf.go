@@ -339,6 +339,60 @@ func StepBothBatch(prg PRG, seeds []Seed, ts []uint8, cw CW, next []Seed, nextT 
 	}
 }
 
+// StepLeafBatch fuses the last walked level with the §3.1 terminal
+// conversion for scalar keys: the nodes (seeds[i], ts[i]) sit one level
+// above the terminal frontier and share the final correction word
+// k.CWs[TreeDepth()-1]; each node's two terminal children are expanded,
+// corrected, and converted straight into this party's output shares —
+// dst[i·2·g : (i+1)·2·g] (g = GroupLanes()) receives node i's children's
+// groups in leaf order — without the child seeds round-tripping through a
+// frontier buffer. Like LeafValuesInto, this assumes a scalar key
+// (Lanes == 1): conversion reads straight from the seed words with no
+// extra PRF call. dst must have 2·len(seeds)·GroupLanes() entries.
+func StepLeafBatch(prg PRG, k *Key, seeds []Seed, ts []uint8, dst []uint32, sc *BatchScratch) {
+	cw := k.CWs[k.TreeDepth()-1]
+	if a, ok := prg.(*AESPRG); ok {
+		// The default PRF fuses all the way down: the pair-interleaved AES
+		// pipeline's output blocks are corrected and converted out of a
+		// stack buffer, skipping the batch scratch too.
+		a.stepLeafBatch(k, seeds, ts, cw, dst)
+		return
+	}
+	n := len(seeds)
+	sc.grow(n)
+	prg.ExpandBatch(seeds, sc.left, sc.right, sc.tl, sc.tr)
+	gl := k.GroupLanes()
+	for i := 0; i < n; i++ {
+		l, r := sc.left[i], sc.right[i]
+		lt, rt := sc.tl[i], sc.tr[i]
+		if ts[i] == 1 {
+			l = xorSeed(l, cw.S)
+			r = xorSeed(r, cw.S)
+			lt ^= cw.TL
+			rt ^= cw.TR
+		}
+		convertLeafGroup(k, &l, lt, dst[2*i*gl:(2*i+1)*gl])
+		convertLeafGroup(k, &r, rt, dst[(2*i+1)*gl:(2*i+2)*gl])
+	}
+}
+
+// convertLeafGroup converts one corrected terminal seed of a scalar key
+// into its group's output shares (final correction plus party sign), the
+// per-node body of LeafValuesInto.
+func convertLeafGroup(k *Key, s *Seed, t uint8, out []uint32) {
+	neg := k.Party == 1
+	for j := range out {
+		v := leU32(s[j*4 : j*4+4])
+		if t == 1 {
+			v += k.Final[j]
+		}
+		if neg {
+			v = -v
+		}
+		out[j] = v
+	}
+}
+
 // StepBatch advances n independent per-key node states one level down the
 // bit-selected child in one ExpandBatch call; cws[i] is key i's correction
 // word for this level. seeds and ts are updated in place. This batches the
@@ -569,14 +623,40 @@ func (f *FrontierScratch) ExpandFrontier(prg PRG, k *Key) ([]Seed, []uint8) {
 	return seeds, ts
 }
 
+// ExpandLeaves is ExpandFrontier fused with the terminal conversion for
+// scalar keys: the breadth-first walk stops one level above the terminal
+// frontier and the final StepLeafBatch converts the last level's children
+// straight into dst (Domain() values) — the widest frontier level never
+// materializes in the ping-pong buffers, halving the scratch high-water
+// mark and skipping the separate LeafValuesInto pass over it.
+func (f *FrontierScratch) ExpandLeaves(prg PRG, k *Key, dst []uint32) {
+	f.grow(k.Domain() >> uint(k.Early+1))
+	seeds, ts := f.seeds[:1], f.ts[:1]
+	next, nextT := f.next, f.nextT
+	seeds[0], ts[0] = k.Root, k.Party
+	depth := k.TreeDepth()
+	for level := 0; level < depth-1; level++ {
+		w := len(seeds)
+		StepBothBatch(prg, seeds, ts, k.CWs[level], next[:2*w], nextT[:2*w], &f.batch)
+		seeds, next = next[:2*w], seeds[:cap(seeds)]
+		ts, nextT = nextT[:2*w], ts[:cap(ts)]
+	}
+	StepLeafBatch(prg, k, seeds, ts, dst, &f.batch)
+	// Keep the scratch's buffer identities stable for the next call.
+	f.seeds, f.next = seeds[:cap(seeds)], next[:cap(next)]
+	f.ts, f.nextT = ts[:cap(ts)], nextT[:cap(nextT)]
+}
+
 // EvalFullInto is EvalFull through caller-provided output and scratch. out
 // must have length Domain()·Lanes.
 func EvalFullInto(prg PRG, k *Key, out []uint32, sc *FrontierScratch) {
-	seeds, ts := sc.ExpandFrontier(prg, k)
 	if k.Lanes == 1 {
-		LeafValuesInto(k, seeds, ts, out)
+		// Scalar keys take the fused walk: the last level converts straight
+		// into out.
+		sc.ExpandLeaves(prg, k, out)
 		return
 	}
+	seeds, ts := sc.ExpandFrontier(prg, k)
 	// A terminal group's lanes are its leaves' lanes concatenated in leaf
 	// order, which is exactly the flat output layout.
 	groupLanes := uint64(k.GroupLanes())

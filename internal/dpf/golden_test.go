@@ -156,6 +156,9 @@ func TestGoldenWireFormat(t *testing.T) {
 			if err := k1.UnmarshalBinary(raw1); err != nil {
 				t.Fatal(err)
 			}
+			// EvalFull runs the fused scalar walk (ExpandLeaves →
+			// StepLeafBatch → the pair-interleaved AES pipeline on amd64),
+			// so the checked-in bytes pin the new entry points too.
 			f0 := EvalFull(prg, &k0)
 			f1 := EvalFull(prg, &k1)
 			for j := uint64(0); j < 1<<uint(g.Bits); j++ {
@@ -165,6 +168,17 @@ func TestGoldenWireFormat(t *testing.T) {
 				}
 				if got := f0[j] + f1[j]; got != want {
 					t.Fatalf("reconstruction at %d = %d, want %d", j, got, want)
+				}
+			}
+			// Cross-check the fused walk against the unfused frontier +
+			// conversion pipeline on the same fixture bytes.
+			var fs FrontierScratch
+			seeds, ts := fs.ExpandFrontier(prg, &k0)
+			unfused := make([]uint32, k0.Domain())
+			LeafValuesInto(&k0, seeds, ts, unfused)
+			for j := range unfused {
+				if f0[j] != unfused[j] {
+					t.Fatalf("leaf %d: fused evaluation %d != unfused %d", j, f0[j], unfused[j])
 				}
 			}
 		})

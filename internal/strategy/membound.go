@@ -249,6 +249,20 @@ func (w *mbWalker) walk(level int, seeds []dpf.Seed, ts []uint8, base uint64) {
 		dpf.LeafRangeInto(w.key, seeds, ts, lLo, lHi, w.leaf[base+lLo-w.lo:base+lHi-w.lo])
 		return
 	}
+	if level == w.depth-1 && w.key.Lanes == 1 {
+		// Fused final step: when the group's children's leaves all lie
+		// inside [lo, hi), the last expansion corrects and converts straight
+		// into the leaf matrix (dpf.StepLeafBatch) — the terminal frontier,
+		// the walk's widest level, never round-trips through the level
+		// buffers. Clipped edge groups fall through to the generic step +
+		// LeafRangeInto above.
+		covered := span * uint64(len(seeds))
+		if base >= w.lo && base+covered <= w.hi {
+			dpf.StepLeafBatch(w.prg, w.key, seeds, ts, w.leaf[base-w.lo:base+covered-w.lo], &w.sc.batch)
+			w.blocks += int64(len(seeds)) * dpf.BlocksPerExpand
+			return
+		}
+	}
 	n := len(seeds)
 	next := w.sc.levels[level+1][:2*n]
 	nextT := w.sc.levelT[level+1][:2*n]

@@ -1,0 +1,46 @@
+package strategy
+
+// simdRowBlock is the row blocking of the AVX2 accumulate path: the kernel
+// is called once per (query, block), so the block's slice of the table —
+// 16 KB at the benchmark's 16-lane rows — stays L1-resident while all ≤32
+// queries of the tile reuse it, preserving accumulateTile's read-each-row-
+// once traffic model (§3.2.4) with register-resident accumulators.
+const simdRowBlock = 256
+
+// accumulateTileAVX2 is accumulateTile through the AVX2 kernel. Per row
+// block, each query's answer lanes ride in YMM registers while the kernel
+// performs the same leaf·row lane-wise mod-2^32 multiply-accumulate as the
+// scalar loop, 8 lanes per VPMULLD/VPADDD. Lane counts that are not a
+// multiple of 8 finish with a scalar tail per block. Output is
+// bit-identical to accumulateTileScalar: mod-2^32 adds commute, and
+// per-lane the summation order is unchanged. Only called when avx2OK and
+// lanes ≥ 8.
+func accumulateTileAVX2(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
+	lanes := tab.Lanes
+	simdLanes := lanes &^ 7
+	for j0 := lo; j0 < hi; j0 += simdRowBlock {
+		j1 := j0 + simdRowBlock
+		if j1 > hi {
+			j1 = hi
+		}
+		n := j1 - j0
+		rows := tab.Data[j0*lanes : j1*lanes]
+		for q, lv := range leaves {
+			accumulateRowsAVX2(&answers[q][0], &lv[j0-lo], &rows[0], lanes, simdLanes, n)
+		}
+		if simdLanes == lanes {
+			continue
+		}
+		// Scalar tail for the 1–7 lanes past the last full SIMD chunk.
+		for j := j0; j < j1; j++ {
+			row := tab.Row(j)
+			for q, lv := range leaves {
+				ans := answers[q]
+				leaf := lv[j-lo]
+				for i := simdLanes; i < lanes; i++ {
+					ans[i] += leaf * row[i]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+//go:build !amd64 || purego
+
+package strategy
+
+// Non-amd64 builds (and -tags purego) always take the scalar accumulate
+// loop; avx2OK is a compile-time false so the dispatch branch folds away.
+
+const avx2OK = false
+
+func accumulateRowsAVX2(dst, leaves, rows *uint32, lanes, simdLanes, n int) {
+	panic("strategy: accumulateRowsAVX2 without AVX2")
+}

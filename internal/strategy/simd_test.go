@@ -1,0 +1,135 @@
+package strategy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// naiveAccumulate is the straight-line definition of the tiled matmul,
+// independent of both accumulateRow and the SIMD kernel: answers[q][l] +=
+// leaves[q][j-lo] * tab.Data[j*lanes+l] mod 2^32 for every row in [lo, hi).
+func naiveAccumulate(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
+	for j := lo; j < hi; j++ {
+		for q := range leaves {
+			leaf := leaves[q][j-lo]
+			for l := 0; l < tab.Lanes; l++ {
+				answers[q][l] += leaf * tab.Data[j*tab.Lanes+l]
+			}
+		}
+	}
+}
+
+// randomLeafTile fills a tile-shaped leaf matrix with arbitrary values:
+// the accumulate kernels are pure mod-2^32 arithmetic, so the property
+// holds for any inputs, not just genuine DPF shares.
+func randomLeafTile(rng *rand.Rand, queries, rows int) [][]uint32 {
+	lv := make([][]uint32, queries)
+	for q := range lv {
+		lv[q] = make([]uint32, rows)
+		for j := range lv[q] {
+			lv[q][j] = rng.Uint32()
+		}
+	}
+	return lv
+}
+
+// TestAccumulateTileKernelMatchesScalar pins the dispatched accumulateTile
+// — the AVX2 kernel on hosts that have it, the scalar loop elsewhere and
+// under -tags purego — bit-identical to accumulateTileScalar and to the
+// naive definition, across lane counts straddling every dispatch boundary
+// (below the 8-lane SIMD floor, non-multiples of 8 exercising the scalar
+// tail, and above the 64-lane rowBuf staging limit), tile sizes 1..32, and
+// random row ranges that straddle the simdRowBlock blocking.
+func TestAccumulateTileKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1606))
+	for _, lanes := range []int{1, 4, 8, 13, 16, 64, 100} {
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			rows := 3*simdRowBlock + 17
+			tab := buildTable(t, rows, lanes, int64(lanes))
+			for tile := 1; tile <= tileQueries; tile++ {
+				lo := rng.Intn(rows)
+				hi := lo + 1 + rng.Intn(rows-lo)
+				lv := randomLeafTile(rng, tile, hi-lo)
+				got := NewAnswers(tile, lanes)
+				wantScalar := NewAnswers(tile, lanes)
+				wantNaive := NewAnswers(tile, lanes)
+				accumulateTile(tab, lo, hi, lv, got)
+				accumulateTileScalar(tab, lo, hi, lv, wantScalar)
+				naiveAccumulate(tab, lo, hi, lv, wantNaive)
+				for q := range got {
+					for l := range got[q] {
+						if got[q][l] != wantScalar[q][l] {
+							t.Fatalf("tile=%d rows=[%d,%d) q=%d lane=%d: dispatch %d != scalar %d",
+								tile, lo, hi, q, l, got[q][l], wantScalar[q][l])
+						}
+						if got[q][l] != wantNaive[q][l] {
+							t.Fatalf("tile=%d rows=[%d,%d) q=%d lane=%d: dispatch %d != naive %d",
+								tile, lo, hi, q, l, got[q][l], wantNaive[q][l])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAccumulateKernel measures the answer kernel A/B on the bench
+// table shape (64-byte rows, full 32-query tile): "dispatch" is whatever
+// accumulateTile selects on this host (the AVX2 kernel when available),
+// "scalar" forces the fallback loop. The gap is the SIMD win in isolation,
+// without the AES expansion half of the hot path.
+func BenchmarkAccumulateKernel(b *testing.B) {
+	const rows, lanes = 1 << 16, 16
+	tab, err := NewTable(rows, lanes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	lv := randomLeafTile(rng, tileQueries, rows)
+	ans := NewAnswers(tileQueries, lanes)
+	for _, k := range []struct {
+		name string
+		fn   func(*Table, int, int, [][]uint32, [][]uint32)
+	}{
+		{"dispatch", accumulateTile},
+		{"scalar", accumulateTileScalar},
+	} {
+		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(rows) * int64(lanes) * 4)
+			for i := 0; i < b.N; i++ {
+				k.fn(tab, 0, rows, lv, ans)
+			}
+		})
+	}
+}
+
+// TestAccumulateTileWideLanes is the >64-lane regression test: rows wider
+// than the scalar path's rowBuf staging buffer take its direct-row branch,
+// and on AVX2 hosts the same width runs the SIMD kernel with a 4-lane
+// scalar tail — both must agree with the naive definition. (Before the
+// kernel dispatch split, only the ≤64-lane staging branch was ever
+// exercised by the strategy tests.)
+func TestAccumulateTileWideLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1607))
+	const lanes, rows = 100, 517
+	tab := buildTable(t, rows, lanes, 7)
+	for _, tile := range []int{1, 5, tileQueries} {
+		lv := randomLeafTile(rng, tile, rows)
+		got := NewAnswers(tile, lanes)
+		want := NewAnswers(tile, lanes)
+		accumulateTile(tab, 0, rows, lv, got)
+		naiveAccumulate(tab, 0, rows, lv, want)
+		for q := range got {
+			for l := range got[q] {
+				if got[q][l] != want[q][l] {
+					t.Fatalf("tile=%d q=%d lane=%d: got %d want %d", tile, q, l, got[q][l], want[q][l])
+				}
+			}
+		}
+	}
+}

@@ -161,9 +161,27 @@ func accumulateRow(ans []uint32, leaf uint32, row []uint32) {
 // 2^32 (order-independent, so tiled output is bit-identical to the scalar
 // per-query pass).
 func accumulateTile(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
+	// Kernel dispatch: rows of 8+ lanes go through the AVX2 multiply-
+	// accumulate kernel when the CPU has it (and the build isn't purego);
+	// everything else — narrow rows, other architectures, older CPUs —
+	// takes the scalar loop. Both paths are bit-identical by construction:
+	// mod-2^32 lane adds are order-independent.
+	if avx2OK && tab.Lanes >= 8 {
+		accumulateTileAVX2(tab, lo, hi, leaves, answers)
+		return
+	}
+	accumulateTileScalar(tab, lo, hi, leaves, answers)
+}
+
+// accumulateTileScalar is the portable accumulate loop, the dispatch
+// fallback and the reference the SIMD kernel's property tests pin against.
+func accumulateTileScalar(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
 	// The row is staged through a fixed-size stack buffer: answers and the
 	// table share an element type, so without the copy the compiler must
 	// reload every row element once per query against possible aliasing.
+	// (The SIMD kernel needs no such staging — its loads are explicit and
+	// unaligned-tolerant — so rowBuf's size only bounds this scalar branch;
+	// wider rows take the direct-row loop below.)
 	var rowBuf [64]uint32
 	lanes := tab.Lanes
 	if lanes <= len(rowBuf) {
