@@ -30,6 +30,22 @@
 //	pirserver -party 0 -cluster host0:7800,host1:7801 \
 //	          -standby host2:7800,host3:7801 -addr :7700 -rows 1048576
 //
+// -group generalizes both flags to N-member replica groups: commas still
+// separate shards, pipes separate the members of one shard's group. The
+// front load-balances answer batches across each group's healthy members,
+// retries a failed member's batch on the next, and quarantines members
+// that miss an epoch until they are healed:
+//
+//	pirserver -party 0 -group host0:7800|host2:7800|host4:7800,host1:7801|host3:7801 \
+//	          -addr :7700 -rows 1048576
+//
+// A shard node started with -join pulls the current table snapshot from a
+// healthy same-shard peer over the shardnet snapshot RPCs before serving,
+// so a restarted (or brand-new) member enters rotation at the cluster's
+// current epoch instead of waiting quarantined for a front-side heal:
+//
+//	pirserver -party 0 -shardnode 0/2 -join host0:7800 -addr :7802 -rows 1048576 -seed 42
+//
 // The shardnet handshake pins the wire version, PRF, early-termination
 // depth and party (and advertises the node's table epoch), so a
 // misconfigured node is refused at dial time with both values named
@@ -83,15 +99,23 @@ func main() {
 	shardNode := flag.String("shardnode", "", "serve one shard of the row domain over the shardnet protocol instead of the client protocol; format i/n = rows [i·rows/n,(i+1)·rows/n)")
 	cluster := flag.String("cluster", "", "comma-separated shardnet node addresses; front a distributed replica over them instead of a local table")
 	standby := flag.String("standby", "", "comma-separated standby node addresses, parallel to -cluster (empty slots allowed); a dead primary fails over to its standby mid-batch")
+	group := flag.String("group", "", "replica groups per shard: comma-separated shards, each a |-separated list of member node addresses (e.g. \"a|b|c,d|e\"); generalizes -cluster/-standby to N load-balanced members")
+	join := flag.String("join", "", "shard-node only: pull the current table snapshot from this healthy same-shard peer (host:port) over shardnet before serving, so a restarted member rejoins at the cluster's epoch")
 	refresh := flag.Duration("refresh", 0, "rewrite a deterministic batch of rows this often (0 = off) — the transparent update path; both parties must use the same -refresh, -refreshrows and -seed")
 	refreshRows := flag.Int("refreshrows", 64, "rows per refresh batch (one table epoch per batch; on a cluster front, one epoch handshake)")
 	flag.Parse()
 
-	if *shardNode != "" && *cluster != "" {
-		log.Fatal("pirserver: -shardnode and -cluster are mutually exclusive")
+	if *shardNode != "" && (*cluster != "" || *group != "") {
+		log.Fatal("pirserver: -shardnode and -cluster/-group are mutually exclusive")
+	}
+	if *group != "" && (*cluster != "" || *standby != "") {
+		log.Fatal("pirserver: -group replaces -cluster/-standby; use one addressing form or the other")
 	}
 	if *standby != "" && *cluster == "" {
 		log.Fatal("pirserver: -standby requires -cluster")
+	}
+	if *join != "" && *shardNode == "" {
+		log.Fatal("pirserver: -join belongs on a shard node (-shardnode)")
 	}
 	if *refreshRows < 1 {
 		log.Fatal("pirserver: -refreshrows must be >= 1")
@@ -101,12 +125,60 @@ func main() {
 	}
 	switch {
 	case *shardNode != "":
-		runShardNode(*shardNode, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers)
-	case *cluster != "":
-		runClusterFront(*cluster, *standby, *party, *addr, *rows, *seed, *prg, *early, *batch, *maxDelay, *refresh, *refreshRows)
+		runShardNode(*shardNode, *join, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers)
+	case *cluster != "" || *group != "":
+		groups, display, err := parseGroups(*cluster, *standby, *group)
+		if err != nil {
+			log.Fatalf("pirserver: %v", err)
+		}
+		runClusterFront(groups, display, *party, *addr, *rows, *seed, *prg, *early, *batch, *maxDelay, *refresh, *refreshRows)
 	default:
 		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *batch, *maxDelay, *refresh, *refreshRows)
 	}
+}
+
+// parseGroups resolves the two cluster-front addressing forms into one
+// member-address list per shard: -group "a|b|c,d|e" (commas separate
+// shards, pipes separate one shard's replica-group members), or the
+// legacy -cluster/-standby pair (one or two members per shard).
+func parseGroups(cluster, standby, group string) (groups [][]string, display string, err error) {
+	if group != "" {
+		for i, shard := range strings.Split(group, ",") {
+			var members []string
+			for _, m := range strings.Split(shard, "|") {
+				if m = strings.TrimSpace(m); m != "" {
+					members = append(members, m)
+				}
+			}
+			if len(members) == 0 {
+				return nil, "", fmt.Errorf("-group shard %d lists no member addresses", i)
+			}
+			groups = append(groups, members)
+		}
+		return groups, group, nil
+	}
+	nodes := strings.Split(cluster, ",")
+	var sbNodes []string
+	if standby != "" {
+		sbNodes = strings.Split(standby, ",")
+		if len(sbNodes) != len(nodes) {
+			return nil, "", fmt.Errorf("-standby lists %d addresses for %d -cluster nodes (use empty slots for shards without a standby)", len(sbNodes), len(nodes))
+		}
+	}
+	for i, node := range nodes {
+		members := []string{strings.TrimSpace(node)}
+		if sbNodes != nil {
+			if sb := strings.TrimSpace(sbNodes[i]); sb != "" {
+				members = append(members, sb)
+			}
+		}
+		groups = append(groups, members)
+	}
+	display = cluster
+	if standby != "" {
+		display += " with standbys " + standby
+	}
+	return groups, display, nil
 }
 
 // notifyShutdown closes the listener on SIGTERM/SIGINT, which unblocks the
@@ -160,8 +232,10 @@ func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, 
 // runShardNode serves one contiguous slice of the row domain over the
 // shardnet protocol: the node builds (and pages in) only its own rows of
 // the deterministic table and answers AnswerRange RPCs from a cluster
-// front.
-func runShardNode(spec string, party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers int) {
+// front. With join non-empty, the node first pulls the current snapshot
+// of its rows from that healthy same-shard peer, so it starts serving at
+// the cluster's current epoch instead of generation 0.
+func runShardNode(spec, join string, party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers int) {
 	idx, count, err := parseShardSpec(spec)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
@@ -177,6 +251,11 @@ func runShardNode(spec string, party int, addr string, rows, lanes int, seed int
 	rep, err := pir.NewReplica(party, tab, pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers))
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
+	}
+	if join != "" {
+		if err := joinFromPeer(rep, join, party, prg, lanes, lo, hi); err != nil {
+			log.Fatalf("pirserver: -join %s: %v", join, err)
+		}
 	}
 	node, err := shardnet.NewServer(rep, shardnet.ServerConfig{RowLo: lo, RowHi: hi})
 	if err != nil {
@@ -198,24 +277,105 @@ func runShardNode(spec string, party int, addr string, rows, lanes int, seed int
 	log.Printf("pirserver: shutdown complete")
 }
 
+// joinFromPeer pulls the donor peer's current table snapshot for rows
+// [lo, hi) over the shardnet snapshot RPCs and installs it in rep before
+// the node starts serving — the shard-node side of healing. The peer may
+// legitimately advance its epoch mid-pull (refresh churn on the front);
+// joinFromPeer retries a bounded number of rounds, and a node that still
+// lands slightly behind simply starts quarantined until the front heals
+// it, so best effort is safe.
+func joinFromPeer(rep *engine.Replica, peer string, party int, prg string, lanes, lo, hi int) error {
+	pin := rep.EarlyBits()
+	if pin == 0 {
+		pin = engine.FullDepthKeys
+	}
+	cl, err := shardnet.Dial(peer, shardnet.Options{PRG: prg, Early: pin, Party: party})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		done, err := joinOnce(ctx, rep, cl, peer, lanes, lo, hi)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if done {
+			return nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("node did not converge to peer %s's epoch (churn too fast?); starting anyway — the front will heal it", peer)
+		log.Printf("pirserver: join: %v", lastErr)
+		return nil
+	}
+	return lastErr
+}
+
+// joinOnce runs one snapshot pull round; done reports the node's
+// effective epoch has reached the peer's.
+func joinOnce(ctx context.Context, rep *engine.Replica, cl *shardnet.Client, peer string, lanes, lo, hi int) (done bool, err error) {
+	snapEpoch, effEpoch, pLo, pHi, err := cl.SnapshotMeta(ctx)
+	if err != nil {
+		return false, err
+	}
+	if pLo > lo || pHi < hi {
+		return false, fmt.Errorf("peer holds rows [%d,%d), cannot donate [%d,%d)", pLo, pHi, lo, hi)
+	}
+	have, err := rep.Epoch(ctx)
+	if err != nil {
+		return false, err
+	}
+	if have >= effEpoch {
+		log.Printf("pirserver: join: at epoch %d, peer %s effective epoch %d; in sync", have, peer, effEpoch)
+		return true, nil
+	}
+	if snapEpoch <= have {
+		// Only burned epoch numbers separate us: raise the floor (an abort
+		// burns idempotently) instead of re-pulling a table we already hold.
+		if err := rep.AbortUpdate(ctx, effEpoch); err != nil {
+			return false, err
+		}
+		return false, nil // re-check next round
+	}
+	words := (hi - lo) * lanes
+	buf := make([]uint32, 0, words)
+	const chunkWords = 256 << 10
+	for len(buf) < words {
+		// Chunk offsets are relative to the peer's held range.
+		off := (lo-pLo)*lanes + len(buf)
+		chunk, err := cl.SnapshotChunk(ctx, snapEpoch, off, min(chunkWords, words-len(buf)))
+		if err != nil {
+			return false, err
+		}
+		if len(chunk) == 0 {
+			return false, fmt.Errorf("peer snapshot stream ended at %d of %d words", len(buf), words)
+		}
+		if len(buf)+len(chunk) > words {
+			return false, fmt.Errorf("peer snapshot stream overran %d words", words)
+		}
+		buf = append(buf, chunk...)
+	}
+	if err := rep.AdoptSnapshot(ctx, snapEpoch, effEpoch, lo, hi, buf); err != nil {
+		return false, err
+	}
+	log.Printf("pirserver: join: adopted rows [%d,%d) at epoch %d (effective %d) from peer %s", lo, hi, snapEpoch, effEpoch, peer)
+	return false, nil // next round verifies the peer did not move meanwhile
+}
+
 // runClusterFront assembles a distributed replica over remote shard nodes
 // and serves the ordinary client protocol through it: the front holds no
 // table rows itself, it validates keys, batches requests, fans each batch
-// out as pruned-range evaluations, and merges the partial shares.
-func runClusterFront(addrs, standbys string, party int, addr string, rows int, seed int64, prg string, early, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int) {
+// out as pruned-range evaluations load-balanced across each shard's
+// replica-group members, and merges the partial shares.
+func runClusterFront(groups [][]string, display string, party int, addr string, rows int, seed int64, prg string, early, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int) {
 	// Same flag validation as the other two modes (pir.WithEarly): a bad
 	// -early must fail fast here too, not be silently clamped into an
 	// "accept any depth" pin.
 	if early < 0 || early > dpf.MaxEarlyBits {
 		log.Fatalf("pirserver: early-termination depth %d out of range [0,%d]", early, dpf.MaxEarlyBits)
-	}
-	nodes := strings.Split(addrs, ",")
-	var sbNodes []string
-	if standbys != "" {
-		sbNodes = strings.Split(standbys, ",")
-		if len(sbNodes) != len(nodes) {
-			log.Fatalf("pirserver: -standby lists %d addresses for %d -cluster nodes (use empty slots for shards without a standby)", len(sbNodes), len(nodes))
-		}
 	}
 	pin := dpf.ClampEarly(early, dpf.DomainBits(rows))
 	if early == 0 {
@@ -231,19 +391,16 @@ func runClusterFront(addrs, standbys string, party int, addr string, rows int, s
 		}
 		return cl
 	}
-	members := make([]engine.ClusterShard, len(nodes))
-	for i, node := range nodes {
-		node = strings.TrimSpace(node)
-		cl := dialNode(node)
-		members[i] = engine.ClusterShard{Backend: cl, Name: node}
-		if sbNodes != nil {
-			if sb := strings.TrimSpace(sbNodes[i]); sb != "" {
-				members[i].Standby = dialNode(sb)
-				members[i].StandbyName = sb
-			}
+	shardsCfg := make([]engine.ClusterShard, len(groups))
+	total := 0
+	for i, members := range groups {
+		for _, node := range members {
+			shardsCfg[i].Members = append(shardsCfg[i].Members, dialNode(node))
+			shardsCfg[i].MemberNames = append(shardsCfg[i].MemberNames, node)
 		}
+		total += len(members)
 	}
-	cluster, err := engine.NewCluster(members...)
+	cluster, err := engine.NewCluster(shardsCfg...)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
@@ -264,12 +421,8 @@ func runClusterFront(addrs, standbys string, party int, addr string, rows int, s
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	standbyNote := ""
-	if sbNodes != nil {
-		standbyNote = fmt.Sprintf(" with standbys (%s)", standbys)
-	}
-	log.Printf("pirserver: party %d cluster front over %d shard nodes (%s)%s serving %d×%dB table on %s (prg=%s early=%d batch=%d)",
-		party, len(nodes), addrs, standbyNote, rows, lanes*4, l.Addr(), prg, cluster.EarlyBits(), batch)
+	log.Printf("pirserver: party %d cluster front over %d shards / %d members (%s) serving %d×%dB table on %s (prg=%s early=%d batch=%d)",
+		party, len(groups), total, display, rows, lanes*4, l.Addr(), prg, cluster.EarlyBits(), batch)
 	door, closeDoor := front(pir.BackendEndpoint{Backend: cluster}, cluster, batch, maxDelay)
 	stopRefresh := startRefresher(refresh, refreshRows, rows, lanes, seed, cluster)
 	sig := notifyShutdown(l)

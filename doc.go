@@ -87,14 +87,24 @@
 //     ErrMixedEpoch), Cluster.UpdateBatch installs a multi-row update
 //     all-or-nothing across every member via the epoch handshake
 //     (prepare the target epoch everywhere, commit only when all ack, a
-//     straggler aborts/rolls back everywhere), and each ClusterShard may
-//     carry a Standby holding the same rows: a primary that dies
-//     mid-batch fails over transparently, and because standbys join the
-//     epoch handshake a stale standby is refused by the merge check
-//     rather than silently blended. A shard with no working member fails
-//     the batch with a *ShardError naming it; a mixed-configuration
-//     member set (PRF, early depth, party, shape, or a node assigned
-//     rows it does not hold — standbys included) is refused at
+//     straggler aborts/rolls back everywhere), and each ClusterShard is a
+//     replica GROUP: N members holding the same rows (the legacy
+//     Backend/Standby pair still compiles, as a one- or two-member
+//     group). Answer batches load-balance across the group's healthy
+//     members (least-loaded with a rotating tiebreak), a member that dies
+//     mid-batch is retried transparently on the next, and per-member
+//     health is tracked — consecutive failures trip a breaker, a tripped
+//     member sits out a backoff cooldown and is re-admitted through a
+//     cheap Ping probe. The epoch handshake runs over every reachable
+//     member; one that missed epochs is quarantined (refused by the merge
+//     check rather than silently blended) until Cluster.Heal streams a
+//     healthy peer's pinned snapshot into it — via SnapshotSink when the
+//     member adopts snapshots directly, else over the epoch-update wire
+//     ops — and provably lands it on the current epoch before lifting the
+//     quarantine. A shard with no working member fails the batch with a
+//     *ShardError enumerating every member by name with its own error; a
+//     mixed-configuration member set (PRF, early depth, party, shape, or
+//     a node assigned rows it does not hold — any member) is refused at
 //     construction.
 //   - internal/shardnet is the network form of that seam: a Server
 //     exposes any RangeBackend over TCP and a pooled Client implements
@@ -107,9 +117,18 @@
 //     responses carry the epoch their partials were computed at, and the
 //     UpdateBatch / Epoch / PrepareUpdate / CommitUpdate / AbortUpdate
 //     RPCs extend the epoch handshake across machines (batch writes are
-//     held to the node's advertised row range, like answers). Context
-//     deadlines and cancellation propagate to connection deadlines, so a
-//     slow shard costs the caller its deadline, not a hang.
+//     held to the node's advertised row range, like answers). Protocol v3
+//     adds the replica-group RPCs: Ping, the liveness probe behind the
+//     cluster's health breaker, and SnapshotMeta / SnapshotChunk, which
+//     stream a node's pinned table snapshot in capped, offset-resumable
+//     frames (every chunk restates epoch, row range and offset, and the
+//     client verifies the echo) so a stale member heals from a healthy
+//     peer without a restart. A Client whose dial fails backs off with
+//     seeded exponential jitter and fails fast inside the window — a
+//     front retrying a dead member burns microseconds, not a TCP connect
+//     timeout per attempt. Context deadlines and cancellation propagate
+//     to connection deadlines, so a slow shard costs the caller its
+//     deadline, not a hang.
 //   - internal/pir and internal/batchpir are thin protocol adapters over
 //     engine replicas: the two-server PIR protocol of §3.1 and the partial
 //     batch retrieval scheme of §4.1 (bins answered concurrently).
@@ -124,7 +143,12 @@
 //     deterministic table); with -cluster addr,... an instance holds no
 //     rows and fronts a distributed replica over those nodes behind the
 //     unchanged client protocol; -standby lists one standby node per
-//     shard (empty slots allowed) for transparent mid-batch failover.
+//     shard (empty slots allowed) for transparent mid-batch failover,
+//     and -group generalizes both to N-member replica groups (members
+//     separated by |, shards by comma). A shard node started with
+//     -join peer pulls the peer's current snapshot over the v3 RPCs
+//     before serving, so a replaced member catches up to the cluster's
+//     epoch instead of rejoining stale.
 //     -refresh/-refreshrows drive the transparent update path as a
 //     deterministic background load — each generation's rows and values
 //     derive from (seed, generation), so both parties rewrite identical
@@ -180,12 +204,15 @@
 // alongside AVX2 compiler codegen) and once under -tags purego (every
 // dispatch collapsed to its scalar fallback). The distributed
 // job runs the cluster integration and fault-injection suites (shard
-// killed mid-batch with and without a standby, slow shard against a
-// context deadline, handshake mismatches, cluster updates dying at
-// prepare or commit, concurrent Update/Answer hammering over the
+// killed mid-batch with and without surviving group members, a replica
+// group degraded to one live member, slow shard against a context
+// deadline, handshake mismatches, cluster updates dying at prepare or
+// commit, a stale member quarantined and healed over the snapshot RPCs
+// under refresh churn, concurrent Update/Answer hammering over the
 // epoch-versioned store) under -race and once under -tags purego, and
 // smoke-runs the fuzz targets (the dpf key parser seeded from the golden
 // fixtures, the shardnet frame codecs — handshake frames with the epoch
-// field included — and the capped gob reader guarding pir.Serve) for a
-// short -fuzztime on every push.
+// field included, plus the v3 snapshot-transfer frames both ways — and
+// the capped gob reader guarding pir.Serve) for a short -fuzztime on
+// every push.
 package gpudpf

@@ -1,0 +1,96 @@
+// Package backoff implements seeded exponential backoff with jitter.
+//
+// Both the shardnet client (redialing a dead node) and the engine cluster
+// (cooling down a tripped replica-group member before probing it) need the
+// same discipline: wait a little, then a lot, then cap, and never march in
+// lockstep with every other waiter hammering the same recovering node. The
+// jitter source is a math/rand/v2 PCG seeded by the caller, so tests get
+// reproducible schedules and production callers get decorrelated ones by
+// seeding from something unique (an address hash, a member index).
+//
+// A Backoff is NOT safe for concurrent use; callers guard it with whatever
+// lock already protects the failure state it is attached to.
+package backoff
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is not useful; use
+// Default() or fill every field.
+type Policy struct {
+	// Base is the first delay returned by Next after a Reset.
+	Base time.Duration
+	// Max caps the pre-jitter delay. Jitter may push the returned value
+	// up to Max*(1+Jitter).
+	Max time.Duration
+	// Factor multiplies the delay after each Next call. Values <= 1 are
+	// treated as 2.
+	Factor float64
+	// Jitter is the fraction of the delay added or subtracted uniformly
+	// at random: the returned delay is d*(1-Jitter) .. d*(1+Jitter).
+	// Values outside [0,1) are clamped into it.
+	Jitter float64
+}
+
+// Default returns the policy used by the shardnet client and the cluster
+// health prober: 50ms doubling to a 5s cap with ±20% jitter.
+func Default() Policy {
+	return Policy{Base: 50 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Jitter: 0.2}
+}
+
+// Backoff produces successive delays following a Policy.
+type Backoff struct {
+	pol Policy
+	rng *rand.Rand
+	cur time.Duration
+}
+
+// New returns a Backoff over pol whose jitter stream is seeded by seed.
+// The same (pol, seed) pair always yields the same delay sequence.
+func New(pol Policy, seed uint64) *Backoff {
+	if pol.Base <= 0 {
+		pol.Base = Default().Base
+	}
+	if pol.Max < pol.Base {
+		pol.Max = pol.Base
+	}
+	if pol.Factor <= 1 {
+		pol.Factor = 2
+	}
+	if pol.Jitter < 0 {
+		pol.Jitter = 0
+	}
+	if pol.Jitter >= 1 {
+		pol.Jitter = 0.999
+	}
+	return &Backoff{pol: pol, rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+// Next returns the next delay in the schedule and advances it.
+func (b *Backoff) Next() time.Duration {
+	if b.cur == 0 {
+		b.cur = b.pol.Base
+	}
+	d := b.cur
+	// Advance the pre-jitter schedule, saturating at Max.
+	next := time.Duration(float64(b.cur) * b.pol.Factor)
+	if next > b.pol.Max || next < b.cur { // overflow guard
+		next = b.pol.Max
+	}
+	b.cur = next
+	if j := b.pol.Jitter; j > 0 {
+		// Uniform in [d*(1-j), d*(1+j)].
+		span := 2 * j * float64(d)
+		d = time.Duration(float64(d)*(1-j) + b.rng.Float64()*span)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Reset rewinds the schedule to Base. The jitter stream is NOT rewound, so
+// a Reset/Next cycle still decorrelates from other instances.
+func (b *Backoff) Reset() { b.cur = 0 }

@@ -1,0 +1,66 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// Same (policy, seed) must yield the same schedule — the shardnet redial
+// tests rely on this determinism.
+func TestDeterministicSchedule(t *testing.T) {
+	pol := Policy{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.2}
+	a, b := New(pol, 42), New(pol, 42)
+	for i := 0; i < 12; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("step %d: %v != %v with identical seeds", i, da, db)
+		}
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	pol := Policy{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.2}
+	a, b := New(pol, 1), New(pol, 2)
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGrowthAndCap(t *testing.T) {
+	pol := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: 0}
+	b := New(pol, 0)
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := b.Next(); got != w*time.Millisecond {
+			t.Fatalf("step %d: got %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Fatalf("after Reset: got %v, want 10ms", got)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	pol := Policy{Base: 100 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2, Jitter: 0.5}
+	b := New(pol, 7)
+	for i := 0; i < 100; i++ {
+		d := b.Next()
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("step %d: delay %v outside [50ms,150ms]", i, d)
+		}
+	}
+}
+
+func TestZeroPolicyDefaults(t *testing.T) {
+	b := New(Policy{}, 3)
+	if d := b.Next(); d <= 0 {
+		t.Fatalf("zero policy produced non-positive delay %v", d)
+	}
+}

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gpudpf/internal/backoff"
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/gpu"
 	"gpudpf/internal/strategy"
@@ -25,38 +28,56 @@ func ShardRange(rows, i, n int) (lo, hi int) {
 	return i * rows / n, (i + 1) * rows / n
 }
 
-// ClusterShard is one member of a Cluster: a backend that can answer row
-// sub-ranges (an in-process Replica, or a shardnet.Client speaking to a
-// node in another process or on another machine) plus a name for errors —
-// when a shard dies mid-batch the operator needs to know WHICH machine.
-// An optional Standby is a second backend holding the same row range: a
-// primary that fails mid-batch is retried there transparently, provided
-// the standby's answer merges at the same table epoch as the other
-// shards' (a stale standby is refused, never silently blended in).
+// ClusterShard is one replica group of a Cluster: N backends that all hold
+// the same row range (in-process Replicas, or shardnet.Clients speaking to
+// nodes in other processes or on other machines) plus names for errors —
+// when a member dies mid-batch the operator needs to know WHICH machine.
+// Answer batches load-balance across the group's healthy members and a
+// member that fails mid-batch is retried transparently on the next,
+// provided the survivor's answer merges at the same table epoch as the
+// other shards' (a stale member is refused, never silently blended in).
+//
+// The legacy two-field form — Backend plus an optional Standby — still
+// compiles and behaves as a one- or two-member group: Backend is member 0,
+// Standby member 1, and Members (if any) follow. At least one of Backend
+// and Members must be set.
 type ClusterShard struct {
 	Backend RangeBackend
-	// Name identifies the shard in errors (typically its address for
+	// Name identifies Backend in errors (typically its address for
 	// remote shards); empty defaults to "shard i".
 	Name string
-	// Standby, when non-nil, serves the same rows as Backend and takes
-	// over a live batch when Backend fails. It participates in cluster
-	// updates (the epoch handshake prepares and commits on standbys
-	// too), so a failover never serves stale rows undetected.
+	// Standby, when non-nil, is a second member holding the same rows.
+	// Kept for compatibility with two-member deployments; it is an
+	// ordinary group member now — it serves load-balanced traffic rather
+	// than idling, and participates in cluster updates (the epoch
+	// handshake prepares and commits on every member), so a failover
+	// never serves stale rows undetected.
 	Standby RangeBackend
 	// StandbyName names the standby in errors; empty defaults to
 	// "shard i standby".
 	StandbyName string
+	// Members are additional replica-group members beyond
+	// Backend/Standby (or the whole group, when Backend is nil). All
+	// entries must be non-nil.
+	Members []RangeBackend
+	// MemberNames name Members entrywise in errors; missing or empty
+	// entries default to "shard i member j".
+	MemberNames []string
 }
 
 // ShardError is the named error a Cluster returns when one shard's
 // sub-range evaluation fails: it identifies the shard by index, name and
 // assigned row range, and wraps the underlying cause (so errors.Is sees
 // context.DeadlineExceeded through it when a slow shard blows the
-// caller's deadline, and connection errors when a shard node dies).
+// caller's deadline, and connection errors when a shard node dies). When
+// a whole replica group is down the cause enumerates every member's name
+// and failure, so the operator can tell which member to heal.
 type ShardError struct {
 	// Shard is the failing shard's index in the cluster.
 	Shard int
-	// Name is the shard's configured name (address for remote shards).
+	// Name is the shard's configured name (the first group member's, or
+	// the specific member's for member-scoped failures such as a refused
+	// prepare).
 	Name string
 	// Lo, Hi is the row range the shard was asked to evaluate.
 	Lo, Hi int
@@ -70,12 +91,25 @@ func (e *ShardError) Error() string {
 
 func (e *ShardError) Unwrap() error { return e.Err }
 
+// groupFailure is the cause inside a ShardError when a whole replica
+// group failed one batch: one entry per member, in group order, each
+// naming the member and its failure (or why it was not tried). Unwrap
+// exposes every underlying error, so errors.Is still sees the first
+// member's cause — and everyone else's.
+type groupFailure struct {
+	parts  []string
+	causes []error
+}
+
+func (g *groupFailure) Error() string   { return strings.Join(g.parts, "; ") }
+func (g *groupFailure) Unwrap() []error { return g.causes }
+
 // ErrMixedEpoch is wrapped by the error a Cluster returns when shards
 // answered one batch at different table epochs — an update handshake
-// committed mid-fan-out, or a shard (often a standby taking over) holds a
-// stale table. The Answer path retries a bounded number of times first
-// (the commit wave is milliseconds wide); a persistent mismatch means the
-// cluster's replicas genuinely diverged and must fail loudly.
+// committed mid-fan-out, or a member holds a stale table. The Answer path
+// retries a bounded number of times first (the commit wave is milliseconds
+// wide); a persistent mismatch means the cluster's replicas genuinely
+// diverged and must fail loudly.
 var ErrMixedEpoch = errors.New("engine: cluster shards answered at different table epochs")
 
 // ErrNotEpochCapable is wrapped by cluster update errors when a member
@@ -93,32 +127,178 @@ const answerEpochRetries = 3
 // never do silently.
 const abortTimeout = 30 * time.Second
 
-// Cluster is a Backend that splits the row domain across N shard backends
-// so one logical replica can span processes and machines: a key batch
-// fans out concurrently as AnswerRange calls over contiguous row ranges,
-// and the per-shard partial sums merge lane-wise mod 2^32 — by the
-// linearity of the shares, bit-identical to a single-process Replica over
+// tripFailures is how many consecutive failures trip a member's breaker:
+// the member leaves rotation for a backoff cooldown, then is probed
+// (Ping) before re-entry, so a flapping node does not eat every batch's
+// first attempt.
+const tripFailures = 3
+
+// probeTimeout bounds the health probe against a cooled-down member.
+const probeTimeout = 2 * time.Second
+
+// healAttempts bounds Heal's catch-up rounds against a donor whose epoch
+// keeps advancing under update churn before the final locked round.
+const healAttempts = 5
+
+// healChunkWords is the word granularity Heal fetches snapshots at.
+const healChunkWords = 256 << 10
+
+// memberHealth is one group member's failure-tracking state. Answer
+// goroutines and the update path share it; the mutex guards everything
+// but the in-flight counter (read lock-free by the balancer).
+type memberHealth struct {
+	inflight atomic.Int64
+
+	mu      sync.Mutex
+	fails   int
+	tripped bool
+	retryAt time.Time
+	bo      *backoff.Backoff
+	stale   bool
+	lastErr error
+}
+
+// pickClass buckets the member for selection: 0 = healthy, 1 = tripped
+// but cooldown expired (probe before use), 2 = tripped and cooling (last
+// resort only). ok is false for quarantined members, which never serve.
+func (h *memberHealth) pickClass(now time.Time) (class int, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch {
+	case h.stale:
+		return 0, false
+	case !h.tripped:
+		return 0, true
+	case !now.Before(h.retryAt):
+		return 1, true
+	default:
+		return 2, true
+	}
+}
+
+func (h *memberHealth) onSuccess() {
+	h.mu.Lock()
+	h.fails = 0
+	h.tripped = false
+	h.lastErr = nil
+	h.bo.Reset()
+	h.mu.Unlock()
+}
+
+func (h *memberHealth) onFailure(err error, now time.Time) {
+	h.mu.Lock()
+	h.lastErr = err
+	h.fails++
+	if h.tripped || h.fails >= tripFailures {
+		h.tripped = true
+		h.retryAt = now.Add(h.bo.Next())
+	}
+	h.mu.Unlock()
+}
+
+// quarantine marks the member stale: it missed one or more cluster
+// epochs and must be healed (snapshot transfer) before serving again —
+// the epoch merge check would refuse its answers anyway; quarantine just
+// stops paying for the doomed attempt.
+func (h *memberHealth) quarantine(err error) {
+	h.mu.Lock()
+	h.stale = true
+	h.lastErr = err
+	h.mu.Unlock()
+}
+
+// recover returns the member to full health: Heal calls it once the
+// member has adopted the cluster's current epoch.
+func (h *memberHealth) recover() {
+	h.mu.Lock()
+	h.stale = false
+	h.tripped = false
+	h.fails = 0
+	h.lastErr = nil
+	h.bo.Reset()
+	h.mu.Unlock()
+}
+
+func (h *memberHealth) isStale() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stale
+}
+
+// status reports the member's state for MemberStatus.
+func (h *memberHealth) status() (tripped, stale bool, lastErr error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.tripped, h.stale, h.lastErr
+}
+
+// shardGroup is one shard's replica group: the members, their health, and
+// the rotation counter the balancer ties on.
+type shardGroup struct {
+	members []RangeBackend
+	names   []string
+	health  []*memberHealth
+	rr      atomic.Uint64
+}
+
+// pick chooses the next member to try: the lowest pick class wins, ties
+// broken by in-flight load, remaining ties by a rotating start index (so
+// sequential traffic round-robins and concurrent traffic spreads by
+// load). Returns -1 when every member is tried or quarantined; probe is
+// true when the choice is a tripped member that must be probed first.
+func (g *shardGroup) pick(tried []bool, now time.Time) (idx int, probe bool) {
+	n := len(g.members)
+	start := int(g.rr.Add(1)-1) % n
+	best, bestClass := -1, 0
+	var bestIn int64
+	for j := 0; j < n; j++ {
+		i := (start + j) % n
+		if tried[i] {
+			continue
+		}
+		class, ok := g.health[i].pickClass(now)
+		if !ok {
+			continue
+		}
+		in := g.health[i].inflight.Load()
+		if best < 0 || class < bestClass || (class == bestClass && in < bestIn) {
+			best, bestClass, bestIn = i, class, in
+		}
+	}
+	return best, best >= 0 && bestClass >= 1
+}
+
+// Cluster is a Backend that splits the row domain across N shard replica
+// groups so one logical replica can span processes and machines: a key
+// batch fans out concurrently as AnswerRange calls over contiguous row
+// ranges — each shard's batch served by one load-balanced group member —
+// and the per-shard partial sums merge lane-wise mod 2^32, by the
+// linearity of the shares bit-identical to a single-process Replica over
 // the same table. Construction fails loudly on any configuration the
 // merge would silently corrupt: disagreeing table shapes, PRFs,
-// early-termination depths or parties across shards or standbys
-// (BackendInfo), or a member assigned rows it does not hold (RangeHolder).
+// early-termination depths or parties across any members (BackendInfo),
+// or a member assigned rows it does not hold (RangeHolder).
 //
 // Epochs make the merge safe under change: when members report the table
 // epoch their partials were computed at (EpochRangeBackend), a batch that
 // straddled an update is detected and retried instead of merged, and
 // UpdateBatch drives the prepare/commit epoch handshake so a multi-row
-// update lands on every shard — primaries and standbys — or on none.
+// update lands on every reachable member or on none. A member that missed
+// epochs — it was unreachable during an update, or reports an older epoch
+// — is quarantined: excluded from rotation and from later handshakes
+// until Heal brings it to the current epoch via snapshot transfer.
 type Cluster struct {
-	shards []ClusterShard
+	groups []*shardGroup
 	// bounds[i] .. bounds[i+1] is shard i's row range, the same even
 	// split Replica uses for its in-process shards.
 	bounds []int
 	rows   int
 	lanes  int
 
-	// umu serializes cluster-driven updates: one epoch handshake in
-	// flight at a time (concurrent Answers are NOT blocked — they pin
-	// snapshots on the shards and the epoch check guards the merge).
+	// umu serializes cluster-driven updates and Heal's final join: one
+	// epoch handshake in flight at a time (concurrent Answers are NOT
+	// blocked — they pin snapshots on the shards and the epoch check
+	// guards the merge).
 	umu sync.Mutex
 
 	// pinned configuration, known when at least one member reports
@@ -132,27 +312,38 @@ type Cluster struct {
 	pinned  bool
 }
 
-// clusterMember is one backend of the cluster — a shard primary or a
-// standby — with the naming and row assignment validation and the update
-// fan-out share.
+// clusterMember is one backend of the cluster with its naming, position
+// and health handle.
 type clusterMember struct {
-	be      RangeBackend
-	name    string
-	shard   int // index of the shard whose range this member serves
-	standby bool
+	be     RangeBackend
+	name   string
+	shard  int // index of the shard whose range this member serves
+	member int // index within the shard's replica group
+	h      *memberHealth
 }
 
-// members lists every backend in shard order, primaries before their
-// standbys.
+// members lists every backend in shard order, group members in order.
 func (c *Cluster) members() []clusterMember {
-	ms := make([]clusterMember, 0, len(c.shards)*2)
-	for i, sh := range c.shards {
-		ms = append(ms, clusterMember{be: sh.Backend, name: sh.Name, shard: i})
-		if sh.Standby != nil {
-			ms = append(ms, clusterMember{be: sh.Standby, name: sh.StandbyName, shard: i, standby: true})
+	ms := make([]clusterMember, 0, len(c.groups)*2)
+	for i, g := range c.groups {
+		for j := range g.members {
+			ms = append(ms, clusterMember{be: g.members[j], name: g.names[j], shard: i, member: j, h: g.health[j]})
 		}
 	}
 	return ms
+}
+
+// activeMembers is members() minus the quarantined: the set answers serve
+// from and epoch handshakes run over.
+func (c *Cluster) activeMembers() []clusterMember {
+	ms := c.members()
+	out := ms[:0]
+	for _, m := range ms {
+		if !m.h.isStale() {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // NewCluster assembles a cluster over the given shards; shard i serves
@@ -161,37 +352,62 @@ func NewCluster(shards ...ClusterShard) (*Cluster, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("engine: cluster needs at least one shard")
 	}
-	c := &Cluster{shards: make([]ClusterShard, len(shards))}
-	copy(c.shards, shards)
-	for i := range c.shards {
-		if c.shards[i].Backend == nil {
+	c := &Cluster{groups: make([]*shardGroup, len(shards))}
+	for i, sh := range shards {
+		g := &shardGroup{}
+		add := func(be RangeBackend, name, defName string) {
+			if name == "" {
+				name = defName
+			}
+			g.members = append(g.members, be)
+			g.names = append(g.names, name)
+		}
+		if sh.Backend != nil {
+			add(sh.Backend, sh.Name, fmt.Sprintf("shard %d", i))
+		}
+		if sh.Standby != nil {
+			add(sh.Standby, sh.StandbyName, fmt.Sprintf("shard %d standby", i))
+		}
+		for j, be := range sh.Members {
+			if be == nil {
+				return nil, fmt.Errorf("engine: cluster shard %d member %d is nil", i, j)
+			}
+			name := ""
+			if j < len(sh.MemberNames) {
+				name = sh.MemberNames[j]
+			}
+			add(be, name, fmt.Sprintf("shard %d member %d", i, j))
+		}
+		if len(g.members) == 0 {
 			return nil, fmt.Errorf("engine: cluster shard %d has no backend", i)
 		}
-		if c.shards[i].Name == "" {
-			c.shards[i].Name = fmt.Sprintf("shard %d", i)
+		g.health = make([]*memberHealth, len(g.members))
+		for j := range g.health {
+			// Deterministic per-position seeds: reproducible cooldown
+			// schedules in tests, decorrelated across members.
+			seed := uint64(i)*0x9e3779b97f4a7c15 + uint64(j) + 1
+			g.health[j] = &memberHealth{bo: backoff.New(backoff.Default(), seed)}
 		}
-		if c.shards[i].Standby != nil && c.shards[i].StandbyName == "" {
-			c.shards[i].StandbyName = fmt.Sprintf("shard %d standby", i)
-		}
+		c.groups[i] = g
 	}
-	c.rows, c.lanes = c.shards[0].Backend.Shape()
+	c.rows, c.lanes = c.groups[0].members[0].Shape()
 	if c.rows <= 0 || c.lanes <= 0 {
-		return nil, fmt.Errorf("engine: cluster shard 0 (%s) reports an invalid %d×%d table", c.shards[0].Name, c.rows, c.lanes)
+		return nil, fmt.Errorf("engine: cluster shard 0 (%s) reports an invalid %d×%d table", c.groups[0].names[0], c.rows, c.lanes)
 	}
 	members := c.members()
 	for _, m := range members {
 		rows, lanes := m.be.Shape()
 		if rows != c.rows || lanes != c.lanes {
 			return nil, fmt.Errorf("engine: cluster member %s serves a %d×%d table, shard 0 (%s) a %d×%d one — all members must replicate the same domain",
-				m.name, rows, lanes, c.shards[0].Name, c.rows, c.lanes)
+				m.name, rows, lanes, c.groups[0].names[0], c.rows, c.lanes)
 		}
 	}
-	if len(c.shards) > c.rows {
-		return nil, fmt.Errorf("engine: cluster of %d shards over a table of only %d rows", len(c.shards), c.rows)
+	if len(c.groups) > c.rows {
+		return nil, fmt.Errorf("engine: cluster of %d shards over a table of only %d rows", len(c.groups), c.rows)
 	}
-	c.bounds = make([]int, len(c.shards)+1)
-	for i := range c.shards {
-		c.bounds[i], c.bounds[i+1] = ShardRange(c.rows, i, len(c.shards))
+	c.bounds = make([]int, len(c.groups)+1)
+	for i := range c.groups {
+		c.bounds[i], c.bounds[i+1] = ShardRange(c.rows, i, len(c.groups))
 	}
 	// Every pinned fact must agree pairwise before partial shares may be
 	// merged; name both values and both members in the rejection.
@@ -238,7 +454,10 @@ func NewCluster(shards ...ClusterShard) (*Cluster, error) {
 }
 
 // Shards returns the shard count.
-func (c *Cluster) Shards() int { return len(c.shards) }
+func (c *Cluster) Shards() int { return len(c.groups) }
+
+// GroupSize returns the number of replica-group members serving shard i.
+func (c *Cluster) GroupSize(shard int) int { return len(c.groups[shard].members) }
 
 // Bounds returns the row split: shard i serves [Bounds()[i], Bounds()[i+1]).
 func (c *Cluster) Bounds() []int { return append([]int(nil), c.bounds...) }
@@ -246,14 +465,41 @@ func (c *Cluster) Bounds() []int { return append([]int(nil), c.bounds...) }
 // Shape implements Backend.
 func (c *Cluster) Shape() (rows, lanes int) { return c.rows, c.lanes }
 
-// Counters implements Backend: the lane-wise aggregate over the serving
-// shards (PRF blocks, traffic and launches are additive across the split;
-// PeakMemBytes is the sum of per-shard peaks, an upper bound on any
-// single machine's footprint). Idle standbys are not counted.
+// MemberStatus is one replica-group member's health as seen by the
+// cluster, for operators and tests.
+type MemberStatus struct {
+	// Name is the member's configured name.
+	Name string
+	// Tripped reports the member's failure breaker is open (it serves
+	// only as a probed last resort until a success resets it).
+	Tripped bool
+	// Quarantined reports the member missed cluster epochs and is
+	// excluded from rotation and updates until healed.
+	Quarantined bool
+	// LastErr is the failure that tripped or quarantined the member
+	// (nil when healthy).
+	LastErr error
+}
+
+// Status reports the health of shard i's replica group, in member order.
+func (c *Cluster) Status(shard int) []MemberStatus {
+	g := c.groups[shard]
+	out := make([]MemberStatus, len(g.members))
+	for j := range g.members {
+		tripped, stale, lastErr := g.health[j].status()
+		out[j] = MemberStatus{Name: g.names[j], Tripped: tripped, Quarantined: stale, LastErr: lastErr}
+	}
+	return out
+}
+
+// Counters implements Backend: the lane-wise aggregate over every group
+// member (all members serve load-balanced traffic; PRF blocks, traffic
+// and launches are additive across the split, PeakMemBytes is the sum of
+// per-member peaks, an upper bound on any single machine's footprint).
 func (c *Cluster) Counters() gpu.Stats {
 	var total gpu.Stats
-	for _, sh := range c.shards {
-		s := sh.Backend.Counters()
+	for _, m := range c.members() {
+		s := m.be.Counters()
 		total.PRFBlocks += s.PRFBlocks
 		total.ReadBytes += s.ReadBytes
 		total.WriteBytes += s.WriteBytes
@@ -278,21 +524,23 @@ type shardAnswer struct {
 	part     [][]uint32
 	epoch    uint64
 	hasEpoch bool
-	// name is the member that actually produced the partial (the standby
-	// after a failover), for epoch-mismatch errors.
+	// name is the member that actually produced the partial, for
+	// epoch-mismatch errors.
 	name string
 }
 
 // Answer implements Backend: the batch fans out to every shard's row range
-// concurrently, and the partial shares merge lane-wise mod 2^32. A shard
-// that fails mid-batch is retried transparently on its standby; only when
-// both fail (or no standby is configured) does the fan-out cancel and the
-// answer come back as a *ShardError naming the shard — a failure induced
-// by the caller's own ctx keeps the ctx error in the chain (errors.Is
-// sees DeadlineExceeded). Partials are merged only when every shard that
-// reports a table epoch reports the SAME one; a batch that straddles an
-// update commit is re-fanned (bounded retries), so a mixed-epoch answer
-// can never be returned.
+// concurrently, each shard's sub-batch served by one load-balanced member
+// of its replica group, and the partial shares merge lane-wise mod 2^32.
+// A member that fails mid-batch is retried transparently on the next
+// healthy member (each member tried at most once per pass); only when the
+// whole group is down does the fan-out cancel and the answer come back as
+// a *ShardError naming the shard with every member's failure enumerated —
+// a failure induced by the caller's own ctx keeps the ctx error in the
+// chain (errors.Is sees DeadlineExceeded). Partials are merged only when
+// every shard that reports a table epoch reports the SAME one; a batch
+// that straddles an update commit is re-fanned (bounded retries), so a
+// mixed-epoch answer can never be returned.
 func (c *Cluster) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error) {
 	if len(keys) == 0 {
 		return nil, errors.New("engine: empty key batch")
@@ -309,44 +557,131 @@ func (c *Cluster) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error)
 		if !errors.Is(err, ErrMixedEpoch) {
 			return nil, err
 		}
-		// An update handshake was committing while the batch fanned out;
-		// the next pass lands after the wave.
+		// An update handshake was committing while the batch fanned out
+		// (or a stale member answered before its quarantine landed); the
+		// next pass rotates members and lands after the wave.
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// groupAnswer serves one shard's sub-batch off its replica group: members
+// are tried in balancer order, each at most once, failures recorded
+// against their health (unless the caller's ctx already died — a
+// sibling-induced cancellation must not poison health state). A tripped
+// member whose cooldown expired is probed (Ping) before being trusted
+// with the batch.
+func (c *Cluster) groupAnswer(ctx context.Context, shard int, keys [][]byte) (shardAnswer, error) {
+	g := c.groups[shard]
+	lo, hi := c.bounds[shard], c.bounds[shard+1]
+	tried := make([]bool, len(g.members))
+	memberErrs := make([]error, len(g.members))
+	for {
+		if err := ctx.Err(); err != nil {
+			if first := firstErr(memberErrs); first != nil {
+				break // report the members we did try, not the bare cancel
+			}
+			return shardAnswer{}, err
+		}
+		idx, probe := g.pick(tried, time.Now())
+		if idx < 0 {
+			break
+		}
+		h := g.health[idx]
+		if probe {
+			if p, ok := g.members[idx].(Pinger); ok {
+				pctx, pcancel := context.WithTimeout(ctx, probeTimeout)
+				perr := p.Ping(pctx)
+				pcancel()
+				if perr != nil {
+					tried[idx] = true
+					memberErrs[idx] = fmt.Errorf("health probe failed: %w", perr)
+					if ctx.Err() == nil {
+						h.onFailure(perr, time.Now())
+					}
+					continue
+				}
+			}
+		}
+		tried[idx] = true
+		h.inflight.Add(1)
+		part, epoch, hasEpoch, err := answerRangeEpoch(ctx, g.members[idx], keys, lo, hi)
+		h.inflight.Add(-1)
+		if err == nil {
+			h.onSuccess()
+			return shardAnswer{part: part, epoch: epoch, hasEpoch: hasEpoch, name: g.names[idx]}, nil
+		}
+		memberErrs[idx] = err
+		if ctx.Err() == nil {
+			h.onFailure(err, time.Now())
+		}
+	}
+	return shardAnswer{}, c.groupErr(g, memberErrs)
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupErr assembles the all-members-failed cause: the single member's
+// bare error for a one-member group (the common remote-shard case keeps
+// its exact error chain), an enumeration of every member's name and
+// failure otherwise — quarantined members included, with the reason they
+// were skipped.
+func (c *Cluster) groupErr(g *shardGroup, memberErrs []error) error {
+	if len(g.members) == 1 && memberErrs[0] != nil {
+		return memberErrs[0]
+	}
+	gf := &groupFailure{}
+	for j := range g.members {
+		switch {
+		case memberErrs[j] != nil:
+			gf.parts = append(gf.parts, fmt.Sprintf("%s: %v", g.names[j], memberErrs[j]))
+			gf.causes = append(gf.causes, memberErrs[j])
+		default:
+			_, stale, lastErr := g.health[j].status()
+			if !stale {
+				continue // never picked (e.g. ctx died first) and nothing to report
+			}
+			reason := "stale epoch"
+			if lastErr != nil {
+				reason = lastErr.Error()
+			}
+			gf.parts = append(gf.parts, fmt.Sprintf("%s: quarantined (%s); heal to rejoin", g.names[j], reason))
+			if lastErr != nil {
+				gf.causes = append(gf.causes, lastErr)
+			}
+		}
+	}
+	if len(gf.parts) == 0 {
+		return errors.New("no serviceable replica-group member")
+	}
+	return gf
 }
 
 // answerOnce runs one fan-out/merge pass.
 func (c *Cluster) answerOnce(ctx context.Context, keys [][]byte) ([][]uint32, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	results := make([]shardAnswer, len(c.shards))
-	errs := make([]error, len(c.shards))
+	results := make([]shardAnswer, len(c.groups))
+	errs := make([]error, len(c.groups))
 	var wg sync.WaitGroup
-	wg.Add(len(c.shards))
-	for i := range c.shards {
+	wg.Add(len(c.groups))
+	for i := range c.groups {
 		go func(i int) {
 			defer wg.Done()
-			sh := c.shards[i]
-			lo, hi := c.bounds[i], c.bounds[i+1]
-			part, epoch, hasEpoch, err := answerRangeEpoch(ctx, sh.Backend, keys, lo, hi)
-			name := sh.Name
-			if err != nil && sh.Standby != nil && ctx.Err() == nil {
-				// The primary died on a live batch; the standby holds the
-				// same rows — retry there before failing the whole answer.
-				if part2, epoch2, hasEpoch2, err2 := answerRangeEpoch(ctx, sh.Standby, keys, lo, hi); err2 == nil {
-					part, epoch, hasEpoch, err = part2, epoch2, hasEpoch2, nil
-					name = sh.StandbyName
-				} else {
-					err = fmt.Errorf("primary: %w; standby %s also failed: %v", err, sh.StandbyName, err2)
-				}
-			}
+			ans, err := c.groupAnswer(ctx, i, keys)
 			if err != nil {
 				errs[i] = err
 				cancel() // stop paying for partials the batch can no longer use
 				return
 			}
-			results[i] = shardAnswer{part: part, epoch: epoch, hasEpoch: hasEpoch, name: name}
+			results[i] = ans
 		}(i)
 	}
 	wg.Wait()
@@ -362,11 +697,11 @@ func (c *Cluster) answerOnce(ctx context.Context, keys [][]byte) ([][]uint32, er
 		}
 	}
 	if fail >= 0 {
-		return nil, &ShardError{Shard: fail, Name: c.shards[fail].Name, Lo: c.bounds[fail], Hi: c.bounds[fail+1], Err: errs[fail]}
+		return nil, &ShardError{Shard: fail, Name: c.groups[fail].names[0], Lo: c.bounds[fail], Hi: c.bounds[fail+1], Err: errs[fail]}
 	}
 	// Partials may only merge when they were computed against one table
-	// epoch: shards (or standbys) on different epochs would sum shares of
-	// two different tables into one silently wrong answer.
+	// epoch: members on different epochs would sum shares of two
+	// different tables into one silently wrong answer.
 	ref := -1
 	for i, r := range results {
 		if !r.hasEpoch {
@@ -405,24 +740,24 @@ func (c *Cluster) shardErr(m clusterMember, err error) *ShardError {
 	return &ShardError{Shard: m.shard, Name: m.name, Lo: c.bounds[m.shard], Hi: c.bounds[m.shard+1], Err: err}
 }
 
-// epochMembers returns every member as an EpochBackend, or a named error
-// for the first member that cannot join the epoch handshake.
-func (c *Cluster) epochMembers() ([]clusterMember, []EpochBackend, error) {
-	ms := c.members()
+// epochBackends resolves every given member as an EpochBackend, or
+// returns a named error for the first member that cannot join the epoch
+// handshake.
+func (c *Cluster) epochBackends(ms []clusterMember) ([]EpochBackend, error) {
 	ebs := make([]EpochBackend, len(ms))
 	for i, m := range ms {
 		eb, ok := m.be.(EpochBackend)
 		if !ok {
-			return nil, nil, c.shardErr(m, fmt.Errorf("%w (member %s)", ErrNotEpochCapable, m.name))
+			return nil, c.shardErr(m, fmt.Errorf("%w (member %s)", ErrNotEpochCapable, m.name))
 		}
 		ebs[i] = eb
 	}
-	return ms, ebs, nil
+	return ebs, nil
 }
 
-// forAllMembers runs fn on every member concurrently and returns the
-// first failure as a named ShardError (nil when all succeed).
-func (c *Cluster) forAllMembers(ms []clusterMember, ebs []EpochBackend, fn func(i int) error) error {
+// forMembers runs fn on every member concurrently and returns the first
+// failure as a named ShardError (nil when all succeed).
+func (c *Cluster) forMembers(ms []clusterMember, fn func(i int) error) error {
 	errs := make([]error, len(ms))
 	var wg sync.WaitGroup
 	wg.Add(len(ms))
@@ -441,16 +776,18 @@ func (c *Cluster) forAllMembers(ms []clusterMember, ebs []EpochBackend, fn func(
 	return nil
 }
 
-// Epoch returns the cluster's table epoch, which every member must agree
-// on; disagreement (a shard that missed an update, a freshly restarted
-// node at epoch 0) is a named error, never a quiet majority vote.
+// Epoch returns the cluster's table epoch, which every active
+// (non-quarantined) member must agree on; disagreement (a member that
+// missed an update outside a handshake, a freshly restarted node at epoch
+// 0) is a named error, never a quiet majority vote.
 func (c *Cluster) Epoch(ctx context.Context) (uint64, error) {
-	ms, ebs, err := c.epochMembers()
+	ms := c.activeMembers()
+	ebs, err := c.epochBackends(ms)
 	if err != nil {
 		return 0, err
 	}
 	epochs := make([]uint64, len(ms))
-	if err := c.forAllMembers(ms, ebs, func(i int) error {
+	if err := c.forMembers(ms, func(i int) error {
 		var eerr error
 		epochs[i], eerr = ebs[i].Epoch(ctx)
 		return eerr
@@ -463,38 +800,88 @@ func (c *Cluster) Epoch(ctx context.Context) (uint64, error) {
 				ErrMixedEpoch, ms[0].name, epochs[0], ms[i].name, epochs[i])
 		}
 	}
+	if len(epochs) == 0 {
+		return 0, errors.New("engine: every cluster member is quarantined")
+	}
 	return epochs[0], nil
 }
 
 // UpdateBatch installs the row writes atomically across the whole cluster
-// — every shard primary AND standby — via the epoch handshake: all
-// members prepare epoch N+1, and the commit wave starts only when every
-// member acked the prepare. Any straggler aborts the epoch everywhere
-// (prepared members drop the staged epoch, committed members roll back),
-// so a partial failure leaves every member readable at epoch N and the
-// burned epoch number is never reissued. Concurrent Answers are not
-// blocked: they keep their pinned snapshots, and a batch that straddles
-// the commit wave is caught by the merge epoch check and retried.
+// — every reachable replica-group member — via the epoch handshake: all
+// participants prepare epoch N+1, and the commit wave starts only when
+// every participant acked the prepare. Any straggler aborts the epoch
+// everywhere (prepared members drop the staged epoch, committed members
+// roll back), so a partial failure leaves every participant readable at
+// epoch N and the burned epoch number is never reissued.
+//
+// Promotion happens here: a member that cannot report its epoch (node
+// down) or reports an older epoch than its siblings is quarantined —
+// excluded from this and future handshakes and from answer rotation until
+// Heal catches it up — rather than blocking the update or being blended
+// in stale. The update fails only when a shard would lose its LAST
+// member. Concurrent Answers are not blocked: they keep their pinned
+// snapshots, and a batch that straddles the commit wave is caught by the
+// merge epoch check and retried.
 func (c *Cluster) UpdateBatch(ctx context.Context, writes []RowWrite) (uint64, error) {
 	if err := validateRowWrites(writes, c.rows, c.lanes); err != nil {
 		return 0, err
 	}
 	c.umu.Lock()
 	defer c.umu.Unlock()
-	ms, ebs, err := c.epochMembers()
+	ms := c.activeMembers()
+	ebs, err := c.epochBackends(ms)
 	if err != nil {
 		return 0, err
 	}
-	epoch, err := c.Epoch(ctx)
-	if err != nil {
+	// Gather every participant's epoch. The max wins: members below it
+	// missed a past update and are quarantined, members that cannot
+	// answer are unreachable and are quarantined too — both rejoin via
+	// Heal, at the then-current epoch.
+	epochs := make([]uint64, len(ms))
+	gatherErrs := make([]error, len(ms))
+	var wg sync.WaitGroup
+	wg.Add(len(ms))
+	for i := range ms {
+		go func(i int) {
+			defer wg.Done()
+			epochs[i], gatherErrs[i] = ebs[i].Epoch(ctx)
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, fmt.Errorf("engine: cluster update refused: %w", err)
+	}
+	var epoch uint64
+	seen := false
+	for i := range ms {
+		if gatherErrs[i] == nil {
+			if !seen || epochs[i] > epoch {
+				epoch, seen = epochs[i], true
+			}
+		}
+	}
+	participants := ms[:0]
+	pebs := ebs[:0]
+	for i, m := range ms {
+		switch {
+		case gatherErrs[i] != nil:
+			m.h.quarantine(fmt.Errorf("unreachable during cluster update: %w", gatherErrs[i]))
+		case epochs[i] < epoch:
+			m.h.quarantine(fmt.Errorf("behind at epoch %d (cluster at epoch %d)", epochs[i], epoch))
+		default:
+			participants = append(participants, m)
+			pebs = append(pebs, ebs[i])
+		}
+	}
+	if err := c.requireAllShards(participants); err != nil {
 		return 0, fmt.Errorf("engine: cluster update refused: %w", err)
 	}
 	target := epoch + 1
-	// Each member stages only the writes for its own row range (the rows
-	// its answers can ever read); members whose range the batch does not
-	// touch stage an empty write set — an epoch tick, so the whole
+	// Each participant stages only the writes for its own row range (the
+	// rows its answers can ever read); members whose range the batch does
+	// not touch stage an empty write set — an epoch tick, so the whole
 	// cluster moves to N+1 in lockstep and the merge check stays sharp.
-	perShard := make([][]RowWrite, len(c.shards))
+	perShard := make([][]RowWrite, len(c.groups))
 	for _, w := range writes {
 		i := 0
 		for int(w.Row) >= c.bounds[i+1] {
@@ -507,24 +894,24 @@ func (c *Cluster) UpdateBatch(ctx context.Context, writes []RowWrite) (uint64, e
 		// a phase failed); the rollback must still reach every member.
 		actx, acancel := context.WithTimeout(context.WithoutCancel(ctx), abortTimeout)
 		defer acancel()
-		var wg sync.WaitGroup
-		wg.Add(len(ms))
-		for i := range ms {
+		var awg sync.WaitGroup
+		awg.Add(len(participants))
+		for i := range participants {
 			go func(i int) {
-				defer wg.Done()
-				_ = ebs[i].AbortUpdate(actx, target) // idempotent; best effort
+				defer awg.Done()
+				_ = pebs[i].AbortUpdate(actx, target) // idempotent; best effort
 			}(i)
 		}
-		wg.Wait()
+		awg.Wait()
 	}
-	if err := c.forAllMembers(ms, ebs, func(i int) error {
-		return ebs[i].PrepareUpdate(ctx, target, perShard[ms[i].shard])
+	if err := c.forMembers(participants, func(i int) error {
+		return pebs[i].PrepareUpdate(ctx, target, perShard[participants[i].shard])
 	}); err != nil {
 		abortAll()
 		return 0, fmt.Errorf("engine: cluster update aborted at prepare: %w", err)
 	}
-	if err := c.forAllMembers(ms, ebs, func(i int) error {
-		return ebs[i].CommitUpdate(ctx, target)
+	if err := c.forMembers(participants, func(i int) error {
+		return pebs[i].CommitUpdate(ctx, target)
 	}); err != nil {
 		abortAll()
 		return 0, fmt.Errorf("engine: cluster update rolled back at commit: %w", err)
@@ -532,11 +919,31 @@ func (c *Cluster) UpdateBatch(ctx context.Context, writes []RowWrite) (uint64, e
 	return target, nil
 }
 
-// Update implements Backend. When every member supports epoch-versioned
-// updates the write goes through UpdateBatch — one atomic epoch across
-// the whole cluster, standbys included. Otherwise it falls back to
-// routing the write to the shard that serves the row (and its standby, so
-// a later failover does not serve the stale value).
+// requireAllShards fails (naming the starved shard and every member's
+// state) when some shard has no member among ms — an update that skipped
+// a whole shard would desynchronize the row split, and an answer could
+// never be served.
+func (c *Cluster) requireAllShards(ms []clusterMember) error {
+	alive := make([]int, len(c.groups))
+	for _, m := range ms {
+		alive[m.shard]++
+	}
+	for i, n := range alive {
+		if n > 0 {
+			continue
+		}
+		g := c.groups[i]
+		return &ShardError{Shard: i, Name: g.names[0], Lo: c.bounds[i], Hi: c.bounds[i+1],
+			Err: c.groupErr(g, make([]error, len(g.members)))}
+	}
+	return nil
+}
+
+// Update implements Backend. When every active member supports
+// epoch-versioned updates the write goes through UpdateBatch — one atomic
+// epoch across the whole cluster. Otherwise it falls back to routing the
+// write to every member of the shard that serves the row (so a later
+// failover does not serve the stale value).
 func (c *Cluster) Update(row uint64, vals []uint32) error {
 	if row >= uint64(c.rows) {
 		return fmt.Errorf("engine: update row %d outside table of %d rows", row, c.rows)
@@ -544,7 +951,7 @@ func (c *Cluster) Update(row uint64, vals []uint32) error {
 	if len(vals) != c.lanes {
 		return fmt.Errorf("engine: update has %d lanes, table rows have %d", len(vals), c.lanes)
 	}
-	if _, _, err := c.epochMembers(); err == nil {
+	if _, err := c.epochBackends(c.activeMembers()); err == nil {
 		_, uerr := c.UpdateBatch(context.Background(), []RowWrite{{Row: row, Vals: vals}})
 		return uerr
 	}
@@ -552,12 +959,10 @@ func (c *Cluster) Update(row uint64, vals []uint32) error {
 	for int(row) >= c.bounds[i+1] {
 		i++
 	}
-	if err := c.shards[i].Backend.Update(row, vals); err != nil {
-		return &ShardError{Shard: i, Name: c.shards[i].Name, Lo: c.bounds[i], Hi: c.bounds[i+1], Err: err}
-	}
-	if sb := c.shards[i].Standby; sb != nil {
-		if err := sb.Update(row, vals); err != nil {
-			return &ShardError{Shard: i, Name: c.shards[i].StandbyName, Lo: c.bounds[i], Hi: c.bounds[i+1], Err: err}
+	g := c.groups[i]
+	for j, be := range g.members {
+		if err := be.Update(row, vals); err != nil {
+			return &ShardError{Shard: i, Name: g.names[j], Lo: c.bounds[i], Hi: c.bounds[i+1], Err: err}
 		}
 	}
 	return nil
@@ -601,7 +1006,7 @@ func (c *Cluster) Party() int { return c.party }
 func (c *Cluster) Pinned() bool { return c.pinned }
 
 // Close closes every member backend that is closeable (remote shard
-// clients, standbys included); in-process replicas have nothing to close.
+// clients included); in-process replicas have nothing to close.
 func (c *Cluster) Close() error {
 	var first error
 	for _, m := range c.members() {

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Heal brings a stale or tripped replica-group member back to the
+// cluster's current table epoch from a healthy same-shard peer and
+// re-admits it to rotation.
+//
+// The donor is any other member of the shard that exports snapshots
+// (SnapshotSource — an in-process Replica, or a shardnet.Client whose
+// node speaks the SnapshotMeta/SnapshotChunk RPCs). The member adopts the
+// donor's pinned snapshot — via SnapshotSink when it implements it
+// (in-process replicas, a pirserver -join pull), else through the
+// epoch-update operations it already speaks (prepare the donor's rows as
+// the donor's snapshot epoch, commit, burn up to the donor's effective
+// epoch), so remote members heal over the existing wire protocol. Note
+// the fallback ships the whole held range as one prepared batch and is
+// therefore bounded by the wire layer's frame and batch caps; very large
+// shards need a member-side sink (-join) instead.
+//
+// Update churn may advance the cluster's epoch while a transfer is in
+// flight: Heal catches up best-effort a bounded number of rounds without
+// blocking updates, then takes the cluster's update lock for one final
+// round — with the handshake frozen the donor cannot move, so the member
+// provably lands on the current epoch before its quarantine is lifted.
+func (c *Cluster) Heal(ctx context.Context, shard, member int) error {
+	if shard < 0 || shard >= len(c.groups) {
+		return fmt.Errorf("engine: heal: no shard %d in a cluster of %d", shard, len(c.groups))
+	}
+	g := c.groups[shard]
+	if member < 0 || member >= len(g.members) {
+		return fmt.Errorf("engine: heal: shard %d has no member %d (group of %d)", shard, member, len(g.members))
+	}
+	// Best-effort catch-up rounds outside the update lock: shrink the gap
+	// while churn continues.
+	var lastErr error
+	for attempt := 0; attempt < healAttempts; attempt++ {
+		synced, err := c.healOnce(ctx, g, shard, member)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				return fmt.Errorf("engine: heal shard %d member %s: %w", shard, g.names[member], err)
+			}
+			continue
+		}
+		if synced {
+			break
+		}
+	}
+	// Final round with updates frozen: the donor's epoch cannot advance
+	// under c.umu, so one successful pass means the member IS current.
+	c.umu.Lock()
+	defer c.umu.Unlock()
+	for attempt := 0; attempt < healAttempts; attempt++ {
+		synced, err := c.healOnce(ctx, g, shard, member)
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		if !synced {
+			continue
+		}
+		g.health[member].recover()
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("member did not converge to the donor's epoch")
+	}
+	return fmt.Errorf("engine: heal shard %d member %s: %w", shard, g.names[member], lastErr)
+}
+
+// healOnce runs one catch-up round: pick a donor, compare epochs, and if
+// the member is behind transfer the donor's snapshot (or just raise the
+// member's burned-epoch floor when only burned numbers separate them).
+// synced reports the member's effective epoch has reached the donor's.
+func (c *Cluster) healOnce(ctx context.Context, g *shardGroup, shard, member int) (synced bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	teb, ok := g.members[member].(EpochBackend)
+	if !ok {
+		return false, fmt.Errorf("%w: member cannot adopt epochs", ErrNotEpochCapable)
+	}
+	targetEff, err := teb.Epoch(ctx)
+	if err != nil {
+		return false, fmt.Errorf("member unreachable: %w", err)
+	}
+	src, donorName, err := c.healDonor(g, member)
+	if err != nil {
+		return false, err
+	}
+	snapEpoch, donorEff, lo, hi, err := src.SnapshotMeta(ctx)
+	if err != nil {
+		return false, fmt.Errorf("donor %s: %w", donorName, err)
+	}
+	if targetEff >= donorEff {
+		return true, nil
+	}
+	if snapEpoch <= targetEff {
+		// Only burned epoch numbers separate them: raise the member's
+		// floor (AbortUpdate burns idempotently) instead of re-shipping a
+		// table it already has.
+		if aerr := teb.AbortUpdate(ctx, donorEff); aerr != nil {
+			return false, fmt.Errorf("raising burned floor to %d: %w", donorEff, aerr)
+		}
+		return false, nil // re-check next round
+	}
+	words := (hi - lo) * c.lanes
+	buf := make([]uint32, 0, words)
+	for len(buf) < words {
+		chunk, cerr := src.SnapshotChunk(ctx, snapEpoch, len(buf), healChunkWords)
+		if cerr != nil {
+			return false, fmt.Errorf("donor %s at offset %d: %w", donorName, len(buf), cerr)
+		}
+		if len(chunk) == 0 {
+			return false, fmt.Errorf("donor %s: snapshot stream ended at %d of %d words", donorName, len(buf), words)
+		}
+		if len(buf)+len(chunk) > words {
+			return false, fmt.Errorf("donor %s: snapshot stream overran %d words", donorName, words)
+		}
+		buf = append(buf, chunk...)
+	}
+	if sink, ok := g.members[member].(SnapshotSink); ok {
+		if aerr := sink.AdoptSnapshot(ctx, snapEpoch, donorEff, lo, hi, buf); aerr != nil {
+			return false, fmt.Errorf("adopting donor %s epoch %d: %w", donorName, snapEpoch, aerr)
+		}
+	} else {
+		// Wire fallback: the member speaks the epoch-update RPCs — ship
+		// the donor's rows as a prepared batch at the donor's snapshot
+		// epoch, then burn up to the donor's effective epoch.
+		writes := make([]RowWrite, hi-lo)
+		for r := range writes {
+			writes[r] = RowWrite{Row: uint64(lo + r), Vals: buf[r*c.lanes : (r+1)*c.lanes]}
+		}
+		if perr := teb.PrepareUpdate(ctx, snapEpoch, writes); perr != nil {
+			return false, fmt.Errorf("preparing donor %s epoch %d on member: %w", donorName, snapEpoch, perr)
+		}
+		if cerr := teb.CommitUpdate(ctx, snapEpoch); cerr != nil {
+			_ = teb.AbortUpdate(ctx, snapEpoch)
+			return false, fmt.Errorf("committing donor %s epoch %d on member: %w", donorName, snapEpoch, cerr)
+		}
+		if donorEff > snapEpoch {
+			if aerr := teb.AbortUpdate(ctx, donorEff); aerr != nil {
+				return false, fmt.Errorf("raising burned floor to %d: %w", donorEff, aerr)
+			}
+		}
+	}
+	// Converged only if the donor did not move meanwhile; the next round
+	// (or the locked final round) settles it.
+	return false, nil
+}
+
+// healDonor picks a same-shard donor for member: the first other member
+// that is not quarantined and exports snapshots.
+func (c *Cluster) healDonor(g *shardGroup, member int) (SnapshotSource, string, error) {
+	for j := range g.members {
+		if j == member || g.health[j].isStale() {
+			continue
+		}
+		if src, ok := g.members[j].(SnapshotSource); ok {
+			return src, g.names[j], nil
+		}
+	}
+	return nil, "", errors.New("no healthy snapshot-exporting donor in the replica group")
+}

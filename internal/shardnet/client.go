@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"gpudpf/internal/backoff"
 	"gpudpf/internal/engine"
 	"gpudpf/internal/gpu"
 )
@@ -35,6 +36,17 @@ type Options struct {
 	// forever on a node that black-holes mid-RPC; callers with real
 	// deadlines are unaffected.
 	RPCTimeout time.Duration
+	// Redial shapes the exponential backoff applied to fresh dials after
+	// a dial failure (zero-valued fields take backoff.Default). While a
+	// backoff window is open, RPCs that would need a fresh connection fail
+	// fast, naming the remaining wait, instead of hammering a dead node
+	// with TCP connects — which is what lets a cluster front's health
+	// prober cycle a tripped member cheaply.
+	Redial backoff.Policy
+	// RedialSeed seeds the redial jitter stream, so tests (and fleets of
+	// fronts, seeded distinctly) get decorrelated yet reproducible
+	// schedules. Zero is a valid seed.
+	RedialSeed uint64
 }
 
 // DefaultRPCTimeout caps deadline-less RPCs: generous against the largest
@@ -56,6 +68,13 @@ type Client struct {
 	mu     sync.Mutex
 	idle   []*poolConn
 	closed bool
+
+	// Redial backoff state, under its own lock so a backed-off dial check
+	// never contends with the pool's hot path.
+	bmu         sync.Mutex
+	bo          *backoff.Backoff
+	retryAt     time.Time
+	lastDialErr error
 }
 
 // poolConn is one handshaken connection plus its reusable frame buffer.
@@ -145,10 +164,35 @@ func (c *Client) get() (*poolConn, error) {
 		return pc, nil
 	}
 	c.mu.Unlock()
+	// Fail fast inside an open backoff window: a cluster front retrying a
+	// dead member must burn microseconds, not a TCP connect timeout per
+	// attempt.
+	c.bmu.Lock()
+	if !c.retryAt.IsZero() {
+		if wait := time.Until(c.retryAt); wait > 0 {
+			last := c.lastDialErr
+			c.bmu.Unlock()
+			return nil, fmt.Errorf("shardnet: %s: redial backed off for another %v after: %w",
+				c.addr, wait.Round(time.Millisecond), last)
+		}
+	}
+	c.bmu.Unlock()
 	pc, w, err := c.dialConn()
+	c.bmu.Lock()
 	if err != nil {
+		if c.bo == nil {
+			c.bo = backoff.New(c.opts.Redial, c.opts.RedialSeed)
+		}
+		c.retryAt = time.Now().Add(c.bo.Next())
+		c.lastDialErr = err
+		c.bmu.Unlock()
 		return nil, err
 	}
+	if c.bo != nil {
+		c.bo.Reset()
+	}
+	c.retryAt, c.lastDialErr = time.Time{}, nil
+	c.bmu.Unlock()
 	pinned, got := c.w, w
 	pinned.Epoch, pinned.EpochKnown = 0, false
 	got.Epoch, got.EpochKnown = 0, false
@@ -359,6 +403,66 @@ func (c *Client) AbortUpdate(ctx context.Context, epoch uint64) error {
 	})
 }
 
+// Ping implements engine.Pinger: one payload-free frame round-trip, the
+// cheapest proof the node is up, handshaken and serving — what a cluster
+// front's health prober sends before re-admitting a cooled-down member.
+func (c *Client) Ping(ctx context.Context) error {
+	body := appendRequest(nil, &rpcRequest{op: opPing})
+	return c.do(ctx, body, func(resp []byte) error {
+		return parseOK(resp, opPing)
+	})
+}
+
+// SnapshotMeta implements engine.SnapshotSource: the node's pinned
+// snapshot epoch, effective epoch, and the held row range its
+// SnapshotChunk offsets are relative to — the donor handshake of a heal.
+func (c *Client) SnapshotMeta(ctx context.Context) (snapEpoch, effEpoch uint64, lo, hi int, err error) {
+	body := appendRequest(nil, &rpcRequest{op: opSnapMeta})
+	err = c.do(ctx, body, func(resp []byte) error {
+		var perr error
+		snapEpoch, effEpoch, lo, hi, perr = parseSnapMeta(resp)
+		return perr
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return snapEpoch, effEpoch, lo, hi, nil
+}
+
+// SnapshotChunk implements engine.SnapshotSource: up to max words of the
+// node's snapshot buffer for its held range, from word offset off. The
+// node may return fewer words than asked (its frame cap bounds a chunk);
+// an empty return past the end terminates the stream. The response echoes
+// epoch and offset, and a mismatch is a protocol error — a resumed
+// transfer can never be stitched from mismatched frames.
+func (c *Client) SnapshotChunk(ctx context.Context, epoch uint64, off, max int) ([]uint32, error) {
+	if off < 0 || max <= 0 {
+		return nil, fmt.Errorf("shardnet: %s: snapshot chunk needs off >= 0 and max > 0 (got %d, %d)", c.addr, off, max)
+	}
+	wantMax := uint64(max)
+	if wantMax > uint64(^uint32(0)) {
+		wantMax = uint64(^uint32(0))
+	}
+	body := appendRequest(nil, &rpcRequest{op: opSnapChunk, epoch: epoch, off: uint64(off), max: uint32(wantMax)})
+	var words []uint32
+	err := c.do(ctx, body, func(resp []byte) error {
+		gotEpoch, _, _, gotOff, w, perr := parseSnapChunk(resp)
+		if perr != nil {
+			return perr
+		}
+		if gotEpoch != epoch || gotOff != uint64(off) {
+			return fmt.Errorf("%w: snapshot chunk answers epoch %d offset %d for request epoch %d offset %d",
+				ErrProtocol, gotEpoch, gotOff, epoch, off)
+		}
+		words = w
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return words, nil
+}
+
 // Counters implements engine.Backend with the node's counters; a node that
 // cannot be reached reports zeros (the Backend seam has no error path
 // here, and counters are advisory).
@@ -418,3 +522,5 @@ var _ engine.BackendInfo = (*Client)(nil)
 var _ engine.RangeHolder = (*Client)(nil)
 var _ engine.EpochBackend = (*Client)(nil)
 var _ engine.EpochRangeBackend = (*Client)(nil)
+var _ engine.Pinger = (*Client)(nil)
+var _ engine.SnapshotSource = (*Client)(nil)

@@ -15,7 +15,8 @@ import (
 // RPC opcodes: the first body byte of every request, echoed in the
 // response. opErr is response-only, for failures where no request op was
 // ever parsed (an unreadable or oversized frame). 0x06+ are protocol v2:
-// the epoch-versioned update path.
+// the epoch-versioned update path. 0x0b+ are protocol v3: the liveness
+// probe and the snapshot-transfer (heal) path.
 const (
 	opAnswer      byte = 0x01
 	opAnswerRange byte = 0x02
@@ -27,6 +28,9 @@ const (
 	opPrepare     byte = 0x08
 	opCommit      byte = 0x09
 	opAbort       byte = 0x0a
+	opPing        byte = 0x0b
+	opSnapMeta    byte = 0x0c
+	opSnapChunk   byte = 0x0d
 	opErr         byte = 0xff
 )
 
@@ -149,8 +153,10 @@ type rpcRequest struct {
 	lo, hi uint64   // AnswerRange
 	row    uint64   // Update
 	vals   []uint32 // Update
-	epoch  uint64   // Prepare, Commit, Abort
+	epoch  uint64   // Prepare, Commit, Abort, SnapChunk
 	writes []engine.RowWrite // UpdateBatch, Prepare
+	off    uint64   // SnapChunk: word offset into the held range
+	max    uint32   // SnapChunk: word count cap for the reply
 }
 
 // appendKeys encodes a key batch: count, then length-prefixed key bytes.
@@ -200,6 +206,10 @@ func appendRequest(dst []byte, req *rpcRequest) []byte {
 		dst = appendWrites(dst, req.writes)
 	case opCommit, opAbort:
 		dst = binary.LittleEndian.AppendUint64(dst, req.epoch)
+	case opSnapChunk:
+		dst = binary.LittleEndian.AppendUint64(dst, req.epoch)
+		dst = binary.LittleEndian.AppendUint64(dst, req.off)
+		dst = binary.LittleEndian.AppendUint32(dst, req.max)
 	}
 	return dst
 }
@@ -324,7 +334,13 @@ func parseRequest(body []byte, maxKeys int) (*rpcRequest, error) {
 		if r.bad {
 			return nil, fmt.Errorf("%w: truncated epoch", ErrProtocol)
 		}
-	case opShape, opCounters, opEpoch:
+	case opSnapChunk:
+		req.epoch, req.off = r.u64(), r.u64()
+		req.max = r.u32()
+		if r.bad {
+			return nil, fmt.Errorf("%w: truncated snapshot chunk request", ErrProtocol)
+		}
+	case opShape, opCounters, opEpoch, opPing, opSnapMeta:
 		// no payload
 	default:
 		return nil, fmt.Errorf("%w: unknown opcode %#x", ErrProtocol, req.op)
@@ -518,6 +534,91 @@ func parseCounters(body []byte) (gpu.Stats, error) {
 		return gpu.Stats{}, fmt.Errorf("%w: malformed counters response", ErrProtocol)
 	}
 	return s, nil
+}
+
+// appendSnapMeta / parseSnapMeta encode the SnapshotMeta response: the
+// node's pinned snapshot epoch, its effective epoch (>= snapshot epoch
+// when epochs were burned), and the global row range it holds — the range
+// SnapshotChunk offsets are relative to.
+func appendSnapMeta(dst []byte, snapEpoch, effEpoch uint64, lo, hi int) []byte {
+	dst = append(dst, opSnapMeta, statusOK)
+	dst = binary.LittleEndian.AppendUint64(dst, snapEpoch)
+	dst = binary.LittleEndian.AppendUint64(dst, effEpoch)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(lo))
+	return binary.LittleEndian.AppendUint64(dst, uint64(hi))
+}
+
+func parseSnapMeta(body []byte) (snapEpoch, effEpoch uint64, lo, hi int, err error) {
+	r := &wireReader{b: body}
+	remoteErr, err := responseHeader(r, opSnapMeta)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if remoteErr != nil {
+		return 0, 0, 0, 0, remoteErr
+	}
+	snapEpoch, effEpoch = r.u64(), r.u64()
+	loWire, hiWire := r.u64(), r.u64()
+	if r.bad || r.remaining() != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: malformed snapshot meta response", ErrProtocol)
+	}
+	// Row bounds travel as u64; values that wrap int on the receiver are a
+	// lie regardless of the sender's word size.
+	const maxInt = uint64(^uint(0) >> 1)
+	if loWire > maxInt || hiWire > maxInt || loWire > hiWire {
+		return 0, 0, 0, 0, fmt.Errorf("%w: snapshot meta row range [%d,%d)", ErrProtocol, loWire, hiWire)
+	}
+	return snapEpoch, effEpoch, int(loWire), int(hiWire), nil
+}
+
+// appendSnapChunk / parseSnapChunk encode one SnapshotChunk response. Every
+// frame restates the epoch, the held row range and the word offset it
+// starts at, so a resumed or interleaved transfer can never be stitched
+// from mismatched frames. An empty word list past the end of the buffer
+// terminates the stream.
+func appendSnapChunk(dst []byte, epoch uint64, lo, hi int, off uint64, words []uint32) []byte {
+	dst = append(dst, opSnapChunk, statusOK)
+	dst = binary.LittleEndian.AppendUint64(dst, epoch)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(lo))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(hi))
+	dst = binary.LittleEndian.AppendUint64(dst, off)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(words)))
+	for _, v := range words {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+func parseSnapChunk(body []byte) (epoch uint64, lo, hi int, off uint64, words []uint32, err error) {
+	r := &wireReader{b: body}
+	remoteErr, err := responseHeader(r, opSnapChunk)
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	if remoteErr != nil {
+		return 0, 0, 0, 0, nil, remoteErr
+	}
+	epoch = r.u64()
+	loWire, hiWire := r.u64(), r.u64()
+	off = r.u64()
+	count := r.u32()
+	if r.bad {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: truncated snapshot chunk header", ErrProtocol)
+	}
+	const maxInt = uint64(^uint(0) >> 1)
+	if loWire > maxInt || hiWire > maxInt || loWire > hiWire {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: snapshot chunk row range [%d,%d)", ErrProtocol, loWire, hiWire)
+	}
+	// uint64 math like parseAnswers: a count chosen so count·4 wraps int on
+	// 32-bit platforms must not dodge the size check.
+	if uint64(count)*4 != uint64(r.remaining()) {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: snapshot chunk declares %d words, frame carries %d bytes", ErrProtocol, count, r.remaining())
+	}
+	words = make([]uint32, count)
+	for i := range words {
+		words[i] = r.u32()
+	}
+	return epoch, int(loWire), int(hiWire), off, words, nil
 }
 
 // appendOK encodes a payload-free success (Update).

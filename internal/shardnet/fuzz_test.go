@@ -11,7 +11,8 @@ import (
 // FuzzParseRequest throws arbitrary frame bodies at the server's request
 // parser: it must never panic and never accept a frame that does not
 // re-encode to itself (the codec is canonical). Protocol v2 ops — the
-// epoch-versioned update path — are seeded alongside v1's.
+// epoch-versioned update path — and v3's (Ping, SnapshotMeta,
+// SnapshotChunk) are seeded alongside v1's.
 func FuzzParseRequest(f *testing.F) {
 	// Seed with one well-formed frame per opcode.
 	key := bytes.Repeat([]byte{0xab}, 37)
@@ -26,8 +27,12 @@ func FuzzParseRequest(f *testing.F) {
 	f.Add(appendRequest(nil, &rpcRequest{op: opPrepare, epoch: 41, writes: writes}))
 	f.Add(appendRequest(nil, &rpcRequest{op: opCommit, epoch: 41}))
 	f.Add(appendRequest(nil, &rpcRequest{op: opAbort, epoch: 41}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opPing}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opSnapMeta}))
+	f.Add(appendRequest(nil, &rpcRequest{op: opSnapChunk, epoch: 41, off: 4096, max: 1 << 18}))
 	f.Add([]byte{opAnswer, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{opUpdateBatch, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{opSnapChunk, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, body []byte) {
 		req, err := parseRequest(body, DefaultMaxBatch)
 		if err != nil {
@@ -50,6 +55,9 @@ func FuzzParseResponses(f *testing.F) {
 	f.Add(appendOK(nil, opUpdate), uint8(opUpdate), 0)
 	f.Add(appendEpochResp(nil, opEpoch, 12345), uint8(opEpoch), 0)
 	f.Add(appendEpochResp(nil, opUpdateBatch, 2), uint8(opUpdateBatch), 0)
+	f.Add(appendOK(nil, opPing), uint8(opPing), 0)
+	f.Add(appendSnapMeta(nil, 6, 9, 0, 1024), uint8(opSnapMeta), 0)
+	f.Add(appendSnapChunk(nil, 6, 0, 1024, 128, []uint32{1, 2, 3}), uint8(opSnapChunk), 0)
 	f.Fuzz(func(t *testing.T, body []byte, op uint8, keys int) {
 		if keys < 0 || keys > 1<<16 {
 			return
@@ -59,7 +67,70 @@ func FuzzParseResponses(f *testing.F) {
 		_, _ = parseCounters(body)
 		_ = parseOK(body, op)
 		_, _ = parseEpochResp(body, op)
+		_, _, _, _, _ = parseSnapMeta(body)
+		_, _, _, _, _, _ = parseSnapChunk(body)
 	})
+}
+
+// FuzzSnapshotFrames exercises the protocol v3 snapshot-transfer codecs
+// both ways: arbitrary bytes must never panic the decoders, accepted
+// frames must carry sane row ranges, and every well-formed encode must
+// decode back to the values that produced it. The heal path trusts these
+// frames to stitch a table from a peer — a silently mis-decoded offset or
+// range would corrupt a member instead of crashing it, so the round-trip
+// check is the load-bearing half.
+func FuzzSnapshotFrames(f *testing.F) {
+	f.Add(uint64(6), uint64(9), uint64(0), uint64(1024), uint64(128), []byte{1, 0, 0, 0, 2, 0, 0, 0})
+	f.Add(uint64(1), uint64(1), uint64(512), uint64(4096), uint64(0), []byte{})
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(0), uint64(1<<40), []byte{0xff})
+	f.Fuzz(func(t *testing.T, snapEpoch, effEpoch, lo, hi, off uint64, raw []byte) {
+		// Decoders first: raw bytes at both parsers must not panic, and an
+		// accepted frame must satisfy the range invariant.
+		if se, ee, plo, phi, err := parseSnapMeta(raw); err == nil {
+			if plo < 0 || plo > phi {
+				t.Fatalf("parseSnapMeta accepted range [%d,%d) (epochs %d/%d)", plo, phi, se, ee)
+			}
+		}
+		if _, plo, phi, _, words, err := parseSnapChunk(raw); err == nil {
+			if plo < 0 || plo > phi {
+				t.Fatalf("parseSnapChunk accepted range [%d,%d)", plo, phi)
+			}
+			_ = words
+		}
+		// Encoders second: a well-formed encode must round-trip exactly.
+		const maxInt = uint64(^uint(0) >> 1)
+		if lo > maxInt || hi > maxInt || lo > hi {
+			return
+		}
+		meta := appendSnapMeta(nil, snapEpoch, effEpoch, int(lo), int(hi))
+		se, ee, plo, phi, err := parseSnapMeta(meta)
+		if err != nil || se != snapEpoch || ee != effEpoch || uint64(plo) != lo || uint64(phi) != hi {
+			t.Fatalf("snap meta does not round-trip: (%d,%d,[%d,%d)) -> (%d,%d,[%d,%d)), err %v",
+				snapEpoch, effEpoch, lo, hi, se, ee, plo, phi, err)
+		}
+		words := make([]uint32, len(raw)/4)
+		for i := range words {
+			words[i] = uint64ToU32Sample(raw, i)
+		}
+		chunk := appendSnapChunk(nil, snapEpoch, int(lo), int(hi), off, words)
+		ce, clo, chi, coff, cwords, err := parseSnapChunk(chunk)
+		if err != nil || ce != snapEpoch || uint64(clo) != lo || uint64(chi) != hi || coff != off {
+			t.Fatalf("snap chunk header does not round-trip: err %v", err)
+		}
+		if len(cwords) != len(words) {
+			t.Fatalf("snap chunk carries %d words, sent %d", len(cwords), len(words))
+		}
+		for i := range words {
+			if cwords[i] != words[i] {
+				t.Fatalf("snap chunk word %d: sent %#x, got %#x", i, words[i], cwords[i])
+			}
+		}
+	})
+}
+
+// uint64ToU32Sample derives the i-th fuzz word from the raw input bytes.
+func uint64ToU32Sample(raw []byte, i int) uint32 {
+	return uint32(raw[i*4]) | uint32(raw[i*4+1])<<8 | uint32(raw[i*4+2])<<16 | uint32(raw[i*4+3])<<24
 }
 
 // FuzzHandshake throws arbitrary frames at the handshake decoders — the

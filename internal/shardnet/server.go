@@ -436,8 +436,72 @@ func (s *Server) dispatch(ctx context.Context, req *rpcRequest, dst []byte) []by
 		return appendShape(dst, rows, lanes)
 	case opCounters:
 		return appendCounters(dst, s.be.Counters())
+	case opPing:
+		return appendOK(dst, req.op)
+	case opSnapMeta:
+		src, resp := s.snapshotSource(req, dst)
+		if src == nil {
+			return resp
+		}
+		snapEpoch, effEpoch, beLo, beHi, err := src.SnapshotMeta(ctx)
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		if beLo > s.lo || beHi < s.hi {
+			return appendErrResponse(dst, req.op,
+				fmt.Sprintf("shardnet: backend snapshot covers rows [%d,%d), this node holds [%d,%d)", beLo, beHi, s.lo, s.hi))
+		}
+		// Advertise the node's authoritative range, not the backend's: chunk
+		// offsets are relative to what a healing peer should adopt.
+		return appendSnapMeta(dst, snapEpoch, effEpoch, s.lo, s.hi)
+	case opSnapChunk:
+		src, resp := s.snapshotSource(req, dst)
+		if src == nil {
+			return resp
+		}
+		if req.max == 0 {
+			return appendErrResponse(dst, req.op, "shardnet: snapshot chunk needs max > 0")
+		}
+		heldWords := uint64(s.hi-s.lo) * uint64(s.lanes)
+		if req.off >= heldWords {
+			// Past the end of the held range: the empty chunk terminates the
+			// stream, epoch and offset echoed so the client can pair it up.
+			return appendSnapChunk(dst, req.epoch, s.lo, s.hi, req.off, nil)
+		}
+		want := uint64(req.max)
+		if rem := heldWords - req.off; want > rem {
+			want = rem
+		}
+		// Leave headroom for the chunk header inside the frame cap so a
+		// max-sized request never produces an unsendable response.
+		if frameCap := uint64(s.maxFrame-64) / 4; want > frameCap {
+			want = frameCap
+		}
+		// Offsets on the wire are relative to the node's held range;
+		// translate into the backend snapshot's buffer, which may start
+		// below s.lo.
+		_, _, beLo, _, err := src.SnapshotMeta(ctx)
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		beOff := (s.lo-beLo)*s.lanes + int(req.off)
+		words, err := src.SnapshotChunk(ctx, req.epoch, beOff, int(want))
+		if err != nil {
+			return appendErrResponse(dst, req.op, err.Error())
+		}
+		return appendSnapChunk(dst, req.epoch, s.lo, s.hi, req.off, words)
 	}
 	return appendErrResponse(dst, opErr, fmt.Sprintf("shardnet: unknown opcode %#x", req.op))
+}
+
+// snapshotSource resolves the backend's snapshot-export capability for a
+// v3 heal RPC, or encodes the named refusal.
+func (s *Server) snapshotSource(req *rpcRequest, dst []byte) (engine.SnapshotSource, []byte) {
+	src, ok := s.be.(engine.SnapshotSource)
+	if !ok {
+		return nil, appendErrResponse(dst, req.op, "shardnet: this node's backend does not export snapshots")
+	}
+	return src, nil
 }
 
 // dispatchAnswers runs an answer-type request over [lo, hi) and encodes

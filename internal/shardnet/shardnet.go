@@ -28,10 +28,15 @@
 // shard's assignment.
 //
 // After the handshake a connection carries lockstep request/response
-// frames for the five RPCs (Answer, AnswerRange, Update, Shape,
-// Counters); the Client keeps a pool of such connections, so concurrent
-// batches — and the per-shard fan-out of a Cluster answer — overlap
-// across connections rather than queueing on one.
+// frames for the RPCs: the v1 five (Answer, AnswerRange, Update, Shape,
+// Counters), the v2 epoch-versioned update path (UpdateBatch, Epoch,
+// PrepareUpdate, CommitUpdate, AbortUpdate), and the v3 replica-group
+// pair — Ping, the cheap liveness probe, and SnapshotMeta/SnapshotChunk,
+// which stream a node's pinned table snapshot in capped offset-resumable
+// frames so a stale peer can be healed to the current epoch. The Client
+// keeps a pool of such connections, so concurrent batches — and the
+// per-shard fan-out of a Cluster answer — overlap across connections
+// rather than queueing on one.
 package shardnet
 
 import (
@@ -49,8 +54,12 @@ import (
 // epoch, answer responses carry the epoch their partials were computed
 // at, and the UpdateBatch / Epoch / PrepareUpdate / CommitUpdate /
 // AbortUpdate RPCs drive snapshot-consistent updates (the cluster epoch
-// handshake) over the wire.
-const ProtocolVersion = 2
+// handshake) over the wire. Version 3 added replica-group support: the
+// Ping liveness probe the cluster's health prober uses, and the
+// SnapshotMeta / SnapshotChunk pair that streams a node's pinned table
+// snapshot in capped, offset-resumable frames so a stale group member can
+// be healed to the current epoch from a healthy peer.
+const ProtocolVersion = 3
 
 // protoName guards against pointing a shardnet client at some other
 // length-framed service (or vice versa).

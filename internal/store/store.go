@@ -91,6 +91,17 @@ func (sn *Snapshot) Row(i int) []uint32 { return sn.tab.Row(i) }
 // strategy.accumulateTile streams — valid until Release.
 func (sn *Snapshot) Data() []uint32 { return sn.tab.Data }
 
+// RowRange returns the contiguous lane buffer for rows [lo,hi) of this
+// epoch, valid until Release. It is the export side of snapshot transfer:
+// a healer streams this buffer (chunked by the wire layer) to a stale
+// peer's Adopt.
+func (sn *Snapshot) RowRange(lo, hi int) ([]uint32, error) {
+	if lo < 0 || hi > sn.tab.NumRows || lo >= hi {
+		return nil, fmt.Errorf("store: row range [%d,%d) outside table of %d rows", lo, hi, sn.tab.NumRows)
+	}
+	return sn.tab.Data[lo*sn.tab.Lanes : hi*sn.tab.Lanes], nil
+}
+
 // tryAcquire pins the snapshot unless it is already dead (refs hit zero
 // between the caller loading the pointer and pinning it).
 func (sn *Snapshot) tryAcquire() bool {
@@ -370,6 +381,49 @@ func (s *Store) Abort(epoch uint64) error {
 		s.prev = nil
 		s.cur.Store(prev)
 		cur.release(true) // drop the store's reference on the rolled-back epoch
+	}
+	return nil
+}
+
+// Adopt is the import side of snapshot transfer: it overwrites rows
+// [lo,hi) with vals (row-major, exactly (hi-lo)*lanes words) and installs
+// the result atomically as `epoch`, then raises the burned floor to
+// `floor`. A stale replica healing from a peer adopts the peer's snapshot
+// epoch as its own and inherits the peer's effective epoch as its floor,
+// so the two stores agree on both the epoch answers are tagged with and
+// the epoch the next update must exceed — without the floor, a healed
+// member whose donor had burned epochs would accept a Prepare the donor
+// refuses and the pair would diverge again.
+//
+// Adopt requires epoch to lie strictly above the store's effective epoch
+// (healing never moves a table backwards) and refuses while an epoch is
+// prepared but uncommitted (the handshake owns the store's future then).
+// Rows outside [lo,hi) keep their current content. Readers pinned to older
+// epochs are unaffected, as with any install.
+func (s *Store) Adopt(epoch, floor uint64, lo, hi int, vals []uint32) error {
+	if lo < 0 || hi > s.rows || lo >= hi {
+		return fmt.Errorf("store: adopt range [%d,%d) outside table of %d rows", lo, hi, s.rows)
+	}
+	if len(vals) != (hi-lo)*s.lanes {
+		return fmt.Errorf("store: adopt of rows [%d,%d) needs %d words, got %d", lo, hi, (hi-lo)*s.lanes, len(vals))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stage != nil {
+		return fmt.Errorf("store: epoch %d is prepared but not committed; cannot adopt epoch %d", s.stage.epoch, epoch)
+	}
+	if eff := s.effectiveLocked(); epoch <= eff {
+		return fmt.Errorf("store: cannot adopt epoch %d at epoch %d (adopt must move forward)", epoch, eff)
+	}
+	cur := s.cur.Load()
+	data := s.getBufferLocked()
+	copy(data, cur.tab.Data)
+	copy(data[lo*s.lanes:hi*s.lanes], vals)
+	b := &backing{data: data}
+	b.refs.Store(1)
+	s.installLocked(&staged{epoch: epoch, b: b})
+	if floor > s.burned {
+		s.burned = floor
 	}
 	return nil
 }
