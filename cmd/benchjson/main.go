@@ -2,8 +2,8 @@
 // and writes a machine-readable benchmark file (default BENCH_hotpath.json)
 // that starts the repo's measured performance trajectory.
 //
-// Two cases run per batch size, the same pair BenchmarkTiledAnswer
-// measures:
+// Three cases run per batch size — the BenchmarkTiledAnswer pair plus an
+// out-of-core leg:
 //
 //   - seed: the seed revision's per-query MemBoundTree hot path — scalar
 //     PRF expansion (aes.NewCipher per tree node), freshly appended child
@@ -14,6 +14,11 @@
 //     pooled scratch, one streaming table pass per tile of 32 queries, and
 //     (at the default -early 2) early-terminated keys that cut PRF work
 //     ~4× by converting each terminal seed into four leaf lanes (§3.1).
+//   - tiled-paged: the same tiled hot path reading the table out-of-core
+//     through a store.PagedBacking whose cache budget is a quarter of the
+//     table, so every pass evicts and reloads pages. Its ns/op against
+//     tiled shows the paging tax; the case is informational — the
+//     -compare and -minqps gates only bind the "tiled" case.
 //
 // Each case also reports mb_per_sec, the table-streaming bandwidth the
 // paper's §3.2.4 tableReadBytes model implies: the bytes the case's table
@@ -45,6 +50,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -54,6 +60,7 @@ import (
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/gpu"
 	"gpudpf/internal/seedbaseline"
+	"gpudpf/internal/store"
 	"gpudpf/internal/strategy"
 )
 
@@ -116,6 +123,30 @@ func main() {
 	}
 	prg := dpf.NewAESPRG()
 
+	// The paged leg shares one file + store across batches: the cache
+	// budget is a quarter of the table, so every streaming pass misses.
+	pagedDir, err := os.MkdirTemp("", "benchjson-paged-")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	defer os.RemoveAll(pagedDir)
+	pagedPath := filepath.Join(pagedDir, "table.gpdf")
+	if err := store.WriteTableFile(pagedPath, tab); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	allTableBytes := int64(*rows) * int64(*lanes) * 4
+	pb, err := store.OpenPaged(pagedPath, store.PagedConfig{CacheBytes: allTableBytes / 4})
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	defer pb.Close()
+	pagedStore, err := store.NewPaged(pb)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	pagedSnap := pagedStore.Acquire()
+	defer pagedSnap.Release()
+
 	o := Output{
 		GeneratedUnix: time.Now().Unix(),
 		GoOS:          runtime.GOOS,
@@ -156,13 +187,21 @@ func main() {
 				log.Fatalf("benchjson: %v", err)
 			}
 		})
-		o.Cases = append(o.Cases, seed, tiled)
+		tiledPaged := measure("tiled-paged", batch, tiles*tableBytes, func() {
+			var ctr gpu.Counters
+			s := strategy.MemBoundTree{K: 128, Fused: true}
+			ans := strategy.NewAnswers(len(tiledKeys), *lanes)
+			if err := s.RunRangeInto(prg, tiledKeys, pagedSnap, 0, *rows, &ctr, ans); err != nil {
+				log.Fatalf("benchjson: %v", err)
+			}
+		})
+		o.Cases = append(o.Cases, seed, tiled, tiledPaged)
 		if tiled.NsPerOp > 0 {
 			o.Speedup[strconv.Itoa(batch)] = seed.NsPerOp / tiled.NsPerOp
 		}
-		fmt.Printf("batch=%d: seed %.1fms (%d allocs/op), tiled %.1fms (%d allocs/op), speedup %.2fx\n",
+		fmt.Printf("batch=%d: seed %.1fms (%d allocs/op), tiled %.1fms (%d allocs/op), tiled-paged %.1fms, speedup %.2fx\n",
 			batch, seed.NsPerOp/1e6, seed.AllocsPerOp, tiled.NsPerOp/1e6, tiled.AllocsPerOp,
-			seed.NsPerOp/tiled.NsPerOp)
+			tiledPaged.NsPerOp/1e6, seed.NsPerOp/tiled.NsPerOp)
 	}
 
 	buf, err := json.MarshalIndent(o, "", "  ")

@@ -66,6 +66,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -82,6 +83,7 @@ import (
 	"gpudpf/internal/pir"
 	"gpudpf/internal/serving"
 	"gpudpf/internal/shardnet"
+	"gpudpf/internal/store"
 )
 
 func main() {
@@ -103,6 +105,8 @@ func main() {
 	join := flag.String("join", "", "shard-node only: pull the current table snapshot from this healthy same-shard peer (host:port) over shardnet before serving, so a restarted member rejoins at the cluster's epoch")
 	refresh := flag.Duration("refresh", 0, "rewrite a deterministic batch of rows this often (0 = off) — the transparent update path; both parties must use the same -refresh, -refreshrows and -seed")
 	refreshRows := flag.Int("refreshrows", 64, "rows per refresh batch (one table epoch per batch; on a cluster front, one epoch handshake)")
+	tableFile := flag.String("table-file", "", "serve the table out-of-core from this file instead of holding it in RAM; created from (-rows,-lanes,-seed) if absent, validated against them if present (single-server mode only)")
+	pageCache := flag.Int64("pagecache", store.DefaultPageCacheBytes, "page-cache byte budget for -table-file; tables larger than this are paged off disk on demand")
 	flag.Parse()
 
 	if *shardNode != "" && (*cluster != "" || *group != "") {
@@ -123,6 +127,12 @@ func main() {
 	if *refresh != 0 && *shardNode != "" {
 		log.Fatal("pirserver: -refresh belongs on the cluster front (or a single server), not on a shard node — nodes receive updates over shardnet")
 	}
+	if *tableFile != "" && (*shardNode != "" || *cluster != "" || *group != "") {
+		log.Fatal("pirserver: -table-file serves a full local table; it is exclusive with -shardnode/-cluster/-group")
+	}
+	if *pageCache < 1 {
+		log.Fatal("pirserver: -pagecache must be >= 1")
+	}
 	switch {
 	case *shardNode != "":
 		runShardNode(*shardNode, *join, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers)
@@ -133,7 +143,7 @@ func main() {
 		}
 		runClusterFront(groups, display, *party, *addr, *rows, *seed, *prg, *early, *batch, *maxDelay, *refresh, *refreshRows)
 	default:
-		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *batch, *maxDelay, *refresh, *refreshRows)
+		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *batch, *maxDelay, *refresh, *refreshRows, *tableFile, *pageCache)
 	}
 }
 
@@ -200,13 +210,28 @@ func notifyShutdown(l net.Listener) chan os.Signal {
 }
 
 // runSingle is the classic single-process server: full local table behind
-// the batching front door.
-func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int) {
-	tab, err := buildTable(rows, lanes, seed, 0, rows)
-	if err != nil {
-		log.Fatalf("pirserver: %v", err)
+// the batching front door. With tableFile set, the table lives on disk and
+// the server pages rows through a bounded cache instead of holding the
+// whole table in RAM — same wire behavior, out-of-core memory profile.
+func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int, tableFile string, pageCache int64) {
+	var srv *pir.Server
+	var err error
+	opts := []pir.ServerOption{pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers)}
+	if tableFile != "" {
+		st, cleanup, perr := openPagedStore(tableFile, rows, lanes, seed, pageCache)
+		if perr != nil {
+			log.Fatalf("pirserver: -table-file %s: %v", tableFile, perr)
+		}
+		defer cleanup()
+		srv, err = pir.NewServerOverStore(party, st, opts...)
+	} else {
+		var tab *pir.Table
+		tab, err = buildTable(rows, lanes, seed, 0, rows)
+		if err != nil {
+			log.Fatalf("pirserver: %v", err)
+		}
+		srv, err = pir.NewServer(party, tab, opts...)
 	}
-	srv, err := pir.NewServer(party, tab, pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers))
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
@@ -518,7 +543,7 @@ func front(direct pir.Answerer, be engine.Backend, batch int, maxDelay time.Dura
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	validator, _ := be.(engine.KeyValidator)
+	validator, _ := engine.AsKeyValidator(be)
 	return batchFront{b, validator}, b.Close
 }
 
@@ -589,6 +614,41 @@ func fillRow(dst []uint32, seed int64, i int, gen uint64) {
 // deployment (both parties, all shard nodes) must run the same pirserver
 // build, as the -seed flag documents — replicas disagreeing on content
 // reconstruct garbage with no error anywhere.
+// openPagedStore serves the deterministic table out-of-core: if the file
+// is absent it is written once from (seed, rows, lanes) — the only time the
+// full table is materialized in RAM — and thereafter the server pages rows
+// through a cache bounded by pageCache bytes. An existing file must match
+// the flags' shape; content is trusted to match the seed (the file IS the
+// table — regenerate it after changing -seed).
+func openPagedStore(path string, rows, lanes int, seed int64, pageCache int64) (*store.Store, func(), error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		tab, err := buildTable(rows, lanes, seed, 0, rows)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := store.WriteTableFile(path, tab); err != nil {
+			return nil, nil, err
+		}
+		log.Printf("pirserver: wrote %d×%dB table to %s", rows, lanes*4, path)
+	} else if err != nil {
+		return nil, nil, err
+	}
+	pb, err := store.OpenPaged(path, store.PagedConfig{CacheBytes: pageCache})
+	if err != nil {
+		return nil, nil, err
+	}
+	if pb.Rows() != rows || pb.Lanes() != lanes {
+		pb.Close()
+		return nil, nil, fmt.Errorf("file holds a %d×%d table but flags say %d×%d", pb.Rows(), pb.Lanes(), rows, lanes)
+	}
+	st, err := store.NewPaged(pb)
+	if err != nil {
+		pb.Close()
+		return nil, nil, err
+	}
+	return st, func() { pb.Close() }, nil
+}
+
 func buildTable(rows, lanes int, seed int64, lo, hi int) (*pir.Table, error) {
 	tab, err := pir.NewTable(rows, lanes)
 	if err != nil {

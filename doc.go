@@ -50,16 +50,25 @@
 //     (mod-2^32 adds commute; property tests pin every dispatch boundary
 //     on both CI legs). RunRangeInto accumulates into caller-provided
 //     buffers through pooled scratch.
-//   - internal/store owns the serving table: an epoch-versioned,
-//     copy-on-write Store. Readers pin an immutable Snapshot (one atomic
-//     refcount — no lock, no waiting on writers) and stream its
-//     contiguous lane buffer; updates never mutate in place but install
-//     whole new epochs (Apply for a local atomic batch, Prepare / Commit
-//     / Abort for the cluster handshake below). Superseded backings are
-//     recycled once their last reader releases, an aborted epoch rolls
-//     back to its retained predecessor, and aborted epoch NUMBERS are
-//     burned — never reissued — so a stale partial can never
-//     epoch-match a later, different table.
+//   - internal/store owns the serving table: an epoch-versioned Store
+//     whose snapshots are chunk-iterable views. Readers pin an immutable
+//     Snapshot (one atomic refcount — no lock, no waiting on writers)
+//     and stream it through the strategy.TableView contract — Chunks
+//     yields maximal contiguous runs, so the in-RAM backing costs one
+//     callback while delta-overlaid and paged epochs fragment
+//     transparently. Updates are O(writes), not O(table): Apply /
+//     Prepare install a sorted patch layer over the shared base, reads
+//     merge overlays during iteration, and the chain compacts past a
+//     configurable depth (paged bases fold to a single overlay — the
+//     table is never materialized in RAM). store.PagedBacking serves
+//     tables larger than memory from a file through a fixed-size-page
+//     LRU cache (pirserver -table-file/-pagecache), bit-identical to
+//     the in-RAM path and CI-enforced with the cache budget a quarter
+//     of the table. Rollback semantics survive every backing shape:
+//     superseded backings recycle once their last reader releases, an
+//     aborted epoch rolls back to its retained predecessor, and
+//     aborted epoch NUMBERS are burned — never reissued — so a stale
+//     partial can never epoch-match a later, different table.
 //   - internal/engine is the one seam every answer flows through: the
 //     Backend interface plus the sharded Replica, which owns its table
 //     through a store.Store, pins ONE snapshot per answer batch (the

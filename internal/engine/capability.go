@@ -1,0 +1,94 @@
+package engine
+
+import "io"
+
+// Capability probes.
+//
+// A Backend's optional capabilities (range evaluation, epoch coordination,
+// snapshot transfer, …) are separate interfaces, and the cluster, healer,
+// and wire layers used to probe for them with bare type assertions
+// scattered across call sites. These helpers consolidate the probes behind
+// one named, documented function per capability: call sites read as
+// `if eb, ok := engine.AsEpoch(be); ok { … }`, greps for a capability's
+// adopters hit one symbol, and a future wrapper backend that wants to
+// forward capabilities has a single checklist of what to forward.
+//
+// Each probe is a plain type assertion — no unwrapping or delegation
+// magic: a wrapper that does not re-implement a capability does not have
+// it, which is exactly right for share-merging correctness (a wrapper
+// that, say, re-orders batches must decide explicitly whether range
+// partials still merge).
+
+// AsRange probes b for range evaluation (AnswerRange) — the capability a
+// Cluster needs to give b a row sub-range of the domain.
+func AsRange(b Backend) (RangeBackend, bool) {
+	rb, ok := b.(RangeBackend)
+	return rb, ok
+}
+
+// AsEpoch probes b for coordinated epoch updates
+// (Prepare/Commit/Abort/Epoch) — the capability the cluster update
+// handshake and the healer's wire fallback need.
+func AsEpoch(b Backend) (EpochBackend, bool) {
+	eb, ok := b.(EpochBackend)
+	return eb, ok
+}
+
+// AsEpochRange probes b for epoch-tagged range evaluation
+// (AnswerRangeEpoch) — what lets a Cluster refuse to merge partial shares
+// computed against different table epochs.
+func AsEpochRange(b Backend) (EpochRangeBackend, bool) {
+	eb, ok := b.(EpochRangeBackend)
+	return eb, ok
+}
+
+// AsInfo probes b for its pinned serving configuration (PRF, early bits,
+// party) — the facts two backends must agree on before their shares can
+// be merged.
+func AsInfo(b Backend) (BackendInfo, bool) {
+	bi, ok := b.(BackendInfo)
+	return bi, ok
+}
+
+// AsRangeHolder probes b for an authoritative held row range — what a
+// Cluster checks a shard assignment against.
+func AsRangeHolder(b Backend) (RangeHolder, bool) {
+	rh, ok := b.(RangeHolder)
+	return rh, ok
+}
+
+// AsKeyValidator probes b for standalone key validation — what a batching
+// front door uses to reject a bad key at its own request instead of
+// failing every co-batched request.
+func AsKeyValidator(b Backend) (KeyValidator, bool) {
+	kv, ok := b.(KeyValidator)
+	return kv, ok
+}
+
+// AsPinger probes b for a cheap liveness check — what the health prober
+// uses before re-admitting a cooled-down member.
+func AsPinger(b Backend) (Pinger, bool) {
+	p, ok := b.(Pinger)
+	return p, ok
+}
+
+// AsSnapshotSource probes b for snapshot export — the donor side of
+// healing.
+func AsSnapshotSource(b Backend) (SnapshotSource, bool) {
+	s, ok := b.(SnapshotSource)
+	return s, ok
+}
+
+// AsSnapshotSink probes b for snapshot import — the receiving side of
+// healing; members without it heal through the epoch-update RPCs.
+func AsSnapshotSink(b Backend) (SnapshotSink, bool) {
+	s, ok := b.(SnapshotSink)
+	return s, ok
+}
+
+// AsCloser probes b for an owned connection or resource to release when a
+// cluster built with OwnMembers shuts down.
+func AsCloser(b Backend) (io.Closer, bool) {
+	c, ok := b.(io.Closer)
+	return c, ok
+}

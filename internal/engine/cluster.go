@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -413,7 +412,7 @@ func NewCluster(shards ...ClusterShard) (*Cluster, error) {
 	// merged; name both values and both members in the rejection.
 	firstName := ""
 	for _, m := range members {
-		info, ok := m.be.(BackendInfo)
+		info, ok := AsInfo(m.be)
 		if !ok {
 			continue
 		}
@@ -437,7 +436,7 @@ func NewCluster(shards ...ClusterShard) (*Cluster, error) {
 		}
 	}
 	for _, m := range members {
-		holder, ok := m.be.(RangeHolder)
+		holder, ok := AsRangeHolder(m.be)
 		if !ok {
 			continue
 		}
@@ -512,7 +511,7 @@ func (c *Cluster) Counters() gpu.Stats {
 // answerRangeEpoch evaluates keys against [lo, hi) on be, reporting the
 // table epoch when the backend can pin one (hasEpoch false otherwise).
 func answerRangeEpoch(ctx context.Context, be RangeBackend, keys [][]byte, lo, hi int) (part [][]uint32, epoch uint64, hasEpoch bool, err error) {
-	if eb, ok := be.(EpochRangeBackend); ok {
+	if eb, ok := AsEpochRange(be); ok {
 		return eb.AnswerRangeEpoch(ctx, keys, lo, hi)
 	}
 	part, err = be.AnswerRange(ctx, keys, lo, hi)
@@ -589,7 +588,7 @@ func (c *Cluster) groupAnswer(ctx context.Context, shard int, keys [][]byte) (sh
 		}
 		h := g.health[idx]
 		if probe {
-			if p, ok := g.members[idx].(Pinger); ok {
+			if p, ok := AsPinger(g.members[idx]); ok {
 				pctx, pcancel := context.WithTimeout(ctx, probeTimeout)
 				perr := p.Ping(pctx)
 				pcancel()
@@ -746,7 +745,7 @@ func (c *Cluster) shardErr(m clusterMember, err error) *ShardError {
 func (c *Cluster) epochBackends(ms []clusterMember) ([]EpochBackend, error) {
 	ebs := make([]EpochBackend, len(ms))
 	for i, m := range ms {
-		eb, ok := m.be.(EpochBackend)
+		eb, ok := AsEpoch(m.be)
 		if !ok {
 			return nil, c.shardErr(m, fmt.Errorf("%w (member %s)", ErrNotEpochCapable, m.name))
 		}
@@ -1010,7 +1009,7 @@ func (c *Cluster) Pinned() bool { return c.pinned }
 func (c *Cluster) Close() error {
 	var first error
 	for _, m := range c.members() {
-		if closer, ok := m.be.(io.Closer); ok {
+		if closer, ok := AsCloser(m.be); ok {
 			if err := closer.Close(); err != nil && first == nil {
 				first = err
 			}

@@ -238,16 +238,18 @@ func NewReplicaOverStore(st *store.Store, cfg Config) (*Replica, error) {
 // Party returns which share (0 or 1) this replica computes.
 func (r *Replica) Party() int { return int(r.party) }
 
-// Table returns a copy of the current epoch's table. A snapshot's own
-// buffer is only guaranteed stable while pinned (superseded backings are
-// recycled into later epochs' copies), and this method cannot hand the
-// pin to the caller — so it clones. It is a debugging/reporting accessor,
-// not a hot path; code that needs zero-copy reads pins a snapshot via
-// Store().Acquire and releases it when done.
-func (r *Replica) Table() *strategy.Table {
+// Table materializes a copy of the current epoch's table. A snapshot's
+// own buffers are only guaranteed stable while pinned (superseded backings
+// are recycled into later epochs' copies), and this method cannot hand the
+// pin to the caller — so it copies, assembling from the snapshot's chunk
+// iterator (which works for delta-epoch overlays and paged backings alike;
+// a paged backing can surface a read error). It is a debugging/reporting
+// accessor, not a hot path; code that needs zero-copy reads pins a
+// snapshot via Store().Acquire and releases it when done.
+func (r *Replica) Table() (*strategy.Table, error) {
 	snap := r.st.Acquire()
 	defer snap.Release()
-	return snap.Table().Clone()
+	return strategy.TableFromView(snap)
 }
 
 // Store returns the replica's epoch-versioned table store — the seam for
@@ -488,9 +490,8 @@ func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []i
 	snap := r.st.Acquire()
 	defer snap.Release()
 	epoch := snap.Epoch()
-	tab := snap.Table()
 	if shards == 1 {
-		err := r.strat.RunRangeInto(r.prg, keys, tab, bounds[0], bounds[1], &r.ctr, answers)
+		err := r.strat.RunRangeInto(r.prg, keys, snap, bounds[0], bounds[1], &r.ctr, answers)
 		r.scratch.Put(sc)
 		if err != nil {
 			return nil, 0, fmt.Errorf("engine: evaluating batch: %w", err)
@@ -517,7 +518,7 @@ func (r *Replica) answerBounds(ctx context.Context, rawKeys [][]byte, bounds []i
 					sc.errs[i] = err
 					continue
 				}
-				sc.errs[i] = r.strat.RunRangeInto(r.prg, keys, tab, bounds[i], bounds[i+1], &r.ctr, sc.partials[i])
+				sc.errs[i] = r.strat.RunRangeInto(r.prg, keys, snap, bounds[i], bounds[i+1], &r.ctr, sc.partials[i])
 			}
 		}()
 	}

@@ -84,7 +84,7 @@ func (c *Cluster) healOnce(ctx context.Context, g *shardGroup, shard, member int
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
-	teb, ok := g.members[member].(EpochBackend)
+	teb, ok := AsEpoch(g.members[member])
 	if !ok {
 		return false, fmt.Errorf("%w: member cannot adopt epochs", ErrNotEpochCapable)
 	}
@@ -127,7 +127,7 @@ func (c *Cluster) healOnce(ctx context.Context, g *shardGroup, shard, member int
 		}
 		buf = append(buf, chunk...)
 	}
-	if sink, ok := g.members[member].(SnapshotSink); ok {
+	if sink, ok := AsSnapshotSink(g.members[member]); ok {
 		if aerr := sink.AdoptSnapshot(ctx, snapEpoch, donorEff, lo, hi, buf); aerr != nil {
 			return false, fmt.Errorf("adopting donor %s epoch %d: %w", donorName, snapEpoch, aerr)
 		}
@@ -164,7 +164,7 @@ func (c *Cluster) healDonor(g *shardGroup, member int) (SnapshotSource, string, 
 		if j == member || g.health[j].isStale() {
 			continue
 		}
-		if src, ok := g.members[j].(SnapshotSource); ok {
+		if src, ok := AsSnapshotSource(g.members[j]); ok {
 			return src, g.names[j], nil
 		}
 	}

@@ -72,19 +72,21 @@ func (r *Replica) SnapshotChunk(ctx context.Context, epoch uint64, off, max int)
 	if sn.Epoch() != epoch {
 		return nil, fmt.Errorf("engine: snapshot moved from epoch %d to %d during transfer; restart from SnapshotMeta", epoch, sn.Epoch())
 	}
-	buf, err := sn.RowRange(0, r.rows)
-	if err != nil {
-		return nil, err
-	}
-	if off >= len(buf) {
+	words := r.rows * r.lanes
+	if off >= words {
 		return nil, nil
 	}
 	end := off + max
-	if end > len(buf) {
-		end = len(buf)
+	if end > words {
+		end = words
 	}
+	// CopyWords assembles the window from the snapshot's chunk iterator, so
+	// export works identically over in-RAM, delta-overlaid, and paged
+	// backings.
 	out := make([]uint32, end-off)
-	copy(out, buf[off:end])
+	if err := sn.CopyWords(off, out); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"gpudpf/internal/dpf"
 	"gpudpf/internal/engine"
 	"gpudpf/internal/gpu"
+	"gpudpf/internal/store"
 	"gpudpf/internal/strategy"
 )
 
@@ -118,13 +119,41 @@ func NewServer(party int, tab *Table, opts ...ServerOption) (*Server, error) {
 	return &Server{eng: eng}, nil
 }
 
+// NewServerOverStore builds a PIR server over an existing epoch store —
+// the out-of-core entry point: the store may be paged off a table file
+// (store.NewPaged), so the server answers queries against a table larger
+// than memory without ever materializing it.
+func NewServerOverStore(party int, st *store.Store, opts ...ServerOption) (*Server, error) {
+	if st == nil {
+		return nil, fmt.Errorf("pir: server needs a store")
+	}
+	var cfg serverConfig
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := engine.NewReplicaOverStore(st, engine.Config{
+		Party:     party,
+		Shards:    cfg.shards,
+		Workers:   cfg.workers,
+		PRG:       cfg.prg,
+		EarlyBits: cfg.early,
+		Strategy:  cfg.strat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{eng: eng}, nil
+}
+
 // Party returns which share (0 or 1) this server computes.
 func (s *Server) Party() int { return s.eng.Party() }
 
-// Table returns a copy of the current epoch's table (see
+// Table materializes a copy of the current epoch's table (see
 // engine.Replica.Table: snapshot buffers are only stable while pinned, so
-// this accessor clones).
-func (s *Server) Table() *Table { return s.eng.Table() }
+// this accessor copies; a paged backing can surface a read error).
+func (s *Server) Table() (*Table, error) { return s.eng.Table() }
 
 // Engine returns the underlying engine replica — the Backend seam callers
 // plug into for batched serving (serving.NewEngineBatcher) or direct

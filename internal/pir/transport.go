@@ -290,7 +290,7 @@ func (e BackendEndpoint) Answer(keys [][]byte) ([][]uint32, error) {
 // Close implements Endpoint, closing the backend when it is closeable
 // (engine.Cluster closes its remote shard clients).
 func (e BackendEndpoint) Close() error {
-	if closer, ok := e.Backend.(io.Closer); ok {
+	if closer, ok := engine.AsCloser(e.Backend); ok {
 		return closer.Close()
 	}
 	return nil

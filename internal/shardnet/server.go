@@ -112,7 +112,7 @@ func NewServer(be engine.RangeBackend, cfg ServerConfig) (*Server, error) {
 		listeners:    map[net.Listener]struct{}{},
 		conns:        map[net.Conn]struct{}{},
 	}
-	if info, ok := be.(engine.BackendInfo); ok {
+	if info, ok := engine.AsInfo(be); ok {
 		s.prg, s.early, s.party = info.PRGName(), info.EarlyBits(), info.Party()
 		s.hasInfo = true
 	}
@@ -204,7 +204,7 @@ func (s *Server) handshake(conn net.Conn) bool {
 		RowLo:   s.lo,
 		RowHi:   s.hi,
 	}
-	if eb, ok := s.be.(engine.EpochBackend); ok {
+	if eb, ok := engine.AsEpoch(s.be); ok {
 		if epoch, err := eb.Epoch(s.ctx); err == nil {
 			w.Epoch, w.EpochKnown = epoch, true
 		}
@@ -497,7 +497,7 @@ func (s *Server) dispatch(ctx context.Context, req *rpcRequest, dst []byte) []by
 // snapshotSource resolves the backend's snapshot-export capability for a
 // v3 heal RPC, or encodes the named refusal.
 func (s *Server) snapshotSource(req *rpcRequest, dst []byte) (engine.SnapshotSource, []byte) {
-	src, ok := s.be.(engine.SnapshotSource)
+	src, ok := engine.AsSnapshotSource(s.be)
 	if !ok {
 		return nil, appendErrResponse(dst, req.op, "shardnet: this node's backend does not export snapshots")
 	}
@@ -507,7 +507,7 @@ func (s *Server) snapshotSource(req *rpcRequest, dst []byte) (engine.SnapshotSou
 // dispatchAnswers runs an answer-type request over [lo, hi) and encodes
 // the response, carrying the evaluation epoch when the backend pins one.
 func (s *Server) dispatchAnswers(ctx context.Context, req *rpcRequest, dst []byte, lo, hi int) []byte {
-	if eb, ok := s.be.(engine.EpochRangeBackend); ok {
+	if eb, ok := engine.AsEpochRange(s.be); ok {
 		answers, epoch, hasEpoch, err := eb.AnswerRangeEpoch(ctx, req.keys, lo, hi)
 		if err != nil {
 			return appendErrResponse(dst, req.op, err.Error())
@@ -530,7 +530,7 @@ func (s *Server) dispatchAnswers(ctx context.Context, req *rpcRequest, dst []byt
 // epochBackend resolves the backend's epoch capability for a v2 update
 // RPC, or encodes the named refusal.
 func (s *Server) epochBackend(req *rpcRequest, dst []byte) (engine.EpochBackend, []byte) {
-	eb, ok := s.be.(engine.EpochBackend)
+	eb, ok := engine.AsEpoch(s.be)
 	if !ok {
 		return nil, appendErrResponse(dst, req.op, "shardnet: this node's backend does not support epoch-versioned updates")
 	}

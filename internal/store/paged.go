@@ -1,0 +1,318 @@
+package store
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"gpudpf/internal/strategy"
+)
+
+// Table file format (little-endian):
+//
+//	offset 0:  u32 magic "GPDF"
+//	offset 4:  u32 format version (1)
+//	offset 8:  u32 lanes
+//	offset 12: u32 reserved (0)
+//	offset 16: u64 rows
+//	offset 24: rows × lanes × u32 row-major lane data
+//
+// The format is deliberately dumb: fixed-width little-endian words, no
+// compression, no index. Pages are row-aligned windows computed from the
+// shape, so the file needs no page table, and a table generator can write
+// it with one streaming pass.
+const (
+	pagedMagic       = 0x47504446 // "GPDF"
+	pagedVersion     = 1
+	pagedHeaderBytes = 24
+)
+
+// DefaultPageBytes is the default page size: big enough to amortize a read
+// syscall and give the SIMD kernel long contiguous runs, small enough that
+// a skewed workload doesn't thrash whole-table-sized pages.
+const DefaultPageBytes = 256 << 10
+
+// DefaultPageCacheBytes is the default LRU budget for OpenPaged when the
+// config leaves it zero.
+const DefaultPageCacheBytes = 64 << 20
+
+// PagedConfig sizes a PagedBacking's cache.
+type PagedConfig struct {
+	// PageBytes is the nominal page size in bytes; it is rounded down to a
+	// whole number of rows (minimum one row). 0 means DefaultPageBytes.
+	PageBytes int
+	// CacheBytes is the LRU cache budget. The cache always retains at
+	// least one page so iteration makes progress under any budget.
+	// 0 means DefaultPageCacheBytes.
+	CacheBytes int64
+}
+
+type pageEnt struct {
+	idx  int
+	data []uint32
+}
+
+// PagedBacking serves a table file through a page cache: fixed-size
+// row-aligned pages, demand-loaded with plain ReadAt (no mmap — the purego
+// and non-amd64 builds need no platform syscalls beyond os.File), evicted
+// LRU under a byte budget. Evicted pages are dropped to the garbage
+// collector, never reused, so row and chunk slices handed to readers stay
+// valid for as long as the readers hold them — the same immutability
+// contract in-RAM backings give for free.
+//
+// A PagedBacking outlives the epochs served over it: the Store layers
+// delta-epoch overlays above it and never tries to reclaim it. Close when
+// the serving process is done with the table.
+type PagedBacking struct {
+	f        *os.File
+	rows     int
+	lanes    int
+	pageRows int
+	nPages   int
+	budget   int64
+
+	mu     sync.Mutex
+	pages  map[int]*list.Element // page idx → lru element holding *pageEnt
+	lru    *list.List            // front = most recently used
+	cached int64                 // bytes resident
+
+	loads atomic.Int64 // pages read from the file (cache misses)
+	hits  atomic.Int64
+}
+
+// WriteTableFile writes tab to path in the paged table format, atomically
+// enough for our purposes (truncate + full write + close).
+func WriteTableFile(path string, tab *strategy.Table) error {
+	if tab == nil {
+		return fmt.Errorf("store: cannot write a nil table")
+	}
+	if _, err := checkShape(tab.NumRows, tab.Lanes); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var hdr [pagedHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], pagedMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], pagedVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(tab.Lanes))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(tab.NumRows))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var buf [4]byte
+	for _, v := range tab.Data {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		if _, err := w.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenPaged opens a table file written by WriteTableFile, validating the
+// header and size. The returned backing owns the file handle.
+func OpenPaged(path string, cfg PagedConfig) (*PagedBacking, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [pagedHeaderBytes]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: short table file header: %w", path, err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != pagedMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is not a table file (magic %#x)", path, m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != pagedVersion {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: unsupported table file version %d", path, v)
+	}
+	lanes := int(binary.LittleEndian.Uint32(hdr[8:]))
+	rows64 := binary.LittleEndian.Uint64(hdr[16:])
+	if rows64 > uint64(1)<<62 {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: absurd row count %d", path, rows64)
+	}
+	rows := int(rows64)
+	words, err := checkShape(rows, lanes)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := int64(pagedHeaderBytes) + int64(words)*4; st.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: file is %d bytes, shape %d×%d needs %d", path, st.Size(), rows, lanes, want)
+	}
+
+	pageBytes := cfg.PageBytes
+	if pageBytes <= 0 {
+		pageBytes = DefaultPageBytes
+	}
+	pageRows := pageBytes / (4 * lanes)
+	if pageRows < 1 {
+		pageRows = 1
+	}
+	if pageRows > rows {
+		pageRows = rows
+	}
+	budget := cfg.CacheBytes
+	if budget <= 0 {
+		budget = DefaultPageCacheBytes
+	}
+	return &PagedBacking{
+		f:        f,
+		rows:     rows,
+		lanes:    lanes,
+		pageRows: pageRows,
+		nPages:   (rows + pageRows - 1) / pageRows,
+		budget:   budget,
+		pages:    make(map[int]*list.Element),
+		lru:      list.New(),
+	}, nil
+}
+
+// Rows returns the table's row count.
+func (p *PagedBacking) Rows() int { return p.rows }
+
+// Lanes returns the table's lane count.
+func (p *PagedBacking) Lanes() int { return p.lanes }
+
+// Loads returns the number of pages read from the file so far (cache
+// misses). Exposed for tests and cache-sizing diagnostics.
+func (p *PagedBacking) Loads() int64 { return p.loads.Load() }
+
+// Hits returns the number of page lookups served from the cache.
+func (p *PagedBacking) Hits() int64 { return p.hits.Load() }
+
+// Close releases the file handle. Callers must ensure no reads are in
+// flight; already handed-out page slices remain valid (they are plain
+// heap memory).
+func (p *PagedBacking) Close() error { return p.f.Close() }
+
+// pageSpan returns page idx's row range [lo, hi).
+func (p *PagedBacking) pageSpan(idx int) (lo, hi int) {
+	lo = idx * p.pageRows
+	hi = lo + p.pageRows
+	if hi > p.rows {
+		hi = p.rows
+	}
+	return lo, hi
+}
+
+// page returns page idx's lane data, loading and caching it on a miss. The
+// file read happens outside the cache lock, so concurrent misses on
+// different pages overlap; a double load of the same page is benign (both
+// copies are identical, the loser is garbage).
+func (p *PagedBacking) page(idx int) ([]uint32, error) {
+	p.mu.Lock()
+	if el, ok := p.pages[idx]; ok {
+		p.lru.MoveToFront(el)
+		data := el.Value.(*pageEnt).data
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return data, nil
+	}
+	p.mu.Unlock()
+
+	data, err := p.readPage(idx)
+	if err != nil {
+		return nil, err
+	}
+	p.loads.Add(1)
+
+	p.mu.Lock()
+	if el, ok := p.pages[idx]; ok {
+		// Lost a race with a concurrent load of the same page; use the
+		// cached copy so the cache accounting stays single-entry.
+		p.lru.MoveToFront(el)
+		data = el.Value.(*pageEnt).data
+	} else {
+		p.pages[idx] = p.lru.PushFront(&pageEnt{idx: idx, data: data})
+		p.cached += int64(len(data)) * 4
+		for p.cached > p.budget && p.lru.Len() > 1 {
+			back := p.lru.Back()
+			ent := back.Value.(*pageEnt)
+			p.lru.Remove(back)
+			delete(p.pages, ent.idx)
+			p.cached -= int64(len(ent.data)) * 4
+			// ent.data is NOT recycled: outstanding chunk slices may
+			// still reference it. The GC reclaims it when they are gone.
+		}
+	}
+	p.mu.Unlock()
+	return data, nil
+}
+
+func (p *PagedBacking) readPage(idx int) ([]uint32, error) {
+	lo, hi := p.pageSpan(idx)
+	words := (hi - lo) * p.lanes
+	raw := make([]byte, words*4)
+	off := int64(pagedHeaderBytes) + int64(lo)*int64(p.lanes)*4
+	if _, err := p.f.ReadAt(raw, off); err != nil {
+		return nil, fmt.Errorf("store: page %d (rows [%d,%d)): %w", idx, lo, hi, err)
+	}
+	data := make([]uint32, words)
+	for i := range data {
+		data[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	return data, nil
+}
+
+// pagedSource adapts a PagedBacking to the backing source interface.
+type pagedSource struct {
+	p *PagedBacking
+}
+
+func (ps *pagedSource) chunks(lo, hi int, fn func(strategy.Chunk) error) error {
+	p := ps.p
+	for cur := lo; cur < hi; {
+		idx := cur / p.pageRows
+		data, err := p.page(idx)
+		if err != nil {
+			return err
+		}
+		pLo, pHi := p.pageSpan(idx)
+		end := hi
+		if end > pHi {
+			end = pHi
+		}
+		if err := fn(strategy.Chunk{Row: cur, Data: data[(cur-pLo)*p.lanes : (end-pLo)*p.lanes]}); err != nil {
+			return err
+		}
+		cur = end
+	}
+	return nil
+}
+
+func (ps *pagedSource) row(i int) ([]uint32, error) {
+	p := ps.p
+	data, err := p.page(i / p.pageRows)
+	if err != nil {
+		return nil, err
+	}
+	lo, _ := p.pageSpan(i / p.pageRows)
+	return data[(i-lo)*p.lanes : (i-lo+1)*p.lanes], nil
+}
+
+func (ps *pagedSource) flat() []uint32 { return nil }

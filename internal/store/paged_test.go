@@ -1,0 +1,270 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+	"gpudpf/internal/strategy"
+)
+
+// pagedFixture writes a deterministic table to disk and opens it with the
+// cache budget set to 1/4 of the table's bytes — the out-of-core shape the
+// acceptance check requires (the table is 4× larger than the cache).
+func pagedFixture(t testing.TB, rows, lanes, pageBytes int) (*strategy.Table, *PagedBacking) {
+	t.Helper()
+	tab, err := strategy.NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(rows*31 + lanes)))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+	path := filepath.Join(t.TempDir(), "table.gpdf")
+	if err := WriteTableFile(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := OpenPaged(path, PagedConfig{PageBytes: pageBytes, CacheBytes: int64(rows*lanes) * 4 / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pb.Close() })
+	return tab, pb
+}
+
+// TestPagedEquivalenceAcrossStrategies is the out-of-core acceptance
+// check: a paged store whose cache budget is a quarter of the table must
+// serve answers bit-identical to the in-RAM path, for every strategy and
+// across PRFs, while actually evicting (the sweep touches every page with
+// a cache that cannot hold them).
+func TestPagedEquivalenceAcrossStrategies(t *testing.T) {
+	const rows, lanes = 4096, 16 // 256 KiB table, 64 KiB cache
+	tab, pb := pagedFixture(t, rows, lanes, 8<<10)
+	s, err := NewPaged(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+
+	strategies := []strategy.Strategy{
+		strategy.BranchParallel{},
+		strategy.LevelByLevel{},
+		strategy.MemBoundTree{K: 8, Fused: true},
+		strategy.MemBoundTree{K: 128, Fused: false},
+		strategy.CoopGroups{},
+		strategy.MultiGPU{Devices: 2},
+		strategy.CPUBaseline{Threads: 2},
+	}
+	prgs := []dpf.PRG{dpf.NewAESPRG(), dpf.NewChaChaPRG()}
+	rng := rand.New(rand.NewSource(4242))
+	for _, prg := range prgs {
+		var keys []*dpf.Key
+		for _, idx := range []uint64{1, 512, 4095} {
+			k0, _, err := dpf.Gen(prg, idx, tab.Bits(), []uint32{1}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys = append(keys, &k0)
+		}
+		for _, st := range strategies {
+			var ctr gpu.Counters
+			want := strategy.NewAnswers(len(keys), lanes)
+			if err := st.RunRangeInto(prg, keys, tab.View(), 0, rows, &ctr, want); err != nil {
+				t.Fatalf("%s/%s in-RAM: %v", st.Name(), prg.Name(), err)
+			}
+			got := strategy.NewAnswers(len(keys), lanes)
+			if err := st.RunRangeInto(prg, keys, sn, 0, rows, &ctr, got); err != nil {
+				t.Fatalf("%s/%s paged: %v", st.Name(), prg.Name(), err)
+			}
+			for q := range want {
+				for l := range want[q] {
+					if got[q][l] != want[q][l] {
+						t.Fatalf("%s/%s q=%d lane=%d: paged %d != in-RAM %d",
+							st.Name(), prg.Name(), q, l, got[q][l], want[q][l])
+					}
+				}
+			}
+		}
+	}
+	// The budget is a quarter of the table: the sweeps above must have
+	// loaded far more pages than fit, proving eviction + reload really ran.
+	if loads, pages := pb.Loads(), (rows*lanes*4)/(8<<10); loads <= int64(pages) {
+		t.Fatalf("only %d page loads over repeated full sweeps of %d pages; cache never evicted", loads, pages)
+	}
+}
+
+// TestPagedDeltaEpochs: updates over a paged root land as overlays, reads
+// merge them with file pages, and compaction folds the chain into ONE
+// overlay over the paged root — the table is never materialized in RAM.
+func TestPagedDeltaEpochs(t *testing.T) {
+	const rows, lanes = 1024, 4
+	tab, pb := pagedFixture(t, rows, lanes, 4<<10)
+	s, err := NewPaged(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMaxChainDepth(2)
+	expect := append([]uint32(nil), tab.Data...)
+	for i := 0; i < 7; i++ {
+		writes := []RowWrite{
+			{Row: uint64(i * 100), Vals: row(uint32(i), uint32(i), uint32(i), uint32(i))},
+			{Row: uint64(i*100 + 1), Vals: row(9, 9, 9, 9)},
+		}
+		if _, err := s.Apply(writes); err != nil {
+			t.Fatal(err)
+		}
+		expect = applyWords(expect, lanes, writes)
+		// Over a paged root the fold merges to depth 1, never to flat.
+		if d := s.ChainDepth(); d < 1 || d > 2 {
+			t.Fatalf("apply %d: chain depth %d, want 1..2 over a paged root", i, d)
+		}
+		sn := s.Acquire()
+		got := viewWords(t, sn)
+		for w := range expect {
+			if got[w] != expect[w] {
+				t.Fatalf("apply %d word %d: %d, want %d", i, w, got[w], expect[w])
+			}
+		}
+		// The contiguous accessors must keep refusing: nothing materialized.
+		if _, derr := sn.Data(); !errors.Is(derr, ErrNotContiguous) {
+			t.Fatalf("paged epoch became contiguous: %v", derr)
+		}
+		sn.Release()
+	}
+	// Row reads work across patch and file pages.
+	sn := s.Acquire()
+	defer sn.Release()
+	got, err := sn.Row(601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Fatalf("patched row 601 = %v", got)
+	}
+}
+
+// TestPagedSnapshotAccessors: the deprecated raw accessors fail with the
+// named error on a paged epoch-0 snapshot, while CopyWords and Row serve
+// the same bytes the file holds.
+func TestPagedSnapshotAccessors(t *testing.T) {
+	const rows, lanes = 256, 4
+	tab, pb := pagedFixture(t, rows, lanes, 1<<10)
+	s, err := NewPaged(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	if _, err := sn.Data(); !errors.Is(err, ErrNotContiguous) {
+		t.Fatalf("Data: %v, want ErrNotContiguous", err)
+	}
+	if _, err := sn.Table(); !errors.Is(err, ErrNotContiguous) {
+		t.Fatalf("Table: %v, want ErrNotContiguous", err)
+	}
+	if _, err := sn.RowRange(10, 20); !errors.Is(err, ErrNotContiguous) {
+		t.Fatalf("RowRange: %v, want ErrNotContiguous", err)
+	}
+	win := make([]uint32, 3*lanes)
+	if err := sn.CopyWords(37*lanes, win); err != nil {
+		t.Fatal(err)
+	}
+	for i := range win {
+		if win[i] != tab.Data[37*lanes+i] {
+			t.Fatalf("CopyWords word %d: %d, want %d", i, win[i], tab.Data[37*lanes+i])
+		}
+	}
+	r, err := sn.Row(199)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range r {
+		if r[l] != tab.Data[199*lanes+l] {
+			t.Fatalf("row 199 lane %d: %d, want %d", l, r[l], tab.Data[199*lanes+l])
+		}
+	}
+}
+
+// TestPagedFileValidation: the loader refuses wrong magic, truncation, and
+// shape/size mismatches by name instead of serving garbage.
+func TestPagedFileValidation(t *testing.T) {
+	dir := t.TempDir()
+	tab, err := strategy.NewTable(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.gpdf")
+	if err := WriteTableFile(good, tab); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := filepath.Join(dir, "magic.gpdf")
+	mut := append([]byte(nil), raw...)
+	mut[0] ^= 0xff
+	if err := os.WriteFile(bad, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPaged(bad, PagedConfig{}); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+
+	short := filepath.Join(dir, "short.gpdf")
+	if err := os.WriteFile(short, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPaged(short, PagedConfig{}); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+
+	pb, err := OpenPaged(good, PagedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	if pb.Rows() != 16 || pb.Lanes() != 2 {
+		t.Fatalf("shape %d×%d from file", pb.Rows(), pb.Lanes())
+	}
+}
+
+// TestPagedTinyCache: a budget far below one sweep still serves correct
+// bytes (the cache floor keeps one page resident so iteration progresses).
+func TestPagedTinyCache(t *testing.T) {
+	const rows, lanes = 512, 4
+	tab, err := strategy.NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Data {
+		tab.Data[i] = uint32(i * 3)
+	}
+	path := filepath.Join(t.TempDir(), "t.gpdf")
+	if err := WriteTableFile(path, tab); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := OpenPaged(path, PagedConfig{PageBytes: 1 << 10, CacheBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	s, err := NewPaged(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	got := viewWords(t, sn)
+	for i := range got {
+		if got[i] != tab.Data[i] {
+			t.Fatalf("word %d: %d, want %d", i, got[i], tab.Data[i])
+		}
+	}
+}

@@ -9,7 +9,7 @@ import (
 	"gpudpf/internal/strategy"
 )
 
-func newStore(t testing.TB, rows, lanes int) *Store {
+func testStore(t testing.TB, rows, lanes int) *Store {
 	t.Helper()
 	tab, err := strategy.NewTable(rows, lanes)
 	if err != nil {
@@ -26,6 +26,16 @@ func newStore(t testing.TB, rows, lanes int) *Store {
 }
 
 func row(vals ...uint32) []uint32 { return vals }
+
+// rowOf reads one snapshot row, panicking on error (in-RAM and overlay
+// backings never fail; a panic fails the test from any goroutine).
+func rowOf(sn *Snapshot, i int) []uint32 {
+	r, err := sn.Row(i)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
 
 // uniformWrites builds a batch setting every listed row to a constant.
 func uniformWrites(lanes int, v uint32, rows ...uint64) []RowWrite {
@@ -44,13 +54,13 @@ func uniformWrites(lanes int, v uint32, rows ...uint64) []RowWrite {
 // to epoch N keeps reading N's exact bytes while Apply installs N+1, and a
 // fresh Acquire sees N+1.
 func TestSnapshotPinning(t *testing.T) {
-	s := newStore(t, 8, 2)
+	s := testStore(t, 8, 2)
 	old := s.Acquire()
 	defer old.Release()
 	if old.Epoch() != 0 {
 		t.Fatalf("fresh store at epoch %d", old.Epoch())
 	}
-	oldRow := append([]uint32(nil), old.Row(3)...)
+	oldRow := append([]uint32(nil), rowOf(old, 3)...)
 
 	epoch, err := s.Apply([]RowWrite{{Row: 3, Vals: row(100, 200)}})
 	if err != nil {
@@ -59,7 +69,7 @@ func TestSnapshotPinning(t *testing.T) {
 	if epoch != 1 {
 		t.Fatalf("Apply returned epoch %d, want 1", epoch)
 	}
-	for l, v := range old.Row(3) {
+	for l, v := range rowOf(old, 3) {
 		if v != oldRow[l] {
 			t.Fatalf("pinned snapshot changed under the reader: row 3 lane %d now %d", l, v)
 		}
@@ -69,11 +79,11 @@ func TestSnapshotPinning(t *testing.T) {
 	if fresh.Epoch() != 1 {
 		t.Fatalf("fresh snapshot at epoch %d, want 1", fresh.Epoch())
 	}
-	if got := fresh.Row(3); got[0] != 100 || got[1] != 200 {
+	if got := rowOf(fresh, 3); got[0] != 100 || got[1] != 200 {
 		t.Fatalf("row 3 after apply: %v", got)
 	}
 	// Untouched rows carried over.
-	if got, want := fresh.Row(5), old.Row(5); got[0] != want[0] || got[1] != want[1] {
+	if got, want := rowOf(fresh, 5), rowOf(old, 5); got[0] != want[0] || got[1] != want[1] {
 		t.Fatalf("row 5 not carried into the new epoch: %v vs %v", got, want)
 	}
 }
@@ -81,7 +91,7 @@ func TestSnapshotPinning(t *testing.T) {
 // TestApplyValidation: out-of-range rows and wrong-width values are
 // refused without installing anything.
 func TestApplyValidation(t *testing.T) {
-	s := newStore(t, 4, 2)
+	s := testStore(t, 4, 2)
 	if _, err := s.Apply([]RowWrite{{Row: 4, Vals: row(1, 2)}}); err == nil {
 		t.Fatal("out-of-range row accepted")
 	}
@@ -95,27 +105,27 @@ func TestApplyValidation(t *testing.T) {
 
 // TestLastWriteWins: duplicate rows in one batch apply in order.
 func TestLastWriteWins(t *testing.T) {
-	s := newStore(t, 4, 1)
+	s := testStore(t, 4, 1)
 	if _, err := s.Apply([]RowWrite{{Row: 2, Vals: row(7)}, {Row: 2, Vals: row(9)}}); err != nil {
 		t.Fatal(err)
 	}
 	sn := s.Acquire()
 	defer sn.Release()
-	if sn.Row(2)[0] != 9 {
-		t.Fatalf("row 2 = %d, want the later write (9)", sn.Row(2)[0])
+	if rowOf(sn, 2)[0] != 9 {
+		t.Fatalf("row 2 = %d, want the later write (9)", rowOf(sn, 2)[0])
 	}
 }
 
 // TestPrepareCommit: a staged epoch is invisible until commit, then
 // becomes the current view; stale and double prepares are refused.
 func TestPrepareCommit(t *testing.T) {
-	s := newStore(t, 8, 2)
+	s := testStore(t, 8, 2)
 	if err := s.Prepare(1, []RowWrite{{Row: 0, Vals: row(5, 6)}}); err != nil {
 		t.Fatal(err)
 	}
 	mid := s.Acquire()
-	if mid.Epoch() != 0 || mid.Row(0)[0] == 5 {
-		t.Fatalf("staged epoch visible before commit: epoch %d row0 %v", mid.Epoch(), mid.Row(0))
+	if mid.Epoch() != 0 || rowOf(mid, 0)[0] == 5 {
+		t.Fatalf("staged epoch visible before commit: epoch %d row0 %v", mid.Epoch(), rowOf(mid, 0))
 	}
 	mid.Release()
 	if err := s.Prepare(2, nil); err == nil {
@@ -132,8 +142,8 @@ func TestPrepareCommit(t *testing.T) {
 	}
 	sn := s.Acquire()
 	defer sn.Release()
-	if sn.Epoch() != 1 || sn.Row(0)[0] != 5 {
-		t.Fatalf("committed epoch not current: epoch %d row0 %v", sn.Epoch(), sn.Row(0))
+	if sn.Epoch() != 1 || rowOf(sn, 0)[0] != 5 {
+		t.Fatalf("committed epoch not current: epoch %d row0 %v", sn.Epoch(), rowOf(sn, 0))
 	}
 	// A prepare at or below the effective epoch is a stale coordinator.
 	if err := s.Prepare(1, nil); err == nil {
@@ -154,7 +164,7 @@ func TestPrepareCommit(t *testing.T) {
 // TestAbortStaged: aborting a staged epoch leaves the current view
 // untouched and burns the number.
 func TestAbortStaged(t *testing.T) {
-	s := newStore(t, 4, 1)
+	s := testStore(t, 4, 1)
 	if err := s.Prepare(1, []RowWrite{{Row: 1, Vals: row(42)}}); err != nil {
 		t.Fatal(err)
 	}
@@ -162,8 +172,8 @@ func TestAbortStaged(t *testing.T) {
 		t.Fatal(err)
 	}
 	sn := s.Acquire()
-	if sn.Epoch() != 0 || sn.Row(1)[0] == 42 {
-		t.Fatalf("aborted stage leaked: epoch %d row1 %v", sn.Epoch(), sn.Row(1))
+	if sn.Epoch() != 0 || rowOf(sn, 1)[0] == 42 {
+		t.Fatalf("aborted stage leaked: epoch %d row1 %v", sn.Epoch(), rowOf(sn, 1))
 	}
 	sn.Release()
 	if s.Epoch() != 1 {
@@ -185,7 +195,7 @@ func TestAbortStaged(t *testing.T) {
 // and pinned readers of the rolled-back epoch keep a stable (if orphaned)
 // view.
 func TestAbortRollsBackCommit(t *testing.T) {
-	s := newStore(t, 4, 1)
+	s := testStore(t, 4, 1)
 	if err := s.Prepare(1, []RowWrite{{Row: 2, Vals: row(77)}}); err != nil {
 		t.Fatal(err)
 	}
@@ -193,8 +203,8 @@ func TestAbortRollsBackCommit(t *testing.T) {
 		t.Fatal(err)
 	}
 	orphan := s.Acquire() // a reader lands on the committed epoch
-	if orphan.Epoch() != 1 || orphan.Row(2)[0] != 77 {
-		t.Fatalf("committed epoch wrong: %d %v", orphan.Epoch(), orphan.Row(2))
+	if orphan.Epoch() != 1 || rowOf(orphan, 2)[0] != 77 {
+		t.Fatalf("committed epoch wrong: %d %v", orphan.Epoch(), rowOf(orphan, 2))
 	}
 	if !s.Rollbackable() {
 		t.Fatal("no rollback window after commit")
@@ -204,11 +214,11 @@ func TestAbortRollsBackCommit(t *testing.T) {
 	}
 	sn := s.Acquire()
 	defer sn.Release()
-	if sn.Epoch() != 0 || sn.Row(2)[0] == 77 {
-		t.Fatalf("rollback did not reinstate epoch 0: epoch %d row2 %v", sn.Epoch(), sn.Row(2))
+	if sn.Epoch() != 0 || rowOf(sn, 2)[0] == 77 {
+		t.Fatalf("rollback did not reinstate epoch 0: epoch %d row2 %v", sn.Epoch(), rowOf(sn, 2))
 	}
 	// The orphaned reader's view is intact until released.
-	if orphan.Row(2)[0] != 77 {
+	if rowOf(orphan, 2)[0] != 77 {
 		t.Fatal("orphaned snapshot mutated by rollback")
 	}
 	orphan.Release()
@@ -229,7 +239,7 @@ func TestAbortRollsBackCommit(t *testing.T) {
 // TestEmptyPrepareSharesBacking: an epoch tick with no writes must not
 // copy the table.
 func TestEmptyPrepareSharesBacking(t *testing.T) {
-	s := newStore(t, 1024, 64)
+	s := testStore(t, 1024, 64)
 	before := s.Acquire()
 	if err := s.Prepare(1, nil); err != nil {
 		t.Fatal(err)
@@ -238,53 +248,66 @@ func TestEmptyPrepareSharesBacking(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := s.Acquire()
-	if &before.Data()[0] != &after.Data()[0] {
+	bd, err := before.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := after.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &bd[0] != &ad[0] {
 		t.Fatal("empty epoch tick copied the table")
 	}
 	before.Release()
 	after.Release()
 }
 
-// TestBackingRecycled: after a superseded epoch is fully released, the
-// next copy reuses its array instead of allocating.
+// TestBackingRecycled: a write batch lands as an O(writes) overlay (the
+// chain depth grows, no table copy), compaction folds the chain at the
+// depth bound, and a retired chain's root array is recycled into the
+// spare pool instead of reallocating per compaction.
 func TestBackingRecycled(t *testing.T) {
-	s := newStore(t, 64, 4)
+	s := testStore(t, 64, 4)
 	writes := uniformWrites(4, 1, 0)
-	if _, err := s.Apply(writes); err != nil { // epoch 1: epoch 0's adopted array retired into prev
+	// Applies up to the depth bound stack overlays — depth grows, no copy.
+	for i := 1; i <= DefaultMaxChainDepth; i++ {
+		if _, err := s.Apply(writes); err != nil {
+			t.Fatal(err)
+		}
+		if d := s.ChainDepth(); d != i {
+			t.Fatalf("after apply %d chain depth is %d", i, d)
+		}
+	}
+	// The next apply exceeds the bound and folds the chain flat.
+	if _, err := s.Apply(writes); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Apply(writes); err != nil { // epoch 2: epoch 0's array becomes a spare
+	if d := s.ChainDepth(); d != 0 {
+		t.Fatalf("chain depth %d after compaction, want 0", d)
+	}
+	// One more apply retires the old chain (the rollback window moves),
+	// unwinding it down to the original epoch-0 array, which must land in
+	// the spare pool.
+	if _, err := s.Apply(writes); err != nil {
 		t.Fatal(err)
 	}
 	s.mu.Lock()
 	spares := len(s.spares)
 	s.mu.Unlock()
 	if spares == 0 {
-		t.Fatal("no spare backing after two applies with no pinned readers")
+		t.Fatal("no spare backing after the pre-compaction chain was fully released")
 	}
-	sn := s.Acquire()
-	first := &sn.Data()[0]
-	sn.Release()
-	// Two more applies: the spare must cycle back in as a future epoch.
-	if _, err := s.Apply(uniformWrites(4, 2, 1)); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := s.Apply(uniformWrites(4, 3, 2)); err != nil {
-		t.Fatal(err)
-	}
-	sn = s.Acquire()
-	defer sn.Release()
-	_ = first // pointer identity across the cycle is implementation detail; the real check is allocation count below
-	allocs := testing.AllocsPerRun(10, func() {
+	allocs := testing.AllocsPerRun(3*DefaultMaxChainDepth, func() {
 		if _, err := s.Apply(writes); err != nil {
 			t.Fatal(err)
 		}
 	})
-	// Snapshot + backing structs are small; the table copy itself must be
-	// recycled (a 64×4 table is 1 KiB — a fresh one per apply would show
-	// up as a large alloc, but we bound the count instead: no more than
-	// the snapshot/staged/backing book-keeping).
-	if allocs > 8 {
+	// Steady state alternates overlay pushes with an occasional fold; the
+	// folds must reuse the spare arrays, so per-apply allocations stay at
+	// the patch + book-keeping level (a fresh 1 KiB table copy per apply
+	// would blow well past this).
+	if allocs > 12 {
 		t.Fatalf("steady-state Apply allocates %.1f objects/op; backing not recycled", allocs)
 	}
 }
@@ -295,7 +318,7 @@ func TestBackingRecycled(t *testing.T) {
 // uniform value, so any mixed row values prove a torn view).
 func TestConcurrentReadersWriters(t *testing.T) {
 	const rows, lanes = 128, 4
-	s := newStore(t, rows, lanes)
+	s := testStore(t, rows, lanes)
 	// Epoch 0 content is non-uniform; normalize first.
 	all := make([]uint64, rows)
 	for i := range all {
@@ -314,9 +337,9 @@ func TestConcurrentReadersWriters(t *testing.T) {
 			defer wg.Done()
 			for !stop.Load() {
 				sn := s.Acquire()
-				want := sn.Row(0)[0]
+				want := rowOf(sn, 0)[0]
 				for i := 0; i < rows; i++ {
-					for _, v := range sn.Row(i) {
+					for _, v := range rowOf(sn, i) {
 						if v != want {
 							select {
 							case errs <- fmt.Errorf("torn snapshot at epoch %d: row %d has %d, row 0 has %d", sn.Epoch(), i, v, want):
@@ -373,7 +396,7 @@ func TestConcurrentReadersWriters(t *testing.T) {
 // TestEpochsNeverRecur: interleaved aborts and applies never reissue an
 // epoch number.
 func TestEpochsNeverRecur(t *testing.T) {
-	s := newStore(t, 4, 1)
+	s := testStore(t, 4, 1)
 	seen := map[uint64]bool{0: true}
 	for i := 0; i < 20; i++ {
 		if i%4 == 2 {

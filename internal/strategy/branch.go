@@ -26,13 +26,13 @@ func (BranchParallel) Name() string { return "branch-parallel" }
 
 // Run implements Strategy.
 func (b BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	if err := validateKeys(keys, tab.Bits()); err != nil {
 		return nil, err
 	}
 	// The full run assigns one thread per domain leaf (including the
 	// zero-row tail beyond NumRows), keeping the calibrated totals.
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := b.runInto(prg, keys, tab, 0, 1<<uint(tab.Bits()), true, ctr, dst); err != nil {
+	if err := b.runInto(prg, keys, tab.View(), 0, 1<<uint(tab.Bits()), true, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
@@ -42,28 +42,29 @@ func (b BranchParallel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.C
 // only the range's leaves get a thread.
 func (b BranchParallel) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := b.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
+	if err := b.RunRangeInto(prg, keys, tab.View(), lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
 // RunRangeInto implements Strategy.
-func (b BranchParallel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
-	if err := validateKeys(keys, tab); err != nil {
+func (b BranchParallel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, dpf.DomainBits(v.Rows())); err != nil {
 		return err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
+	if err := validateRange(v.Rows(), lo, hi); err != nil {
 		return err
 	}
-	if err := validateDst(keys, tab, dst); err != nil {
+	if err := validateDst(keys, v.Lanes(), dst); err != nil {
 		return err
 	}
-	return b.runInto(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr, dst)
+	return b.runInto(prg, keys, v, lo, hi, fullRange(v.Rows(), lo, hi), ctr, dst)
 }
 
-func (BranchParallel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
-	bits := tab.Bits()
+func (BranchParallel) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
+	bits := dpf.DomainBits(v.Rows())
+	lanes := v.Lanes()
 	early := keys[0].Early
 	depth := bits - early
 	gs := 1 << uint(early)
@@ -72,7 +73,7 @@ func (BranchParallel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi
 	}
 	// Modeled device allocations: per-query output accumulators only; the
 	// per-thread path state lives in registers.
-	outBytes := int64(len(keys)) * int64(tab.Lanes) * 4
+	outBytes := int64(len(keys)) * int64(lanes) * 4
 	ctr.Alloc(outBytes)
 	defer ctr.Free(outBytes)
 	ctr.AddLaunch()
@@ -86,10 +87,11 @@ func (BranchParallel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi
 		tile := keys[t:te]
 		tileDst := dst[t:te]
 		var mu sync.Mutex
+		var firstErr error
 		gpu.ParallelForChunked(gHi-gLo, 0, func(clo, chi int) {
 			sc := getWalkScratch()
 			sc.growKeys(len(tile))
-			local := sc.growLocal(len(tile), tab.Lanes)
+			local := sc.growLocal(len(tile), lanes)
 			// Gather every key's correction words once per chunk — they
 			// depend on the level only, not on the terminal node.
 			cwm := sc.growCWMat(depth, len(tile))
@@ -120,18 +122,33 @@ func (BranchParallel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi
 				if jHi > rhi {
 					jHi = rhi
 				}
-				if jHi > tab.NumRows {
-					jHi = tab.NumRows
+				if jHi > v.Rows() {
+					jHi = v.Rows()
 				}
-				for j := jLo; j < jHi; j++ {
-					// One row read serves the whole tile (the tiled
-					// table pass).
-					row := tab.Row(j)
-					sub := j & (gs - 1)
-					for q, k := range tile {
-						leaf := dpf.LeafLane(k, sc.seeds[q], sc.ts[q], sub)
-						accumulateRow(local[q], leaf, row)
+				if jLo >= jHi {
+					continue
+				}
+				err := v.Chunks(jLo, jHi, func(ch Chunk) error {
+					for j := 0; j < len(ch.Data)/lanes; j++ {
+						// One row read serves the whole tile (the
+						// tiled table pass).
+						row := ch.Data[j*lanes : (j+1)*lanes]
+						sub := (ch.Row + j) & (gs - 1)
+						for q, k := range tile {
+							leaf := dpf.LeafLane(k, sc.seeds[q], sc.ts[q], sub)
+							accumulateRow(local[q], leaf, row)
+						}
 					}
+					return nil
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					sc.release()
+					return
 				}
 			}
 			ctr.AddPRFBlocks(int64(chi-clo) * int64(depth) * int64(len(tile)))
@@ -144,11 +161,14 @@ func (BranchParallel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi
 			mu.Unlock()
 			sc.release()
 		})
+		if firstErr != nil {
+			return firstErr
+		}
 	}
 	if full {
-		ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+		ctr.AddRead(tableReadBytes(len(keys), bits, lanes))
 	} else {
-		ctr.AddRead(rangeReadBytes(len(keys), tab.Lanes, rhi-rlo))
+		ctr.AddRead(rangeReadBytes(len(keys), lanes, rhi-rlo))
 	}
 	ctr.AddWrite(outBytes)
 	return nil

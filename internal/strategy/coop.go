@@ -44,11 +44,11 @@ func coopMemBytes(bits, lanes, early int) int64 {
 // Run implements Strategy. Queries run sequentially; each level of each
 // query's tree is expanded with full-width parallelism.
 func (c CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	if err := validateKeys(keys, tab.Bits()); err != nil {
 		return nil, err
 	}
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := c.runInto(prg, keys, tab, 0, tab.NumRows, ctr, dst); err != nil {
+	if err := c.runInto(prg, keys, tab.View(), 0, tab.NumRows, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
@@ -60,24 +60,24 @@ func (c CoopGroups) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Count
 // savings.
 func (c CoopGroups) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := c.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
+	if err := c.RunRangeInto(prg, keys, tab.View(), lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
 // RunRangeInto implements Strategy.
-func (c CoopGroups) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
-	if err := validateKeys(keys, tab); err != nil {
+func (c CoopGroups) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, dpf.DomainBits(v.Rows())); err != nil {
 		return err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
+	if err := validateRange(v.Rows(), lo, hi); err != nil {
 		return err
 	}
-	if err := validateDst(keys, tab, dst); err != nil {
+	if err := validateDst(keys, v.Lanes(), dst); err != nil {
 		return err
 	}
-	return c.runInto(prg, keys, tab, lo, hi, ctr, dst)
+	return c.runInto(prg, keys, v, lo, hi, ctr, dst)
 }
 
 // runInto executes queries back to back — one query owns the whole device
@@ -85,10 +85,11 @@ func (c CoopGroups) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, h
 // product here stays per-query rather than query-tiled. Each level still
 // advances through batched PRF calls (dpf.StepBothBatch per chunk) over
 // pooled ping-pong buffers.
-func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, ctr *gpu.Counters, dst [][]uint32) error {
-	bits := tab.Bits()
+func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi int, ctr *gpu.Counters, dst [][]uint32) error {
+	bits := dpf.DomainBits(v.Rows())
+	lanes := v.Lanes()
 	early := keys[0].Early
-	mem := coopMemBytes(bits, tab.Lanes, early)
+	mem := coopMemBytes(bits, lanes, early)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
@@ -115,27 +116,41 @@ func (CoopGroups) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int
 		}
 		ans := dst[q]
 		var mu sync.Mutex
+		var firstErr error
 		gpu.ParallelForChunked(rhi-rlo, 0, func(lo, hi int) {
 			csc := getWalkScratch()
-			local := csc.growLocal(1, tab.Lanes)[0]
+			local := csc.growLocal(1, lanes)[0]
 			leaves := csc.growBuf(hi - lo)
 			// Chunk boundaries cut through terminal groups wherever they
 			// like; the group conversion clips.
 			dpf.LeafRangeInto(k, cur[:n], curT[:n], uint64(rlo+lo), uint64(rlo+hi), leaves)
-			for j := rlo + lo; j < rlo+hi; j++ {
-				accumulateRow(local, leaves[j-rlo-lo], tab.Row(j))
-			}
+			// The worker's row span streams through the view's chunk
+			// iterator — one run for an in-RAM table, several for an
+			// overlaid or paged one.
+			err := v.Chunks(rlo+lo, rlo+hi, func(ch Chunk) error {
+				for j := 0; j < len(ch.Data)/lanes; j++ {
+					accumulateRow(local, leaves[ch.Row+j-rlo-lo], ch.Data[j*lanes:(j+1)*lanes])
+				}
+				return nil
+			})
 			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
 			for i := range ans {
 				ans[i] += local[i]
 			}
 			mu.Unlock()
 			csc.release()
 		})
+		if firstErr != nil {
+			sc.release()
+			return firstErr
+		}
 	}
 	sc.release()
-	ctr.AddRead(int64(len(keys)) * (int64(rhi-rlo)*int64(tab.Lanes)*4 + int64(frontier)*nodeBytes))
-	ctr.AddWrite(int64(len(keys)) * (int64(frontier)*2*nodeBytes + int64(tab.Lanes)*4))
+	ctr.AddRead(int64(len(keys)) * (int64(rhi-rlo)*int64(lanes)*4 + int64(frontier)*nodeBytes))
+	ctr.AddWrite(int64(len(keys)) * (int64(frontier)*2*nodeBytes + int64(lanes)*4))
 	return nil
 }
 

@@ -44,11 +44,11 @@ func (c CPUBaseline) cpu() *gpu.CPUModel {
 // is expanded level by level exactly like the reference library, then a
 // query-tiled pass streams the table once per tile of tileQueries queries.
 func (c CPUBaseline) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	if err := validateKeys(keys, tab.Bits()); err != nil {
 		return nil, err
 	}
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := c.runFullInto(prg, keys, tab, ctr, dst); err != nil {
+	if err := c.runFullInto(prg, keys, tab.View(), ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
@@ -61,11 +61,12 @@ func cpuMemBytes(batch, bits, lanes, early int) int64 {
 	return int64(batch) * (frontier*nodeBytes*3/2 + int64(lanes)*4)
 }
 
-func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters, dst [][]uint32) error {
-	bits := tab.Bits()
+func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, v TableView, ctr *gpu.Counters, dst [][]uint32) error {
+	bits := dpf.DomainBits(v.Rows())
+	lanes := v.Lanes()
 	early := keys[0].Early
 	domain := int64(1) << uint(bits)
-	mem := cpuMemBytes(len(keys), bits, tab.Lanes, early)
+	mem := cpuMemBytes(len(keys), bits, lanes, early)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
@@ -79,11 +80,14 @@ func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *
 			ctr.AddPRFBlocks(treeBlocks(bits, tile[i].Early))
 			sc.release()
 		})
-		accumulateTile(tab, 0, tab.NumRows, lt.rows, dst[t:te])
+		if err := accumulateTile(v, 0, v.Rows(), lt.rows, dst[t:te]); err != nil {
+			lt.release()
+			return err
+		}
 		lt.release()
 	}
-	ctr.AddRead(int64(len(keys)) * int64(tab.NumRows) * int64(tab.Lanes) * 4)
-	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4)
+	ctr.AddRead(int64(len(keys)) * int64(v.Rows()) * int64(lanes) * 4)
+	ctr.AddWrite(int64(len(keys)) * int64(lanes) * 4)
 	return nil
 }
 
@@ -91,46 +95,47 @@ func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *
 // depth-first dpf.EvalRange, costing O(range + log L) PRF calls per key
 // instead of the full O(L) expansion.
 func (c CPUBaseline) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	if err := validateKeys(keys, tab.Bits()); err != nil {
 		return nil, err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
+	if err := validateRange(tab.NumRows, lo, hi); err != nil {
 		return nil, err
 	}
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if fullRange(tab, lo, hi) {
-		if err := c.runFullInto(prg, keys, tab, ctr, dst); err != nil {
+	if fullRange(tab.NumRows, lo, hi) {
+		if err := c.runFullInto(prg, keys, tab.View(), ctr, dst); err != nil {
 			return nil, err
 		}
 		return dst, nil
 	}
-	if err := c.runRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
+	if err := c.runRangeInto(prg, keys, tab.View(), lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
 // RunRangeInto implements Strategy.
-func (c CPUBaseline) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
-	if err := validateKeys(keys, tab); err != nil {
+func (c CPUBaseline) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, dpf.DomainBits(v.Rows())); err != nil {
 		return err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
+	if err := validateRange(v.Rows(), lo, hi); err != nil {
 		return err
 	}
-	if err := validateDst(keys, tab, dst); err != nil {
+	if err := validateDst(keys, v.Lanes(), dst); err != nil {
 		return err
 	}
-	if fullRange(tab, lo, hi) {
-		return c.runFullInto(prg, keys, tab, ctr, dst)
+	if fullRange(v.Rows(), lo, hi) {
+		return c.runFullInto(prg, keys, v, ctr, dst)
 	}
-	return c.runRangeInto(prg, keys, tab, lo, hi, ctr, dst)
+	return c.runRangeInto(prg, keys, v, lo, hi, ctr, dst)
 }
 
-func (c CPUBaseline) runRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
-	bits := tab.Bits()
+func (c CPUBaseline) runRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	bits := dpf.DomainBits(v.Rows())
+	lanes := v.Lanes()
 	rows := hi - lo
-	mem := int64(len(keys)) * (int64(rows)*4 + int64(tab.Lanes)*4)
+	mem := int64(len(keys)) * (int64(rows)*4 + int64(lanes)*4)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 
@@ -156,15 +161,17 @@ func (c CPUBaseline) runRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, 
 			ctr.AddPRFBlocks(2*groups - 2 + 2*int64(bits-early))
 		})
 		if firstErr == nil {
-			accumulateTile(tab, lo, hi, lt.rows, dst[t:te])
+			if err := accumulateTile(v, lo, hi, lt.rows, dst[t:te]); err != nil {
+				firstErr = err
+			}
 		}
 		lt.release()
 	}
 	if firstErr != nil {
 		return firstErr
 	}
-	ctr.AddRead(int64(len(keys)) * int64(rows) * int64(tab.Lanes) * 4)
-	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4)
+	ctr.AddRead(int64(len(keys)) * int64(rows) * int64(lanes) * 4)
+	ctr.AddWrite(int64(len(keys)) * int64(lanes) * 4)
 	return nil
 }
 

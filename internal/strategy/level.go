@@ -46,11 +46,11 @@ func levelTrafficBytes(batch, bits, early int) (reads, writes int64) {
 
 // Run implements Strategy.
 func (l LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	if err := validateKeys(keys, tab.Bits()); err != nil {
 		return nil, err
 	}
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := l.runInto(prg, keys, tab, 0, tab.NumRows, true, ctr, dst); err != nil {
+	if err := l.runInto(prg, keys, tab.View(), 0, tab.NumRows, true, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
@@ -62,30 +62,31 @@ func (l LevelByLevel) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 // expansion savings.
 func (l LevelByLevel) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := l.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
+	if err := l.RunRangeInto(prg, keys, tab.View(), lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
 // RunRangeInto implements Strategy.
-func (l LevelByLevel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
-	if err := validateKeys(keys, tab); err != nil {
+func (l LevelByLevel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, dpf.DomainBits(v.Rows())); err != nil {
 		return err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
+	if err := validateRange(v.Rows(), lo, hi); err != nil {
 		return err
 	}
-	if err := validateDst(keys, tab, dst); err != nil {
+	if err := validateDst(keys, v.Lanes(), dst); err != nil {
 		return err
 	}
-	return l.runInto(prg, keys, tab, lo, hi, fullRange(tab, lo, hi), ctr, dst)
+	return l.runInto(prg, keys, v, lo, hi, fullRange(v.Rows(), lo, hi), ctr, dst)
 }
 
-func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
-	bits := tab.Bits()
+func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
+	bits := dpf.DomainBits(v.Rows())
+	lanes := v.Lanes()
 	early := keys[0].Early
-	mem := levelMemBytes(len(keys), bits, tab.Lanes, early)
+	mem := levelMemBytes(len(keys), bits, lanes, early)
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 	ctr.AddLaunch() // expansion kernel
@@ -101,14 +102,17 @@ func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi i
 		})
 		// Query-tiled matmul pass over the range's slice of the leaf
 		// vectors.
-		accumulateTile(tab, rlo, rhi, lt.rows, dst[t:te])
+		if err := accumulateTile(v, rlo, rhi, lt.rows, dst[t:te]); err != nil {
+			lt.release()
+			return err
+		}
 		lt.release()
 	}
 	r, w := levelTrafficBytes(len(keys), bits, early)
 	if full {
-		ctr.AddRead(r + tableReadBytes(len(keys), bits, tab.Lanes))
+		ctr.AddRead(r + tableReadBytes(len(keys), bits, lanes))
 	} else {
-		ctr.AddRead(r + rangeReadBytes(len(keys), tab.Lanes, rows))
+		ctr.AddRead(r + rangeReadBytes(len(keys), lanes, rows))
 	}
 	ctr.AddWrite(w)
 	return nil

@@ -78,13 +78,13 @@ func (m MemBoundTree) memBytes(batch, bits, lanes, early int) int64 {
 
 // Run implements Strategy.
 func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	if err := validateKeys(keys, tab.Bits()); err != nil {
 		return nil, err
 	}
 	// The full run walks the whole domain (leaves beyond NumRows carry
 	// zero rows), keeping the calibrated counter totals.
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := m.runInto(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), true, ctr, dst); err != nil {
+	if err := m.runInto(prg, keys, tab.View(), 0, uint64(1)<<uint(tab.Bits()), true, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
@@ -95,44 +95,45 @@ func (m MemBoundTree) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Cou
 // work plus one root-to-range path.
 func (m MemBoundTree) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := m.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
+	if err := m.RunRangeInto(prg, keys, tab.View(), lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
 // RunRangeInto implements Strategy.
-func (m MemBoundTree) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
-	if err := validateKeys(keys, tab); err != nil {
+func (m MemBoundTree) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, dpf.DomainBits(v.Rows())); err != nil {
 		return err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
+	if err := validateRange(v.Rows(), lo, hi); err != nil {
 		return err
 	}
-	if err := validateDst(keys, tab, dst); err != nil {
+	if err := validateDst(keys, v.Lanes(), dst); err != nil {
 		return err
 	}
-	return m.runInto(prg, keys, tab, uint64(lo), uint64(hi), fullRange(tab, lo, hi), ctr, dst)
+	return m.runInto(prg, keys, v, uint64(lo), uint64(hi), fullRange(v.Rows(), lo, hi), ctr, dst)
 }
 
 // runInto evaluates leaves [lo, hi) in domain coordinates, accumulating
 // into dst. full selects the calibrated whole-table accounting; partial
 // ranges are costed proportionally.
-func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi uint64, full bool, ctr *gpu.Counters, dst [][]uint32) error {
+func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi uint64, full bool, ctr *gpu.Counters, dst [][]uint32) error {
 	k := m.k()
 	if k&(k-1) != 0 {
 		return fmt.Errorf("strategy: K=%d must be a power of two", k)
 	}
-	bits := tab.Bits()
+	bits := dpf.DomainBits(v.Rows())
+	lanes := v.Lanes()
 	early := keys[0].Early
 	if full {
 		hi = uint64(1) << uint(bits)
 	}
 	var mem int64
 	if full {
-		mem = m.memBytes(len(keys), bits, tab.Lanes, early)
+		mem = m.memBytes(len(keys), bits, lanes, early)
 	} else {
-		perQuery := int64(memBoundLevels(bits-early, k))*2*int64(k)*nodeBytes + int64(tab.Lanes)*4
+		perQuery := int64(memBoundLevels(bits-early, k))*2*int64(k)*nodeBytes + int64(lanes)*4
 		if !m.Fused {
 			perQuery += int64(hi-lo) * 4
 		}
@@ -147,8 +148,8 @@ func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi u
 
 	rows := int(hi - lo)
 	rowHi := int(hi)
-	if rowHi > tab.NumRows {
-		rowHi = tab.NumRows
+	if rowHi > v.Rows() {
+		rowHi = v.Rows()
 	}
 	// Never-reassigned copies for the parallel branch's closure: capturing
 	// a reassigned variable (hi, k) would force it to the heap on every
@@ -174,17 +175,22 @@ func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi u
 		}
 		// Accumulate: ONE streaming pass over the tile's row range serves
 		// all its queries (the §3.1 batched matmul, executed).
-		accumulateTile(tab, int(lo), rowHi, lt.rows, dst[t:te])
+		if int(lo) < rowHi {
+			if err := accumulateTile(v, int(lo), rowHi, lt.rows, dst[t:te]); err != nil {
+				lt.release()
+				return err
+			}
+		}
 		lt.release()
 	}
 
 	var reads, writes int64
 	if full {
-		reads = tableReadBytes(len(keys), bits, tab.Lanes)
+		reads = tableReadBytes(len(keys), bits, lanes)
 	} else {
-		reads = rangeReadBytes(len(keys), tab.Lanes, rows)
+		reads = rangeReadBytes(len(keys), lanes, rows)
 	}
-	writes = int64(len(keys)) * int64(tab.Lanes) * 4
+	writes = int64(len(keys)) * int64(lanes) * 4
 	if !m.Fused {
 		leafBytes := int64(len(keys)) * int64(rows) * 4
 		reads += leafBytes

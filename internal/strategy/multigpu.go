@@ -44,11 +44,11 @@ func (m MultiGPU) k() int {
 // its index range via the pruned DFS, and one streaming pass over the
 // shard's rows accumulates the whole tile's partial answers.
 func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counters) ([][]uint32, error) {
-	if err := validateKeys(keys, tab); err != nil {
+	if err := validateKeys(keys, tab.Bits()); err != nil {
 		return nil, err
 	}
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := m.runInto(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr, dst); err != nil {
+	if err := m.runInto(prg, keys, tab.View(), 0, uint64(1)<<uint(tab.Bits()), ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
@@ -60,40 +60,41 @@ func (m MultiGPU) Run(prg dpf.PRG, keys []*dpf.Key, tab *Table, ctr *gpu.Counter
 // per leaf.
 func (m MultiGPU) RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error) {
 	dst := NewAnswers(len(keys), tab.Lanes)
-	if err := m.RunRangeInto(prg, keys, tab, lo, hi, ctr, dst); err != nil {
+	if err := m.RunRangeInto(prg, keys, tab.View(), lo, hi, ctr, dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
 }
 
 // RunRangeInto implements Strategy.
-func (m MultiGPU) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
-	if err := validateKeys(keys, tab); err != nil {
+func (m MultiGPU) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error {
+	if err := validateKeys(keys, dpf.DomainBits(v.Rows())); err != nil {
 		return err
 	}
-	if err := validateRange(tab, lo, hi); err != nil {
+	if err := validateRange(v.Rows(), lo, hi); err != nil {
 		return err
 	}
-	if err := validateDst(keys, tab, dst); err != nil {
+	if err := validateDst(keys, v.Lanes(), dst); err != nil {
 		return err
 	}
 	if m.n() > hi-lo {
 		m.Devices = hi - lo
 	}
-	if fullRange(tab, lo, hi) {
+	if fullRange(v.Rows(), lo, hi) {
 		// Whole-table range: walk the full padded domain like Run, keeping
 		// the calibrated counter accounting (cf. fullRange in the other
 		// strategies).
-		return m.runInto(prg, keys, tab, 0, uint64(1)<<uint(tab.Bits()), ctr, dst)
+		return m.runInto(prg, keys, v, 0, uint64(1)<<uint(dpf.DomainBits(v.Rows())), ctr, dst)
 	}
-	return m.runInto(prg, keys, tab, uint64(lo), uint64(hi), ctr, dst)
+	return m.runInto(prg, keys, v, uint64(lo), uint64(hi), ctr, dst)
 }
 
 // runInto evaluates leaves [rlo, rhi) in domain coordinates, split across
 // the modeled devices, accumulating into dst.
-func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uint64, ctr *gpu.Counters, dst [][]uint32) error {
+func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi uint64, ctr *gpu.Counters, dst [][]uint32) error {
 	n := m.n()
-	bits := tab.Bits()
+	bits := dpf.DomainBits(v.Rows())
+	lanes := v.Lanes()
 	domain := uint64(1) << uint(bits)
 	if uint64(n) > rhi-rlo || rhi > domain {
 		return fmt.Errorf("strategy: %d shards exceed range [%d,%d) of domain %d", n, rlo, rhi, domain)
@@ -104,7 +105,7 @@ func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uin
 	early := keys[0].Early
 	inner := MemBoundTree{K: m.k(), Fused: true}
 	shardBits := shardDepth(bits, n)
-	mem := int64(n) * inner.memBytes(len(keys), shardBits, tab.Lanes, dpf.ClampEarly(early, shardBits))
+	mem := int64(n) * inner.memBytes(len(keys), shardBits, lanes, dpf.ClampEarly(early, shardBits))
 	ctr.Alloc(mem)
 	defer ctr.Free(mem)
 	ctr.AddLaunch()
@@ -144,13 +145,21 @@ func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uin
 			ctr.AddPRFBlocks(2*groups - 2 + 2*int64(bits-early))
 		}
 		rowHi := hi
-		if rowHi > uint64(tab.NumRows) {
-			rowHi = uint64(tab.NumRows)
+		if rowHi > uint64(v.Rows()) {
+			rowHi = uint64(v.Rows())
 		}
 		sc := getWalkScratch()
-		local := sc.growLocal(len(tile), tab.Lanes)
+		local := sc.growLocal(len(tile), lanes)
 		if lo < rowHi {
-			accumulateTile(tab, int(lo), int(rowHi), lt.rows, local)
+			if err := accumulateTile(v, int(lo), int(rowHi), lt.rows, local); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				sc.release()
+				return
+			}
 		}
 		mu.Lock()
 		for q := range local {
@@ -165,11 +174,11 @@ func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, rlo, rhi uin
 		return firstErr
 	}
 	if rlo == 0 && rhi == uint64(1)<<uint(bits) {
-		ctr.AddRead(tableReadBytes(len(keys), bits, tab.Lanes))
+		ctr.AddRead(tableReadBytes(len(keys), bits, lanes))
 	} else {
-		ctr.AddRead(rangeReadBytes(len(keys), tab.Lanes, int(width)))
+		ctr.AddRead(rangeReadBytes(len(keys), lanes, int(width)))
 	}
-	ctr.AddWrite(int64(len(keys)) * int64(tab.Lanes) * 4 * int64(n))
+	ctr.AddWrite(int64(len(keys)) * int64(lanes) * 4 * int64(n))
 	return nil
 }
 

@@ -7,38 +7,43 @@ package strategy
 // once traffic model (§3.2.4) with register-resident accumulators.
 const simdRowBlock = 256
 
-// accumulateTileAVX2 is accumulateTile through the AVX2 kernel. Per row
-// block, each query's answer lanes ride in YMM registers while the kernel
-// performs the same leaf·row lane-wise mod-2^32 multiply-accumulate as the
-// scalar loop, 8 lanes per VPMULLD/VPADDD. Lane counts that are not a
-// multiple of 8 finish with a scalar tail per block. Output is
-// bit-identical to accumulateTileScalar: mod-2^32 adds commute, and
+// accumulateChunkAVX2 is accumulateChunk through the AVX2 kernel: one
+// contiguous run of rows [row, row+len(data)/lanes), leaves indexed from
+// leafLo. Per row block, each query's answer lanes ride in YMM registers
+// while the kernel performs the same leaf·row lane-wise mod-2^32 multiply-
+// accumulate as the scalar loop, 8 lanes per VPMULLD/VPADDD. Lane counts
+// that are not a multiple of 8 finish with a scalar tail per block. Output
+// is bit-identical to accumulateChunkScalar: mod-2^32 adds commute, and
 // per-lane the summation order is unchanged. Only called when avx2OK and
-// lanes ≥ 8.
-func accumulateTileAVX2(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
-	lanes := tab.Lanes
+// lanes ≥ 8. An in-RAM view hands the whole range over as one chunk, so
+// the kernel's per-call work is the same as when it streamed Table.Data
+// directly; paged views hand page-sized chunks, still ≥ simdRowBlock rows
+// for any realistic page budget.
+func accumulateChunkAVX2(data []uint32, lanes, row, leafLo int, leaves [][]uint32, answers [][]uint32) {
 	simdLanes := lanes &^ 7
-	for j0 := lo; j0 < hi; j0 += simdRowBlock {
+	nRows := len(data) / lanes
+	for j0 := 0; j0 < nRows; j0 += simdRowBlock {
 		j1 := j0 + simdRowBlock
-		if j1 > hi {
-			j1 = hi
+		if j1 > nRows {
+			j1 = nRows
 		}
 		n := j1 - j0
-		rows := tab.Data[j0*lanes : j1*lanes]
+		rows := data[j0*lanes : j1*lanes]
+		leafOff := row + j0 - leafLo
 		for q, lv := range leaves {
-			accumulateRowsAVX2(&answers[q][0], &lv[j0-lo], &rows[0], lanes, simdLanes, n)
+			accumulateRowsAVX2(&answers[q][0], &lv[leafOff], &rows[0], lanes, simdLanes, n)
 		}
 		if simdLanes == lanes {
 			continue
 		}
 		// Scalar tail for the 1–7 lanes past the last full SIMD chunk.
 		for j := j0; j < j1; j++ {
-			row := tab.Row(j)
+			rw := data[j*lanes : (j+1)*lanes]
 			for q, lv := range leaves {
 				ans := answers[q]
-				leaf := lv[j-lo]
+				leaf := lv[row+j-leafLo]
 				for i := simdLanes; i < lanes; i++ {
-					ans[i] += leaf * row[i]
+					ans[i] += leaf * rw[i]
 				}
 			}
 		}

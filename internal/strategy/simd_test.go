@@ -20,6 +20,16 @@ func naiveAccumulate(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint
 	}
 }
 
+// accumulateTileScalar forces the scalar kernel over the view's chunks —
+// the reference implementation the dispatched kernel must match.
+func accumulateTileScalar(v TableView, lo, hi int, leaves, answers [][]uint32) error {
+	lanes := v.Lanes()
+	return v.Chunks(lo, hi, func(c Chunk) error {
+		accumulateChunkScalar(c.Data, lanes, c.Row, lo, leaves, answers)
+		return nil
+	})
+}
+
 // randomLeafTile fills a tile-shaped leaf matrix with arbitrary values:
 // the accumulate kernels are pure mod-2^32 arithmetic, so the property
 // holds for any inputs, not just genuine DPF shares.
@@ -54,8 +64,12 @@ func TestAccumulateTileKernelMatchesScalar(t *testing.T) {
 				got := NewAnswers(tile, lanes)
 				wantScalar := NewAnswers(tile, lanes)
 				wantNaive := NewAnswers(tile, lanes)
-				accumulateTile(tab, lo, hi, lv, got)
-				accumulateTileScalar(tab, lo, hi, lv, wantScalar)
+				if err := accumulateTile(tab.View(), lo, hi, lv, got); err != nil {
+					t.Fatal(err)
+				}
+				if err := accumulateTileScalar(tab.View(), lo, hi, lv, wantScalar); err != nil {
+					t.Fatal(err)
+				}
 				naiveAccumulate(tab, lo, hi, lv, wantNaive)
 				for q := range got {
 					for l := range got[q] {
@@ -93,7 +107,7 @@ func BenchmarkAccumulateKernel(b *testing.B) {
 	ans := NewAnswers(tileQueries, lanes)
 	for _, k := range []struct {
 		name string
-		fn   func(*Table, int, int, [][]uint32, [][]uint32)
+		fn   func(TableView, int, int, [][]uint32, [][]uint32) error
 	}{
 		{"dispatch", accumulateTile},
 		{"scalar", accumulateTileScalar},
@@ -101,8 +115,11 @@ func BenchmarkAccumulateKernel(b *testing.B) {
 		b.Run(k.name, func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(int64(rows) * int64(lanes) * 4)
+			v := tab.View()
 			for i := 0; i < b.N; i++ {
-				k.fn(tab, 0, rows, lv, ans)
+				if err := k.fn(v, 0, rows, lv, ans); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -122,7 +139,9 @@ func TestAccumulateTileWideLanes(t *testing.T) {
 		lv := randomLeafTile(rng, tile, rows)
 		got := NewAnswers(tile, lanes)
 		want := NewAnswers(tile, lanes)
-		accumulateTile(tab, 0, rows, lv, got)
+		if err := accumulateTile(tab.View(), 0, rows, lv, got); err != nil {
+			t.Fatal(err)
+		}
 		naiveAccumulate(tab, 0, rows, lv, want)
 		for q := range got {
 			for l := range got[q] {

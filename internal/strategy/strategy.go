@@ -40,12 +40,15 @@ type Strategy interface {
 	// pinned to Model.
 	RunRange(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters) ([][]uint32, error)
 	// RunRangeInto is RunRange accumulating into caller-provided answer
-	// buffers: dst[q] (tab.Lanes wide, zeroed by the caller) receives key
+	// buffers: dst[q] (v.Lanes() wide, zeroed by the caller) receives key
 	// q's partial share for rows [lo, hi). Strategies add into dst without
 	// allocating per-call answer storage, which is what lets
 	// engine.Replica pool its shard partials for an allocation-free
-	// steady-state Answer.
-	RunRangeInto(prg dpf.PRG, keys []*dpf.Key, tab *Table, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error
+	// steady-state Answer. The table arrives as a TableView — strategies
+	// stream it chunk-by-chunk (accumulateTile), so the same code path
+	// serves in-RAM tables (one maximal chunk), delta-epoch overlays, and
+	// paged backings larger than memory.
+	RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi int, ctr *gpu.Counters, dst [][]uint32) error
 	// Model analytically predicts the device-side execution of a batch of
 	// the given shape and converts it to a Report via dev's cost model.
 	Model(dev *gpu.Device, prg dpf.PRG, bits, batch, lanes int) (Report, error)
@@ -85,11 +88,10 @@ func (r Report) String() string {
 // sense when every key's tree has the same depth (engine.Replica enforces
 // this per key at the front door, so a mixed batch never reaches here from
 // the serving path).
-func validateKeys(keys []*dpf.Key, tab *Table) error {
+func validateKeys(keys []*dpf.Key, bits int) error {
 	if len(keys) == 0 {
 		return fmt.Errorf("strategy: empty batch")
 	}
-	bits := tab.Bits()
 	early := keys[0].Early
 	for i, k := range keys {
 		if k.Lanes != 1 {
@@ -132,10 +134,10 @@ func prgCyclesPerBlock(cycles float64, early int) float64 {
 	return cycles * float64(int64(1)<<uint(early))
 }
 
-// validateRange checks a RunRange row range against the table.
-func validateRange(tab *Table, lo, hi int) error {
-	if lo < 0 || hi > tab.NumRows || lo >= hi {
-		return fmt.Errorf("strategy: row range [%d,%d) invalid for table of %d rows", lo, hi, tab.NumRows)
+// validateRange checks a RunRange row range against the table's row count.
+func validateRange(rows, lo, hi int) error {
+	if lo < 0 || hi > rows || lo >= hi {
+		return fmt.Errorf("strategy: row range [%d,%d) invalid for table of %d rows", lo, hi, rows)
 	}
 	return nil
 }
@@ -143,7 +145,7 @@ func validateRange(tab *Table, lo, hi int) error {
 // fullRange reports whether [lo, hi) covers the whole table, in which case
 // strategies keep the calibrated full-run counter accounting (pinned to
 // Model by the tests).
-func fullRange(tab *Table, lo, hi int) bool { return lo == 0 && hi == tab.NumRows }
+func fullRange(rows, lo, hi int) bool { return lo == 0 && hi == rows }
 
 // accumulateRow adds leaf·row into ans lane-wise (mod 2^32).
 func accumulateRow(ans []uint32, leaf uint32, row []uint32) {
@@ -159,23 +161,45 @@ func accumulateRow(ans []uint32, leaf uint32, row []uint32) {
 // per query — the traffic tableReadBytes has always modeled. leaves[q][j-lo]
 // is query q's leaf share for row j; answers[q] accumulates lane-wise mod
 // 2^32 (order-independent, so tiled output is bit-identical to the scalar
-// per-query pass).
-func accumulateTile(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
-	// Kernel dispatch: rows of 8+ lanes go through the AVX2 multiply-
-	// accumulate kernel when the CPU has it (and the build isn't purego);
-	// everything else — narrow rows, other architectures, older CPUs —
-	// takes the scalar loop. Both paths are bit-identical by construction:
-	// mod-2^32 lane adds are order-independent.
-	if avx2OK && tab.Lanes >= 8 {
-		accumulateTileAVX2(tab, lo, hi, leaves, answers)
-		return
+// per-query pass). The table arrives as a TableView and is consumed
+// chunk-by-chunk: an in-RAM view is one maximal chunk (so the SIMD
+// kernel's per-call work is unchanged), a delta-epoch or paged view is
+// several — the per-lane summation order is the same either way. The only
+// error sources are the view's (a paged backing's read failing mid-pass).
+func accumulateTile(v TableView, lo, hi int, leaves [][]uint32, answers [][]uint32) error {
+	lanes := v.Lanes()
+	// Contiguous fast path: one kernel call over the zero-copy row slice,
+	// and — because the chunk-callback closure is only constructed on the
+	// fragmented path below — no per-tile allocation, which the engine's
+	// steady-state Answer path counts on.
+	if data, err := v.RowRange(lo, hi); err == nil {
+		accumulateChunk(data, lanes, lo, lo, leaves, answers)
+		return nil
 	}
-	accumulateTileScalar(tab, lo, hi, leaves, answers)
+	return v.Chunks(lo, hi, func(c Chunk) error {
+		accumulateChunk(c.Data, lanes, c.Row, lo, leaves, answers)
+		return nil
+	})
 }
 
-// accumulateTileScalar is the portable accumulate loop, the dispatch
+// accumulateChunk accumulates one contiguous run (rows [row, row+n) where
+// n = len(data)/lanes) of a tile pass whose leaves are indexed from
+// leafLo. Kernel dispatch: rows of 8+ lanes go through the AVX2 multiply-
+// accumulate kernel when the CPU has it (and the build isn't purego);
+// everything else — narrow rows, other architectures, older CPUs — takes
+// the scalar loop. Both paths are bit-identical by construction: mod-2^32
+// lane adds are order-independent.
+func accumulateChunk(data []uint32, lanes, row, leafLo int, leaves [][]uint32, answers [][]uint32) {
+	if avx2OK && lanes >= 8 {
+		accumulateChunkAVX2(data, lanes, row, leafLo, leaves, answers)
+		return
+	}
+	accumulateChunkScalar(data, lanes, row, leafLo, leaves, answers)
+}
+
+// accumulateChunkScalar is the portable accumulate loop, the dispatch
 // fallback and the reference the SIMD kernel's property tests pin against.
-func accumulateTileScalar(tab *Table, lo, hi int, leaves [][]uint32, answers [][]uint32) {
+func accumulateChunkScalar(data []uint32, lanes, row, leafLo int, leaves [][]uint32, answers [][]uint32) {
 	// The row is staged through a fixed-size stack buffer: answers and the
 	// table share an element type, so without the copy the compiler must
 	// reload every row element once per query against possible aliasing.
@@ -183,21 +207,21 @@ func accumulateTileScalar(tab *Table, lo, hi int, leaves [][]uint32, answers [][
 	// unaligned-tolerant — so rowBuf's size only bounds this scalar branch;
 	// wider rows take the direct-row loop below.)
 	var rowBuf [64]uint32
-	lanes := tab.Lanes
+	n := len(data) / lanes
 	if lanes <= len(rowBuf) {
-		for j := lo; j < hi; j++ {
-			row := rowBuf[:lanes]
-			copy(row, tab.Row(j))
+		for j := 0; j < n; j++ {
+			rw := rowBuf[:lanes]
+			copy(rw, data[j*lanes:(j+1)*lanes])
 			for q, lv := range leaves {
-				accumulateRow(answers[q], lv[j-lo], row)
+				accumulateRow(answers[q], lv[row+j-leafLo], rw)
 			}
 		}
 		return
 	}
-	for j := lo; j < hi; j++ {
-		row := tab.Row(j)
+	for j := 0; j < n; j++ {
+		rw := data[j*lanes : (j+1)*lanes]
 		for q, lv := range leaves {
-			accumulateRow(answers[q], lv[j-lo], row)
+			accumulateRow(answers[q], lv[row+j-leafLo], rw)
 		}
 	}
 }
@@ -216,13 +240,13 @@ func NewAnswers(n, lanes int) [][]uint32 {
 }
 
 // validateDst checks a RunRangeInto destination batch.
-func validateDst(keys []*dpf.Key, tab *Table, dst [][]uint32) error {
+func validateDst(keys []*dpf.Key, lanes int, dst [][]uint32) error {
 	if len(dst) != len(keys) {
 		return fmt.Errorf("strategy: %d answer buffers for %d keys", len(dst), len(keys))
 	}
 	for q := range dst {
-		if len(dst[q]) != tab.Lanes {
-			return fmt.Errorf("strategy: answer buffer %d has %d lanes, table has %d", q, len(dst[q]), tab.Lanes)
+		if len(dst[q]) != lanes {
+			return fmt.Errorf("strategy: answer buffer %d has %d lanes, table has %d", q, len(dst[q]), lanes)
 		}
 	}
 	return nil

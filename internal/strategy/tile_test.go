@@ -232,10 +232,10 @@ func TestRunRangeIntoAccumulates(t *testing.T) {
 			t.Fatal(err)
 		}
 		dst := [][]uint32{make([]uint32, lanes)}
-		if err := s.RunRangeInto(prg, keys, tab, 0, rows, &ctr, dst); err != nil {
+		if err := s.RunRangeInto(prg, keys, tab.View(), 0, rows, &ctr, dst); err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
-		if err := s.RunRangeInto(prg, keys, tab, 0, rows, &ctr, dst); err != nil {
+		if err := s.RunRangeInto(prg, keys, tab.View(), 0, rows, &ctr, dst); err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
 		for l := range want[0] {
@@ -257,10 +257,10 @@ func TestRunRangeIntoValidatesDst(t *testing.T) {
 	keys := []*dpf.Key{&k0}
 	s := MemBoundTree{K: 8, Fused: true}
 	var ctr gpu.Counters
-	if err := s.RunRangeInto(prg, keys, tab, 0, 16, &ctr, nil); err == nil {
+	if err := s.RunRangeInto(prg, keys, tab.View(), 0, 16, &ctr, nil); err == nil {
 		t.Error("nil dst accepted")
 	}
-	if err := s.RunRangeInto(prg, keys, tab, 0, 16, &ctr, [][]uint32{make([]uint32, 1)}); err == nil {
+	if err := s.RunRangeInto(prg, keys, tab.View(), 0, 16, &ctr, [][]uint32{make([]uint32, 1)}); err == nil {
 		t.Error("wrong-lane dst accepted")
 	}
 }

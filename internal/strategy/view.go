@@ -1,0 +1,100 @@
+package strategy
+
+import "fmt"
+
+// Chunk is one contiguous, row-aligned run of table data yielded by a
+// TableView: rows [Row, Row+len(Data)/lanes) in row-major order. The slice
+// is immutable shared storage — callers read, never write, and must not
+// retain it past the view's lifetime (for a store snapshot: until Release).
+type Chunk struct {
+	// Row is the table row index of Data's first row.
+	Row int
+	// Data is the run's row-major lane data, a whole number of rows.
+	Data []uint32
+}
+
+// TableView is the snapshot read contract the answer path consumes: a
+// table shape plus an iterator over contiguous row runs. The in-RAM
+// backing yields one maximal chunk per Chunks call, so the SIMD kernel's
+// per-call work is unchanged; delta-epoch overlays yield a run per patch
+// boundary, and a paged backing yields page-sized runs — all through the
+// same contract, which is what lets one answer path serve tables that
+// are in RAM, patched, or larger than memory.
+type TableView interface {
+	// Rows is the table's row count.
+	Rows() int
+	// Lanes is the entry width in uint32 lanes.
+	Lanes() int
+	// Chunks calls fn for each contiguous row run covering rows [lo, hi),
+	// in ascending row order with no gaps or overlaps. It stops at the
+	// first error (fn's, a range error, or a backing read error).
+	Chunks(lo, hi int, fn func(Chunk) error) error
+	// RowRange returns rows [lo, hi) as one contiguous slice when the
+	// backing can do so without copying, and an error otherwise (see
+	// store.ErrNotContiguous). Callers that can stream should prefer
+	// Chunks, which never fails on fragmentation.
+	RowRange(lo, hi int) ([]uint32, error)
+}
+
+// checkViewRange validates a chunk-iterator row range ([lo,hi) within a
+// table of rows rows; empty ranges are allowed and iterate nothing).
+func checkViewRange(rows, lo, hi int) error {
+	if lo < 0 || hi > rows || lo > hi {
+		return fmt.Errorf("strategy: row range [%d,%d) invalid for table of %d rows", lo, hi, rows)
+	}
+	return nil
+}
+
+// tableView adapts *Table to TableView: one maximal chunk, zero-copy
+// ranges. (Table's shape is exported fields, so the adapter carries the
+// method set.)
+type tableView struct{ t *Table }
+
+// View returns the table as a TableView. The view shares the table's
+// storage; the immutability convention (see Table) carries over.
+func (t *Table) View() TableView { return tableView{t} }
+
+// Rows implements TableView.
+func (v tableView) Rows() int { return v.t.NumRows }
+
+// Lanes implements TableView.
+func (v tableView) Lanes() int { return v.t.Lanes }
+
+// Chunks implements TableView: the whole range is one contiguous run.
+func (v tableView) Chunks(lo, hi int, fn func(Chunk) error) error {
+	if err := checkViewRange(v.t.NumRows, lo, hi); err != nil {
+		return err
+	}
+	if lo == hi {
+		return nil
+	}
+	return fn(Chunk{Row: lo, Data: v.t.Data[lo*v.t.Lanes : hi*v.t.Lanes]})
+}
+
+// RowRange implements TableView (always contiguous for an in-RAM table).
+func (v tableView) RowRange(lo, hi int) ([]uint32, error) {
+	if err := checkViewRange(v.t.NumRows, lo, hi); err != nil {
+		return nil, err
+	}
+	return v.t.Data[lo*v.t.Lanes : hi*v.t.Lanes], nil
+}
+
+// TableFromView materializes a view into a freshly allocated Table — the
+// escape hatch for callers that genuinely need a contiguous private copy
+// (replica cloning, tests). It is the only sanctioned way to flatten a
+// fragmented or paged view; the answer path itself never does this.
+func TableFromView(v TableView) (*Table, error) {
+	tab, err := NewTable(v.Rows(), v.Lanes())
+	if err != nil {
+		return nil, err
+	}
+	lanes := v.Lanes()
+	err = v.Chunks(0, v.Rows(), func(c Chunk) error {
+		copy(tab.Data[c.Row*lanes:], c.Data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tab, nil
+}

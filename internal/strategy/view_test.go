@@ -1,0 +1,169 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gpudpf/internal/dpf"
+	"gpudpf/internal/gpu"
+)
+
+// errFragmented is fragView's RowRange refusal — it forces every consumer
+// down the chunk-iterator path, like a delta-overlaid or paged snapshot.
+var errFragmented = errors.New("fragView: not contiguous")
+
+// fragView serves a Table through an arbitrarily fragmented TableView:
+// chunk boundaries fall at the fixed cut rows, and the contiguous RowRange
+// fast path is refused. It simulates the chunk geometry of the store's
+// overlay and paged backings without importing the store (which would
+// cycle), so the strategy package can pin chunked-vs-contiguous
+// equivalence locally.
+type fragView struct {
+	t    *Table
+	cuts []int // sorted interior cut rows, each in (0, NumRows)
+}
+
+func (f fragView) Rows() int  { return f.t.NumRows }
+func (f fragView) Lanes() int { return f.t.Lanes }
+
+func (f fragView) RowRange(lo, hi int) ([]uint32, error) { return nil, errFragmented }
+
+func (f fragView) Chunks(lo, hi int, fn func(Chunk) error) error {
+	if lo < 0 || hi > f.t.NumRows || lo > hi {
+		return fmt.Errorf("fragView: bad range [%d,%d)", lo, hi)
+	}
+	cur := lo
+	for _, c := range f.cuts {
+		if c <= cur {
+			continue
+		}
+		if c >= hi {
+			break
+		}
+		if err := fn(Chunk{Row: cur, Data: f.t.Data[cur*f.t.Lanes : c*f.t.Lanes]}); err != nil {
+			return err
+		}
+		cur = c
+	}
+	if cur < hi {
+		return fn(Chunk{Row: cur, Data: f.t.Data[cur*f.t.Lanes : hi*f.t.Lanes]})
+	}
+	return nil
+}
+
+// randomCuts draws a sorted set of interior cut rows, dense enough to
+// shatter the table into many small chunks (including single-row ones).
+func randomCuts(rng *rand.Rand, rows, n int) []int {
+	set := map[int]bool{}
+	for len(set) < n {
+		set[1+rng.Intn(rows-1)] = true
+	}
+	cuts := make([]int, 0, n)
+	for c := range set {
+		cuts = append(cuts, c)
+	}
+	sort.Ints(cuts)
+	return cuts
+}
+
+// TestChunkedViewEquivalence pins the TableView redesign's core promise:
+// for every strategy and PRF, RunRangeInto over a randomly fragmented view
+// is bit-identical to the same call over the contiguous in-RAM view — for
+// the full table and for sub-ranges whose endpoints fall inside chunks.
+func TestChunkedViewEquivalence(t *testing.T) {
+	const rows, lanes = 1500, 3
+	rng := rand.New(rand.NewSource(808))
+	for _, prgCase := range []struct {
+		name string
+		prg  dpf.PRG
+	}{
+		{"aes128", dpf.NewAESPRG()},
+		{"chacha20", dpf.NewChaChaPRG()},
+	} {
+		t.Run(prgCase.name, func(t *testing.T) {
+			prg := prgCase.prg
+			tab := buildTable(t, rows, lanes, 99)
+			var keys []*dpf.Key
+			for _, idx := range []uint64{0, 7, 733, uint64(rows) - 1} {
+				k0, _, err := dpf.Gen(prg, idx, tab.Bits(), []uint32{1}, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys = append(keys, &k0)
+			}
+			ranges := [][2]int{{0, rows}, {0, 1}, {257, 1337}, {rows - 5, rows}}
+			for _, s := range allStrategies() {
+				for _, r := range ranges {
+					lo, hi := r[0], r[1]
+					var ctr gpu.Counters
+					want := NewAnswers(len(keys), lanes)
+					if err := s.RunRangeInto(prg, keys, tab.View(), lo, hi, &ctr, want); err != nil {
+						t.Fatalf("%s contiguous [%d,%d): %v", s.Name(), lo, hi, err)
+					}
+					for trial := 0; trial < 3; trial++ {
+						fv := fragView{t: tab, cuts: randomCuts(rng, rows, 64)}
+						got := NewAnswers(len(keys), lanes)
+						if err := s.RunRangeInto(prg, keys, fv, lo, hi, &ctr, got); err != nil {
+							t.Fatalf("%s fragmented [%d,%d): %v", s.Name(), lo, hi, err)
+						}
+						for q := range want {
+							for l := range want[q] {
+								if got[q][l] != want[q][l] {
+									t.Fatalf("%s/%s [%d,%d) q=%d lane=%d: fragmented %d != contiguous %d",
+										s.Name(), prgCase.name, lo, hi, q, l, got[q][l], want[q][l])
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTableFromView materializes a fragmented view and checks the copy is
+// bit-identical, and that the contiguous adapter round-trips shape errors.
+func TestTableFromView(t *testing.T) {
+	const rows, lanes = 200, 5
+	rng := rand.New(rand.NewSource(809))
+	tab := buildTable(t, rows, lanes, 5)
+	fv := fragView{t: tab, cuts: randomCuts(rng, rows, 31)}
+	got, err := TableFromView(fv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows != rows || got.Lanes != lanes {
+		t.Fatalf("materialized shape %d×%d", got.NumRows, got.Lanes)
+	}
+	for i, v := range got.Data {
+		if v != tab.Data[i] {
+			t.Fatalf("word %d: %d != %d", i, v, tab.Data[i])
+		}
+	}
+	if &got.Data[0] == &tab.Data[0] {
+		t.Fatal("TableFromView aliased the source buffer")
+	}
+}
+
+// TestViewRangeValidation: the chunk iterator rejects inverted and
+// out-of-bounds ranges and accepts empty ones.
+func TestViewRangeValidation(t *testing.T) {
+	tab := buildTable(t, 16, 2, 3)
+	v := tab.View()
+	if err := v.Chunks(4, 3, func(Chunk) error { return nil }); err == nil {
+		t.Error("inverted range accepted")
+	}
+	if err := v.Chunks(0, 17, func(Chunk) error { return nil }); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+	calls := 0
+	if err := v.Chunks(5, 5, func(Chunk) error { calls++; return nil }); err != nil {
+		t.Errorf("empty range refused: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("empty range yielded %d chunks", calls)
+	}
+}
