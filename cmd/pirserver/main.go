@@ -4,9 +4,16 @@
 // pirclient.
 //
 // Requests flow through the same path the benchmarks measure: a
-// serving.Batcher groups incoming keys under a size/deadline policy and
+// serving.Front groups incoming keys under a size/deadline policy and
 // executes each formed batch on a sharded engine.Replica, so concurrent
 // clients share table passes instead of queueing behind each other.
+// -maxqueue bounds the admission queue — requests past the bound are shed
+// immediately with a named overload error instead of collapsing queue
+// latency — and -slo turns on adaptive batching: the front re-tunes the
+// batch size and deadline against the measured arrival rate to stay
+// inside the SLO. The wire protocol also carries a row-update op and a
+// stats probe (admission and epoch-retry counters), which is what
+// cmd/pirload drives and measures.
 //
 //	pirserver -party 0 -addr :7700 -rows 65536 -lanes 32 -seed 42 -shards 4
 //	pirserver -party 1 -addr :7701 -rows 65536 -lanes 32 -seed 42 -shards 4
@@ -98,6 +105,8 @@ func main() {
 	workers := flag.Int("workers", 0, "shard worker pool size (0 = GOMAXPROCS)")
 	batch := flag.Int("batch", 64, "max keys per formed batch (0 disables the batching front door)")
 	maxDelay := flag.Duration("maxdelay", 2*time.Millisecond, "max time a request waits for its batch to fill")
+	maxQueue := flag.Int("maxqueue", 0, "admission bound: max requests waiting or in service before new ones are shed with a named overload error (0 = unbounded)")
+	slo := flag.Duration("slo", 0, "latency SLO for adaptive batching: the front door re-tunes -batch/-maxdelay against the measured arrival rate to stay inside it (0 = static policy)")
 	shardNode := flag.String("shardnode", "", "serve one shard of the row domain over the shardnet protocol instead of the client protocol; format i/n = rows [i·rows/n,(i+1)·rows/n)")
 	cluster := flag.String("cluster", "", "comma-separated shardnet node addresses; front a distributed replica over them instead of a local table")
 	standby := flag.String("standby", "", "comma-separated standby node addresses, parallel to -cluster (empty slots allowed); a dead primary fails over to its standby mid-batch")
@@ -133,6 +142,7 @@ func main() {
 	if *pageCache < 1 {
 		log.Fatal("pirserver: -pagecache must be >= 1")
 	}
+	door := doorConfig{batch: *batch, maxDelay: *maxDelay, maxQueue: *maxQueue, slo: *slo}
 	switch {
 	case *shardNode != "":
 		runShardNode(*shardNode, *join, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers)
@@ -141,10 +151,19 @@ func main() {
 		if err != nil {
 			log.Fatalf("pirserver: %v", err)
 		}
-		runClusterFront(groups, display, *party, *addr, *rows, *seed, *prg, *early, *batch, *maxDelay, *refresh, *refreshRows)
+		runClusterFront(groups, display, *party, *addr, *rows, *seed, *prg, *early, door, *refresh, *refreshRows)
 	default:
-		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *batch, *maxDelay, *refresh, *refreshRows, *tableFile, *pageCache)
+		runSingle(*party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, door, *refresh, *refreshRows, *tableFile, *pageCache)
 	}
+}
+
+// doorConfig carries the batching-front-door flags: the static batch
+// policy, the admission bound, and the adaptive-tuning SLO.
+type doorConfig struct {
+	batch    int
+	maxDelay time.Duration
+	maxQueue int
+	slo      time.Duration
 }
 
 // parseGroups resolves the two cluster-front addressing forms into one
@@ -213,7 +232,7 @@ func notifyShutdown(l net.Listener) chan os.Signal {
 // the batching front door. With tableFile set, the table lives on disk and
 // the server pages rows through a bounded cache instead of holding the
 // whole table in RAM — same wire behavior, out-of-core memory profile.
-func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int, tableFile string, pageCache int64) {
+func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers int, door doorConfig, refresh time.Duration, refreshRows int, tableFile string, pageCache int64) {
 	var srv *pir.Server
 	var err error
 	opts := []pir.ServerOption{pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers)}
@@ -239,12 +258,12 @@ func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, 
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s early=%d shards=%d batch=%d)",
-		party, rows, lanes*4, l.Addr(), prg, srv.Engine().EarlyBits(), srv.Engine().Shards(), batch)
-	door, closeDoor := front(srv, srv.Engine(), batch, maxDelay)
+	log.Printf("pirserver: party %d serving %d×%dB table on %s (prg=%s early=%d shards=%d batch=%d maxqueue=%d slo=%v)",
+		party, rows, lanes*4, l.Addr(), prg, srv.Engine().EarlyBits(), srv.Engine().Shards(), door.batch, door.maxQueue, door.slo)
+	answerer, closeDoor := front(srv, srv.Engine(), door)
 	stopRefresh := startRefresher(refresh, refreshRows, rows, lanes, seed, srv.Engine())
 	sig := notifyShutdown(l)
-	if err := pir.Serve(l, door); err != nil {
+	if err := pir.Serve(l, answerer); err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
 	signal.Stop(sig)
@@ -395,7 +414,7 @@ func joinOnce(ctx context.Context, rep *engine.Replica, cl *shardnet.Client, pee
 // table rows itself, it validates keys, batches requests, fans each batch
 // out as pruned-range evaluations load-balanced across each shard's
 // replica-group members, and merges the partial shares.
-func runClusterFront(groups [][]string, display string, party int, addr string, rows int, seed int64, prg string, early, batch int, maxDelay time.Duration, refresh time.Duration, refreshRows int) {
+func runClusterFront(groups [][]string, display string, party int, addr string, rows int, seed int64, prg string, early int, door doorConfig, refresh time.Duration, refreshRows int) {
 	// Same flag validation as the other two modes (pir.WithEarly): a bad
 	// -early must fail fast here too, not be silently clamped into an
 	// "accept any depth" pin.
@@ -438,20 +457,20 @@ func runClusterFront(groups [][]string, display string, party int, addr string, 
 	if byResp := (shardnet.DefaultMaxFrame - 64) / (4 * lanes); byResp < maxBatch {
 		maxBatch = byResp
 	}
-	if batch > maxBatch {
-		log.Printf("pirserver: clamping -batch %d to %d (shard nodes' request/response frame caps at %d lanes)", batch, maxBatch, lanes)
-		batch = maxBatch
+	if door.batch > maxBatch {
+		log.Printf("pirserver: clamping -batch %d to %d (shard nodes' request/response frame caps at %d lanes)", door.batch, maxBatch, lanes)
+		door.batch = maxBatch
 	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	log.Printf("pirserver: party %d cluster front over %d shards / %d members (%s) serving %d×%dB table on %s (prg=%s early=%d batch=%d)",
-		party, len(groups), total, display, rows, lanes*4, l.Addr(), prg, cluster.EarlyBits(), batch)
-	door, closeDoor := front(pir.BackendEndpoint{Backend: cluster}, cluster, batch, maxDelay)
+	log.Printf("pirserver: party %d cluster front over %d shards / %d members (%s) serving %d×%dB table on %s (prg=%s early=%d batch=%d maxqueue=%d slo=%v)",
+		party, len(groups), total, display, rows, lanes*4, l.Addr(), prg, cluster.EarlyBits(), door.batch, door.maxQueue, door.slo)
+	answerer, closeDoor := front(pir.BackendEndpoint{Backend: cluster}, cluster, door)
 	stopRefresh := startRefresher(refresh, refreshRows, rows, lanes, seed, cluster)
 	sig := notifyShutdown(l)
-	if err := pir.Serve(l, door); err != nil {
+	if err := pir.Serve(l, answerer); err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
 	signal.Stop(sig)
@@ -532,40 +551,28 @@ func refreshBatch(seed int64, gen uint64, rows, lanes, batch int) []engine.RowWr
 	return writes
 }
 
-// front wraps the direct answer path with the batching front door when
-// batching is enabled. The returned close drains pending batches and
-// stops the batcher worker (a no-op closer when batching is off).
-func front(direct pir.Answerer, be engine.Backend, batch int, maxDelay time.Duration) (pir.Answerer, func()) {
-	if batch <= 0 {
+// front wraps the direct answer path with the serving front door when
+// batching is enabled: key validation, the batcher with admission control
+// (door.maxQueue), adaptive policy tuning (door.slo), the wire update op,
+// and the serving stats the load harness reads. The returned close drains
+// pending batches and stops the batcher worker (a no-op closer when
+// batching is off).
+func front(direct pir.Answerer, be engine.Backend, door doorConfig) (pir.Answerer, func()) {
+	if door.batch <= 0 {
 		return direct, func() {}
 	}
-	b, err := serving.NewEngineBatcher(serving.Policy{MaxBatch: batch, MaxDelay: maxDelay}, be)
+	f, err := serving.NewFront(serving.FrontConfig{
+		Policy: serving.Policy{
+			MaxBatch: door.batch,
+			MaxDelay: door.maxDelay,
+			MaxQueue: door.maxQueue,
+		},
+		SLO: door.slo,
+	}, be)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
-	validator, _ := engine.AsKeyValidator(be)
-	return batchFront{b, validator}, b.Close
-}
-
-// batchFront feeds pre-batched TCP requests into the shared batching front
-// door: each request's keys are submitted concurrently, so keys from many
-// connections coalesce into the same engine batches. Keys are validated
-// before submission — a malformed key fails only its own request, never
-// the co-batched requests of other clients.
-type batchFront struct {
-	b         *serving.Batcher
-	validator engine.KeyValidator
-}
-
-func (f batchFront) Answer(keys [][]byte) ([][]uint32, error) {
-	if f.validator != nil {
-		for i, key := range keys {
-			if err := f.validator.ValidateKey(key); err != nil {
-				return nil, fmt.Errorf("key %d: %w", i, err)
-			}
-		}
-	}
-	return f.b.SubmitAll(keys)
+	return f, f.Close
 }
 
 // parseShardSpec parses "i/n".

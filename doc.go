@@ -201,6 +201,32 @@
 // ~47 ms/op (~690 QPS single-threaded, 13–15× the seed path, up from
 // 76 ms / 8.4× scalar).
 //
+// # Reading the serving bench JSON
+//
+// cmd/pirload drives a running pirserver open-loop — arrivals fire at
+// their scheduled offsets regardless of how many requests are in flight,
+// so queueing collapse shows up as latency instead of silently throttling
+// the workload — and writes BENCH_serving.json. "config" echoes the full
+// workload parameterization (seed, client population, Zipf skew, offered
+// qps, update fraction, conns); "schedule_fingerprint" hashes the expanded
+// schedule, so two artifacts are comparable exactly when their
+// fingerprints match (same seed ⇒ same fingerprint, bit-reproducibly).
+// "offered_qps" is the schedule's arrival rate and "achieved_qps" counts
+// only OK completions against wall time; their ratio is the
+// machine-robust throughput signal. "latency" holds accepted-request
+// p50/p95/p99/p999 in milliseconds measured from each op's SCHEDULED
+// arrival (client-side queueing is charged to the server, as §6's
+// serving experiments do); "counts" splits outcomes into ok / shed
+// (admission refusals carrying the named overload error over the wire) /
+// errors (everything else — any nonzero value fails the gate);
+// "epoch_retries" is the server's mixed-epoch re-fan delta across the
+// run, matching engine.Cluster's ErrMixedEpoch counter. The committed
+// baseline (16384 rows, 400 offered QPS, 2% updates) achieves ~403/404
+// QPS with p50 ≈ 4ms and p99 ≈ 8ms on the baseline host; CI's
+// serving-bench job re-runs the same seed and gates on fingerprint
+// equality, zero errors, achieved/offered within 0.10 of baseline, shed
+// fraction within 0.05, and p99 inside max(4× baseline, 250ms).
+//
 // # CI matrix
 //
 // Beyond the amd64 vet/build/race-test job, CI runs the full test suite
@@ -223,5 +249,9 @@
 // fixtures, the shardnet frame codecs — handshake frames with the epoch
 // field included, plus the v3 snapshot-transfer frames both ways — and
 // the capped gob reader guarding pir.Serve) for a short -fuzztime on
-// every push.
+// every push. The serving-bench job boots a real pirserver with admission
+// control, drives it with pirload at the committed baseline's seed, gates
+// the resulting BENCH_serving.json against the committed one, and shuts
+// the server down with SIGTERM (a non-zero exit from the drain fails the
+// job).
 package gpudpf

@@ -1,6 +1,9 @@
 package engine
 
-import "io"
+import (
+	"context"
+	"io"
+)
 
 // Capability probes.
 //
@@ -90,5 +93,38 @@ func AsSnapshotSink(b Backend) (SnapshotSink, bool) {
 // cluster built with OwnMembers shuts down.
 func AsCloser(b Backend) (io.Closer, bool) {
 	c, ok := b.(io.Closer)
+	return c, ok
+}
+
+// BatchUpdater applies a row batch as one atomic table epoch. It is the
+// narrow slice of EpochBackend a serving front needs: a Replica installs
+// the epoch on its own store, a Cluster drives the prepare/commit
+// handshake across its members — the cluster itself is a BatchUpdater
+// without being a full EpochBackend (it coordinates the handshake, it
+// does not participate in one).
+type BatchUpdater interface {
+	UpdateBatch(ctx context.Context, writes []RowWrite) (uint64, error)
+}
+
+// AsBatchUpdater probes b for atomic batch updates — what the serving
+// front door forwards wire update ops to.
+func AsBatchUpdater(b Backend) (BatchUpdater, bool) {
+	u, ok := b.(BatchUpdater)
+	return u, ok
+}
+
+// EpochRetryCounter reports how many answer batches a backend re-fanned
+// because their partial shares straddled an update commit (the cluster's
+// ErrMixedEpoch retry path). Single replicas never re-fan and simply do
+// not have the capability.
+type EpochRetryCounter interface {
+	EpochRetries() uint64
+}
+
+// AsEpochRetries probes b for the mixed-epoch re-fan counter — what the
+// serving front door surfaces to the load harness so epoch-retry cost is
+// observable under real traffic.
+func AsEpochRetries(b Backend) (EpochRetryCounter, bool) {
+	c, ok := b.(EpochRetryCounter)
 	return c, ok
 }

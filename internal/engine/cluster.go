@@ -309,7 +309,20 @@ type Cluster struct {
 	early   int
 	party   int
 	pinned  bool
+
+	// epochRetries counts mixed-epoch detections on the answer path —
+	// every time a batch's partials straddled an update commit (or hit a
+	// not-yet-quarantined stale member) and the batch was re-fanned. The
+	// serving front door reports it so a load harness can price what
+	// epoch churn costs under real traffic.
+	epochRetries atomic.Uint64
 }
+
+// EpochRetries returns how many answer batches were re-fanned because
+// their partial shares straddled an update commit (ErrMixedEpoch on the
+// merge). A steadily climbing counter under update churn is expected; the
+// cost is one extra fan-out per count, never a wrong answer.
+func (c *Cluster) EpochRetries() uint64 { return c.epochRetries.Load() }
 
 // clusterMember is one backend of the cluster with its naming, position
 // and health handle.
@@ -559,6 +572,7 @@ func (c *Cluster) Answer(ctx context.Context, keys [][]byte) ([][]uint32, error)
 		// An update handshake was committing while the batch fanned out
 		// (or a stale member answered before its quarantine landed); the
 		// next pass rotates members and lands after the wave.
+		c.epochRetries.Add(1)
 		lastErr = err
 	}
 	return nil, lastErr

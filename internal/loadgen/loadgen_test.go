@@ -1,0 +1,180 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Seed:       42,
+		Clients:    1_000_000,
+		Rows:       1 << 20,
+		ZipfS:      1.2,
+		QPS:        5000,
+		Duration:   2 * time.Second,
+		UpdateFrac: 0.05,
+		UpdateRows: 4,
+	}
+}
+
+// Same seed must expand to the byte-identical schedule: every client ID,
+// row index, arrival offset, and the read/update interleave.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := testConfig()
+	a, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules (%d vs %d ops)", len(a), len(b))
+	}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("same schedule, different fingerprints")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+// A different seed must actually change the schedule (a fingerprint that
+// ignores its input would pass the test above).
+func TestScheduleSeedMatters(t *testing.T) {
+	cfg := testConfig()
+	a, _ := Schedule(cfg)
+	cfg.Seed++
+	b, _ := Schedule(cfg)
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// The schedule must respect its own knobs: arrival offsets sorted inside
+// the duration, clients and rows in range, update fraction near
+// UpdateFrac, op count near QPS·Duration.
+func TestScheduleShape(t *testing.T) {
+	cfg := testConfig()
+	ops, err := Schedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := cfg.QPS * cfg.Duration.Seconds()
+	if n := float64(len(ops)); n < 0.9*expected || n > 1.1*expected {
+		t.Fatalf("op count %d far from expected %.0f", len(ops), expected)
+	}
+	updates := 0
+	for i, op := range ops {
+		if op.At < 0 || op.At >= cfg.Duration {
+			t.Fatalf("op %d arrival %v outside [0, %v)", i, op.At, cfg.Duration)
+		}
+		if i > 0 && op.At < ops[i-1].At {
+			t.Fatalf("op %d arrives before op %d", i, i-1)
+		}
+		if op.Client >= cfg.Clients {
+			t.Fatalf("op %d client %d out of range", i, op.Client)
+		}
+		if op.Row >= cfg.Rows {
+			t.Fatalf("op %d row %d out of range", i, op.Row)
+		}
+		if op.Update {
+			updates++
+		}
+	}
+	frac := float64(updates) / float64(len(ops))
+	if frac < cfg.UpdateFrac/2 || frac > cfg.UpdateFrac*2 {
+		t.Fatalf("update fraction %.3f far from configured %.3f", frac, cfg.UpdateFrac)
+	}
+}
+
+// Chi-squared goodness-of-fit: the sampler's empirical distribution over
+// a small domain must match the Zipf mass P(k) ∝ 1/(1+k)^s it claims.
+// The tail is binned so every cell's expected count stays ≥ 5 (the usual
+// chi-squared validity rule).
+func TestZipfChiSquared(t *testing.T) {
+	const (
+		s       = 1.3
+		imax    = 999 // domain [0, 999]
+		samples = 200_000
+	)
+	r := rand.New(rand.NewPCG(7, 11))
+	z := newZipf(r, s, 1, imax)
+	if z == nil {
+		t.Fatal("newZipf rejected valid parameters")
+	}
+
+	// True (normalized) mass.
+	mass := make([]float64, imax+1)
+	var norm float64
+	for k := range mass {
+		mass[k] = math.Pow(1+float64(k), -s)
+		norm += mass[k]
+	}
+	for k := range mass {
+		mass[k] /= norm
+	}
+
+	counts := make([]float64, imax+1)
+	for i := 0; i < samples; i++ {
+		k := z.draw()
+		if k > imax {
+			t.Fatalf("sample %d out of domain", k)
+		}
+		counts[k]++
+	}
+
+	// Bin: head values keep their own cell while expected ≥ 5; the rest
+	// pool into one tail cell.
+	var chi2 float64
+	cells := 0
+	var tailObs, tailExp float64
+	for k := 0; k <= imax; k++ {
+		exp := mass[k] * samples
+		if exp >= 5 {
+			d := counts[k] - exp
+			chi2 += d * d / exp
+			cells++
+		} else {
+			tailObs += counts[k]
+			tailExp += exp
+		}
+	}
+	if tailExp > 0 {
+		d := tailObs - tailExp
+		chi2 += d * d / tailExp
+		cells++
+	}
+	df := float64(cells - 1)
+	// Wilson–Hilferty: the 99.9% chi-squared critical value for df
+	// degrees of freedom (z=3.09 on the cube-root normal approximation).
+	crit := df * math.Pow(1-2/(9*df)+3.09*math.Sqrt(2/(9*df)), 3)
+	if chi2 > crit {
+		t.Fatalf("chi2 %.1f exceeds 99.9%% critical %.1f (df %.0f): sampler does not match Zipf(s=%g)",
+			chi2, crit, df, s)
+	}
+	// And the distribution must actually be skewed: rank-0 mass near its
+	// analytic share, not uniform.
+	if counts[0] < 0.8*mass[0]*samples {
+		t.Fatalf("rank-0 count %v far below Zipf expectation %v", counts[0], mass[0]*samples)
+	}
+}
+
+// The sampler must reject the out-of-domain parameters rather than loop.
+func TestZipfRejectsBadParams(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	if z := newZipf(r, 1.0, 1, 100); z != nil {
+		t.Fatal("accepted s=1")
+	}
+	if z := newZipf(r, 1.5, 0.5, 100); z != nil {
+		t.Fatal("accepted v<1")
+	}
+	if _, err := Schedule(Config{Seed: 1, Clients: 10, Rows: 10, ZipfS: 1.0, QPS: 10, Duration: time.Second}); err == nil {
+		t.Fatal("Schedule accepted s=1")
+	}
+}

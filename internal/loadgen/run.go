@@ -1,0 +1,215 @@
+package loadgen
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"gpudpf/internal/engine"
+	"gpudpf/internal/serving"
+)
+
+// Target is one connection's worth of serving surface the runner drives:
+// *pir.Remote over TCP, or an in-process front in tests.
+type Target interface {
+	Answer(keys [][]byte) ([][]uint32, error)
+	UpdateBatch(writes []engine.RowWrite) (uint64, error)
+}
+
+// StatsTarget optionally reports server-side serving stats; when the
+// first target has it, Run snapshots stats before and after the drive and
+// reports the deltas (sheds and epoch retries attributable to this run).
+type StatsTarget interface {
+	Stats() (serving.Stats, error)
+}
+
+// RunConfig wires a schedule to live targets.
+type RunConfig struct {
+	// Targets is the connection pool; ops are assigned round-robin. Each
+	// target serializes its own requests, so the pool size is the
+	// client-side concurrency limit.
+	Targets []Target
+	// UpdateTargets, when set, is a separate pool for update ops. Updates
+	// bypass the server's read batcher, but a shared connection still
+	// serializes them behind whatever read is in flight on it; a dedicated
+	// pool keeps the measured update path free of that head-of-line
+	// blocking. Empty means updates share Targets.
+	UpdateTargets []Target
+	// Schedule is the expanded workload (see Schedule).
+	Schedule []Op
+	// KeyFor marshals the PIR key to send for a read of row (the caller
+	// owns key generation so the runner stays protocol-agnostic).
+	KeyFor func(row uint64) []byte
+	// WritesFor expands an update op into its row batch.
+	WritesFor func(op Op) []engine.RowWrite
+}
+
+// Counts classifies request outcomes.
+type Counts struct {
+	// OK answers arrived intact.
+	OK uint64 `json:"ok"`
+	// Shed requests were refused by admission control
+	// (serving.ErrOverloaded over the wire) — expected past saturation,
+	// so they are not Errors.
+	Shed uint64 `json:"shed"`
+	// Errors is everything else (transport faults, server faults).
+	Errors uint64 `json:"errors"`
+}
+
+// Latency holds the accepted-request latency distribution in
+// milliseconds, measured from each op's scheduled arrival.
+type Latency struct {
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+}
+
+// Report is what a run measured — the core of the BENCH_serving.json
+// artifact.
+type Report struct {
+	// OfferedQPS is the schedule's arrival rate; AchievedQPS counts only
+	// OK completions against the wall-clock the run actually took. Their
+	// ratio is the regression gate's throughput signal.
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Latency     Latency `json:"latency"`
+	Counts      Counts  `json:"counts"`
+	// EpochRetries is the server's mixed-epoch re-fan delta across the
+	// run (0 when the target reports no stats).
+	EpochRetries uint64 `json:"epoch_retries"`
+	// ServerStats is the post-run server stats snapshot, when available.
+	ServerStats *serving.Stats `json:"server_stats,omitempty"`
+	// Elapsed is the wall-clock the drive took, scheduled start to last
+	// completion.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeShed
+	outcomeErr
+)
+
+// Run replays the schedule open-loop: a dispatcher releases each op at
+// its scheduled offset regardless of how many are still in flight, and
+// each op's latency runs from that offset to its completion. Arrivals
+// never wait for completions — the defining property that lets the run
+// observe queueing collapse instead of masking it.
+func Run(cfg RunConfig) (Report, error) {
+	var rep Report
+	if len(cfg.Targets) == 0 {
+		return rep, errors.New("loadgen: no targets")
+	}
+	if len(cfg.Schedule) == 0 {
+		return rep, errors.New("loadgen: empty schedule")
+	}
+	if cfg.KeyFor == nil {
+		return rep, errors.New("loadgen: nil KeyFor")
+	}
+
+	var before serving.Stats
+	statsSrc, hasStats := cfg.Targets[0].(StatsTarget)
+	if hasStats {
+		s, err := statsSrc.Stats()
+		if err != nil {
+			hasStats = false
+		} else {
+			before = s
+		}
+	}
+
+	updateTargets := cfg.UpdateTargets
+	if len(updateTargets) == 0 {
+		updateTargets = cfg.Targets
+	}
+
+	latencies := make([]time.Duration, len(cfg.Schedule))
+	outcomes := make([]outcome, len(cfg.Schedule))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, op := range cfg.Schedule {
+		if d := time.Until(start.Add(op.At)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int, op Op) {
+			defer wg.Done()
+			var err error
+			if op.Update && cfg.WritesFor != nil {
+				t := updateTargets[i%len(updateTargets)]
+				_, err = t.UpdateBatch(cfg.WritesFor(op))
+			} else {
+				t := cfg.Targets[i%len(cfg.Targets)]
+				_, err = t.Answer([][]byte{cfg.KeyFor(op.Row)})
+			}
+			// Open-loop latency: from the op's SCHEDULED arrival, so
+			// time spent queued behind a busy connection or a saturated
+			// server is charged to the server, not silently absorbed.
+			latencies[i] = time.Since(start.Add(op.At))
+			switch {
+			case err == nil:
+				outcomes[i] = outcomeOK
+			case errors.Is(err, serving.ErrOverloaded):
+				outcomes[i] = outcomeShed
+			default:
+				outcomes[i] = outcomeErr
+			}
+		}(i, op)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+
+	okLat := make([]time.Duration, 0, len(latencies))
+	for i := range outcomes {
+		switch outcomes[i] {
+		case outcomeOK:
+			rep.Counts.OK++
+			okLat = append(okLat, latencies[i])
+		case outcomeShed:
+			rep.Counts.Shed++
+		default:
+			rep.Counts.Errors++
+		}
+	}
+	last := cfg.Schedule[len(cfg.Schedule)-1].At
+	if last > 0 {
+		rep.OfferedQPS = float64(len(cfg.Schedule)) / last.Seconds()
+	}
+	if rep.Elapsed > 0 {
+		rep.AchievedQPS = float64(rep.Counts.OK) / rep.Elapsed.Seconds()
+	}
+	rep.Latency = Latency{
+		P50:  percentileMs(okLat, 0.50),
+		P95:  percentileMs(okLat, 0.95),
+		P99:  percentileMs(okLat, 0.99),
+		P999: percentileMs(okLat, 0.999),
+	}
+	if hasStats {
+		if after, err := statsSrc.Stats(); err == nil {
+			rep.EpochRetries = after.EpochRetries - before.EpochRetries
+			rep.ServerStats = &after
+		}
+	}
+	return rep, nil
+}
+
+// percentileMs returns the q-quantile of lat in milliseconds (0 for an
+// empty sample). lat is sorted in place.
+func percentileMs(lat []time.Duration, q float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(q*float64(len(lat))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lat) {
+		idx = len(lat) - 1
+	}
+	return float64(lat[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,130 @@
+// Package loadgen generates and drives deterministic open-loop PIR
+// workloads: a seeded PCG expands a small Config into a fixed request
+// schedule (Zipf-skewed rows over a large client population, Poisson
+// arrivals at a fixed offered rate, a read/update interleave), and Run
+// replays that schedule against a serving target, measuring each request
+// from its SCHEDULED arrival — not its send — so queueing anywhere in the
+// path counts against the server, which is what open-loop means. The same
+// seed always yields the byte-identical schedule, so a load measurement
+// is reproducible the way the hot-path microbenchmarks are.
+package loadgen
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"time"
+)
+
+// Config describes a workload; Schedule expands it deterministically.
+type Config struct {
+	// Seed fixes every random choice in the schedule (arrivals, clients,
+	// rows, the read/update interleave). Same seed, same schedule.
+	Seed uint64
+	// Clients is the client-population size request origins are drawn
+	// from (uniformly — population membership, not popularity).
+	Clients uint64
+	// Rows is the table's row count; requested rows are drawn Zipf-skewed
+	// over [0, Rows).
+	Rows uint64
+	// ZipfS is the Zipf skew exponent (must be > 1; ~1.1 mild, 1.5 hot).
+	ZipfS float64
+	// QPS is the offered arrival rate (Poisson; the open-loop clock).
+	QPS float64
+	// Duration is how much schedule to generate.
+	Duration time.Duration
+	// UpdateFrac is the probability an op is a row-update instead of a
+	// read (0 = read-only).
+	UpdateFrac float64
+	// UpdateRows is how many rows one update op writes (default 1).
+	UpdateRows int
+}
+
+func (c Config) validate() error {
+	if c.Clients == 0 || c.Rows == 0 {
+		return errors.New("loadgen: Clients and Rows must be positive")
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("loadgen: ZipfS must be > 1 (got %g)", c.ZipfS)
+	}
+	if c.QPS <= 0 || c.Duration <= 0 {
+		return errors.New("loadgen: QPS and Duration must be positive")
+	}
+	if c.UpdateFrac < 0 || c.UpdateFrac > 1 {
+		return errors.New("loadgen: UpdateFrac must be in [0, 1]")
+	}
+	return nil
+}
+
+// Op is one scheduled request.
+type Op struct {
+	// At is the op's arrival offset from the start of the run — the
+	// moment latency measurement starts, whether or not a connection was
+	// free to carry it.
+	At time.Duration
+	// Client identifies the originating client in [0, Clients).
+	Client uint64
+	// Row is the requested (or for updates, first written) row.
+	Row uint64
+	// Update marks a row-update op; false is a read.
+	Update bool
+}
+
+// scheduleStream derives the second PCG word so a seed of 0 still keys a
+// well-mixed generator (splitmix64's increment).
+const scheduleStream = 0x9e3779b97f4a7c15
+
+// Schedule expands cfg into its full request schedule. The expansion is a
+// pure function of cfg: every draw comes from one PCG in a fixed
+// per-op order (arrival gap, client, row, read/update coin), so two calls
+// with the same cfg yield byte-identical schedules on any platform.
+func Schedule(cfg Config) ([]Op, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^scheduleStream))
+	z := newZipf(r, cfg.ZipfS, 1, cfg.Rows-1)
+	if z == nil {
+		return nil, fmt.Errorf("loadgen: bad Zipf parameter s=%g", cfg.ZipfS)
+	}
+	var ops []Op
+	var at time.Duration
+	for {
+		// Poisson arrivals: exponential gaps at rate QPS.
+		at += time.Duration(r.ExpFloat64() / cfg.QPS * float64(time.Second))
+		if at >= cfg.Duration {
+			return ops, nil
+		}
+		op := Op{
+			At:     at,
+			Client: r.Uint64N(cfg.Clients),
+			Row:    z.draw(),
+		}
+		if cfg.UpdateFrac > 0 {
+			op.Update = r.Float64() < cfg.UpdateFrac
+		}
+		ops = append(ops, op)
+	}
+}
+
+// Fingerprint hashes a schedule's exact byte content (FNV-1a over each
+// op's fixed-width encoding). Equal fingerprints mean byte-identical
+// schedules; the bench artifact records it so a regression run can prove
+// it replayed the baseline's workload.
+func Fingerprint(ops []Op) uint64 {
+	h := fnv.New64a()
+	var buf [25]byte
+	for _, op := range ops {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(op.At))
+		binary.LittleEndian.PutUint64(buf[8:], op.Client)
+		binary.LittleEndian.PutUint64(buf[16:], op.Row)
+		buf[24] = 0
+		if op.Update {
+			buf[24] = 1
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,73 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// zipf draws Zipf-distributed values on [0, imax]: P(k) ∝ 1/(v+k)^s with
+// s > 1, v ≥ 1 — the standard skewed-popularity model for key-value
+// workloads (a few hot rows take most of the traffic, the tail is long).
+//
+// math/rand/v2 dropped the v1 Zipf type, so this reimplements the same
+// rejection-inversion method (Hörmann & Derflinger, "Rejection-inversion
+// to generate variates from monotone discrete distributions", 1996) over
+// a v2 generator: invert the integral H of the density's upper bound to
+// propose a point, accept by comparing against the true mass. Constant
+// expected draws per sample, no per-element tables, so a billion-row
+// domain costs the same as a thousand-row one.
+type zipf struct {
+	r    *rand.Rand
+	imax float64
+	v    float64
+	s    float64
+
+	oneMinusS    float64
+	oneMinusSInv float64
+	hImax        float64
+	hX0MinusHMax float64
+	cut          float64
+}
+
+// h is the transformed integral H(x) = (v+x)^(1-s)/(1-s) of the
+// dominating density.
+func (z *zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusS*math.Log(z.v+x)) * z.oneMinusSInv
+}
+
+// hInv inverts h.
+func (z *zipf) hInv(x float64) float64 {
+	return math.Exp(z.oneMinusSInv*math.Log(z.oneMinusS*x)) - z.v
+}
+
+// newZipf builds the sampler. s must be > 1 and v ≥ 1 (the method's
+// domain); returns nil otherwise.
+func newZipf(r *rand.Rand, s, v float64, imax uint64) *zipf {
+	if s <= 1 || v < 1 {
+		return nil
+	}
+	z := &zipf{r: r, imax: float64(imax), v: v, s: s}
+	z.oneMinusS = 1 - s
+	z.oneMinusSInv = 1 / z.oneMinusS
+	z.hImax = z.h(z.imax + 0.5)
+	z.hX0MinusHMax = z.h(0.5) - math.Exp(-s*math.Log(v)) - z.hImax
+	z.cut = 1 - z.hInv(z.h(1.5)-math.Exp(-s*math.Log(v+1)))
+	return z
+}
+
+// draw returns the next Zipf variate in [0, imax].
+func (z *zipf) draw() uint64 {
+	for {
+		u := z.hImax + z.r.Float64()*z.hX0MinusHMax
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		// Inside the uniform-acceptance band every proposal is exact;
+		// outside it, accept by the true mass at k.
+		if k-x <= z.cut {
+			return uint64(k)
+		}
+		if u >= z.h(k+0.5)-math.Exp(-z.s*math.Log(k+z.v)) {
+			return uint64(k)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gpudpf/internal/engine"
+	"gpudpf/internal/serving"
 	"gpudpf/internal/wireio"
 )
 
@@ -18,6 +19,14 @@ import (
 // engine backend adapter, or a serving.Batcher front door.
 type Answerer interface {
 	Answer(keys [][]byte) ([][]uint32, error)
+}
+
+// BatchUpdater is the optional update capability of an Answerer: install a
+// batch of row writes as one atomic table epoch and report the new epoch.
+// *Server and serving.Front implement it; Serve probes for it to handle
+// the wire update op.
+type BatchUpdater interface {
+	UpdateBatch(writes []engine.RowWrite) (uint64, error)
 }
 
 // Endpoint is one PIR server as seen by a client: in-process for
@@ -38,14 +47,55 @@ func (e InProcess) Answer(keys [][]byte) ([][]uint32, error) { return e.Server.A
 // Close implements Endpoint.
 func (e InProcess) Close() error { return nil }
 
-// request and response are the gob wire messages.
+// request and response are the gob wire messages. A request carries
+// exactly one op: a key batch to answer (Keys), a row batch to install
+// (Writes), or a stats probe (Stats). The op fields are mutually
+// exclusive; a request mixing them is a protocol error. Old clients that
+// only ever set Keys are wire-compatible — gob treats the absent fields
+// as zero.
 type request struct {
-	Keys [][]byte
+	Keys   [][]byte
+	Writes []engine.RowWrite
+	Stats  bool
 }
 
 type response struct {
 	Answers [][]uint32
-	Err     string
+	// Epoch is the table epoch an update op installed.
+	Epoch uint64
+	// Stats answers a stats probe.
+	Stats *serving.Stats
+	Err   string
+	// Code names well-known errors so remote clients can match them with
+	// errors.Is instead of parsing Err strings: CodeOverloaded means the
+	// request was shed at the admission bound (serving.ErrOverloaded).
+	Code int
+}
+
+// Wire error codes carried in response.Code. 0 means "no named code" —
+// the error (if any) is only the Err string.
+const (
+	// CodeOverloaded marks a request shed by admission control; a Remote
+	// maps it back to serving.ErrOverloaded so a load generator can count
+	// sheds as sheds, not as server faults.
+	CodeOverloaded = 1
+)
+
+// errCode names an error for the wire (0 when it has no code).
+func errCode(err error) int {
+	if errors.Is(err, serving.ErrOverloaded) {
+		return CodeOverloaded
+	}
+	return 0
+}
+
+// codeErr resolves a wire code back to its named error (nil for unknown
+// codes — the Err string still carries the message).
+func codeErr(code int) error {
+	if code == CodeOverloaded {
+		return serving.ErrOverloaded
+	}
+	return nil
 }
 
 // MaxRequestBytes caps one gob-encoded request message accepted by Serve.
@@ -145,17 +195,61 @@ func serveConn(conn net.Conn, s Answerer) {
 			}
 			return // EOF or broken peer; nothing to report on this side
 		}
-		var resp response
-		answers, err := s.Answer(req.Keys)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Answers = answers
-		}
-		if err := enc.Encode(&resp); err != nil {
+		resp := handle(s, &req)
+		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
+}
+
+// handle executes one decoded request against the server's request path,
+// dispatching on which op the request carries.
+func handle(s Answerer, req *request) *response {
+	var resp response
+	ops := 0
+	if len(req.Keys) > 0 {
+		ops++
+	}
+	if len(req.Writes) > 0 {
+		ops++
+	}
+	if req.Stats {
+		ops++
+	}
+	switch {
+	case ops != 1:
+		resp.Err = "pir: request must carry exactly one op (keys, writes, or stats)"
+	case len(req.Keys) > 0:
+		answers, err := s.Answer(req.Keys)
+		if err != nil {
+			resp.Err = err.Error()
+			resp.Code = errCode(err)
+		} else {
+			resp.Answers = answers
+		}
+	case len(req.Writes) > 0:
+		up, ok := s.(BatchUpdater)
+		if !ok {
+			resp.Err = "pir: server does not accept updates"
+			break
+		}
+		epoch, err := up.UpdateBatch(req.Writes)
+		if err != nil {
+			resp.Err = err.Error()
+			resp.Code = errCode(err)
+		} else {
+			resp.Epoch = epoch
+		}
+	default: // stats probe
+		src, ok := s.(serving.StatsSource)
+		if !ok {
+			resp.Err = "pir: server does not report serving stats"
+			break
+		}
+		stats := src.ServingStats()
+		resp.Stats = &stats
+	}
+	return &resp
 }
 
 // Remote is a TCP Endpoint. It is safe for concurrent use; requests are
@@ -183,11 +277,13 @@ func Dial(addr string) (*Remote, error) {
 	}, nil
 }
 
-// Answer implements Endpoint.
-func (r *Remote) Answer(keys [][]byte) ([][]uint32, error) {
+// roundTrip sends one request and decodes its response, mapping a named
+// wire code back to its sentinel error so errors.Is works across the
+// network boundary.
+func (r *Remote) roundTrip(req *request) (*response, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if err := r.enc.Encode(&request{Keys: keys}); err != nil {
+	if err := r.enc.Encode(req); err != nil {
 		return nil, fmt.Errorf("pir: send: %w", err)
 	}
 	r.lim.ResetMessageBudget(maxGobMessagesPerDecode)
@@ -199,9 +295,46 @@ func (r *Remote) Answer(keys [][]byte) ([][]uint32, error) {
 		return nil, fmt.Errorf("pir: receive: %w", err)
 	}
 	if resp.Err != "" {
+		if named := codeErr(resp.Code); named != nil {
+			return nil, fmt.Errorf("pir: server: %w", named)
+		}
 		return nil, fmt.Errorf("pir: server: %s", resp.Err)
 	}
+	return &resp, nil
+}
+
+// Answer implements Endpoint.
+func (r *Remote) Answer(keys [][]byte) ([][]uint32, error) {
+	resp, err := r.roundTrip(&request{Keys: keys})
+	if err != nil {
+		return nil, err
+	}
 	return resp.Answers, nil
+}
+
+// UpdateBatch installs a batch of row writes on the server as one atomic
+// table epoch and returns the epoch it installed (the wire face of
+// BatchUpdater).
+func (r *Remote) UpdateBatch(writes []engine.RowWrite) (uint64, error) {
+	resp, err := r.roundTrip(&request{Writes: writes})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// Stats fetches the server's serving stats (admission outcomes and
+// epoch-retry counts) — what the load harness reconciles its own shed and
+// retry observations against.
+func (r *Remote) Stats() (serving.Stats, error) {
+	resp, err := r.roundTrip(&request{Stats: true})
+	if err != nil {
+		return serving.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return serving.Stats{}, errors.New("pir: server returned no stats")
+	}
+	return *resp.Stats, nil
 }
 
 // Close implements Endpoint.

@@ -1,24 +1,34 @@
 // Package serving provides the server-side request path that turns the
 // paper's batched DPF kernels into a service: a concurrent batcher that
 // groups incoming PIR queries into GPU-sized batches under a size/deadline
-// policy, and a discrete-event simulator that maps offered load to latency
-// percentiles on the modeled device (the systems story behind "a single
-// V100 can serve up to 100,000 queries per second", §1).
+// policy — with bounded-queue admission control so overload sheds instead
+// of collapsing queue latency — and a discrete-event simulator that maps
+// offered load to latency percentiles on the modeled device (the systems
+// story behind "a single V100 can serve up to 100,000 queries per second",
+// §1). AutoTune closes the loop: it picks the batch policy from a measured
+// arrival rate, a latency SLO and a batch-latency model, and Front runs
+// that tuning continuously against live traffic.
 package serving
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Policy controls batch formation.
+// Policy controls batch formation and admission.
 type Policy struct {
 	// MaxBatch flushes a batch when this many requests are pending.
 	MaxBatch int
 	// MaxDelay flushes a non-empty batch this long after its oldest
 	// request arrived, bounding queueing latency at low load.
 	MaxDelay time.Duration
+	// MaxQueue, when positive, bounds how many admitted requests may be
+	// waiting or in service at once; a Submit past the bound fails fast
+	// with ErrOverloaded instead of queueing behind a saturated device.
+	// 0 disables admission control (every request queues).
+	MaxQueue int
 }
 
 // Validate checks the policy.
@@ -29,8 +39,19 @@ func (p Policy) Validate() error {
 	if p.MaxDelay <= 0 {
 		return errors.New("serving: MaxDelay must be positive")
 	}
+	if p.MaxQueue < 0 {
+		return errors.New("serving: MaxQueue must be >= 0 (0 = unbounded)")
+	}
 	return nil
 }
+
+// ErrOverloaded is the named fast-fail a Submit gets when the batcher's
+// admission bound (Policy.MaxQueue) is full. It is the graceful-degradation
+// contract: a shed request costs the client one round trip and a retry
+// decision, not an unbounded queue wait, and the accepted requests behind
+// it keep their latency. pir's wire protocol carries it by code, so a
+// remote client sees this same named error, not a timeout.
+var ErrOverloaded = errors.New("serving: overloaded, request shed")
 
 // Handler executes one formed batch. Request i's response must be placed
 // at index i of the returned slice.
@@ -40,18 +61,31 @@ type Handler func(batch [][]byte) ([][]uint32, error)
 // single device worker (the GPU executes one kernel at a time; concurrency
 // comes from batching, §3.2.1). Safe for concurrent Submit.
 type Batcher struct {
-	policy  Policy
 	handler Handler
 
 	mu      sync.Mutex
+	policy  Policy
 	pending []pendingReq
-	timer   *time.Timer
-	closed  bool
+	// queued counts admitted-but-uncompleted requests (pending, in the
+	// work channel, or in service) — what Policy.MaxQueue bounds.
+	queued int
+	timer  *time.Timer
+	closed bool
 	// sending tracks batches taken under mu but not yet handed to work,
 	// so Close can wait for them before closing the channel.
 	sending sync.WaitGroup
 	work    chan []pendingReq
 	done    chan struct{}
+
+	// arrivals counts every Submit (shed included) — the offered-rate
+	// signal the adaptive front door tunes against. accepted and shed
+	// split the outcomes for the serving stats.
+	arrivals atomic.Uint64
+	accepted atomic.Uint64
+	shed     atomic.Uint64
+
+	// fit learns the device's batch-latency curve from served batches.
+	fit latencyFit
 }
 
 type pendingReq struct {
@@ -82,7 +116,40 @@ func NewBatcher(policy Policy, handler Handler) (*Batcher, error) {
 	return b, nil
 }
 
-// Submit enqueues one query and blocks until its batch completes.
+// Policy returns the batcher's current policy (which SetPolicy — and the
+// adaptive front door through it — may change at runtime).
+func (b *Batcher) Policy() Policy {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.policy
+}
+
+// SetPolicy swaps the batch-formation policy at runtime. The pending
+// batch's deadline timer keeps the delay it was armed with; every later
+// batch forms under the new policy.
+func (b *Batcher) SetPolicy(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.policy = p
+	b.mu.Unlock()
+	return nil
+}
+
+// Counts reports the admission outcomes so far: accepted requests
+// (admitted to a batch, whatever their eventual result) and shed requests
+// (refused with ErrOverloaded at the admission bound).
+func (b *Batcher) Counts() (accepted, shed uint64) {
+	return b.accepted.Load(), b.shed.Load()
+}
+
+// Arrivals reports how many requests have been submitted (accepted or
+// shed) — the numerator of a measured offered rate.
+func (b *Batcher) Arrivals() uint64 { return b.arrivals.Load() }
+
+// Submit enqueues one query and blocks until its batch completes. When the
+// admission bound is full it fails immediately with ErrOverloaded.
 func (b *Batcher) Submit(key []byte) ([]uint32, error) {
 	ch := make(chan result, 1)
 	b.mu.Lock()
@@ -90,6 +157,14 @@ func (b *Batcher) Submit(key []byte) ([]uint32, error) {
 		b.mu.Unlock()
 		return nil, errors.New("serving: batcher closed")
 	}
+	b.arrivals.Add(1)
+	if q := b.policy.MaxQueue; q > 0 && b.queued >= q {
+		b.mu.Unlock()
+		b.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	b.queued++
+	b.accepted.Add(1)
 	b.pending = append(b.pending, pendingReq{key: key, ch: ch})
 	var batch []pendingReq
 	switch {
@@ -101,6 +176,9 @@ func (b *Batcher) Submit(key []byte) ([]uint32, error) {
 	b.mu.Unlock()
 	b.dispatch(batch)
 	r := <-ch
+	b.mu.Lock()
+	b.queued--
+	b.mu.Unlock()
 	return r.answer, r.err
 }
 
@@ -147,7 +225,11 @@ func (b *Batcher) worker() {
 		for i, r := range batch {
 			keys[i] = r.key
 		}
+		start := time.Now()
 		answers, err := b.handler(keys)
+		if err == nil {
+			b.fit.observe(len(batch), time.Since(start))
+		}
 		if err == nil && len(answers) != len(batch) {
 			err = errors.New("serving: handler returned wrong answer count")
 		}
@@ -160,6 +242,12 @@ func (b *Batcher) worker() {
 		}
 	}
 }
+
+// LatencyModel returns the batch-latency curve learned from served
+// batches (an exponentially-weighted affine fit service ≈ a + c·batch),
+// or nil until enough batches have been observed. It is what the adaptive
+// front door feeds AutoTune when no analytic model was configured.
+func (b *Batcher) LatencyModel() BatchLatency { return b.fit.model() }
 
 // Close flushes any pending batch and stops the worker. Submissions after
 // Close fail; in-flight submissions complete.
@@ -178,4 +266,58 @@ func (b *Batcher) Close() {
 	b.sending.Wait()
 	close(b.work)
 	<-b.done
+}
+
+// latencyFit is an online, exponentially-decayed least-squares fit of
+// batch service time against batch size: service(b) ≈ a + c·b. The decay
+// keeps the fit tracking the live table shape and cache state rather than
+// averaging over the process's whole history.
+type latencyFit struct {
+	mu sync.Mutex
+	// Decayed sums of weight, x (batch size), y (seconds), x², x·y.
+	w, sx, sy, sxx, sxy float64
+	n                   int
+}
+
+// fitDecay is the per-observation decay; ~0.98 keeps roughly the last few
+// hundred batches relevant.
+const fitDecay = 0.98
+
+// fitMinObservations is how many batches the fit wants before it trusts
+// its curve.
+const fitMinObservations = 8
+
+func (f *latencyFit) observe(batch int, d time.Duration) {
+	x, y := float64(batch), d.Seconds()
+	f.mu.Lock()
+	f.w = f.w*fitDecay + 1
+	f.sx = f.sx*fitDecay + x
+	f.sy = f.sy*fitDecay + y
+	f.sxx = f.sxx*fitDecay + x*x
+	f.sxy = f.sxy*fitDecay + x*y
+	f.n++
+	f.mu.Unlock()
+}
+
+func (f *latencyFit) model() BatchLatency {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.n < fitMinObservations || f.w <= 0 {
+		return nil
+	}
+	// Slope from the decayed covariance; a degenerate spread (all batches
+	// the same size) falls back to a constant-latency model.
+	var a, c float64
+	den := f.w*f.sxx - f.sx*f.sx
+	if den > 1e-9 {
+		c = (f.w*f.sxy - f.sx*f.sy) / den
+		a = (f.sy - c*f.sx) / f.w
+	}
+	if c < 0 || a < 0 {
+		c = 0
+		a = f.sy / f.w
+	}
+	return func(batch int) time.Duration {
+		return time.Duration((a + c*float64(batch)) * float64(time.Second))
+	}
 }

@@ -253,6 +253,14 @@ func TestSimulateBatchGrowsWithLoad(t *testing.T) {
 	if heavy.MeanBatch <= light.MeanBatch {
 		t.Errorf("batch size should grow with load: %.1f vs %.1f", light.MeanBatch, heavy.MeanBatch)
 	}
+	// The adaptive tuner encodes the same mechanism as policy: the batch
+	// size it picks for the heavy rate must exceed its pick for the light
+	// rate.
+	const slo = 200 * time.Millisecond
+	tl, th := AutoTune(50, slo, 128, lat), AutoTune(1200, slo, 128, lat)
+	if th.MaxBatch <= tl.MaxBatch {
+		t.Errorf("AutoTune batch should grow with load: %d (50 qps) vs %d (1200 qps)", tl.MaxBatch, th.MaxBatch)
+	}
 }
 
 // TestSimulateValidation.
