@@ -2,8 +2,8 @@
 // and writes a machine-readable benchmark file (default BENCH_hotpath.json)
 // that starts the repo's measured performance trajectory.
 //
-// Three cases run per batch size — the BenchmarkTiledAnswer pair plus an
-// out-of-core leg:
+// Five cases run per batch size — the BenchmarkTiledAnswer pair, an
+// out-of-core leg, and their parallel variants:
 //
 //   - seed: the seed revision's per-query MemBoundTree hot path — scalar
 //     PRF expansion (aes.NewCipher per tree node), freshly appended child
@@ -18,7 +18,20 @@
 //     through a store.PagedBacking whose cache budget is a quarter of the
 //     table, so every pass evicts and reloads pages. Its ns/op against
 //     tiled shows the paging tax; the case is informational — the
-//     -compare and -minqps gates only bind the "tiled" case.
+//     -compare and -minqps gates only bind the "tiled" case (and, via the
+//     "par:" -minqps prefix, "tiled-par").
+//   - tiled-par / tiled-paged-par: the tiled and tiled-paged paths with
+//     the table stream fanned across a worker per core
+//     (strategy.WithWorkers): row-block parallel accumulate, pipelined
+//     expand/stream overlap, and — on the paged leg — async page
+//     readahead. Bit-identical answers; only the wall clock moves.
+//
+// The sequential cases are pinned to GOMAXPROCS=1 (matching the committed
+// baseline's single-threaded numbers, whatever machine runs them); the
+// parallel cases run at the host's full GOMAXPROCS, recorded separately
+// as gomaxprocs_par. On a single-core host the par cases degrade to the
+// sequential path and their ratio over tiled is ~1 — compare them only at
+// gomaxprocs_par > 1.
 //
 // Each case also reports mb_per_sec, the table-streaming bandwidth the
 // paper's §3.2.4 tableReadBytes model implies: the bytes the case's table
@@ -34,13 +47,15 @@
 // wrote the committed baseline; the ratio is the machine-normalized
 // measure of the tiled path's health. -minqps "32=500" adds absolute
 // tiled-throughput floors on top: a ratio gate alone cannot catch a
-// kernel regression that slows seed and tiled alike.
+// kernel regression that slows seed and tiled alike. A "par:" prefix on a
+// -minqps entry ("par:32=1000") floors the tiled-par case instead — CI
+// uses it to require real parallel speedup on multi-core runners.
 //
 // Usage:
 //
 //	benchjson [-o BENCH_hotpath.json] [-rows 65536] [-lanes 16]
 //	          [-batches 1,8,32,128] [-early 2] [-compare BENCH_hotpath.json]
-//	          [-minqps "32=500"]
+//	          [-minqps "32=500,par:32=1000"]
 package main
 
 import (
@@ -91,10 +106,15 @@ type Case struct {
 
 // Output is the BENCH_hotpath.json schema.
 type Output struct {
-	GeneratedUnix int64              `json:"generated_unix"`
-	GoOS          string             `json:"goos"`
-	GoArch        string             `json:"goarch"`
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoOS          string `json:"goos"`
+	GoArch        string `json:"goarch"`
+	// GoMaxProcs is what the sequential cases ran under — always 1, since
+	// they are pinned for comparability with the committed single-threaded
+	// baseline. GoMaxProcsPar is the host's full parallelism, which the
+	// tiled-par/tiled-paged-par cases run at.
 	GoMaxProcs    int                `json:"gomaxprocs"`
+	GoMaxProcsPar int                `json:"gomaxprocs_par"`
 	Rows          int                `json:"rows"`
 	Lanes         int                `json:"lanes"`
 	PRG           string             `json:"prg"`
@@ -110,7 +130,7 @@ func main() {
 	batches := flag.String("batches", "1,8,32,128", "comma-separated batch sizes")
 	early := flag.Int("early", dpf.DefaultEarlyBits, "early-termination depth for the tiled path's keys (0 = full-depth wire-v1)")
 	compare := flag.String("compare", "", "committed baseline JSON to gate against (fail on >15% speedup regression or double-digit tiled allocs)")
-	minQPS := flag.String("minqps", "", `absolute tiled-throughput floors, comma-separated "batch=qps" (e.g. "32=500"); the tiled case at each listed batch must reach its floor`)
+	minQPS := flag.String("minqps", "", `absolute throughput floors, comma-separated "batch=qps" entries binding the tiled case (e.g. "32=500"); a "par:" prefix binds tiled-par instead (e.g. "32=500,par:32=1000")`)
 	flag.Parse()
 
 	tab, err := strategy.NewTable(*rows, *lanes)
@@ -147,11 +167,18 @@ func main() {
 	pagedSnap := pagedStore.Acquire()
 	defer pagedSnap.Release()
 
+	// Sequential cases are pinned to one P so their numbers compare against
+	// the committed baseline regardless of host width; the parallel cases
+	// get the host's full width back.
+	procs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(procs)
+
 	o := Output{
 		GeneratedUnix: time.Now().Unix(),
 		GoOS:          runtime.GOOS,
 		GoArch:        runtime.GOARCH,
-		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GoMaxProcs:    1,
+		GoMaxProcsPar: procs,
 		Rows:          *rows,
 		Lanes:         *lanes,
 		PRG:           prg.Name(),
@@ -177,6 +204,7 @@ func main() {
 		// The seed baseline streams the table once per query; the tiled
 		// path once per tile (§3.2.4's tableReadBytes model).
 		tiles := int64((batch + tileQueries - 1) / tileQueries)
+		runtime.GOMAXPROCS(1)
 		seed := measure("seed", batch, int64(batch)*tableBytes, func() {
 			seedbaseline.Run(prg, seedKeys, tab, 128)
 		})
@@ -195,13 +223,29 @@ func main() {
 				log.Fatalf("benchjson: %v", err)
 			}
 		})
-		o.Cases = append(o.Cases, seed, tiled, tiledPaged)
+		runtime.GOMAXPROCS(procs)
+		tiledPar := measure("tiled-par", batch, tiles*tableBytes, func() {
+			var ctr gpu.Counters
+			s := strategy.WithWorkers(strategy.MemBoundTree{K: 128, Fused: true}, procs)
+			if _, err := s.Run(prg, tiledKeys, tab, &ctr); err != nil {
+				log.Fatalf("benchjson: %v", err)
+			}
+		})
+		tiledPagedPar := measure("tiled-paged-par", batch, tiles*tableBytes, func() {
+			var ctr gpu.Counters
+			s := strategy.WithWorkers(strategy.MemBoundTree{K: 128, Fused: true}, procs)
+			ans := strategy.NewAnswers(len(tiledKeys), *lanes)
+			if err := s.RunRangeInto(prg, tiledKeys, pagedSnap, 0, *rows, &ctr, ans); err != nil {
+				log.Fatalf("benchjson: %v", err)
+			}
+		})
+		o.Cases = append(o.Cases, seed, tiled, tiledPaged, tiledPar, tiledPagedPar)
 		if tiled.NsPerOp > 0 {
 			o.Speedup[strconv.Itoa(batch)] = seed.NsPerOp / tiled.NsPerOp
 		}
-		fmt.Printf("batch=%d: seed %.1fms (%d allocs/op), tiled %.1fms (%d allocs/op), tiled-paged %.1fms, speedup %.2fx\n",
+		fmt.Printf("batch=%d: seed %.1fms (%d allocs/op), tiled %.1fms (%d allocs/op), tiled-paged %.1fms, tiled-par %.1fms, tiled-paged-par %.1fms, speedup %.2fx\n",
 			batch, seed.NsPerOp/1e6, seed.AllocsPerOp, tiled.NsPerOp/1e6, tiled.AllocsPerOp,
-			tiledPaged.NsPerOp/1e6, seed.NsPerOp/tiled.NsPerOp)
+			tiledPaged.NsPerOp/1e6, tiledPar.NsPerOp/1e6, tiledPagedPar.NsPerOp/1e6, seed.NsPerOp/tiled.NsPerOp)
 	}
 
 	buf, err := json.MarshalIndent(o, "", "  ")
@@ -229,14 +273,20 @@ func main() {
 }
 
 // checkThroughputFloors enforces -minqps: each "batch=qps" entry is an
-// absolute floor on the tiled case's measured throughput at that batch.
-// Unlike the -compare ratio gate, this catches a kernel regression that
-// slows the seed baseline and the tiled path proportionally.
+// absolute floor on the tiled case's measured throughput at that batch; a
+// "par:batch=qps" entry binds the tiled-par case instead. Unlike the
+// -compare ratio gate, this catches a kernel regression that slows the
+// seed baseline and the tiled path proportionally.
 func checkThroughputFloors(spec string, got Output) error {
 	for _, entry := range strings.Split(spec, ",") {
 		batchStr, qpsStr, ok := strings.Cut(strings.TrimSpace(entry), "=")
 		if !ok {
-			return fmt.Errorf("bad -minqps entry %q (want batch=qps)", entry)
+			return fmt.Errorf("bad -minqps entry %q (want [par:]batch=qps)", entry)
+		}
+		caseName := "tiled"
+		if rest, isPar := strings.CutPrefix(batchStr, "par:"); isPar {
+			caseName = "tiled-par"
+			batchStr = rest
 		}
 		batch, err := strconv.Atoi(batchStr)
 		if err != nil {
@@ -248,17 +298,17 @@ func checkThroughputFloors(spec string, got Output) error {
 		}
 		found := false
 		for _, c := range got.Cases {
-			if c.Name != "tiled" || c.Batch != batch {
+			if c.Name != caseName || c.Batch != batch {
 				continue
 			}
 			found = true
 			if c.QPS < floor {
-				return fmt.Errorf("batch %d: tiled %.1f QPS below floor %.1f", batch, c.QPS, floor)
+				return fmt.Errorf("batch %d: %s %.1f QPS below floor %.1f", batch, caseName, c.QPS, floor)
 			}
-			fmt.Printf("batch %d: tiled %.1f QPS >= floor %.1f\n", batch, c.QPS, floor)
+			fmt.Printf("batch %d: %s %.1f QPS >= floor %.1f\n", batch, caseName, c.QPS, floor)
 		}
 		if !found {
-			return fmt.Errorf("-minqps batch %d was not measured (check -batches)", batch)
+			return fmt.Errorf("-minqps batch %d (%s) was not measured (check -batches)", batch, caseName)
 		}
 	}
 	return nil

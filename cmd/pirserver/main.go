@@ -114,7 +114,7 @@ func main() {
 	join := flag.String("join", "", "shard-node only: pull the current table snapshot from this healthy same-shard peer (host:port) over shardnet before serving, so a restarted member rejoins at the cluster's epoch")
 	refresh := flag.Duration("refresh", 0, "rewrite a deterministic batch of rows this often (0 = off) — the transparent update path; both parties must use the same -refresh, -refreshrows and -seed")
 	refreshRows := flag.Int("refreshrows", 64, "rows per refresh batch (one table epoch per batch; on a cluster front, one epoch handshake)")
-	tableFile := flag.String("table-file", "", "serve the table out-of-core from this file instead of holding it in RAM; created from (-rows,-lanes,-seed) if absent, validated against them if present (single-server mode only)")
+	tableFile := flag.String("table-file", "", "serve table rows out-of-core from this file instead of holding them in RAM; created from (-rows,-lanes,-seed) if absent — on a shard node, only the node's row slice is filled — and validated against the flags if present (single server or -shardnode)")
 	pageCache := flag.Int64("pagecache", store.DefaultPageCacheBytes, "page-cache byte budget for -table-file; tables larger than this are paged off disk on demand")
 	flag.Parse()
 
@@ -136,8 +136,8 @@ func main() {
 	if *refresh != 0 && *shardNode != "" {
 		log.Fatal("pirserver: -refresh belongs on the cluster front (or a single server), not on a shard node — nodes receive updates over shardnet")
 	}
-	if *tableFile != "" && (*shardNode != "" || *cluster != "" || *group != "") {
-		log.Fatal("pirserver: -table-file serves a full local table; it is exclusive with -shardnode/-cluster/-group")
+	if *tableFile != "" && (*cluster != "" || *group != "") {
+		log.Fatal("pirserver: -table-file serves local table rows (single server or shard node); a cluster front holds no rows")
 	}
 	if *pageCache < 1 {
 		log.Fatal("pirserver: -pagecache must be >= 1")
@@ -145,7 +145,7 @@ func main() {
 	door := doorConfig{batch: *batch, maxDelay: *maxDelay, maxQueue: *maxQueue, slo: *slo}
 	switch {
 	case *shardNode != "":
-		runShardNode(*shardNode, *join, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers)
+		runShardNode(*shardNode, *join, *party, *addr, *rows, *lanes, *seed, *prg, *early, *shards, *workers, *tableFile, *pageCache)
 	case *cluster != "" || *group != "":
 		groups, display, err := parseGroups(*cluster, *standby, *group)
 		if err != nil {
@@ -237,7 +237,7 @@ func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, 
 	var err error
 	opts := []pir.ServerOption{pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers)}
 	if tableFile != "" {
-		st, cleanup, perr := openPagedStore(tableFile, rows, lanes, seed, pageCache)
+		st, cleanup, perr := openPagedStore(tableFile, rows, lanes, seed, 0, rows, pageCache)
 		if perr != nil {
 			log.Fatalf("pirserver: -table-file %s: %v", tableFile, perr)
 		}
@@ -276,10 +276,13 @@ func runSingle(party int, addr string, rows, lanes int, seed int64, prg string, 
 // runShardNode serves one contiguous slice of the row domain over the
 // shardnet protocol: the node builds (and pages in) only its own rows of
 // the deterministic table and answers AnswerRange RPCs from a cluster
-// front. With join non-empty, the node first pulls the current snapshot
-// of its rows from that healthy same-shard peer, so it starts serving at
-// the cluster's current epoch instead of generation 0.
-func runShardNode(spec, join string, party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers int) {
+// front. With tableFile set, the node's slice lives on disk behind the
+// bounded page cache instead of in RAM — a cluster of paged nodes serves a
+// table no single machine could hold, bit-identically to in-RAM nodes.
+// With join non-empty, the node first pulls the current snapshot of its
+// rows from that healthy same-shard peer, so it starts serving at the
+// cluster's current epoch instead of generation 0.
+func runShardNode(spec, join string, party int, addr string, rows, lanes int, seed int64, prg string, early, shards, workers int, tableFile string, pageCache int64) {
 	idx, count, err := parseShardSpec(spec)
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
@@ -288,11 +291,23 @@ func runShardNode(spec, join string, party int, addr string, rows, lanes int, se
 	if lo >= hi {
 		log.Fatalf("pirserver: shard %d/%d of a %d-row table holds no rows", idx, count, rows)
 	}
-	tab, err := buildTable(rows, lanes, seed, lo, hi)
-	if err != nil {
-		log.Fatalf("pirserver: %v", err)
+	opts := []pir.ServerOption{pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers)}
+	var rep *engine.Replica
+	if tableFile != "" {
+		st, cleanup, perr := openPagedStore(tableFile, rows, lanes, seed, lo, hi, pageCache)
+		if perr != nil {
+			log.Fatalf("pirserver: -table-file %s: %v", tableFile, perr)
+		}
+		defer cleanup()
+		rep, err = pir.NewReplicaOverStore(party, st, opts...)
+	} else {
+		var tab *pir.Table
+		tab, err = buildTable(rows, lanes, seed, lo, hi)
+		if err != nil {
+			log.Fatalf("pirserver: %v", err)
+		}
+		rep, err = pir.NewReplica(party, tab, opts...)
 	}
-	rep, err := pir.NewReplica(party, tab, pir.WithPRG(prg), pir.WithEarly(early), pir.WithSharding(shards, workers))
 	if err != nil {
 		log.Fatalf("pirserver: %v", err)
 	}
@@ -622,21 +637,25 @@ func fillRow(dst []uint32, seed int64, i int, gen uint64) {
 // build, as the -seed flag documents — replicas disagreeing on content
 // reconstruct garbage with no error anywhere.
 // openPagedStore serves the deterministic table out-of-core: if the file
-// is absent it is written once from (seed, rows, lanes) — the only time the
-// full table is materialized in RAM — and thereafter the server pages rows
-// through a cache bounded by pageCache bytes. An existing file must match
-// the flags' shape; content is trusted to match the seed (the file IS the
-// table — regenerate it after changing -seed).
-func openPagedStore(path string, rows, lanes int, seed int64, pageCache int64) (*store.Store, func(), error) {
+// is absent it is written once by streaming rows [lo, hi) from (seed, row)
+// — never materializing the table in RAM (rows outside the slice are
+// zero, which a shard node never reads) — and thereafter the server pages
+// rows through a cache bounded by pageCache bytes. An existing file must
+// match the flags' shape; content is trusted to match the seed (the file
+// IS the table — regenerate it after changing -seed or the served slice).
+func openPagedStore(path string, rows, lanes int, seed int64, lo, hi int, pageCache int64) (*store.Store, func(), error) {
 	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
-		tab, err := buildTable(rows, lanes, seed, 0, rows)
+		err := store.WriteTableFileRows(path, rows, lanes, func(i int, dst []uint32) {
+			if i < lo || i >= hi {
+				clear(dst)
+				return
+			}
+			fillRow(dst, seed, i, 0)
+		})
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := store.WriteTableFile(path, tab); err != nil {
-			return nil, nil, err
-		}
-		log.Printf("pirserver: wrote %d×%dB table to %s", rows, lanes*4, path)
+		log.Printf("pirserver: wrote rows [%d,%d) of %d×%dB table to %s", lo, hi, rows, lanes*4, path)
 	} else if err != nil {
 		return nil, nil, err
 	}

@@ -49,7 +49,18 @@
 //     -tags purego builds take the scalar loop. Both are bit-identical
 //     (mod-2^32 adds commute; property tests pin every dispatch boundary
 //     on both CI legs). RunRangeInto accumulates into caller-provided
-//     buffers through pooled scratch.
+//     buffers through pooled scratch. The tile pass also parallelizes:
+//     a strategy with Workers > 1 (strategy.WithWorkers wraps any
+//     worker-tunable strategy) splits each tile's row range into row
+//     blocks fanned across a bounded goroutine pool, each worker
+//     accumulating into its own answer buffer through the same
+//     AVX2/scalar dispatch, merged lane-wise mod 2^32 afterwards —
+//     bit-identical to the sequential pass for every worker count,
+//     strategy, PRF and fragmented view (property-tested on both CI
+//     kernel legs). The memory-bounded walker additionally pipelines
+//     tiles: tile N+1's leaf expansion (PRF-bound) overlaps tile N's
+//     table stream (memory-bound) through double-buffered pooled leaf
+//     scratch.
 //   - internal/store owns the serving table: an epoch-versioned Store
 //     whose snapshots are chunk-iterable views. Readers pin an immutable
 //     Snapshot (one atomic refcount — no lock, no waiting on writers)
@@ -62,9 +73,16 @@
 //     configurable depth (paged bases fold to a single overlay — the
 //     table is never materialized in RAM). store.PagedBacking serves
 //     tables larger than memory from a file through a fixed-size-page
-//     LRU cache (pirserver -table-file/-pagecache), bit-identical to
-//     the in-RAM path and CI-enforced with the cache budget a quarter
-//     of the table. Rollback semantics survive every backing shape:
+//     LRU cache (pirserver -table-file/-pagecache — single servers and
+//     -shardnode instances alike), bit-identical to the in-RAM path and
+//     CI-enforced with the cache budget a quarter of the table. The
+//     paged read path is allocation-bounded and overlapped: evicted
+//     page buffers recycle through a small free pool (a steady-state
+//     streaming pass allocates nothing per page — AllocsPerRun-
+//     enforced), little-endian hosts read file bytes directly into the
+//     page's word buffer with no staging copy, and an async prefetcher
+//     loads the next page while the strategy kernel consumes the
+//     current one. Rollback semantics survive every backing shape:
 //     superseded backings recycle once their last reader releases, an
 //     aborted epoch rolls back to its retained predecessor, and
 //     aborted epoch NUMBERS are burned — never reissued — so a stale
@@ -76,6 +94,11 @@
 //     tears it — there is no Update/Answer lock at all), partitions the
 //     rows into contiguous ranges and fans each key batch across a
 //     bounded worker pool, merging per-shard partial sums in place.
+//     When the worker budget exceeds the shard count, the surplus is
+//     handed down into the strategy layer (strategy.WithWorkers), so a
+//     few-shard replica on a wide machine still uses every core for the
+//     row-block parallel accumulate; the analytic device-model counters
+//     are unchanged by either fan-out.
 //     Unmarshaled keys and shard partials are pooled, so the steady-state
 //     Answer allocates nothing beyond the returned answer slices
 //     (enforced by AllocsPerRun tests). The replica pins one
@@ -182,8 +205,17 @@
 // tiled/batched one and writes BENCH_hotpath.json. Each entry in "cases"
 // is one (path, batch) measurement: "seed" is the pre-tiling per-query
 // implementation evaluating full-depth (wire v1) keys, "tiled" the
-// current hot path evaluating keys at the "early" termination depth;
-// ns_per_op is one whole batch, qps = batch / seconds_per_op,
+// current hot path evaluating keys at the "early" termination depth,
+// "tiled-paged" the same path reading the table out-of-core at a
+// quarter-table page cache (its ratio over "tiled" is the paging tax),
+// and "tiled-par" / "tiled-paged-par" their parallel variants with the
+// table stream fanned across a worker per core. The sequential cases
+// are pinned to GOMAXPROCS=1 ("gomaxprocs") so they compare against the
+// committed single-threaded baseline on any host; the par cases run at
+// the machine's full width ("gomaxprocs_par") — on a single-core host
+// they degrade to the sequential path, so only compare them when
+// gomaxprocs_par > 1. ns_per_op is one whole batch,
+// qps = batch / seconds_per_op,
 // mb_per_sec is the table-streaming bandwidth the §3.2.4 traffic model
 // implies (mandatory table-pass bytes / wall time — how close the answer
 // kernel gets to memory bandwidth), and allocs_per_op should stay in
@@ -196,10 +228,13 @@
 // leave single digits (ratios, not absolute ns/op: CI hardware differs
 // from the machine that wrote the committed file), while -minqps adds an
 // absolute batch-32 tiled-throughput floor that catches kernel
-// regressions the ratio alone would miss. With the SIMD answer kernel and
-// pair-interleaved AES pipeline the committed file shows tiled batch-32 at
-// ~47 ms/op (~690 QPS single-threaded, 13–15× the seed path, up from
-// 76 ms / 8.4× scalar).
+// regressions the ratio alone would miss, and its "par:32=..." entry
+// floors the tiled-par case at 2× the sequential floor — the multi-core
+// CI runners must show a real row-block-parallel speedup even though the
+// single-core baseline host cannot measure one. With the SIMD answer
+// kernel and pair-interleaved AES pipeline the committed file shows tiled
+// batch-32 at ~50 ms/op (~640-690 QPS single-threaded, 13–15× the seed
+// path, up from 76 ms / 8.4× scalar).
 //
 // # Reading the serving bench JSON
 //
@@ -234,17 +269,21 @@
 // prove it agrees byte-for-byte with the AES-NI path) and cross-builds
 // linux/arm64 (with and without purego) and darwin/arm64, so the asm
 // stubs and build-tag plumbing stay honest on every push. Two dedicated
-// kernel-equivalence legs run the SIMD-vs-scalar, pair2-vs-pair, and
-// fused-vs-unfused property tests once under GOAMD64=v3 (asm kernels
-// alongside AVX2 compiler codegen) and once under -tags purego (every
-// dispatch collapsed to its scalar fallback). The distributed
+// kernel-equivalence legs run the SIMD-vs-scalar, pair2-vs-pair,
+// fused-vs-unfused, and parallel-vs-sequential property tests once under
+// GOAMD64=v3 (asm kernels alongside AVX2 compiler codegen) and once
+// under -tags purego (every dispatch collapsed to its scalar fallback),
+// so the row-block parallel accumulate's bit-identity holds over both
+// kernels. The distributed
 // job runs the cluster integration and fault-injection suites (shard
 // killed mid-batch with and without surviving group members, a replica
 // group degraded to one live member, slow shard against a context
 // deadline, handshake mismatches, cluster updates dying at prepare or
 // commit, a stale member quarantined and healed over the snapshot RPCs
 // under refresh churn, concurrent Update/Answer hammering over the
-// epoch-versioned store) under -race and once under -tags purego, and
+// epoch-versioned store, and shardnet nodes serving their row slice
+// from -table-file paged stores bit-identical to in-RAM nodes over
+// TCP) under -race and once under -tags purego, and
 // smoke-runs the fuzz targets (the dpf key parser seeded from the golden
 // fixtures, the shardnet frame codecs — handshake frames with the epoch
 // field included, plus the v3 snapshot-transfer frames both ways — and

@@ -217,6 +217,15 @@ func NewReplicaOverStore(st *store.Store, cfg Config) (*Replica, error) {
 		shardRows := (rows + shards - 1) / shards
 		strat = strategy.Schedule(dpf.DomainBits(shardRows))
 	}
+	// Surplus worker budget flows down into the strategy layer: the shard
+	// fan-out can use at most `shards` workers, so when shards < workers the
+	// leftover per-shard budget fans each shard's table stream across row
+	// blocks instead (a 1-shard replica finally scales with cores). Answers
+	// are bit-identical either way, and the counters still pin to the
+	// analytic Model — the same work is accounted once however it fans out.
+	if per := workers / shards; per > 1 {
+		strat = strategy.WithWorkers(strat, per)
+	}
 	bounds := make([]int, shards+1)
 	for i := 0; i < shards; i++ {
 		bounds[i], bounds[i+1] = ShardRange(rows, i, shards)

@@ -119,11 +119,10 @@ func NewServer(party int, tab *Table, opts ...ServerOption) (*Server, error) {
 	return &Server{eng: eng}, nil
 }
 
-// NewServerOverStore builds a PIR server over an existing epoch store —
-// the out-of-core entry point: the store may be paged off a table file
-// (store.NewPaged), so the server answers queries against a table larger
-// than memory without ever materializing it.
-func NewServerOverStore(party int, st *store.Store, opts ...ServerOption) (*Server, error) {
+// NewReplicaOverStore resolves the server options into a replica over an
+// existing epoch store — what NewServerOverStore and a paged shard node
+// (cmd/pirserver -shardnode -table-file) build on.
+func NewReplicaOverStore(party int, st *store.Store, opts ...ServerOption) (*engine.Replica, error) {
 	if st == nil {
 		return nil, fmt.Errorf("pir: server needs a store")
 	}
@@ -133,7 +132,7 @@ func NewServerOverStore(party int, st *store.Store, opts ...ServerOption) (*Serv
 			return nil, err
 		}
 	}
-	eng, err := engine.NewReplicaOverStore(st, engine.Config{
+	return engine.NewReplicaOverStore(st, engine.Config{
 		Party:     party,
 		Shards:    cfg.shards,
 		Workers:   cfg.workers,
@@ -141,6 +140,14 @@ func NewServerOverStore(party int, st *store.Store, opts ...ServerOption) (*Serv
 		EarlyBits: cfg.early,
 		Strategy:  cfg.strat,
 	})
+}
+
+// NewServerOverStore builds a PIR server over an existing epoch store —
+// the out-of-core entry point: the store may be paged off a table file
+// (store.NewPaged), so the server answers queries against a table larger
+// than memory without ever materializing it.
+func NewServerOverStore(party int, st *store.Store, opts ...ServerOption) (*Server, error) {
+	eng, err := NewReplicaOverStore(party, st, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -21,7 +21,10 @@ const autoTuneRhoMax = 0.7
 // modeled utilization at the offered rate stays under autoTuneRhoMax
 // (small batches keep per-request latency low; load forces them up — the
 // same effect TestSimulateBatchGrowsWithLoad measures, made into policy),
-// and a MaxDelay that spends the SLO budget left after service time. The
+// and a MaxDelay that spends the SLO budget left after service time,
+// capped by the batch's expected fill time at the offered rate (two
+// inter-arrival gaps per slot) so sparse traffic is never parked for a
+// deadline the stream cannot fill. The
 // choice is deterministic and the chosen MaxBatch is nondecreasing in
 // qps: the feasibility predicate qps·lat(b) ≤ ρmax·b only tightens as the
 // rate grows. When no batch up to maxBatch can carry the rate, the device
@@ -53,6 +56,18 @@ func AutoTune(qps float64, slo time.Duration, maxBatch int, lat BatchLatency) Po
 	}
 	if min := slo / 20; delay < min {
 		delay = min
+	}
+	// The SLO budget alone is the wrong cap when the arrival stream cannot
+	// fill the batch: a tuned-up MaxBatch behind a small connection pool
+	// never reaches MaxBatch, so EVERY batch ate the whole deadline (176ms
+	// p50 at 500 QPS where the static 30ms policy was fine). At the
+	// observed (EWMA) rate a batch of b fills in about b/qps — waiting much
+	// past that buys no extra coalescing — so cap the deadline at two
+	// expected fill times: the wait now tracks the measured inter-arrival
+	// gap, and at dense arrivals the cap is far below the SLO clamp and
+	// never binds.
+	if fill := time.Duration(2 * float64(b) / qps * float64(time.Second)); delay > fill {
+		delay = fill
 	}
 	if delay < 100*time.Microsecond {
 		delay = 100 * time.Microsecond

@@ -37,6 +37,32 @@ func TestAutoTuneBatchMonotonicInLoad(t *testing.T) {
 	}
 }
 
+// TestAutoTuneDelayCappedByArrivalGap: the tuned deadline must track the
+// observed arrival stream, not just the SLO budget — a batch of b at rate
+// qps fills in about b/qps, and waiting past two fill times parks sparse
+// traffic for a deadline the stream can never fill (the 176ms-p50 failure
+// mode behind a small connection pool). Removing the cap makes low-rate,
+// generous-SLO points blow straight through this bound to slo/2.
+func TestAutoTuneDelayCappedByArrivalGap(t *testing.T) {
+	lat := modelLatency(t)
+	for _, slo := range []time.Duration{200 * time.Millisecond, 2 * time.Second} {
+		for _, qps := range []float64{5, 50, 500, 5000} {
+			p := AutoTune(qps, slo, 128, lat)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("slo %v qps %.0f: invalid tuned policy: %v", slo, qps, err)
+			}
+			cap := time.Duration(2 * float64(p.MaxBatch) / qps * float64(time.Second))
+			if cap < 100*time.Microsecond {
+				cap = 100 * time.Microsecond
+			}
+			if p.MaxDelay > cap {
+				t.Errorf("slo %v qps %.0f: tuned delay %v exceeds the %v fill-time cap (batch %d)",
+					slo, qps, p.MaxDelay, cap, p.MaxBatch)
+			}
+		}
+	}
+}
+
 // TestAutoTuneMeetsSLOWhenFeasible: wherever ANY static MaxBatch choice
 // meets the p99 SLO under the Simulate model, the auto-tuned policy meets
 // it too — auto-tuning may shed load it cannot carry, but it must never

@@ -1,0 +1,21 @@
+//go:build 386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm
+
+package store
+
+import "unsafe"
+
+// hostLittleEndian gates the zero-copy paged read path: the table file
+// format is little-endian, so on little-endian hosts the file bytes ARE
+// the in-memory word representation and a page read can land directly in
+// the word buffer — no staging copy, no per-word decode.
+const hostLittleEndian = true
+
+// wordsAsBytes views a word buffer as its underlying bytes so ReadAt can
+// fill it in place. Only compiled on little-endian targets, where the
+// aliasing is exactly the file format.
+func wordsAsBytes(w []uint32) []byte {
+	if len(w) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&w[0])), len(w)*4)
+}

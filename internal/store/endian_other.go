@@ -1,0 +1,12 @@
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package store
+
+// hostLittleEndian is false here: big-endian (and unknown-endian) hosts
+// stage page reads through a byte buffer and decode each word with
+// binary.LittleEndian, matching the table file format portably.
+const hostLittleEndian = false
+
+// wordsAsBytes is never called when hostLittleEndian is false; this stub
+// keeps the paged read path compiling without build-tagging the caller.
+func wordsAsBytes(w []uint32) []byte { panic("store: wordsAsBytes on big-endian host") }

@@ -2,7 +2,6 @@ package store
 
 import (
 	"bufio"
-	"container/list"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -41,6 +40,16 @@ const DefaultPageBytes = 256 << 10
 // config leaves it zero.
 const DefaultPageCacheBytes = 64 << 20
 
+// pagedFreeCap bounds the recycled-buffer free list: enough to keep a
+// streaming pass's evict-reload churn allocation-free, small enough that
+// an idle backing doesn't sit on a second cache's worth of dead pages.
+const pagedFreeCap = 16
+
+// pagedPrefetchDepth is the prefetch mailbox depth. One outstanding hint
+// already overlaps the next page's read with the current page's
+// accumulate; a little slack absorbs multiple concurrent streams.
+const pagedPrefetchDepth = 4
+
 // PagedConfig sizes a PagedBacking's cache.
 type PagedConfig struct {
 	// PageBytes is the nominal page size in bytes; it is rounded down to a
@@ -52,18 +61,40 @@ type PagedConfig struct {
 	CacheBytes int64
 }
 
+// pageEnt is one resident (or recently evicted, still referenced) page.
+// refs and retired are guarded by PagedBacking.mu: refs counts chunk
+// iterations currently reading the page, retired marks it evicted from the
+// cache. A retired page recycles — the whole entry, buffer included — into
+// the free list when the last reference releases, never earlier, so chunk
+// callbacks always see stable data. The LRU links are intrusive (rather
+// than container/list) so a steady-state miss reuses a pooled entry
+// outright instead of allocating an entry and a list element per load.
 type pageEnt struct {
-	idx  int
-	data []uint32
+	idx     int
+	data    []uint32
+	refs    int
+	retired bool
+	prev    *pageEnt
+	next    *pageEnt
 }
 
 // PagedBacking serves a table file through a page cache: fixed-size
 // row-aligned pages, demand-loaded with plain ReadAt (no mmap — the purego
 // and non-amd64 builds need no platform syscalls beyond os.File), evicted
-// LRU under a byte budget. Evicted pages are dropped to the garbage
-// collector, never reused, so row and chunk slices handed to readers stay
-// valid for as long as the readers hold them — the same immutability
-// contract in-RAM backings give for free.
+// LRU under a byte budget.
+//
+// Two mechanisms keep the steady-state read path at a bounded, constant
+// allocation count and ahead of the disk:
+//
+//   - a page pool: chunk iterations hold a reference on the page they are
+//     reading, eviction only retires a page, and the buffer recycles into
+//     a bounded free list once the last reference drops. (This is why
+//     chunk data must not be retained past the callback — see
+//     strategy.Chunk. Row reads return copies and stay valid forever.)
+//   - async readahead: a prefetcher goroutine receives the chunk
+//     iterator's next-page hints and issues the file read into the LRU
+//     while the current page is still being accumulated, hiding the read
+//     behind the table stream.
 //
 // A PagedBacking outlives the epochs served over it: the Store layers
 // delta-epoch overlays above it and never tries to reclaim it. Close when
@@ -76,10 +107,16 @@ type PagedBacking struct {
 	nPages   int
 	budget   int64
 
-	mu     sync.Mutex
-	pages  map[int]*list.Element // page idx → lru element holding *pageEnt
-	lru    *list.List            // front = most recently used
-	cached int64                 // bytes resident
+	mu       sync.Mutex
+	pages    map[int]*pageEnt // resident pages by index
+	mru, lru *pageEnt         // intrusive recency list ends
+	resident int              // len(pages), tracked for the keep-one floor
+	cached   int64            // bytes resident
+	free     []*pageEnt       // recycled entries, buffers at full-page cap
+
+	prefCh   chan int      // next-page hints from chunk iterations
+	prefStop chan struct{} // closed by Close
+	prefDone chan struct{} // closed by the prefetcher on exit
 
 	loads atomic.Int64 // pages read from the file (cache misses)
 	hits  atomic.Int64
@@ -91,7 +128,17 @@ func WriteTableFile(path string, tab *strategy.Table) error {
 	if tab == nil {
 		return fmt.Errorf("store: cannot write a nil table")
 	}
-	if _, err := checkShape(tab.NumRows, tab.Lanes); err != nil {
+	return WriteTableFileRows(path, tab.NumRows, tab.Lanes, func(i int, dst []uint32) {
+		copy(dst, tab.Row(i))
+	})
+}
+
+// WriteTableFileRows streams a rows×lanes table to path in the paged table
+// format, calling fill once per row (in order) to produce its lanes. It
+// never materializes the table: a shard node can write a full-shape file
+// holding only its row range without ever allocating rows×lanes words.
+func WriteTableFileRows(path string, rows, lanes int, fill func(row int, dst []uint32)) error {
+	if _, err := checkShape(rows, lanes); err != nil {
 		return err
 	}
 	f, err := os.Create(path)
@@ -102,16 +149,20 @@ func WriteTableFile(path string, tab *strategy.Table) error {
 	var hdr [pagedHeaderBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:], pagedMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], pagedVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(tab.Lanes))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(tab.NumRows))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(lanes))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(rows))
 	if _, err := w.Write(hdr[:]); err != nil {
 		f.Close()
 		return err
 	}
-	var buf [4]byte
-	for _, v := range tab.Data {
-		binary.LittleEndian.PutUint32(buf[:], v)
-		if _, err := w.Write(buf[:]); err != nil {
+	row := make([]uint32, lanes)
+	enc := make([]byte, lanes*4)
+	for i := 0; i < rows; i++ {
+		fill(i, row)
+		for l, v := range row {
+			binary.LittleEndian.PutUint32(enc[l*4:], v)
+		}
+		if _, err := w.Write(enc); err != nil {
 			f.Close()
 			return err
 		}
@@ -124,7 +175,8 @@ func WriteTableFile(path string, tab *strategy.Table) error {
 }
 
 // OpenPaged opens a table file written by WriteTableFile, validating the
-// header and size. The returned backing owns the file handle.
+// header and size. The returned backing owns the file handle and runs a
+// prefetcher goroutine until Close.
 func OpenPaged(path string, cfg PagedConfig) (*PagedBacking, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -180,16 +232,20 @@ func OpenPaged(path string, cfg PagedConfig) (*PagedBacking, error) {
 	if budget <= 0 {
 		budget = DefaultPageCacheBytes
 	}
-	return &PagedBacking{
+	p := &PagedBacking{
 		f:        f,
 		rows:     rows,
 		lanes:    lanes,
 		pageRows: pageRows,
 		nPages:   (rows + pageRows - 1) / pageRows,
 		budget:   budget,
-		pages:    make(map[int]*list.Element),
-		lru:      list.New(),
-	}, nil
+		pages:    make(map[int]*pageEnt),
+		prefCh:   make(chan int, pagedPrefetchDepth),
+		prefStop: make(chan struct{}),
+		prefDone: make(chan struct{}),
+	}
+	go p.prefetcher()
+	return p, nil
 }
 
 // Rows returns the table's row count.
@@ -199,16 +255,49 @@ func (p *PagedBacking) Rows() int { return p.rows }
 func (p *PagedBacking) Lanes() int { return p.lanes }
 
 // Loads returns the number of pages read from the file so far (cache
-// misses). Exposed for tests and cache-sizing diagnostics.
+// misses, prefetches included). Exposed for tests and cache-sizing
+// diagnostics.
 func (p *PagedBacking) Loads() int64 { return p.loads.Load() }
 
 // Hits returns the number of page lookups served from the cache.
 func (p *PagedBacking) Hits() int64 { return p.hits.Load() }
 
-// Close releases the file handle. Callers must ensure no reads are in
-// flight; already handed-out page slices remain valid (they are plain
-// heap memory).
-func (p *PagedBacking) Close() error { return p.f.Close() }
+// Close stops the prefetcher and releases the file handle. Callers must
+// ensure no reads are in flight; rows handed out by Row remain valid (they
+// are copies).
+func (p *PagedBacking) Close() error {
+	close(p.prefStop)
+	<-p.prefDone
+	return p.f.Close()
+}
+
+// prefetcher drains next-page hints, loading each still-uncached page into
+// the LRU so the chunk iteration that posted the hint finds it resident.
+// It drops errors on the floor deliberately: a failed readahead just means
+// the demand load repeats the read and reports it with context.
+func (p *PagedBacking) prefetcher() {
+	defer close(p.prefDone)
+	for {
+		select {
+		case <-p.prefStop:
+			return
+		case idx := <-p.prefCh:
+			ent, err := p.acquirePage(idx)
+			if err == nil {
+				p.releasePage(ent)
+			}
+		}
+	}
+}
+
+// hintNext posts a non-blocking prefetch hint. A full mailbox drops the
+// hint — the demand load path is always correct without it.
+func (p *PagedBacking) hintNext(idx int) {
+	select {
+	case p.prefCh <- idx:
+	default:
+	}
+}
 
 // pageSpan returns page idx's row range [lo, hi).
 func (p *PagedBacking) pageSpan(idx int) (lo, hi int) {
@@ -220,63 +309,156 @@ func (p *PagedBacking) pageSpan(idx int) (lo, hi int) {
 	return lo, hi
 }
 
-// page returns page idx's lane data, loading and caching it on a miss. The
-// file read happens outside the cache lock, so concurrent misses on
-// different pages overlap; a double load of the same page is benign (both
-// copies are identical, the loser is garbage).
-func (p *PagedBacking) page(idx int) ([]uint32, error) {
+// pushFrontLocked links ent at the MRU end (caller holds mu).
+func (p *PagedBacking) pushFrontLocked(ent *pageEnt) {
+	ent.prev = nil
+	ent.next = p.mru
+	if p.mru != nil {
+		p.mru.prev = ent
+	}
+	p.mru = ent
+	if p.lru == nil {
+		p.lru = ent
+	}
+}
+
+// unlinkLocked removes ent from the recency list (caller holds mu).
+func (p *PagedBacking) unlinkLocked(ent *pageEnt) {
+	if ent.prev != nil {
+		ent.prev.next = ent.next
+	} else {
+		p.mru = ent.next
+	}
+	if ent.next != nil {
+		ent.next.prev = ent.prev
+	} else {
+		p.lru = ent.prev
+	}
+	ent.prev, ent.next = nil, nil
+}
+
+// touchLocked moves a resident ent to the MRU end (caller holds mu).
+func (p *PagedBacking) touchLocked(ent *pageEnt) {
+	if p.mru == ent {
+		return
+	}
+	p.unlinkLocked(ent)
+	p.pushFrontLocked(ent)
+}
+
+// acquirePage returns page idx with a reference held, loading and caching
+// it on a miss. The file read happens outside the cache lock, so
+// concurrent misses on different pages overlap; a double load of the same
+// page is benign (both copies are identical, the loser recycles).
+// Callers must pair with releasePage.
+func (p *PagedBacking) acquirePage(idx int) (*pageEnt, error) {
 	p.mu.Lock()
-	if el, ok := p.pages[idx]; ok {
-		p.lru.MoveToFront(el)
-		data := el.Value.(*pageEnt).data
+	if ent, ok := p.pages[idx]; ok {
+		ent.refs++
+		p.touchLocked(ent)
 		p.mu.Unlock()
 		p.hits.Add(1)
-		return data, nil
+		return ent, nil
 	}
 	p.mu.Unlock()
 
-	data, err := p.readPage(idx)
+	ent, err := p.loadPage(idx)
 	if err != nil {
 		return nil, err
 	}
 	p.loads.Add(1)
 
 	p.mu.Lock()
-	if el, ok := p.pages[idx]; ok {
+	if won, ok := p.pages[idx]; ok {
 		// Lost a race with a concurrent load of the same page; use the
-		// cached copy so the cache accounting stays single-entry.
-		p.lru.MoveToFront(el)
-		data = el.Value.(*pageEnt).data
-	} else {
-		p.pages[idx] = p.lru.PushFront(&pageEnt{idx: idx, data: data})
-		p.cached += int64(len(data)) * 4
-		for p.cached > p.budget && p.lru.Len() > 1 {
-			back := p.lru.Back()
-			ent := back.Value.(*pageEnt)
-			p.lru.Remove(back)
-			delete(p.pages, ent.idx)
-			p.cached -= int64(len(ent.data)) * 4
-			// ent.data is NOT recycled: outstanding chunk slices may
-			// still reference it. The GC reclaims it when they are gone.
+		// cached copy so the cache accounting stays single-entry, and
+		// recycle the loser.
+		won.refs++
+		p.touchLocked(won)
+		p.recycleLocked(ent)
+		p.mu.Unlock()
+		return won, nil
+	}
+	ent.refs = 1
+	p.pages[idx] = ent
+	p.pushFrontLocked(ent)
+	p.resident++
+	p.cached += int64(len(ent.data)) * 4
+	for p.cached > p.budget && p.resident > 1 {
+		old := p.lru
+		p.unlinkLocked(old)
+		delete(p.pages, old.idx)
+		p.resident--
+		p.cached -= int64(len(old.data)) * 4
+		// Retire, don't free: chunk iterations may still hold references.
+		// The entry recycles when the last one releases.
+		old.retired = true
+		if old.refs == 0 {
+			p.recycleLocked(old)
 		}
 	}
 	p.mu.Unlock()
-	return data, nil
+	return ent, nil
 }
 
-func (p *PagedBacking) readPage(idx int) ([]uint32, error) {
+// releasePage drops one reference; the last release of a retired page
+// recycles it into the free list.
+func (p *PagedBacking) releasePage(ent *pageEnt) {
+	p.mu.Lock()
+	ent.refs--
+	if ent.retired && ent.refs == 0 {
+		p.recycleLocked(ent)
+	}
+	p.mu.Unlock()
+}
+
+// recycleLocked returns an entry to the free list (caller holds mu).
+// Every buffer is allocated at full-page capacity, so any recycled entry
+// can back any page. Beyond the cap the entry drops to the GC.
+func (p *PagedBacking) recycleLocked(ent *pageEnt) {
+	if len(p.free) < pagedFreeCap {
+		ent.refs, ent.retired = 0, false
+		p.free = append(p.free, ent)
+	}
+}
+
+// loadPage reads page idx from the file into a pooled (or fresh) entry.
+// On little-endian hosts the file bytes land directly in the word buffer's
+// memory — no staging copy, no per-word decode; other hosts stage through
+// a byte buffer and decode. In steady state this path allocates nothing:
+// the free list supplies the entry, and ReadAt fills it in place.
+func (p *PagedBacking) loadPage(idx int) (*pageEnt, error) {
 	lo, hi := p.pageSpan(idx)
 	words := (hi - lo) * p.lanes
-	raw := make([]byte, words*4)
+
+	p.mu.Lock()
+	var ent *pageEnt
+	if n := len(p.free); n > 0 {
+		ent = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if ent == nil {
+		ent = &pageEnt{data: make([]uint32, words, p.pageRows*p.lanes)}
+	}
+	ent.idx = idx
+	ent.data = ent.data[:words]
+
 	off := int64(pagedHeaderBytes) + int64(lo)*int64(p.lanes)*4
+	if hostLittleEndian {
+		if _, err := p.f.ReadAt(wordsAsBytes(ent.data), off); err != nil {
+			return nil, fmt.Errorf("store: page %d (rows [%d,%d)): %w", idx, lo, hi, err)
+		}
+		return ent, nil
+	}
+	raw := make([]byte, words*4)
 	if _, err := p.f.ReadAt(raw, off); err != nil {
 		return nil, fmt.Errorf("store: page %d (rows [%d,%d)): %w", idx, lo, hi, err)
 	}
-	data := make([]uint32, words)
-	for i := range data {
-		data[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	for i := range ent.data {
+		ent.data[i] = binary.LittleEndian.Uint32(raw[i*4:])
 	}
-	return data, nil
+	return ent, nil
 }
 
 // pagedSource adapts a PagedBacking to the backing source interface.
@@ -284,20 +466,30 @@ type pagedSource struct {
 	p *PagedBacking
 }
 
+// chunks streams [lo, hi) page by page. Each page is referenced for
+// exactly the duration of its callback (the strategy.Chunk retention
+// contract), and before the callback runs, the NEXT page the iteration
+// will need is hinted to the prefetcher — its file read overlaps this
+// chunk's accumulate.
 func (ps *pagedSource) chunks(lo, hi int, fn func(strategy.Chunk) error) error {
 	p := ps.p
 	for cur := lo; cur < hi; {
 		idx := cur / p.pageRows
-		data, err := p.page(idx)
+		pLo, pHi := p.pageSpan(idx)
+		if pHi < hi {
+			p.hintNext(idx + 1)
+		}
+		ent, err := p.acquirePage(idx)
 		if err != nil {
 			return err
 		}
-		pLo, pHi := p.pageSpan(idx)
 		end := hi
 		if end > pHi {
 			end = pHi
 		}
-		if err := fn(strategy.Chunk{Row: cur, Data: data[(cur-pLo)*p.lanes : (end-pLo)*p.lanes]}); err != nil {
+		err = fn(strategy.Chunk{Row: cur, Data: ent.data[(cur-pLo)*p.lanes : (end-pLo)*p.lanes]})
+		p.releasePage(ent)
+		if err != nil {
 			return err
 		}
 		cur = end
@@ -305,14 +497,19 @@ func (ps *pagedSource) chunks(lo, hi int, fn func(strategy.Chunk) error) error {
 	return nil
 }
 
+// row returns a copy of row i (copies stay valid forever, so Snapshot.Row's
+// release-independent lifetime holds even though page buffers recycle).
 func (ps *pagedSource) row(i int) ([]uint32, error) {
 	p := ps.p
-	data, err := p.page(i / p.pageRows)
+	ent, err := p.acquirePage(i / p.pageRows)
 	if err != nil {
 		return nil, err
 	}
 	lo, _ := p.pageSpan(i / p.pageRows)
-	return data[(i-lo)*p.lanes : (i-lo+1)*p.lanes], nil
+	out := make([]uint32, p.lanes)
+	copy(out, ent.data[(i-lo)*p.lanes:(i-lo+1)*p.lanes])
+	p.releasePage(ent)
+	return out, nil
 }
 
 func (ps *pagedSource) flat() []uint32 { return nil }

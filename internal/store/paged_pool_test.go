@@ -1,0 +1,130 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gpudpf/internal/strategy"
+)
+
+// TestPagedSteadyStateAllocs pins the page pool: a full chunk sweep of a
+// table 4× the cache budget — every page missing, evicting, and reloading
+// — must allocate only a small constant once the pool is warm. Entries and
+// buffers recycle through the free list and, on little-endian hosts, pages
+// read straight into pooled word buffers, so the steady state allocates
+// nothing per page (the seed path allocated a raw buffer, a decoded
+// buffer, an entry, and a list element per miss — ~80/op on the hot-path
+// bench).
+func TestPagedSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates and defeats pool reuse")
+	}
+	const rows, lanes = 4096, 16 // 256 KiB table, 64 KiB cache (16 pages of 4 KiB)
+	_, pb := pagedFixture(t, rows, lanes, 4<<10)
+	s, err := NewPaged(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+
+	sink := uint32(0)
+	sweep := func(c strategy.Chunk) error {
+		sink += c.Data[0]
+		return nil
+	}
+	for i := 0; i < 3; i++ {
+		if err := sn.Chunks(0, rows, sweep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := sn.Chunks(0, rows, sweep); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget 3: stray transients when a prefetch race momentarily drains
+	// the free list. Nothing may scale with the page count of the sweep.
+	if allocs > 3 {
+		t.Errorf("paged full sweep allocates %.1f/op at steady state, want ≤ 3 (pooled pages)", allocs)
+	}
+	_ = sink
+}
+
+// TestPagedRowCopiesSurviveRecycling: Row hands out copies, so a slice
+// stays valid even after the page it came from has been evicted, its
+// buffer recycled, and the buffer reloaded with different rows.
+func TestPagedRowCopiesSurviveRecycling(t *testing.T) {
+	const rows, lanes = 1024, 4
+	tab, pb := pagedFixture(t, rows, lanes, 1<<10)
+	s, err := NewPaged(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+
+	r7, err := sn.Row(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]uint32(nil), r7...)
+	// Churn the whole cache several times over.
+	for i := 0; i < 3; i++ {
+		if err := sn.Chunks(0, rows, func(strategy.Chunk) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for l := range want {
+		if r7[l] != want[l] || r7[l] != tab.Data[7*lanes+l] {
+			t.Fatalf("row 7 lane %d changed under churn: %d, want %d", l, r7[l], tab.Data[7*lanes+l])
+		}
+	}
+}
+
+// TestWriteTableFileRows: the streaming row-wise writer produces a file
+// the paged loader serves bit-identically to one written from a
+// materialized table — a shard node can generate its slice of a huge table
+// without ever holding rows×lanes words.
+func TestWriteTableFileRows(t *testing.T) {
+	const rows, lanes = 300, 6
+	tab, err := strategy.NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.Data {
+		tab.Data[i] = uint32(i*2654435761 + 17)
+	}
+	dir := t.TempDir()
+	whole := filepath.Join(dir, "whole.gpdf")
+	if err := WriteTableFile(whole, tab); err != nil {
+		t.Fatal(err)
+	}
+	streamed := filepath.Join(dir, "streamed.gpdf")
+	err = WriteTableFileRows(streamed, rows, lanes, func(i int, dst []uint32) {
+		copy(dst, tab.Row(i))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := OpenPaged(streamed, PagedConfig{PageBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	s, err := NewPaged(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Acquire()
+	defer sn.Release()
+	got := viewWords(t, sn)
+	for i := range got {
+		if got[i] != tab.Data[i] {
+			t.Fatalf("streamed file word %d: %d, want %d", i, got[i], tab.Data[i])
+		}
+	}
+	if _, err := OpenPaged(whole, PagedConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}

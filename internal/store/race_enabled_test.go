@@ -1,0 +1,9 @@
+//go:build race
+
+package store
+
+// raceEnabled reports that this test binary runs under the race detector,
+// whose instrumentation allocates per synchronization event — the
+// allocation-count tests are skipped there (the uninstrumented build
+// enforces them).
+const raceEnabled = true

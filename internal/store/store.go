@@ -72,9 +72,9 @@ type source interface {
 	// chunks calls fn over the contiguous row runs covering [lo, hi),
 	// ascending, gap-free. The range is pre-validated by the caller.
 	chunks(lo, hi int, fn func(strategy.Chunk) error) error
-	// row returns row i. The slice stays valid while the source does (for
-	// paged sources: indefinitely — evicted pages are dropped to the GC,
-	// never reused, so handed-out slices cannot be overwritten).
+	// row returns row i. The slice stays valid while the source does.
+	// Paged sources return copies: page buffers recycle after eviction, so
+	// handing out page memory would let a reload overwrite it.
 	row(i int) ([]uint32, error)
 	// flat returns the whole table as one contiguous buffer when the
 	// source is a single in-RAM array, nil otherwise.

@@ -21,6 +21,16 @@ type CPUBaseline struct {
 	Threads int
 	// CPU is the modeled processor; nil means XeonGold6230.
 	CPU *gpu.CPUModel
+	// Workers bounds the executed table pass's row-block fan-out. It is
+	// separate from Threads, which prices the modeled CPU (and names the
+	// strategy). Set via WithWorkers.
+	Workers int
+}
+
+// withWorkers implements workerTunable.
+func (c CPUBaseline) withWorkers(n int) Strategy {
+	c.Workers = n
+	return c
 }
 
 // Name implements Strategy.
@@ -80,7 +90,7 @@ func (c CPUBaseline) runFullInto(prg dpf.PRG, keys []*dpf.Key, v TableView, ctr 
 			ctr.AddPRFBlocks(treeBlocks(bits, tile[i].Early))
 			sc.release()
 		})
-		if err := accumulateTile(v, 0, v.Rows(), lt.rows, dst[t:te]); err != nil {
+		if err := accumulateTilePar(v, 0, v.Rows(), lt.rows, dst[t:te], c.Workers); err != nil {
 			lt.release()
 			return err
 		}
@@ -161,7 +171,7 @@ func (c CPUBaseline) runRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo,
 			ctr.AddPRFBlocks(2*groups - 2 + 2*int64(bits-early))
 		})
 		if firstErr == nil {
-			if err := accumulateTile(v, lo, hi, lt.rows, dst[t:te]); err != nil {
+			if err := accumulateTilePar(v, lo, hi, lt.rows, dst[t:te], c.Workers); err != nil {
 				firstErr = err
 			}
 		}

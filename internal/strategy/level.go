@@ -15,10 +15,20 @@ import (
 // PRF batch call per level) through pooled ping-pong buffers, and the
 // separate matmul pass is query-tiled: one streaming pass over the row
 // range per tile of tileQueries queries.
-type LevelByLevel struct{}
+type LevelByLevel struct {
+	// Workers bounds the matmul pass's row-block fan-out (the expansion is
+	// already query-parallel). 0 or 1 = sequential. Set via WithWorkers.
+	Workers int
+}
 
 // Name implements Strategy.
 func (LevelByLevel) Name() string { return "level-by-level" }
+
+// withWorkers implements workerTunable.
+func (l LevelByLevel) withWorkers(n int) Strategy {
+	l.Workers = n
+	return l
+}
 
 // levelMemBytes models the per-batch device working set: for each in-flight
 // query, the two ping-pong level buffers (G + G/2 nodes at the widest
@@ -82,7 +92,7 @@ func (l LevelByLevel) RunRangeInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo
 	return l.runInto(prg, keys, v, lo, hi, fullRange(v.Rows(), lo, hi), ctr, dst)
 }
 
-func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
+func (l LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi int, full bool, ctr *gpu.Counters, dst [][]uint32) error {
 	bits := dpf.DomainBits(v.Rows())
 	lanes := v.Lanes()
 	early := keys[0].Early
@@ -101,8 +111,8 @@ func (LevelByLevel) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi 
 			expandLevelByLevel(prg, tile[i], rlo, rhi, lt.rows[i], ctr)
 		})
 		// Query-tiled matmul pass over the range's slice of the leaf
-		// vectors.
-		if err := accumulateTile(v, rlo, rhi, lt.rows, dst[t:te]); err != nil {
+		// vectors, row-block-parallel when a worker budget is configured.
+		if err := accumulateTilePar(v, rlo, rhi, lt.rows, dst[t:te], l.Workers); err != nil {
 			lt.release()
 			return err
 		}

@@ -31,6 +31,18 @@ type MemBoundTree struct {
 	K int
 	// Fused enables DPF×matmul operator fusion.
 	Fused bool
+	// Workers bounds the table-stream fan-out: each tile's accumulate pass
+	// splits into row blocks across up to Workers goroutines, and with
+	// multiple tiles in flight the next tile's leaf expansion overlaps the
+	// current tile's table stream. 0 or 1 runs the sequential pipeline.
+	// Set via WithWorkers; answers are bit-identical either way.
+	Workers int
+}
+
+// withWorkers implements workerTunable.
+func (m MemBoundTree) withWorkers(n int) Strategy {
+	m.Workers = n
+	return m
 }
 
 // Name implements Strategy.
@@ -151,37 +163,48 @@ func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi 
 	if rowHi > v.Rows() {
 		rowHi = v.Rows()
 	}
-	// Never-reassigned copies for the parallel branch's closure: capturing
-	// a reassigned variable (hi, k) would force it to the heap on every
-	// call, including the allocation-free sequential path.
-	cBits, cK, cLo, cHi := bits, k, lo, hi
-	for t := 0; t < len(keys); t += tileQueries {
-		te := tileEnd(t, len(keys))
-		tile := keys[t:te]
-		lt := getLeafTile(len(tile), rows)
-		// Expansion: each query's K-bounded group walk emits its leaf
-		// shares for [lo, hi) into the tile's leaf matrix. The one-query
-		// and single-core cases run inline — no goroutines, no closure —
-		// so the engine's sequential steady state stays allocation-free.
-		if len(tile) == 1 || runtime.GOMAXPROCS(0) == 1 {
-			for i := range tile {
-				m.expandQuery(prg, tile[i], bits, k, lo, hi, lt.rows[i], ctr)
-			}
-		} else {
-			rows := lt.rows
-			gpu.ParallelFor(len(tile), func(i int) {
-				m.expandQuery(prg, tile[i], cBits, cK, cLo, cHi, rows[i], ctr)
-			})
+	if workers := parWorkers(m.Workers); workers > 1 && len(keys) > tileQueries {
+		// Multi-tile batch with a worker budget: the pipelined loop below
+		// overlaps tile N+1's expansion with tile N's table stream and fans
+		// each stream across the budget.
+		if err := m.runTilesPipelined(prg, keys, v, lo, hi, rows, rowHi, bits, k, workers, ctr, dst); err != nil {
+			return err
 		}
-		// Accumulate: ONE streaming pass over the tile's row range serves
-		// all its queries (the §3.1 batched matmul, executed).
-		if int(lo) < rowHi {
-			if err := accumulateTile(v, int(lo), rowHi, lt.rows, dst[t:te]); err != nil {
-				lt.release()
-				return err
+	} else {
+		// Never-reassigned copies for the parallel branch's closure: capturing
+		// a reassigned variable (hi, k) would force it to the heap on every
+		// call, including the allocation-free sequential path.
+		cBits, cK, cLo, cHi := bits, k, lo, hi
+		for t := 0; t < len(keys); t += tileQueries {
+			te := tileEnd(t, len(keys))
+			tile := keys[t:te]
+			lt := getLeafTile(len(tile), rows)
+			// Expansion: each query's K-bounded group walk emits its leaf
+			// shares for [lo, hi) into the tile's leaf matrix. The one-query
+			// and single-core cases run inline — no goroutines, no closure —
+			// so the engine's sequential steady state stays allocation-free.
+			if len(tile) == 1 || runtime.GOMAXPROCS(0) == 1 {
+				for i := range tile {
+					m.expandQuery(prg, tile[i], bits, k, lo, hi, lt.rows[i], ctr)
+				}
+			} else {
+				rows := lt.rows
+				gpu.ParallelFor(len(tile), func(i int) {
+					m.expandQuery(prg, tile[i], cBits, cK, cLo, cHi, rows[i], ctr)
+				})
 			}
+			// Accumulate: ONE streaming pass over the tile's row range serves
+			// all its queries (the §3.1 batched matmul, executed). The row
+			// blocks fan across the worker budget when one was configured
+			// (accumulateTilePar falls back to the sequential pass at 1).
+			if int(lo) < rowHi {
+				if err := accumulateTilePar(v, int(lo), rowHi, lt.rows, dst[t:te], m.Workers); err != nil {
+					lt.release()
+					return err
+				}
+			}
+			lt.release()
 		}
-		lt.release()
 	}
 
 	var reads, writes int64
@@ -198,6 +221,62 @@ func (m MemBoundTree) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi 
 	}
 	ctr.AddRead(reads)
 	ctr.AddWrite(writes)
+	return nil
+}
+
+// runTilesPipelined is the multi-tile loop with the two phases overlapped:
+// leaf expansion is AES compute-bound and the table stream is memory-
+// bandwidth-bound, so running tile N+1's expansion (in a goroutine, into a
+// second pooled leaf tile) while tile N streams the table stops the phases
+// serializing. At most one expansion is in flight — double buffering, not
+// a queue — so the leaf-scratch footprint is bounded at two tiles. Answers
+// are bit-identical to the sequential loop: each tile still accumulates
+// into its own dst slice, in tile order.
+func (m MemBoundTree) runTilesPipelined(prg dpf.PRG, keys []*dpf.Key, v TableView, lo, hi uint64, rows, rowHi, bits, k, workers int, ctr *gpu.Counters, dst [][]uint32) error {
+	expand := func(tile []*dpf.Key, lt *leafTile) {
+		if len(tile) == 1 {
+			m.expandQuery(prg, tile[0], bits, k, lo, hi, lt.rows[0], ctr)
+			return
+		}
+		ltRows := lt.rows
+		gpu.ParallelFor(len(tile), func(i int) {
+			m.expandQuery(prg, tile[i], bits, k, lo, hi, ltRows[i], ctr)
+		})
+	}
+	cur := getLeafTile(tileEnd(0, len(keys)), rows)
+	expand(keys[:tileEnd(0, len(keys))], cur)
+	for t := 0; t < len(keys); t += tileQueries {
+		te := tileEnd(t, len(keys))
+		var nxt *leafTile
+		var ready chan struct{}
+		if te < len(keys) {
+			nte := tileEnd(te, len(keys))
+			nxt = getLeafTile(nte-te, rows)
+			ready = make(chan struct{})
+			tile, lt := keys[te:nte], nxt
+			go func() {
+				expand(tile, lt)
+				close(ready)
+			}()
+		}
+		var err error
+		if int(lo) < rowHi {
+			err = accumulateTilePar(v, int(lo), rowHi, cur.rows, dst[t:te], workers)
+		}
+		if ready != nil {
+			// The in-flight expansion writes nxt and ctr; join it before
+			// touching either (or returning an error past it).
+			<-ready
+		}
+		cur.release()
+		cur = nxt
+		if err != nil {
+			if nxt != nil {
+				nxt.release()
+			}
+			return err
+		}
+	}
 	return nil
 }
 

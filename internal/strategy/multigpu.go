@@ -21,6 +21,16 @@ type MultiGPU struct {
 	// K is the per-device frontier width (0 = DefaultK). Sharded
 	// execution always fuses the dot product.
 	K int
+	// Workers bounds each (tile, shard) job's row-block fan-out — useful
+	// when the job count is below the core count (few shards, one tile).
+	// 0 or 1 = sequential per job. Set via WithWorkers.
+	Workers int
+}
+
+// withWorkers implements workerTunable.
+func (m MultiGPU) withWorkers(n int) Strategy {
+	m.Workers = n
+	return m
 }
 
 // Name implements Strategy.
@@ -151,7 +161,7 @@ func (m MultiGPU) runInto(prg dpf.PRG, keys []*dpf.Key, v TableView, rlo, rhi ui
 		sc := getWalkScratch()
 		local := sc.growLocal(len(tile), lanes)
 		if lo < rowHi {
-			if err := accumulateTile(v, int(lo), int(rowHi), lt.rows, local); err != nil {
+			if err := accumulateTilePar(v, int(lo), int(rowHi), lt.rows, local, m.Workers); err != nil {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err

@@ -5,7 +5,10 @@ import "fmt"
 // Chunk is one contiguous, row-aligned run of table data yielded by a
 // TableView: rows [Row, Row+len(Data)/lanes) in row-major order. The slice
 // is immutable shared storage — callers read, never write, and must not
-// retain it past the view's lifetime (for a store snapshot: until Release).
+// retain it past the callback that yielded it: paged backings recycle page
+// buffers once a chunk's callback returns, so a retained slice may be
+// overwritten by a later page load. (Copy inside the callback to keep
+// data, as TableFromView does.)
 type Chunk struct {
 	// Row is the table row index of Data's first row.
 	Row int

@@ -7,6 +7,7 @@ package gpudpf_test
 import (
 	"math/rand"
 	"net"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"gpudpf/internal/netsim"
 	"gpudpf/internal/pir"
 	"gpudpf/internal/shardnet"
+	"gpudpf/internal/store"
 )
 
 // TestFullStackRecommendation trains a tiny recommender, deploys it behind
@@ -339,6 +341,136 @@ func TestDistributedRecommendationTCP(t *testing.T) {
 		for j := range pooled[0] {
 			if pooled[0][j] != pooled[1][j] {
 				t.Fatalf("pooled lane %d: two-server %g != cluster %g", j, pooled[0][j], pooled[1][j])
+			}
+		}
+	}
+}
+
+// TestPagedShardNodesTCP: a cluster whose shard nodes serve their row
+// slices out-of-core — each node paging a table file through a cache a
+// quarter of its slice — answers bit-identically, over real TCP, to a
+// cluster of in-RAM nodes and to the table itself. This is the
+// cmd/pirserver "-shardnode -table-file" deployment shape: a table no
+// single machine could hold, split across paged nodes.
+func TestPagedShardNodesTCP(t *testing.T) {
+	const rows, lanes, shards = 1024, 8, 2
+	tab, err := pir.NewTable(rows, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := range tab.Data {
+		tab.Data[i] = rng.Uint32()
+	}
+
+	// startNode serves rep's rows [lo, hi) over shardnet TCP and returns a
+	// dialed client for it.
+	startNode := func(rep *engine.Replica, p, lo, hi int) *shardnet.Client {
+		node, err := shardnet.NewServer(rep, shardnet.ServerConfig{RowLo: lo, RowHi: hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go node.Serve(l)
+		t.Cleanup(func() { node.Close() })
+		sc, err := shardnet.Dial(l.Addr().String(), shardnet.Options{PRG: "aes128", Party: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+
+	// Per party, one cluster of in-RAM nodes and one of paged nodes.
+	var ramEp, pagedEp [2]pir.Endpoint
+	for p := 0; p < 2; p++ {
+		var ramShards, pagedShards []engine.ClusterShard
+		for i := 0; i < shards; i++ {
+			lo, hi := engine.ShardRange(rows, i, shards)
+
+			nodeTab, err := pir.NewTable(rows, lanes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(nodeTab.Data[lo*lanes:hi*lanes], tab.Data[lo*lanes:hi*lanes])
+			ramRep, err := pir.NewReplica(p, nodeTab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ramShards = append(ramShards, engine.ClusterShard{Backend: startNode(ramRep, p, lo, hi)})
+
+			// The paged node streams only its slice to disk (rows outside
+			// stay zero, as pirserver's openPagedStore writes them) and
+			// serves it through a cache a quarter of the slice's bytes, so
+			// the sweep really evicts and reloads.
+			path := filepath.Join(t.TempDir(), "shard.gpdf")
+			err = store.WriteTableFileRows(path, rows, lanes, func(r int, dst []uint32) {
+				if r < lo || r >= hi {
+					clear(dst)
+					return
+				}
+				copy(dst, tab.Row(r))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pb, err := store.OpenPaged(path, store.PagedConfig{
+				PageBytes:  1 << 10,
+				CacheBytes: int64((hi-lo)*lanes) * 4 / 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { pb.Close() })
+			st, err := store.NewPaged(pb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pagedRep, err := pir.NewReplicaOverStore(p, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pagedShards = append(pagedShards, engine.ClusterShard{Backend: startNode(pagedRep, p, lo, hi)})
+		}
+		ramCluster, err := engine.NewCluster(ramShards...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ramCluster.Close() })
+		pagedCluster, err := engine.NewCluster(pagedShards...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { pagedCluster.Close() })
+		ramEp[p] = pir.BackendEndpoint{Backend: ramCluster}
+		pagedEp[p] = pir.BackendEndpoint{Backend: pagedCluster}
+	}
+
+	cl, err := pir.NewClient("aes128", rows, rand.New(rand.NewSource(78)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram := &pir.TwoServer{Client: cl, E0: ramEp[0], E1: ramEp[1]}
+	paged := &pir.TwoServer{Client: cl, E0: pagedEp[0], E1: pagedEp[1]}
+	indices := []uint64{0, 7, 511, 512, 513, 1023}
+	ramRows, _, err := ram.Fetch(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagedRows, _, err := paged.Fetch(indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q, idx := range indices {
+		want := tab.Row(int(idx))
+		for l := range want {
+			if ramRows[q][l] != want[l] {
+				t.Fatalf("in-RAM cluster row %d lane %d: %d, want %d", idx, l, ramRows[q][l], want[l])
+			}
+			if pagedRows[q][l] != want[l] {
+				t.Fatalf("paged cluster row %d lane %d: %d, want %d (in-RAM agrees with the table)", idx, l, pagedRows[q][l], want[l])
 			}
 		}
 	}
